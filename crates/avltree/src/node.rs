@@ -1,0 +1,52 @@
+//! Arena node of the transactional AVL tree.
+
+use rtle_htm::TxCell;
+
+/// Null link: slot 0 is never a real node.
+pub(crate) const NIL: u32 = 0;
+
+/// One tree node. Cache-line aligned so that distinct nodes never share a
+/// conflict-detection line (the benchmark tree the paper uses has one node
+/// per line too; the paper's bank benchmark likewise pads its counters).
+///
+/// The node's key is implicit: the node for key `k` lives at arena index
+/// `k + 1`, and index order equals key order, so traversals compare
+/// indices and never need to load a key field.
+#[repr(align(64))]
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub left: TxCell<u32>,
+    pub right: TxCell<u32>,
+    /// AVL height of the subtree rooted here (1 for a leaf). 0 only while
+    /// unlinked.
+    pub height: TxCell<u32>,
+}
+
+impl Node {
+    pub fn new() -> Self {
+        Node {
+            left: TxCell::new(NIL),
+            right: TxCell::new(NIL),
+            height: TxCell::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_is_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<Node>(), 64);
+        assert_eq!(std::mem::size_of::<Node>(), 64);
+    }
+
+    #[test]
+    fn fresh_node_is_unlinked() {
+        let n = Node::new();
+        assert_eq!(n.left.read_plain(), NIL);
+        assert_eq!(n.right.read_plain(), NIL);
+        assert_eq!(n.height.read_plain(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based differential testing of the AVL set against `BTreeSet`.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use rtle_avltree::AvlSet;
+use rtle_core::{ElidableLock, ElisionPolicy};
+use rtle_htm::PlainAccess;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn op_strategy(range: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..range).prop_map(Op::Insert),
+        (0..range).prop_map(Op::Remove),
+        (0..range).prop_map(Op::Contains),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Plain (sequential) execution matches BTreeSet exactly, and the AVL
+    /// structural invariants hold after every operation sequence.
+    #[test]
+    fn sequential_matches_btreeset(ops in proptest::collection::vec(op_strategy(64), 0..200)) {
+        let set = AvlSet::with_key_range(64);
+        let mut model = BTreeSet::new();
+        let a = PlainAccess;
+        for op in &ops {
+            match op {
+                Op::Insert(k) => prop_assert_eq!(set.insert(&a, *k), model.insert(*k)),
+                Op::Remove(k) => prop_assert_eq!(set.remove(&a, *k), model.remove(k)),
+                Op::Contains(k) => prop_assert_eq!(set.contains(&a, *k), model.contains(k)),
+            }
+        }
+        prop_assert!(set.check_invariants_plain().is_ok());
+        prop_assert_eq!(set.keys_plain(), model.iter().copied().collect::<Vec<_>>());
+    }
+
+    /// Executing the same operation sequence through an elided lock
+    /// (single-threaded, so speculation always succeeds or falls back
+    /// deterministically) produces identical results to plain execution.
+    #[test]
+    fn elided_execution_equals_plain(
+        ops in proptest::collection::vec(op_strategy(64), 0..120),
+        orecs in prop_oneof![Just(1usize), Just(16), Just(256)],
+    ) {
+        let plain_set = AvlSet::with_key_range(64);
+        let elided_set = AvlSet::with_key_range(64);
+        let lock = ElidableLock::new(ElisionPolicy::FgTle { orecs });
+        let a = PlainAccess;
+
+        for op in &ops {
+            match op {
+                Op::Insert(k) => {
+                    let expected = plain_set.insert(&a, *k);
+                    let got = lock.execute(|ctx| elided_set.insert(ctx, *k));
+                    prop_assert_eq!(got, expected);
+                }
+                Op::Remove(k) => {
+                    let expected = plain_set.remove(&a, *k);
+                    let got = lock.execute(|ctx| elided_set.remove(ctx, *k));
+                    prop_assert_eq!(got, expected);
+                }
+                Op::Contains(k) => {
+                    let expected = plain_set.contains(&a, *k);
+                    let got = lock.execute(|ctx| elided_set.contains(ctx, *k));
+                    prop_assert_eq!(got, expected);
+                }
+            }
+        }
+        prop_assert_eq!(plain_set.keys_plain(), elided_set.keys_plain());
+        prop_assert!(elided_set.check_invariants_plain().is_ok());
+    }
+
+    /// Tree height stays within the AVL bound 1.44·log2(n+2) for any
+    /// insertion order.
+    #[test]
+    fn height_within_avl_bound(keys in proptest::collection::hash_set(0u64..2048, 1..300)) {
+        let set = AvlSet::with_key_range(2048);
+        let a = PlainAccess;
+        for k in &keys {
+            set.insert(&a, *k);
+        }
+        prop_assert!(set.check_invariants_plain().is_ok());
+        for k in &keys {
+            prop_assert!(set.contains(&a, *k));
+        }
+        let n = keys.len() as f64;
+        let bound = (1.4405 * (n + 2.0).log2()).ceil() as usize + 1;
+        prop_assert!(set.root_height_plain() as usize <= bound,
+            "height {} exceeds AVL bound {}", set.root_height_plain(), bound);
+    }
+}

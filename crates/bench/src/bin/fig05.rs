@@ -1,0 +1,33 @@
+//! Figure 5: AVL-tree set throughput (normalized to 1-thread Lock) for
+//! key ranges {8192, 65536} × Insert/Remove {0, 10, 20, 50}% on both
+//! machine profiles.
+
+use rtle_bench::{figures, print_csv, print_table, Scale};
+use rtle_sim::MachineProfile;
+
+fn main() {
+    let scale = scale_from_args();
+    for machine in [MachineProfile::CORE_I7, MachineProfile::XEON] {
+        for key_range in [8192u64, 65_536] {
+            for update in [0u32, 10, 20, 50] {
+                let title = format!(
+                    "Figure 5 [{}] keys={key_range} {update}:{update}:{}",
+                    machine.name,
+                    100 - 2 * update
+                );
+                let series = figures::fig05_panel(&machine, key_range, update, scale);
+                print_table(&title, &series);
+                print_csv(&title, "speedup_vs_1thr_lock", &series);
+                println!();
+            }
+        }
+    }
+}
+
+fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    }
+}

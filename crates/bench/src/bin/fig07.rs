@@ -1,0 +1,15 @@
+//! Figure 7: execution time under lock normalized to the lock-based
+//! execution at the same thread count. 8192 keys, 20% updates.
+
+use rtle_bench::{figures, print_csv, print_table, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let series = figures::fig07(scale);
+    print_table("Figure 7 RelativeTimeUnderLock", &series);
+    print_csv("Figure 7", "relative_time_under_lock", &series);
+}

@@ -1,0 +1,17 @@
+//! Figure 8: RHNOrec slow-path throughput split — hardware commits that
+//! bump the clock (SlowHTM) vs software commits (SWSlow), per ms of
+//! software-transaction time.
+
+use rtle_bench::{figures, print_csv, print_table, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let (htm, sw) = figures::fig08(scale);
+    let series = vec![htm, sw];
+    print_table("Figure 8 RHNOrec slow-path throughput", &series);
+    print_csv("Figure 8", "commits_per_ms_sw_time", &series);
+}

@@ -1,0 +1,15 @@
+//! Figure 9: RHNOrec execution-type distribution (fractions of HTMFast /
+//! HTMSlow / STMFastCommit / STMSlowCommit commits).
+
+use rtle_bench::{figures, print_csv, print_table, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let series = figures::fig09(scale);
+    print_table("Figure 9 RHNOrec execution types", &series);
+    print_csv("Figure 9", "fraction", &series);
+}

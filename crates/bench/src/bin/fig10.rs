@@ -1,0 +1,15 @@
+//! Figure 10: average value-based validations per software transaction,
+//! NOrec vs RHNOrec.
+
+use rtle_bench::{figures, print_csv, print_table, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let series = figures::fig10(scale);
+    print_table("Figure 10 validations per software txn", &series);
+    print_csv("Figure 10", "validations_per_txn", &series);
+}

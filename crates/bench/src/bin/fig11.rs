@@ -1,0 +1,14 @@
+//! Figure 11: bank-accounts transfer throughput (256 padded accounts).
+
+use rtle_bench::{figures, print_csv, print_table, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let series = figures::fig11(scale);
+    print_table("Figure 11 bank accounts (ops/ms)", &series);
+    print_csv("Figure 11", "ops_per_ms", &series);
+}

@@ -1,0 +1,15 @@
+//! Figure 12: AVL throughput with one thread running HTM-hostile updates
+//! while all other threads run Finds (65536 key range).
+
+use rtle_bench::{figures, print_csv, print_table, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let series = figures::fig12(scale);
+    print_table("Figure 12 hostile updater + finders (ops/ms)", &series);
+    print_csv("Figure 12", "ops_per_ms", &series);
+}

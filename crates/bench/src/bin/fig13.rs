@@ -1,0 +1,26 @@
+//! Figure 13: ccTSA assembly runtime vs threads — the original
+//! fine-grained-locking program vs the transactified single-lock program
+//! under each elision method. Includes the paper's high-thread zoom.
+
+use rtle_bench::{figures, print_csv, print_table, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let series = figures::fig13(scale);
+    print_table("Figure 13 ccTSA runtime (sim ms, lower is better)", &series);
+    print_csv("Figure 13", "runtime_ms", &series);
+    // Zoom panel (b): the last thread points only.
+    let zoom: Vec<_> = series
+        .iter()
+        .map(|s| rtle_bench::Series {
+            label: s.label.clone(),
+            points: s.points.iter().rev().take(3).rev().copied().collect(),
+        })
+        .collect();
+    println!();
+    rtle_bench::print_table_prec("Figure 13(b) zoom: high thread counts", &zoom, 3);
+}

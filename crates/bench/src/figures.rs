@@ -1,0 +1,620 @@
+//! Per-figure sweep functions. Each mirrors one figure of §6.
+
+use rtle_sim::engine::{Engine, RunMode};
+use rtle_sim::workloads::avl::{AvlConfig, AvlWorkload};
+use rtle_sim::workloads::bank::{BankConfig, BankWorkload};
+use rtle_sim::workloads::cctsa::{CctsaConfig, CctsaWorkload};
+use rtle_sim::{CostModel, MachineProfile, SimMethod, SimStats};
+
+/// One (threads, value) point of a figure series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Thread count of this point.
+    pub threads: usize,
+    /// The plotted value (speedup, ops/ms, fraction, …).
+    pub value: f64,
+}
+
+/// One curve of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (matches the paper's).
+    pub label: String,
+    /// Points in ascending thread order.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// Sweep scale: the full figures simulate a few milliseconds per point;
+/// tests use the quick scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Integration-test scale (sub-second sweeps).
+    Quick,
+    /// The figures as reported in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Simulated duration per fixed-duration point, in machine ms.
+    fn sim_ms(self) -> u64 {
+        match self {
+            Scale::Quick => 1,
+            Scale::Full => 3,
+        }
+    }
+
+    /// Thread sweep for `machine`, thinned at quick scale.
+    fn threads(self, machine: &MachineProfile) -> Vec<usize> {
+        let full = machine.thread_points();
+        match self {
+            Scale::Full => full,
+            Scale::Quick => full.into_iter().step_by(3).collect(),
+        }
+    }
+
+    /// ccTSA genome size.
+    fn genome(self) -> usize {
+        match self {
+            Scale::Quick => 4_000,
+            Scale::Full => 20_000,
+        }
+    }
+}
+
+fn duration(scale: Scale, machine: &MachineProfile) -> RunMode {
+    RunMode::FixedDuration(scale.sim_ms() * machine.cycles_per_ms())
+}
+
+fn run_avl(
+    method: SimMethod,
+    threads: usize,
+    cfg: AvlConfig,
+    scale: Scale,
+    machine: &MachineProfile,
+) -> SimStats {
+    let w = AvlWorkload::new(threads, cfg);
+    Engine::new(
+        method,
+        threads,
+        CostModel::pointer_chasing(),
+        duration(scale, machine),
+        w,
+    )
+    .with_time_scale(machine.smt_factor(threads))
+    .with_spurious_aborts(machine.htm_spurious(threads))
+    .run()
+}
+
+// ---------------------------------------------------------------------
+// Figure 5: AVL throughput (speedup over 1-thread Lock) across the grid.
+// ---------------------------------------------------------------------
+
+/// One Figure 5 panel: `key_range` × `update_pct` (Insert = Remove =
+/// `update_pct`) on `machine`. Values are speedups over the 1-thread
+/// Lock run, exactly as the paper normalizes.
+pub fn fig05_panel(
+    machine: &MachineProfile,
+    key_range: u64,
+    update_pct: u32,
+    scale: Scale,
+) -> Vec<Series> {
+    let cfg = AvlConfig::new(key_range, update_pct, update_pct);
+    let baseline = run_avl(SimMethod::LockOnly { locks: 1 }, 1, cfg, scale, machine)
+        .ops_per_ms(machine)
+        .max(1e-9);
+
+    SimMethod::figure5_set()
+        .into_iter()
+        .map(|m| Series {
+            label: m.label(),
+            points: scale
+                .threads(machine)
+                .into_iter()
+                .map(|t| SeriesPoint {
+                    threads: t,
+                    value: run_avl(m, t, cfg, scale, machine).ops_per_ms(machine) / baseline,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// The refined-TLE method subset used by Figures 6 and 7.
+fn refined_set() -> Vec<SimMethod> {
+    let mut v = vec![SimMethod::RwTle];
+    for orecs in [1usize, 4, 16, 256, 1024, 4096, 8192] {
+        v.push(SimMethod::FgTle { orecs });
+    }
+    v
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: slow-path throughput (SlowHTM and Lock charts) while locked.
+// ---------------------------------------------------------------------
+
+/// Returns `(slow_htm, lock)` series: commits per ms *of locked time*,
+/// for the Figure 6 workload (8192 keys, 20% Insert/Remove, Xeon).
+pub fn fig06(scale: Scale) -> (Vec<Series>, Vec<Series>) {
+    let machine = MachineProfile::XEON;
+    let cfg = AvlConfig::new(8192, 20, 20);
+    let mut slow = Vec::new();
+    let mut lock = Vec::new();
+    for m in refined_set() {
+        let mut sp = Vec::new();
+        let mut lp = Vec::new();
+        for t in scale.threads(&machine) {
+            let s = run_avl(m, t, cfg, scale, &machine);
+            sp.push(SeriesPoint {
+                threads: t,
+                value: s.slow_htm_per_ms(&machine),
+            });
+            lp.push(SeriesPoint {
+                threads: t,
+                value: s.lock_per_ms(&machine),
+            });
+        }
+        slow.push(Series {
+            label: m.label(),
+            points: sp,
+        });
+        lock.push(Series {
+            label: m.label(),
+            points: lp,
+        });
+    }
+    (slow, lock)
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: time under lock, normalized to the Lock-only execution.
+// ---------------------------------------------------------------------
+
+/// Per-critical-section time under the lock, normalized to the Lock-only
+/// method at the same thread count (the instrumentation overhead factor).
+pub fn fig07(scale: Scale) -> Vec<Series> {
+    let machine = MachineProfile::XEON;
+    let cfg = AvlConfig::new(8192, 20, 20);
+    let threads = scale.threads(&machine);
+
+    let per_cs = |s: &SimStats| {
+        if s.lock_commits == 0 {
+            f64::NAN
+        } else {
+            s.cycles_locked as f64 / s.lock_commits as f64
+        }
+    };
+
+    let mut baselines = Vec::new();
+    for &t in &threads {
+        let s = run_avl(SimMethod::LockOnly { locks: 1 }, t, cfg, scale, &machine);
+        baselines.push(per_cs(&s).max(1e-9));
+    }
+
+    let mut methods = vec![SimMethod::Tle];
+    methods.extend(refined_set());
+    methods
+        .into_iter()
+        .map(|m| Series {
+            label: m.label(),
+            points: threads
+                .iter()
+                .zip(&baselines)
+                .map(|(&t, &base)| {
+                    let s = run_avl(m, t, cfg, scale, &machine);
+                    SeriesPoint {
+                        threads: t,
+                        value: per_cs(&s) / base,
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figures 8–10: RHNOrec slow-path split, execution types, validations.
+// ---------------------------------------------------------------------
+
+/// Figure 8: RHNOrec's throughput while software transactions run:
+/// `(SlowHTM, SWSlow)` — hardware commits that bumped the clock, and
+/// software commits, both per ms of software time.
+pub fn fig08(scale: Scale) -> (Series, Series) {
+    let machine = MachineProfile::XEON;
+    let cfg = AvlConfig::new(8192, 20, 20);
+    let mut htm = Vec::new();
+    let mut sw = Vec::new();
+    for t in scale.threads(&machine) {
+        let s = run_avl(SimMethod::RhNorec, t, cfg, scale, &machine);
+        htm.push(SeriesPoint {
+            threads: t,
+            value: s.htm_slow_per_ms(&machine),
+        });
+        sw.push(SeriesPoint {
+            threads: t,
+            value: s.sw_per_ms(&machine),
+        });
+    }
+    (
+        Series {
+            label: "SlowHTM".into(),
+            points: htm,
+        },
+        Series {
+            label: "SWSlow".into(),
+            points: sw,
+        },
+    )
+}
+
+/// Figure 9: RHNOrec execution-type distribution
+/// (HTMFast, HTMSlow, STMFastCommit, STMSlowCommit fractions).
+pub fn fig09(scale: Scale) -> Vec<Series> {
+    let machine = MachineProfile::XEON;
+    let cfg = AvlConfig::new(8192, 20, 20);
+    let labels = ["HTMFast", "HTMSlow", "STMFastCommit", "STMSlowCommit"];
+    let mut out: Vec<Series> = labels
+        .iter()
+        .map(|l| Series {
+            label: (*l).into(),
+            points: Vec::new(),
+        })
+        .collect();
+    for t in scale.threads(&machine) {
+        let s = run_avl(SimMethod::RhNorec, t, cfg, scale, &machine);
+        let f = s.exec_fractions();
+        for (i, series) in out.iter_mut().enumerate() {
+            series.points.push(SeriesPoint {
+                threads: t,
+                value: f[i],
+            });
+        }
+    }
+    out
+}
+
+/// Figure 10: average value-based validations per software transaction,
+/// NOrec vs RHNOrec.
+pub fn fig10(scale: Scale) -> Vec<Series> {
+    let machine = MachineProfile::XEON;
+    let cfg = AvlConfig::new(8192, 20, 20);
+    [SimMethod::Norec, SimMethod::RhNorec]
+        .into_iter()
+        .map(|m| Series {
+            label: m.label(),
+            points: scale
+                .threads(&machine)
+                .into_iter()
+                .map(|t| {
+                    let s = run_avl(m, t, cfg, scale, &machine);
+                    SeriesPoint {
+                        threads: t,
+                        value: s.validations_per_stm_txn(),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 11: bank accounts.
+// ---------------------------------------------------------------------
+
+/// Figure 11 method set (the paper's legend, minus one FG size).
+pub fn fig11_methods() -> Vec<SimMethod> {
+    vec![
+        SimMethod::LockOnly { locks: 1 },
+        SimMethod::Tle,
+        SimMethod::RwTle,
+        SimMethod::FgTle { orecs: 1 },
+        SimMethod::FgTle { orecs: 16 },
+        SimMethod::FgTle { orecs: 256 },
+        SimMethod::FgTle { orecs: 1024 },
+        SimMethod::FgTle { orecs: 4096 },
+        SimMethod::FgTle { orecs: 8192 },
+        SimMethod::Norec,
+        SimMethod::RhNorec,
+    ]
+}
+
+/// Figure 11: transfers/ms over 256 padded accounts on the Xeon.
+pub fn fig11(scale: Scale) -> Vec<Series> {
+    let machine = MachineProfile::XEON;
+    fig11_methods()
+        .into_iter()
+        .map(|m| Series {
+            label: m.label(),
+            points: scale
+                .threads(&machine)
+                .into_iter()
+                .map(|t| {
+                    let w = BankWorkload::new(t, BankConfig::default());
+                    let s = Engine::new(m, t, CostModel::default(), duration(scale, &machine), w)
+                        .with_time_scale(machine.smt_factor(t))
+                        .with_spurious_aborts(machine.htm_spurious(t))
+                        .run();
+                    SeriesPoint {
+                        threads: t,
+                        value: s.ops_per_ms(&machine),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 12: one HTM-hostile updater among finders (65536 keys).
+// ---------------------------------------------------------------------
+
+/// Figure 12: total throughput with thread 0 running HTM-hostile updates
+/// and all other threads running Finds.
+pub fn fig12(scale: Scale) -> Vec<Series> {
+    let machine = MachineProfile::XEON;
+    let methods = vec![
+        SimMethod::LockOnly { locks: 1 },
+        SimMethod::Tle,
+        SimMethod::RwTle,
+        SimMethod::FgTle { orecs: 1 },
+        SimMethod::FgTle { orecs: 16 },
+        SimMethod::FgTle { orecs: 256 },
+        SimMethod::FgTle { orecs: 4096 },
+        SimMethod::FgTle { orecs: 8192 },
+        SimMethod::Norec,
+        SimMethod::RhNorec,
+    ];
+    methods
+        .into_iter()
+        .map(|m| Series {
+            label: m.label(),
+            points: scale
+                .threads(&machine)
+                .into_iter()
+                .filter(|&t| t >= 2)
+                .map(|t| {
+                    let mut cfg = AvlConfig::new(65_536, 0, 0);
+                    cfg.hostile_thread = Some(0);
+                    let s = run_avl(m, t, cfg, scale, &machine);
+                    SeriesPoint {
+                        threads: t,
+                        value: s.ops_per_ms(&machine),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 13: ccTSA runtime.
+// ---------------------------------------------------------------------
+
+/// Figure 13 method set: the original fine-grained program plus the
+/// transactified program under each synchronization method.
+pub fn fig13_methods() -> Vec<(SimMethod, bool, &'static str)> {
+    let mut v: Vec<(SimMethod, bool, &'static str)> = vec![
+        (SimMethod::LockOnly { locks: 4096 }, true, "Lock.orig"),
+        (SimMethod::LockOnly { locks: 1 }, false, "Lock"),
+        (SimMethod::Tle, false, "TLE"),
+        (SimMethod::RwTle, false, "RW-TLE"),
+    ];
+    for orecs in [1usize, 16, 256, 1024, 4096, 8192] {
+        v.push((SimMethod::FgTle { orecs }, false, ""));
+    }
+    v
+}
+
+/// Figure 13: total assembly (k-mer ingestion) time in simulated ms for a
+/// fixed read set, as the thread count grows. Lower is better.
+pub fn fig13(scale: Scale) -> Vec<Series> {
+    let machine = MachineProfile::XEON;
+    let threads = scale.threads(&machine);
+    fig13_methods()
+        .into_iter()
+        .map(|(m, sharded, label)| {
+            let label = if label.is_empty() {
+                m.label()
+            } else {
+                label.to_string()
+            };
+            Series {
+                label,
+                points: threads
+                    .iter()
+                    .map(|&t| {
+                        let cfg = CctsaConfig {
+                            genome_len: scale.genome(),
+                            sharded,
+                            ..Default::default()
+                        };
+                        let w = CctsaWorkload::new(t, cfg);
+                        let s =
+                            Engine::new(m, t, CostModel::pointer_chasing(), RunMode::FixedWork, w)
+                                .with_time_scale(machine.smt_factor(t))
+                                .with_spurious_aborts(machine.htm_spurious(t))
+                                .run();
+                        SeriesPoint {
+                            threads: t,
+                            value: s.sim_cycles as f64 / machine.cycles_per_ms() as f64,
+                        }
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §design-choices): lazy subscription and the
+// uniq-orecs shortcut.
+// ---------------------------------------------------------------------
+
+/// Ablation: FG-TLE(1024) with eager vs lazy lock subscription on the
+/// Figure 6 workload.
+pub fn ablation_lazy_subscription(scale: Scale) -> Vec<Series> {
+    let machine = MachineProfile::XEON;
+    let cfg = AvlConfig::new(8192, 20, 20);
+    [("eager", false), ("lazy", true)]
+        .into_iter()
+        .map(|(name, lazy)| Series {
+            label: format!("FG-TLE(1024)/{name}"),
+            points: scale
+                .threads(&machine)
+                .into_iter()
+                .map(|t| {
+                    let w = AvlWorkload::new(t, cfg);
+                    let s = Engine::new(
+                        SimMethod::FgTle { orecs: 1024 },
+                        t,
+                        CostModel::pointer_chasing(),
+                        duration(scale, &machine),
+                        w,
+                    )
+                    .with_lazy_subscription(lazy)
+                    .with_time_scale(machine.smt_factor(t))
+                    .with_spurious_aborts(machine.htm_spurious(t))
+                    .run();
+                    SeriesPoint {
+                        threads: t,
+                        value: s.ops_per_ms(&machine),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Ablation: the lock holder's `uniq_*_orecs` shortcut (§4.2) on vs off,
+/// FG-TLE(1) and FG-TLE(16) where it matters most.
+pub fn ablation_uniq_shortcut(scale: Scale) -> Vec<Series> {
+    let machine = MachineProfile::XEON;
+    let cfg = AvlConfig::new(8192, 20, 20);
+    let mut out = Vec::new();
+    for orecs in [1usize, 16] {
+        for (name, on) in [("on", true), ("off", false)] {
+            out.push(Series {
+                label: format!("FG-TLE({orecs})/shortcut-{name}"),
+                points: scale
+                    .threads(&machine)
+                    .into_iter()
+                    .map(|t| {
+                        let w = AvlWorkload::new(t, cfg);
+                        let s = Engine::new(
+                            SimMethod::FgTle { orecs },
+                            t,
+                            CostModel::pointer_chasing(),
+                            duration(scale, &machine),
+                            w,
+                        )
+                        .with_uniq_shortcut(on)
+                        .with_time_scale(machine.smt_factor(t))
+                        .with_spurious_aborts(machine.htm_spurious(t))
+                        .run();
+                        SeriesPoint {
+                            threads: t,
+                            value: s.ops_per_ms(&machine),
+                        }
+                    })
+                    .collect(),
+            });
+        }
+    }
+    out
+}
+
+/// Beyond-paper experiment: does adaptive FG-TLE (§4.2.1) track the best
+/// fixed orec configuration across thread counts? Figure 6's workload.
+pub fn ablation_adaptive(scale: Scale) -> Vec<Series> {
+    let machine = MachineProfile::XEON;
+    let cfg = AvlConfig::new(8192, 20, 20);
+    let methods = vec![
+        SimMethod::Tle,
+        SimMethod::FgTle { orecs: 1 },
+        SimMethod::FgTle { orecs: 1024 },
+        SimMethod::FgTle { orecs: 8192 },
+        SimMethod::AdaptiveFgTle {
+            initial: 64,
+            max_orecs: 8192,
+        },
+    ];
+    methods
+        .into_iter()
+        .map(|m| Series {
+            label: m.label(),
+            points: scale
+                .threads(&machine)
+                .into_iter()
+                .map(|t| {
+                    let s = run_avl(m, t, cfg, scale, &machine);
+                    SeriesPoint {
+                        threads: t,
+                        value: s.ops_per_ms(&machine),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(series: &[Series], label: &str, threads: usize) -> f64 {
+        series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("missing series {label}"))
+            .points
+            .iter()
+            .find(|p| p.threads == threads)
+            .unwrap_or_else(|| panic!("missing point {label}@{threads}"))
+            .value
+    }
+
+    #[test]
+    fn fig05_quick_shapes() {
+        let s = fig05_panel(&MachineProfile::XEON, 8192, 20, Scale::Quick);
+        assert_eq!(s.len(), 12);
+        let t_hi = *s[0].points.last().map(|p| &p.threads).unwrap();
+        // Refined TLE beats TLE once contention exists (the paper's core
+        // result), and the single-thread Lock normalization is ≈ 1.
+        assert!((val(&s, "Lock", 1) - 1.0).abs() < 0.25);
+        assert!(
+            val(&s, "FG-TLE(8192)", t_hi) > val(&s, "TLE", t_hi),
+            "FG-TLE(8192) must beat TLE at {t_hi} threads"
+        );
+    }
+
+    #[test]
+    fn fig11_quick_shapes() {
+        let s = fig11(Scale::Quick);
+        let t_hi = *s[0].points.last().map(|p| &p.threads).unwrap();
+        assert!(val(&s, "FG-TLE(8192)", t_hi) > val(&s, "TLE", t_hi));
+        assert!(val(&s, "TLE", t_hi) > val(&s, "NOrec", t_hi) * 0.3);
+    }
+
+    #[test]
+    fn fig13_quick_shapes() {
+        let s = fig13(Scale::Quick);
+        // Elided single lock beats the original fine-grained program at
+        // every thread count (the >2x claim of §6.4.2).
+        for (i, p) in s
+            .iter()
+            .find(|x| x.label == "TLE")
+            .unwrap()
+            .points
+            .iter()
+            .enumerate()
+        {
+            let orig = s.iter().find(|x| x.label == "Lock.orig").unwrap().points[i].value;
+            assert!(
+                p.value < orig,
+                "TLE {} vs Lock.orig {} at {}",
+                p.value,
+                orig,
+                p.threads
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Synthetic genomes and read sampling.
+//!
+//! Substitutes for the E. coli read set shipped with the original ccTSA:
+//! a seeded random genome over {A, C, G, T} sampled into fixed-length
+//! reads at a given coverage. Error-free by default; an optional per-base
+//! substitution error rate exercises the coverage-filtering phase.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bases are stored 2-bit encoded: A=0, C=1, G=2, T=3.
+pub const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
+
+/// A synthetic reference genome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Genome {
+    seq: Vec<u8>,
+}
+
+impl Genome {
+    /// Generates a random genome of `len` bases from `seed`.
+    pub fn synthetic(len: usize, seed: u64) -> Self {
+        assert!(len > 0, "empty genome");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Genome {
+            seq: (0..len).map(|_| rng.random_range(0..4u8)).collect(),
+        }
+    }
+
+    /// Builds a genome from an ASCII sequence (test convenience).
+    pub fn from_ascii(s: &str) -> Self {
+        Genome {
+            seq: s
+                .chars()
+                .map(|c| match c {
+                    'A' | 'a' => 0,
+                    'C' | 'c' => 1,
+                    'G' | 'g' => 2,
+                    'T' | 't' => 3,
+                    other => panic!("invalid base {other:?}"),
+                })
+                .collect(),
+        }
+    }
+
+    /// 2-bit-encoded bases.
+    pub fn bases(&self) -> &[u8] {
+        &self.seq
+    }
+
+    /// Genome length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether the genome has no bases.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// ASCII rendering (tests / debugging).
+    pub fn to_ascii(&self) -> String {
+        self.seq.iter().map(|&b| BASES[b as usize]).collect()
+    }
+}
+
+/// Samples `coverage`-fold reads of `read_len` bases from `genome`,
+/// uniformly positioned, with per-base substitution probability
+/// `error_rate`. Deterministic in `seed`.
+///
+/// The number of reads is `ceil(coverage * genome_len / read_len)`; every
+/// position of the genome is additionally covered by one "tiling" pass so
+/// small test genomes assemble completely.
+pub fn sample_reads(
+    genome: &Genome,
+    read_len: usize,
+    coverage: usize,
+    error_rate: f64,
+    seed: u64,
+) -> Vec<Vec<u8>> {
+    assert!(
+        read_len >= 1 && read_len <= genome.len(),
+        "read length out of range"
+    );
+    assert!((0.0..1.0).contains(&error_rate));
+    // Separate streams so read *positions* are identical for any error
+    // rate under the same seed (lets tests compare clean vs noisy runs).
+    let mut pos_rng = StdRng::seed_from_u64(seed);
+    let mut err_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let n_random = (coverage * genome.len()).div_ceil(read_len);
+    let max_start = genome.len() - read_len;
+
+    let mut reads = Vec::with_capacity(n_random + max_start / read_len + 2);
+    // Tiling pass: guarantees every k-mer window is present at least once.
+    let mut pos = 0;
+    loop {
+        reads.push(genome.bases()[pos..pos + read_len].to_vec());
+        if pos == max_start {
+            break;
+        }
+        pos = (pos + read_len / 2).min(max_start);
+    }
+    // Random coverage passes.
+    for _ in 0..n_random {
+        let start = pos_rng.random_range(0..=max_start);
+        let mut read = genome.bases()[start..start + read_len].to_vec();
+        if error_rate > 0.0 {
+            for b in &mut read {
+                if err_rng.random::<f64>() < error_rate {
+                    *b = (*b + err_rng.random_range(1..4u8)) % 4;
+                }
+            }
+        }
+        reads.push(read);
+    }
+    reads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let a = Genome::synthetic(100, 1);
+        let b = Genome::synthetic(100, 1);
+        let c = Genome::synthetic(100, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 100);
+        assert!(a.bases().iter().all(|&b| b < 4));
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let g = Genome::from_ascii("ACGTACGT");
+        assert_eq!(g.to_ascii(), "ACGTACGT");
+        assert_eq!(g.bases(), &[0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reads_cover_and_match_genome() {
+        let g = Genome::synthetic(500, 3);
+        let reads = sample_reads(&g, 36, 5, 0.0, 9);
+        assert!(!reads.is_empty());
+        // Error-free reads must be exact substrings.
+        let gs = g.bases();
+        for r in &reads {
+            assert_eq!(r.len(), 36);
+            assert!(
+                gs.windows(36).any(|w| w == r.as_slice()),
+                "read is not a substring of the genome"
+            );
+        }
+        // Coverage roughly: total bases ≥ coverage * genome length.
+        let total: usize = reads.iter().map(Vec::len).sum();
+        assert!(total >= 5 * g.len());
+    }
+
+    #[test]
+    fn errors_injected_at_requested_rate() {
+        let g = Genome::synthetic(2_000, 4);
+        let clean = sample_reads(&g, 36, 10, 0.0, 5);
+        let noisy = sample_reads(&g, 36, 10, 0.05, 5);
+        assert_eq!(clean.len(), noisy.len());
+        let diffs: usize = clean
+            .iter()
+            .zip(&noisy)
+            .map(|(c, n)| c.iter().zip(n).filter(|(a, b)| a != b).count())
+            .sum();
+        let total: usize = clean.iter().map(Vec::len).sum();
+        let rate = diffs as f64 / total as f64;
+        assert!(rate > 0.02 && rate < 0.10, "observed error rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "read length out of range")]
+    fn read_longer_than_genome_rejected() {
+        let g = Genome::synthetic(10, 0);
+        let _ = sample_reads(&g, 11, 1, 0.0, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! 2-bit packed k-mers (k ≤ 31) and their extraction from reads.
+//!
+//! ccTSA's default is k = 27 on 36-bp reads, which this crate mirrors.
+
+/// A k-mer: up to 31 bases packed 2 bits each into the low bits of a u64.
+/// The k itself travels separately (one k per assembly run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Kmer(pub u64);
+
+/// ccTSA's default k-mer length.
+pub const DEFAULT_K: usize = 27;
+
+impl Kmer {
+    /// Packs `bases` (2-bit codes, most significant first) into a k-mer.
+    pub fn from_bases(bases: &[u8]) -> Self {
+        assert!(bases.len() <= 31, "k must be ≤ 31");
+        let mut v = 0u64;
+        for &b in bases {
+            debug_assert!(b < 4);
+            v = (v << 2) | b as u64;
+        }
+        Kmer(v)
+    }
+
+    /// Shifts `base` in from the right, dropping the oldest base, keeping
+    /// length `k` — the rolling-window step of k-mer extraction.
+    #[inline]
+    pub fn roll(self, base: u8, k: usize) -> Self {
+        debug_assert!(base < 4);
+        let mask = if k == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * k)) - 1
+        };
+        Kmer(((self.0 << 2) | base as u64) & mask)
+    }
+
+    /// First (most significant) base of a k-length k-mer.
+    #[inline]
+    pub fn first_base(self, k: usize) -> u8 {
+        ((self.0 >> (2 * (k - 1))) & 3) as u8
+    }
+
+    /// Last (least significant) base.
+    #[inline]
+    pub fn last_base(self) -> u8 {
+        (self.0 & 3) as u8
+    }
+
+    /// ASCII rendering of a k-length k-mer.
+    pub fn to_ascii(self, k: usize) -> String {
+        (0..k)
+            .rev()
+            .map(|i| crate::genome::BASES[((self.0 >> (2 * i)) & 3) as usize])
+            .collect()
+    }
+}
+
+/// Iterates the k-mers of `read` in order, with, for each, the previous
+/// base (the base to the left of the window, if any) and the next base —
+/// the De Bruijn in/out edge labels.
+pub fn kmers_with_edges(
+    read: &[u8],
+    k: usize,
+) -> impl Iterator<Item = (Kmer, Option<u8>, Option<u8>)> + '_ {
+    assert!((1..=31).contains(&k));
+    let n = read.len();
+    let first = if n >= k {
+        Some(Kmer::from_bases(&read[..k]))
+    } else {
+        None
+    };
+    let mut cur = first.unwrap_or(Kmer(0));
+    let mut started = false;
+    (0..n.saturating_sub(k - 1)).map(move |i| {
+        if started {
+            cur = cur.roll(read[i + k - 1], k);
+        }
+        started = true;
+        let prev = if i > 0 { Some(read[i - 1]) } else { None };
+        let next = if i + k < n { Some(read[i + k]) } else { None };
+        (cur, prev, next)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_and_render() {
+        let k = Kmer::from_bases(&[0, 1, 2, 3]); // ACGT
+        assert_eq!(k.0, 0b00_01_10_11);
+        assert_eq!(k.to_ascii(4), "ACGT");
+        assert_eq!(k.first_base(4), 0);
+        assert_eq!(k.last_base(), 3);
+    }
+
+    #[test]
+    fn roll_matches_repack() {
+        let read = [0u8, 1, 2, 3, 1, 0, 2];
+        let k = 4;
+        let mut rolled = Kmer::from_bases(&read[..k]);
+        for i in 1..=read.len() - k {
+            rolled = rolled.roll(read[i + k - 1], k);
+            assert_eq!(rolled, Kmer::from_bases(&read[i..i + k]), "window {i}");
+        }
+    }
+
+    #[test]
+    fn kmers_with_edges_enumerates_all_windows() {
+        let read = [0u8, 1, 2, 3, 0];
+        let got: Vec<_> = kmers_with_edges(&read, 3).collect();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], (Kmer::from_bases(&[0, 1, 2]), None, Some(3)));
+        assert_eq!(got[1], (Kmer::from_bases(&[1, 2, 3]), Some(0), Some(0)));
+        assert_eq!(got[2], (Kmer::from_bases(&[2, 3, 0]), Some(1), None));
+    }
+
+    #[test]
+    fn short_read_yields_nothing() {
+        let read = [0u8, 1];
+        assert_eq!(kmers_with_edges(&read, 3).count(), 0);
+    }
+
+    #[test]
+    fn default_k_is_cctsa_default() {
+        assert_eq!(DEFAULT_K, 27);
+    }
+
+    #[test]
+    fn k31_masking() {
+        let bases: Vec<u8> = (0..31).map(|i| (i % 4) as u8).collect();
+        let k = Kmer::from_bases(&bases);
+        let rolled = k.roll(3, 31);
+        let mut expect = bases[1..].to_vec();
+        expect.push(3);
+        assert_eq!(rolled, Kmer::from_bases(&expect));
+    }
+}

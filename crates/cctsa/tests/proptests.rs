@@ -1,0 +1,99 @@
+//! Property tests for the assembler substrate.
+
+use proptest::prelude::*;
+use rtle_cctsa::assemble::{assemble_sequential, AssemblyStats};
+use rtle_cctsa::genome::{sample_reads, Genome};
+use rtle_cctsa::kmer::{kmers_with_edges, Kmer};
+use rtle_cctsa::txmap::KmerMap;
+use rtle_htm::PlainAccess;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every contig assembled from error-free reads is an exact substring
+    /// of the genome, and assembly covers most of it.
+    #[test]
+    fn contigs_are_genome_substrings(seed in 0u64..500, len in 300usize..1200) {
+        let g = Genome::synthetic(len, seed);
+        let reads = sample_reads(&g, 36, 3, 0.0, seed ^ 0x77);
+        let contigs = assemble_sequential(&reads, 13, 1);
+        let gs = g.bases();
+        for c in &contigs {
+            prop_assert!(c.len() >= 13);
+            prop_assert!(
+                gs.windows(c.len()).any(|w| w == c.as_slice()),
+                "contig of {} bp not found in genome (seed {seed})",
+                c.len()
+            );
+        }
+        let stats = AssemblyStats::of(&contigs);
+        prop_assert!(stats.total_len >= len, "k-mer coverage spans the genome");
+    }
+
+    /// The k-mer map's multiset of counts equals a HashMap reference for
+    /// arbitrary read sets.
+    #[test]
+    fn kmer_map_matches_hashmap(
+        reads in proptest::collection::vec(
+            proptest::collection::vec(0u8..4, 8..40), 1..20)
+    ) {
+        let k = 7;
+        let map = KmerMap::with_capacity(1 << 12);
+        let mut reference = std::collections::HashMap::<u64, u32>::new();
+        let a = PlainAccess;
+        for r in &reads {
+            for (kmer, prev, next) in kmers_with_edges(r, k) {
+                map.record(&a, kmer, prev, next);
+                *reference.entry(kmer.0).or_default() += 1;
+            }
+        }
+        prop_assert_eq!(map.len_plain(), reference.len());
+        for (kv, count) in &reference {
+            let info = map.get(&a, Kmer(*kv)).expect("present");
+            prop_assert_eq!(info.count, *count);
+        }
+    }
+
+    /// Edge masks are consistent: every out-edge recorded on u has a
+    /// matching in-edge on the k-mer it rolls into (when both survive).
+    #[test]
+    fn edge_masks_are_symmetric(seed in 0u64..200) {
+        let k = 9;
+        let g = Genome::synthetic(400, seed);
+        let reads = sample_reads(&g, 36, 2, 0.0, seed);
+        let map = KmerMap::with_capacity(1 << 12);
+        let a = PlainAccess;
+        for r in &reads {
+            for (kmer, prev, next) in kmers_with_edges(r, k) {
+                map.record(&a, kmer, prev, next);
+            }
+        }
+        for info in map.iter_plain() {
+            for b in 0..4u8 {
+                if info.out_mask & (1 << b) != 0 {
+                    let v = info.kmer.roll(b, k);
+                    let vi = map.get(&a, v).expect("successor k-mer must exist");
+                    let first = info.kmer.first_base(k);
+                    prop_assert!(
+                        vi.in_mask & (1 << first) != 0,
+                        "missing reciprocal in-edge"
+                    );
+                }
+            }
+        }
+    }
+
+    /// N50 definition properties on arbitrary length sets.
+    #[test]
+    fn n50_properties(lens in proptest::collection::vec(1usize..500, 1..30)) {
+        let contigs: Vec<Vec<u8>> = lens.iter().map(|&l| vec![0u8; l]).collect();
+        let s = AssemblyStats::of(&contigs);
+        prop_assert_eq!(s.contigs, lens.len());
+        prop_assert_eq!(s.total_len, lens.iter().sum::<usize>());
+        prop_assert_eq!(s.longest, *lens.iter().max().unwrap());
+        prop_assert!(s.n50 >= 1 && s.n50 <= s.longest);
+        // At least half the total length is in contigs of length >= n50.
+        let covered: usize = lens.iter().filter(|&&l| l >= s.n50).sum();
+        prop_assert!(covered * 2 >= s.total_len);
+    }
+}

@@ -1,0 +1,222 @@
+//! Adaptive FG-TLE (§4.2.1) — the paper sketches it as future work; this is
+//! a concrete implementation of the two knobs the sketch names:
+//!
+//! 1. **Resizing the active orec range.** "Changing the number of orecs can
+//!    be trivially done while a thread is holding the lock" — the holder
+//!    inspects recent slow-path benefit and grows the range when slow-path
+//!    transactions keep dying on orec conflicts, or shrinks it when the
+//!    slow path is idle (fewer orecs means the holder reaches the
+//!    `uniq_*_orecs == N` shortcut sooner and pays less instrumentation).
+//! 2. **Collapsing to plain TLE.** "Add a flag that is initially set and is
+//!    always read by hardware transactions in the slow path" — when even
+//!    one active orec buys nothing, the holder clears `fg_enabled`; slow
+//!    path attempts then self-abort immediately and the runtime behaves
+//!    like standard TLE. The flag is re-examined periodically so a changed
+//!    workload can re-enable the slow path.
+//!
+//! All decisions are made by the lock holder (single writer), read by
+//! everyone else — the same asymmetry the rest of FG-TLE enjoys.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rtle_htm::TxCell;
+
+use crate::orec::OrecTable;
+use crate::stats::ExecStats;
+
+/// Decision cadence: adapt every this many lock acquisitions.
+const WINDOW: u64 = 32;
+/// Re-enable probe cadence (in windows) once the slow path was disabled.
+const REENABLE_WINDOWS: u64 = 32;
+/// Grow when slow aborts exceed this multiple of slow commits.
+const GROW_ABORT_FACTOR: u64 = 4;
+
+/// Holder-maintained adaptation state for one lock.
+#[derive(Debug, Default)]
+pub(crate) struct AdaptiveState {
+    sections: AtomicU64,
+    last_slow_commits: AtomicU64,
+    last_slow_aborts: AtomicU64,
+    idle_windows: AtomicU64,
+    disabled_windows: AtomicU64,
+    initial_orecs: u64,
+}
+
+impl AdaptiveState {
+    pub fn new(initial_orecs: usize) -> Self {
+        AdaptiveState {
+            initial_orecs: initial_orecs as u64,
+            ..Default::default()
+        }
+    }
+
+    /// Called by the lock holder right after acquiring the lock, before the
+    /// critical section runs (resizes are only legal in that window).
+    pub fn on_lock_acquired(
+        &self,
+        orecs: &OrecTable,
+        fg_enabled: &TxCell<bool>,
+        stats: &ExecStats,
+    ) {
+        let n = self.sections.fetch_add(1, Ordering::Relaxed) + 1;
+        if !n.is_multiple_of(WINDOW) {
+            return;
+        }
+
+        let sc = stats.slow_commits_now();
+        let sa = stats.slow_aborts_now();
+        let dsc = sc - self.last_slow_commits.swap(sc, Ordering::Relaxed);
+        let dsa = sa - self.last_slow_aborts.swap(sa, Ordering::Relaxed);
+
+        if !fg_enabled.read_plain() {
+            // Currently collapsed to plain TLE. Slow-path attempts during
+            // this state abort with FG_DISABLED and show up as slow
+            // aborts — that is *demand*: threads found the lock held and
+            // wanted to speculate. Re-enable immediately on demand, and
+            // probe periodically even without it.
+            let dw = self.disabled_windows.fetch_add(1, Ordering::Relaxed) + 1;
+            if dsa > 0 || dw.is_multiple_of(REENABLE_WINDOWS) {
+                orecs.resize_active((self.initial_orecs as usize).clamp(1, orecs.capacity()));
+                fg_enabled.write(true);
+                self.idle_windows.store(0, Ordering::Relaxed);
+            }
+            return;
+        }
+
+        let active = orecs.active_plain();
+        if dsc == 0 && dsa == 0 {
+            // Slow path idle this window: the instrumentation under lock is
+            // pure overhead. Shrink; after two consecutive idle windows at
+            // a single orec, collapse to plain TLE.
+            let idle = self.idle_windows.fetch_add(1, Ordering::Relaxed) + 1;
+            if active > 1 {
+                orecs.resize_active((active / 2).max(1));
+            } else if idle >= 2 {
+                fg_enabled.write(false);
+                self.disabled_windows.store(0, Ordering::Relaxed);
+            }
+        } else {
+            self.idle_windows.store(0, Ordering::Relaxed);
+            if dsa > GROW_ABORT_FACTOR * dsc.max(1) && active < orecs.capacity() {
+                // Slow path keeps aborting: most likely orec aliasing.
+                orecs.resize_active((active * 2).min(orecs.capacity()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Path;
+    use rtle_htm::AbortCode;
+
+    fn run_windows(
+        st: &AdaptiveState,
+        orecs: &OrecTable,
+        fg: &TxCell<bool>,
+        stats: &ExecStats,
+        k: u64,
+    ) {
+        for _ in 0..k * WINDOW {
+            st.on_lock_acquired(orecs, fg, stats);
+        }
+    }
+
+    #[test]
+    fn idle_slow_path_shrinks_then_disables() {
+        let st = AdaptiveState::new(8);
+        let orecs = OrecTable::with_active(8, 8);
+        let fg = TxCell::new(true);
+        let stats = ExecStats::new();
+
+        // 8 -> 4 -> 2 -> 1 takes 3 windows; two more idle windows disable.
+        run_windows(&st, &orecs, &fg, &stats, 3);
+        assert_eq!(orecs.active_plain(), 1);
+        assert!(fg.read_plain());
+        run_windows(&st, &orecs, &fg, &stats, 2);
+        assert!(!fg.read_plain(), "collapsed to plain TLE");
+    }
+
+    #[test]
+    fn aborting_slow_path_grows() {
+        let st = AdaptiveState::new(2);
+        let orecs = OrecTable::with_active(1024, 2);
+        let fg = TxCell::new(true);
+        let stats = ExecStats::new();
+
+        // Simulate a window with heavy slow-path aborting and no commits.
+        for _ in 0..WINDOW - 1 {
+            st.on_lock_acquired(&orecs, &fg, &stats);
+        }
+        for _ in 0..100 {
+            stats.record_abort(Path::SlowHtm, AbortCode::Explicit(4));
+        }
+        st.on_lock_acquired(&orecs, &fg, &stats);
+        assert_eq!(orecs.active_plain(), 4, "doubled under abort pressure");
+    }
+
+    #[test]
+    fn disabled_state_reenables_eventually() {
+        let st = AdaptiveState::new(8);
+        let orecs = OrecTable::with_active(8, 8);
+        let fg = TxCell::new(true);
+        let stats = ExecStats::new();
+
+        run_windows(&st, &orecs, &fg, &stats, 5);
+        assert!(!fg.read_plain());
+        // After at most REENABLE_WINDOWS more idle windows, it probes
+        // again; check the restored size at the moment of re-enablement.
+        let mut reenabled = false;
+        for _ in 0..REENABLE_WINDOWS {
+            run_windows(&st, &orecs, &fg, &stats, 1);
+            if fg.read_plain() {
+                reenabled = true;
+                break;
+            }
+        }
+        assert!(reenabled, "slow path re-enabled for probing");
+        assert_eq!(orecs.active_plain(), 8, "active restored to initial");
+    }
+
+    #[test]
+    fn disabled_state_reenables_immediately_on_demand() {
+        let st = AdaptiveState::new(8);
+        let orecs = OrecTable::with_active(8, 8);
+        let fg = TxCell::new(true);
+        let stats = ExecStats::new();
+
+        run_windows(&st, &orecs, &fg, &stats, 5);
+        assert!(!fg.read_plain(), "collapsed");
+        // Threads now find the lock held and attempt the slow path: their
+        // FG_DISABLED aborts are the demand signal.
+        for _ in 0..10 {
+            stats.record_abort(Path::SlowHtm, AbortCode::Explicit(5));
+        }
+        run_windows(&st, &orecs, &fg, &stats, 1);
+        assert!(fg.read_plain(), "re-enabled on demand within one window");
+        assert_eq!(orecs.active_plain(), 8);
+    }
+
+    #[test]
+    fn healthy_slow_path_keeps_size() {
+        let st = AdaptiveState::new(16);
+        let orecs = OrecTable::with_active(16, 16);
+        let fg = TxCell::new(true);
+        let stats = ExecStats::new();
+
+        for w in 0..4u64 {
+            for _ in 0..WINDOW - 1 {
+                st.on_lock_acquired(&orecs, &fg, &stats);
+            }
+            // Commits dominate aborts in every window.
+            for _ in 0..20 {
+                stats.record_commit(Path::SlowHtm);
+            }
+            stats.record_abort(Path::SlowHtm, AbortCode::Conflict);
+            st.on_lock_acquired(&orecs, &fg, &stats);
+            assert_eq!(orecs.active_plain(), 16, "window {w}: size stable");
+            assert!(fg.read_plain());
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! The execution context ([`Ctx`]) and its read/write barriers.
+//!
+//! In the paper, GCC compiles every critical section twice — an
+//! uninstrumented *fast* path and an instrumented *slow* path whose every
+//! shared access calls into a libitm-ABI library (§1). Here the critical
+//! section is written once as a closure over a `Ctx`, and [`Ctx::read`] /
+//! [`Ctx::write`] dispatch to the right barrier for the path being run:
+//!
+//! | mode        | RW-TLE                          | FG-TLE                              |
+//! |-------------|---------------------------------|-------------------------------------|
+//! | `FastHtm`   | plain access                    | plain access                        |
+//! | `SlowHtm`   | writes self-abort (Fig. 2)      | orec checks before access (Fig. 3)  |
+//! | `UnderLock` | 1st write sets `write_flag`     | stamp orecs, `uniq_*` shortcut      |
+//!
+//! ("plain access" still goes through the HTM's own tracking when inside a
+//! transaction — that is the hardware's job, not the instrumentation's.)
+
+use std::cell::Cell;
+
+use rtle_htm::{TxCell, TxWord};
+
+use crate::abort_codes;
+use crate::orec::{OrecKind, OrecTable};
+use crate::policy::ElisionPolicy;
+
+/// Which path the current critical-section execution runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Uninstrumented hardware transaction (lock observed free).
+    FastHtm,
+    /// Instrumented hardware transaction concurrent with a lock holder.
+    SlowHtm,
+    /// Pessimistic execution holding the lock (instrumented for RW-/FG-TLE).
+    UnderLock,
+}
+
+/// Execution token passed to critical-section closures.
+///
+/// All shared accesses inside a critical section must go through
+/// [`Ctx::read`] and [`Ctx::write`]; this is the contract the compiler
+/// enforces in the paper's GCC-based setup and the type system encourages
+/// here.
+pub struct Ctx<'a> {
+    mode: ExecMode,
+    policy: ElisionPolicy,
+    write_flag: &'a TxCell<bool>,
+    orecs: Option<&'a OrecTable>,
+    /// Slow path: epoch snapshot taken before the transaction started.
+    local_seq: u64,
+    /// Orec count for this execution (read transactionally on the slow
+    /// path so resizes doom in-flight transactions).
+    active_n: usize,
+    /// Under lock: the current odd epoch stamped into acquired orecs.
+    epoch_now: u64,
+    /// Under lock: `uniq_r_orecs` / `uniq_w_orecs` (§4.2) — once all orecs
+    /// are acquired the barrier becomes trivial.
+    uniq_r: Cell<u32>,
+    uniq_w: Cell<u32>,
+    /// Under lock, RW-TLE: whether `write_flag` has been set already (the
+    /// flag needs setting only once per critical section, §3).
+    wrote: Cell<bool>,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn fast(policy: ElisionPolicy, write_flag: &'a TxCell<bool>) -> Self {
+        Ctx {
+            mode: ExecMode::FastHtm,
+            policy,
+            write_flag,
+            orecs: None,
+            local_seq: 0,
+            active_n: 0,
+            epoch_now: 0,
+            uniq_r: Cell::new(0),
+            uniq_w: Cell::new(0),
+            wrote: Cell::new(false),
+        }
+    }
+
+    pub(crate) fn slow(
+        policy: ElisionPolicy,
+        write_flag: &'a TxCell<bool>,
+        orecs: Option<&'a OrecTable>,
+        local_seq: u64,
+        active_n: usize,
+    ) -> Self {
+        Ctx {
+            mode: ExecMode::SlowHtm,
+            policy,
+            write_flag,
+            orecs,
+            local_seq,
+            active_n,
+            epoch_now: 0,
+            uniq_r: Cell::new(0),
+            uniq_w: Cell::new(0),
+            wrote: Cell::new(false),
+        }
+    }
+
+    pub(crate) fn under_lock(
+        policy: ElisionPolicy,
+        write_flag: &'a TxCell<bool>,
+        orecs: Option<&'a OrecTable>,
+        epoch_now: u64,
+        active_n: usize,
+    ) -> Self {
+        Ctx {
+            mode: ExecMode::UnderLock,
+            policy,
+            write_flag,
+            orecs,
+            local_seq: 0,
+            active_n,
+            epoch_now,
+            uniq_r: Cell::new(0),
+            uniq_w: Cell::new(0),
+            wrote: Cell::new(false),
+        }
+    }
+
+    /// The path this execution runs on.
+    #[inline]
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Whether this execution is speculative (may abort and re-run).
+    #[inline]
+    pub fn is_speculative(&self) -> bool {
+        self.mode != ExecMode::UnderLock
+    }
+
+    /// Read barrier.
+    #[inline]
+    pub fn read<T: TxWord>(&self, cell: &TxCell<T>) -> T {
+        match self.mode {
+            ExecMode::FastHtm => cell.read(),
+            ExecMode::SlowHtm => {
+                if let (
+                    ElisionPolicy::FgTle { .. } | ElisionPolicy::AdaptiveFgTle { .. },
+                    Some(orecs),
+                ) = (self.policy, self.orecs)
+                {
+                    // Figure 3, read_barrier, HTM side: abort if the write
+                    // orec is owned. The transactional orec read doubles as
+                    // a subscription (replacing the paper's fence argument).
+                    if orecs.read_would_conflict(cell.addr(), self.active_n, self.local_seq) {
+                        rtle_htm::abort(abort_codes::OREC_CONFLICT);
+                    }
+                }
+                // RW-TLE reads are uninstrumented on the slow path.
+                cell.read()
+            }
+            ExecMode::UnderLock => {
+                if let (
+                    ElisionPolicy::FgTle { .. } | ElisionPolicy::AdaptiveFgTle { .. },
+                    Some(orecs),
+                ) = (self.policy, self.orecs)
+                {
+                    // Figure 3, read_barrier, lock side, with the uniq
+                    // shortcut: stop hashing once every orec is owned.
+                    if (self.uniq_r.get() as usize) < self.active_n
+                        && orecs.stamp(OrecKind::Read, cell.addr(), self.epoch_now)
+                    {
+                        self.uniq_r.set(self.uniq_r.get() + 1);
+                    }
+                }
+                cell.read()
+            }
+        }
+    }
+
+    /// Write barrier.
+    #[inline]
+    pub fn write<T: TxWord>(&self, cell: &TxCell<T>, value: T) {
+        match self.mode {
+            ExecMode::FastHtm => cell.write(value),
+            ExecMode::SlowHtm => {
+                match (self.policy, self.orecs) {
+                    (ElisionPolicy::RwTle, _) => {
+                        // Figure 2: a slow-path transaction that needs to
+                        // write cannot commit under RW-TLE.
+                        rtle_htm::abort(abort_codes::RW_SLOW_WRITE);
+                    }
+                    (
+                        ElisionPolicy::FgTle { .. } | ElisionPolicy::AdaptiveFgTle { .. },
+                        Some(orecs),
+                    ) => {
+                        if orecs.write_would_conflict(cell.addr(), self.active_n, self.local_seq) {
+                            rtle_htm::abort(abort_codes::OREC_CONFLICT);
+                        }
+                    }
+                    _ => unreachable!("slow path requires a refined policy"),
+                }
+                cell.write(value);
+            }
+            ExecMode::UnderLock => {
+                match (self.policy, self.orecs) {
+                    (ElisionPolicy::RwTle, _)
+                        // Figure 2, lock side: raise the write flag once.
+                        // The plain store dooms every subscribed slow-path
+                        // transaction before the data store below can be
+                        // observed (the TSO argument of §3, made explicit
+                        // by the emulation's versioned stores).
+                        if !self.wrote.get() => {
+                            self.write_flag.write(true);
+                            self.wrote.set(true);
+                        }
+                    (
+                        ElisionPolicy::FgTle { .. } | ElisionPolicy::AdaptiveFgTle { .. },
+                        Some(orecs),
+                    )
+                        if (self.uniq_w.get() as usize) < self.active_n
+                            && orecs.stamp(OrecKind::Write, cell.addr(), self.epoch_now)
+                        => {
+                            self.uniq_w.set(self.uniq_w.get() + 1);
+                        }
+                    _ => {}
+                }
+                cell.write(value);
+            }
+        }
+    }
+
+    /// Counters of distinct orecs acquired so far under the lock (§4.2's
+    /// `uniq_r_orecs` / `uniq_w_orecs`); diagnostics.
+    pub fn uniq_orecs(&self) -> (u32, u32) {
+        (self.uniq_r.get(), self.uniq_w.get())
+    }
+}
+
+impl rtle_htm::TxAccess for Ctx<'_> {
+    #[inline]
+    fn load<T: TxWord>(&self, cell: &TxCell<T>) -> T {
+        self.read(cell)
+    }
+
+    #[inline]
+    fn store<T: TxWord>(&self, cell: &TxCell<T>, value: T) {
+        self.write(cell, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flag() -> TxCell<bool> {
+        TxCell::new(false)
+    }
+
+    #[test]
+    fn fast_mode_reads_and_writes_plainly() {
+        let f = flag();
+        let ctx = Ctx::fast(ElisionPolicy::Tle, &f);
+        assert_eq!(ctx.mode(), ExecMode::FastHtm);
+        assert!(ctx.is_speculative());
+        let c = TxCell::new(4u64);
+        assert_eq!(ctx.read(&c), 4);
+        ctx.write(&c, 5);
+        assert_eq!(c.read_plain(), 5);
+    }
+
+    #[test]
+    fn under_lock_rwtle_sets_flag_once() {
+        let f = flag();
+        let ctx = Ctx::under_lock(ElisionPolicy::RwTle, &f, None, 1, 0);
+        assert!(!ctx.is_speculative());
+        let c = TxCell::new(0u64);
+        assert!(!f.read_plain());
+        ctx.write(&c, 1);
+        assert!(f.read_plain(), "first write must raise the flag");
+        ctx.write(&c, 2);
+        assert_eq!(c.read_plain(), 2);
+    }
+
+    #[test]
+    fn under_lock_fgtle_stamps_and_uniq_shortcut() {
+        let f = flag();
+        let orecs = OrecTable::new(2);
+        let ctx = Ctx::under_lock(ElisionPolicy::FgTle { orecs: 2 }, &f, Some(&orecs), 1, 2);
+        let cells: Vec<Box<TxCell<u64>>> = (0..32).map(|_| Box::new(TxCell::new(0))).collect();
+        for c in &cells {
+            ctx.write(c, 7);
+            let _ = ctx.read(c);
+        }
+        let (ur, uw) = ctx.uniq_orecs();
+        assert!(uw <= 2 && ur <= 2, "cannot acquire more than all orecs");
+        // With 32 random addresses over 2 orecs, both are owned w.h.p.
+        assert_eq!(uw, 2);
+        assert_eq!(orecs.stamped_since(OrecKind::Write, 1), 2);
+    }
+
+    #[test]
+    fn slow_fgtle_read_conflict_aborts() {
+        let f = flag();
+        let orecs = OrecTable::new(1); // every address aliases
+        let c = TxCell::new(0u64);
+        // Holder (epoch 1) owns the only write orec.
+        orecs.stamp(OrecKind::Write, 0x1234, 1);
+        let r = rtle_htm::swhtm::try_txn(|| {
+            let ctx = Ctx::slow(ElisionPolicy::FgTle { orecs: 1 }, &f, Some(&orecs), 1, 1);
+            ctx.read(&c)
+        });
+        assert_eq!(
+            r,
+            Err(rtle_htm::AbortCode::Explicit(abort_codes::OREC_CONFLICT))
+        );
+    }
+
+    #[test]
+    fn slow_fgtle_write_conflicts_on_read_orec() {
+        let f = flag();
+        let orecs = OrecTable::new(1);
+        let c = TxCell::new(0u64);
+        orecs.stamp(OrecKind::Read, 0x1, 1); // holder only *read*
+                                             // Slow reads are fine...
+        let r = rtle_htm::swhtm::try_txn(|| {
+            let ctx = Ctx::slow(ElisionPolicy::FgTle { orecs: 1 }, &f, Some(&orecs), 1, 1);
+            ctx.read(&c)
+        });
+        assert!(r.is_ok(), "read-read parallelism");
+        // ...but a slow write to a read-owned orec must abort.
+        let r = rtle_htm::swhtm::try_txn(|| {
+            let ctx = Ctx::slow(ElisionPolicy::FgTle { orecs: 1 }, &f, Some(&orecs), 1, 1);
+            ctx.write(&c, 9);
+        });
+        assert_eq!(
+            r,
+            Err(rtle_htm::AbortCode::Explicit(abort_codes::OREC_CONFLICT))
+        );
+        assert_eq!(c.read_plain(), 0);
+    }
+
+    #[test]
+    fn slow_rwtle_write_aborts() {
+        let f = flag();
+        let c = TxCell::new(0u64);
+        let r = rtle_htm::swhtm::try_txn(|| {
+            let ctx = Ctx::slow(ElisionPolicy::RwTle, &f, None, 0, 0);
+            ctx.write(&c, 1);
+        });
+        assert_eq!(
+            r,
+            Err(rtle_htm::AbortCode::Explicit(abort_codes::RW_SLOW_WRITE))
+        );
+        assert_eq!(c.read_plain(), 0);
+    }
+
+    #[test]
+    fn slow_fgtle_unowned_orecs_allow_writes() {
+        let f = flag();
+        let orecs = OrecTable::new(4);
+        let c = TxCell::new(0u64);
+        // local_seq 2: stamps from epoch 1 are released.
+        orecs.stamp(OrecKind::Write, c.addr(), 1);
+        let r = rtle_htm::swhtm::try_txn(|| {
+            let ctx = Ctx::slow(ElisionPolicy::FgTle { orecs: 4 }, &f, Some(&orecs), 2, 4);
+            ctx.write(&c, 5);
+            ctx.read(&c)
+        });
+        assert_eq!(r, Ok(5));
+        assert_eq!(c.read_plain(), 5);
+    }
+}

@@ -1,0 +1,300 @@
+//! The elided lock itself: a test-and-test-and-set spin lock with bounded
+//! exponential backoff, exactly the lock the paper's evaluation uses
+//! ("a simple test-and-test-and-set lock with exponential backoff", §6.2).
+//!
+//! The lock word is a [`TxCell`] so that speculating hardware transactions
+//! can **subscribe** to it: a transactional read of the word puts it in the
+//! transaction's read set, and a subsequent acquisition (a plain
+//! compare-and-swap) dooms every subscribed transaction — the mechanism
+//! TLE's correctness rests on.
+
+use rtle_htm::TxCell;
+use std::hint;
+
+const FREE: u64 = 0;
+const HELD: u64 = 1;
+
+/// Initial backoff spin count; doubled on each failed acquisition attempt.
+const BACKOFF_MIN: u32 = 1 << 4;
+/// Backoff ceiling.
+const BACKOFF_MAX: u32 = 1 << 14;
+
+/// Test-and-test-and-set spin lock with exponential backoff, built on a
+/// transactionally visible word.
+///
+/// Not reentrant; no fairness/anti-starvation machinery (the paper
+/// explicitly leaves that out, §6.2.1, noting it is trivial to add).
+#[derive(Debug, Default)]
+pub struct TatasLock {
+    word: TxCell<u64>,
+}
+
+impl TatasLock {
+    /// A new, free lock.
+    pub fn new() -> Self {
+        TatasLock {
+            word: TxCell::new(FREE),
+        }
+    }
+
+    /// Non-transactional probe: is the lock currently held?
+    ///
+    /// This is the *test* step done before starting a hardware transaction
+    /// (Figure 1's "is lock available?" diamond) — probing outside the
+    /// transaction avoids pointless aborts while the lock is held.
+    #[inline]
+    pub fn is_held(&self) -> bool {
+        self.word.read_plain() == HELD
+    }
+
+    /// Transactional probe: reads the lock word *inside* the current
+    /// hardware transaction, adding it to the read set. Any later
+    /// acquisition aborts the subscriber. Returns whether the lock was held
+    /// at subscription time.
+    #[inline]
+    pub fn subscribe(&self) -> bool {
+        self.word.read() == HELD
+    }
+
+    /// One acquisition attempt (test, then atomic test-and-set). Returns
+    /// `true` on success. The CAS is a strongly atomic plain write, so it
+    /// dooms every transaction subscribed to the lock word.
+    #[inline]
+    pub fn try_acquire(&self) -> bool {
+        !self.is_held() && self.word.compare_exchange_plain(FREE, HELD)
+    }
+
+    /// Acquires the lock, spinning with exponential backoff.
+    pub fn acquire(&self) {
+        let mut backoff = BACKOFF_MIN;
+        loop {
+            if self.try_acquire() {
+                return;
+            }
+            for _ in 0..backoff {
+                hint::spin_loop();
+            }
+            backoff = (backoff << 1).min(BACKOFF_MAX);
+        }
+    }
+
+    /// Releases the lock.
+    #[inline]
+    pub fn release(&self) {
+        debug_assert!(self.is_held(), "release of a free TatasLock");
+        self.word.write(FREE);
+    }
+
+    /// Spins (with backoff) until the lock is observed free. Used by the
+    /// retry policy: "we spin until the lock is not held after every
+    /// failure" (§6.2.1, citing Kleen's TSX anti-patterns \[16\]).
+    pub fn spin_while_held(&self) {
+        let mut backoff = BACKOFF_MIN;
+        while self.is_held() {
+            for _ in 0..backoff {
+                hint::spin_loop();
+            }
+            backoff = (backoff << 1).min(BACKOFF_MAX);
+        }
+    }
+
+    /// Test hook: force the lock word to `HELD` without the CAS protocol,
+    /// modelling an acquisition landing from another thread mid-test.
+    #[doc(hidden)]
+    pub fn force_held_for_test(&self) {
+        self.word.store_plain_for_test(HELD);
+    }
+}
+
+/// FIFO ticket lock — the fairness building block for the anti-starvation
+/// mechanism the paper notes is "trivial to add" (§6.2.1).
+///
+/// Unlike [`TatasLock`], acquisition order is the arrival order, so a
+/// thread that stops speculating (e.g. after exhausting
+/// [`crate::RetryPolicy::max_slow_attempts`]) is served in bounded time no
+/// matter how many other threads keep hammering the lock. Both words are
+/// [`TxCell`]s, so hardware transactions can subscribe exactly as with the
+/// TATAS lock.
+#[derive(Debug, Default)]
+pub struct TicketLock {
+    next: TxCell<u64>,
+    serving: TxCell<u64>,
+}
+
+impl TicketLock {
+    /// A new, free lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Non-transactional probe.
+    #[inline]
+    pub fn is_held(&self) -> bool {
+        self.serving.read_plain() != self.next.read_plain()
+    }
+
+    /// Transactional probe/subscription: reads both words inside the
+    /// current transaction; any later ticket draw or hand-off aborts the
+    /// subscriber. Returns whether the lock was held.
+    #[inline]
+    pub fn subscribe(&self) -> bool {
+        self.serving.read() != self.next.read()
+    }
+
+    /// Acquires (FIFO). Returns the ticket number served.
+    pub fn acquire(&self) -> u64 {
+        let ticket = self.next.fetch_add_plain(1);
+        let mut backoff = BACKOFF_MIN;
+        while self.serving.read_plain() != ticket {
+            for _ in 0..backoff {
+                hint::spin_loop();
+            }
+            backoff = (backoff << 1).min(BACKOFF_MAX);
+        }
+        ticket
+    }
+
+    /// Releases, handing the lock to the next ticket holder.
+    pub fn release(&self) {
+        let s = self.serving.read_plain();
+        debug_assert!(s != self.next.read_plain(), "release of a free TicketLock");
+        self.serving.write(s + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let l = TatasLock::new();
+        assert!(!l.is_held());
+        l.acquire();
+        assert!(l.is_held());
+        assert!(!l.try_acquire());
+        l.release();
+        assert!(!l.is_held());
+        assert!(l.try_acquire());
+        l.release();
+    }
+
+    #[test]
+    fn mutual_exclusion() {
+        let l = Arc::new(TatasLock::new());
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let inside = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (l, counter, inside) =
+                    (Arc::clone(&l), Arc::clone(&counter), Arc::clone(&inside));
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        l.acquire();
+                        let now = inside.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        assert_eq!(now, 0, "two threads inside the lock");
+                        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        inside.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                        l.release();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn subscription_dooms_speculator() {
+        // A transaction subscribes to a free lock; the lock is then taken
+        // (plain store). The transaction must fail.
+        let l = TatasLock::new();
+        let r = rtle_htm::swhtm::try_txn(|| {
+            assert!(!l.subscribe());
+            // Simulate a concurrent acquisition landing mid-transaction.
+            l.force_held_for_test();
+            // Re-reading observes the doomed snapshot -> conflict abort.
+            l.subscribe()
+        });
+        assert!(r.is_err());
+        // Clean up the forced state.
+        l.release();
+    }
+
+    #[test]
+    fn ticket_lock_roundtrip_and_exclusion() {
+        let l = Arc::new(TicketLock::new());
+        assert!(!l.is_held());
+        let t = l.acquire();
+        assert_eq!(t, 0);
+        assert!(l.is_held());
+        l.release();
+        assert!(!l.is_held());
+
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let inside = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (l, counter, inside) =
+                    (Arc::clone(&l), Arc::clone(&counter), Arc::clone(&inside));
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        l.acquire();
+                        assert_eq!(inside.fetch_add(1, std::sync::atomic::Ordering::SeqCst), 0);
+                        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        inside.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                        l.release();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn ticket_lock_is_fifo() {
+        // Tickets are served in draw order: a queue of acquisitions from
+        // one thread observes strictly increasing tickets.
+        let l = TicketLock::new();
+        for expect in 0..10u64 {
+            assert_eq!(l.acquire(), expect);
+            l.release();
+        }
+    }
+
+    #[test]
+    fn ticket_subscription_dooms_speculator() {
+        let l = TicketLock::new();
+        let r = rtle_htm::swhtm::try_txn(|| {
+            assert!(!l.subscribe());
+            // A concurrent arrival draws a ticket (modelled via the
+            // external-writer test hook; a real plain RMW from another
+            // thread behaves identically).
+            let n = l.next.read_unvalidated();
+            l.next.store_plain_for_test(n + 1);
+            l.subscribe()
+        });
+        assert!(r.is_err(), "ticket draw must doom the subscriber");
+        // Restore.
+        l.serving.write(l.next.read_plain());
+    }
+
+    #[test]
+    fn spin_while_held_returns_when_freed() {
+        let l = Arc::new(TatasLock::new());
+        l.acquire();
+        let waiter = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                l.spin_while_held();
+                true
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        l.release();
+        assert!(waiter.join().unwrap());
+    }
+}

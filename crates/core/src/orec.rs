@@ -1,0 +1,233 @@
+//! Ownership-record (orec) arrays for FG-TLE (§4).
+//!
+//! Two separate arrays record the lock holder's footprint: `r_orecs` for
+//! reads and `w_orecs` for writes. They are separate so that an orec's
+//! transition from unowned to *read*-owned does not abort hardware
+//! transactions that only read addresses mapping to it (§4.2).
+//!
+//! Only the lock holder ever writes the arrays; slow-path hardware
+//! transactions only read them. Stamping an orec stores the current odd
+//! epoch; the pre-release epoch increment releases all orecs implicitly
+//! (see [`crate::epoch::SeqEpoch`]).
+//!
+//! The *active* size can be changed by the lock holder while it holds the
+//! lock (the adaptive extension of §4.2.1); slow-path transactions read the
+//! active size inside their transaction, so a resize dooms them instead of
+//! letting them index with a stale size.
+
+use rtle_htm::hash::fast_hash;
+use rtle_htm::TxCell;
+
+use crate::epoch::SeqEpoch;
+
+/// Which array an access stamps/checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrecKind {
+    /// The read-ownership array (`r_orecs`).
+    Read,
+    /// The write-ownership array (`w_orecs`).
+    Write,
+}
+
+/// The pair of orec arrays attached to one [`crate::ElidableLock`].
+#[derive(Debug)]
+pub struct OrecTable {
+    r_orecs: Box<[TxCell<u64>]>,
+    w_orecs: Box<[TxCell<u64>]>,
+    /// Number of orecs currently in use (≤ capacity). Read transactionally
+    /// by the slow path; written only by the lock holder.
+    active: TxCell<u64>,
+}
+
+impl OrecTable {
+    /// Allocates a table with `capacity` orecs, all initially active.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "need at least one orec");
+        OrecTable {
+            r_orecs: (0..capacity).map(|_| TxCell::new(0)).collect(),
+            w_orecs: (0..capacity).map(|_| TxCell::new(0)).collect(),
+            active: TxCell::new(capacity as u64),
+        }
+    }
+
+    /// Allocates a table with `capacity` orecs of which `active` are in use.
+    pub fn with_active(capacity: usize, active: usize) -> Self {
+        assert!(active >= 1 && active <= capacity);
+        let t = OrecTable::new(capacity);
+        t.active.write(active as u64);
+        t
+    }
+
+    /// Total allocated orecs (resize ceiling).
+    pub fn capacity(&self) -> usize {
+        self.r_orecs.len()
+    }
+
+    /// Active orec count, plain read (lock-holder / reporting use).
+    pub fn active_plain(&self) -> usize {
+        self.active.read_plain() as usize
+    }
+
+    /// Active orec count, read transactionally (slow-path use: subscribes
+    /// to resizes).
+    #[inline]
+    pub fn active_tx(&self) -> usize {
+        self.active.read() as usize
+    }
+
+    /// Resizes the active portion. May only be called by the lock holder
+    /// while it holds the lock (§4.2.1: "it is safe for the thread holding
+    /// the lock to refine the conflict detection granularity by resizing
+    /// the orecs array").
+    pub fn resize_active(&self, new_active: usize) {
+        assert!(new_active >= 1 && new_active <= self.capacity());
+        self.active.write(new_active as u64);
+    }
+
+    /// Maps an address to its orec index under `n` active orecs
+    /// (the paper's `fast_hash(addr, N)`).
+    #[inline]
+    pub fn index(addr: usize, n: usize) -> usize {
+        fast_hash(addr as u64, n as u64) as usize
+    }
+
+    /// Lock-holder barrier half: stamps the orec for `addr` with `epoch`
+    /// unless it already carries a stamp `>= epoch`. Returns `true` iff a
+    /// store was performed (i.e. this orec was newly acquired by this
+    /// critical section) — the caller maintains the `uniq_*_orecs` counter.
+    ///
+    /// The store is strongly atomic (it publishes a fresh version on the
+    /// orec's line), which subsumes the store-load fence the paper inserts
+    /// after each orec acquisition.
+    #[inline]
+    pub fn stamp(&self, kind: OrecKind, addr: usize, epoch: u64) -> bool {
+        let n = self.active_plain();
+        let orec = &self.array(kind)[Self::index(addr, n)];
+        // "we only store a value in the orec if that value is greater than
+        // the value already stored there" — avoids both the duplicate store
+        // and its fence (§4.2).
+        if orec.read_plain() >= epoch {
+            return false;
+        }
+        orec.write(epoch);
+        true
+    }
+
+    /// Slow-path read barrier check (Figure 3, lines 2–5): inside a hardware
+    /// transaction, is the *write* orec for `addr` owned? The transactional
+    /// read also subscribes to the orec, so a later stamp by the holder
+    /// aborts this transaction.
+    #[inline]
+    pub fn read_would_conflict(&self, addr: usize, n: usize, local_seq: u64) -> bool {
+        let w = self.w_orecs[Self::index(addr, n)].read();
+        SeqEpoch::owned(w, local_seq)
+    }
+
+    /// Slow-path write barrier check (Figure 3, lines 16–20): inside a
+    /// hardware transaction, is the read *or* write orec for `addr` owned?
+    #[inline]
+    pub fn write_would_conflict(&self, addr: usize, n: usize, local_seq: u64) -> bool {
+        let i = Self::index(addr, n);
+        SeqEpoch::owned(self.r_orecs[i].read(), local_seq)
+            || SeqEpoch::owned(self.w_orecs[i].read(), local_seq)
+    }
+
+    /// How many of the active orecs carry stamps at least `epoch`
+    /// (diagnostics / the adaptive heuristic's utilization signal).
+    pub fn stamped_since(&self, kind: OrecKind, epoch: u64) -> usize {
+        let n = self.active_plain();
+        self.array(kind)[..n]
+            .iter()
+            .filter(|o| o.read_plain() >= epoch)
+            .count()
+    }
+
+    fn array(&self, kind: OrecKind) -> &[TxCell<u64>] {
+        match kind {
+            OrecKind::Read => &self.r_orecs,
+            OrecKind::Write => &self.w_orecs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_once_per_epoch() {
+        let t = OrecTable::new(16);
+        assert!(t.stamp(OrecKind::Read, 0x1000, 1));
+        assert!(
+            !t.stamp(OrecKind::Read, 0x1000, 1),
+            "second stamp is elided"
+        );
+        // A later critical section stamps again.
+        assert!(t.stamp(OrecKind::Read, 0x1000, 3));
+    }
+
+    #[test]
+    fn conflict_visibility_follows_epochs() {
+        let t = OrecTable::new(16);
+        let addr = 0xbeef_usize;
+        let n = t.active_plain();
+
+        // Holder in epoch 1 stamps a write orec.
+        t.stamp(OrecKind::Write, addr, 1);
+        // Slow txn that started during epoch 1 sees the conflict...
+        assert!(t.read_would_conflict(addr, n, 1));
+        assert!(t.write_would_conflict(addr, n, 1));
+        // ...but one that starts after release (snapshot 2) does not.
+        assert!(!t.read_would_conflict(addr, n, 2));
+        assert!(!t.write_would_conflict(addr, n, 2));
+    }
+
+    #[test]
+    fn read_stamp_blocks_writers_not_readers() {
+        let t = OrecTable::new(16);
+        let addr = 0xcafe_usize;
+        let n = t.active_plain();
+        t.stamp(OrecKind::Read, addr, 1);
+        assert!(!t.read_would_conflict(addr, n, 1), "read-read is allowed");
+        assert!(t.write_would_conflict(addr, n, 1), "read-write is not");
+    }
+
+    #[test]
+    fn single_orec_aliases_everything() {
+        let t = OrecTable::new(1);
+        let n = t.active_plain();
+        t.stamp(OrecKind::Write, 0x1, 1);
+        assert!(
+            t.read_would_conflict(0x9999, n, 1),
+            "FG-TLE(1): any address conflicts"
+        );
+    }
+
+    #[test]
+    fn resize_active_changes_mapping_domain() {
+        let t = OrecTable::with_active(64, 64);
+        assert_eq!(t.active_plain(), 64);
+        t.resize_active(4);
+        assert_eq!(t.active_plain(), 4);
+        // All indices now land in [0, 4).
+        for a in 0..1000usize {
+            assert!(OrecTable::index(a * 8, 4) < 4);
+        }
+    }
+
+    #[test]
+    fn stamped_since_counts_current_section_only() {
+        let t = OrecTable::new(8);
+        t.stamp(OrecKind::Write, 0x10, 1);
+        t.stamp(OrecKind::Write, 0x20, 1);
+        let stamped = t.stamped_since(OrecKind::Write, 1);
+        assert!((1..=2).contains(&stamped), "two addrs may alias");
+        assert_eq!(t.stamped_since(OrecKind::Write, 3), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = OrecTable::new(0);
+    }
+}

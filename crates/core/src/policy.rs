@@ -1,0 +1,145 @@
+//! Elision policies and the retry policy.
+
+/// Which synchronization algorithm an [`crate::ElidableLock`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElisionPolicy {
+    /// Never elide: every critical section acquires the lock. The paper's
+    /// `Lock` baseline.
+    LockOnly,
+    /// Standard transactional lock elision: speculate while the lock is
+    /// free, *wait* whenever it is held (Figure 1, left column).
+    Tle,
+    /// Refined TLE with write-only instrumentation (§3): read-only hardware
+    /// transactions run concurrently with the lock holder until the
+    /// holder's first write.
+    RwTle,
+    /// Refined TLE with full instrumentation over `orecs` ownership records
+    /// (§4): any non-conflicting hardware transaction runs concurrently
+    /// with the lock holder. The paper evaluates 1–8192 orecs.
+    FgTle {
+        /// Number of ownership records (the X of FG-TLE(X)).
+        orecs: usize,
+    },
+    /// The adaptive extension sketched in §4.2.1: starts as FG-TLE with
+    /// `initial_orecs` active, and the lock holder may resize the active
+    /// orec range (up to `max_orecs`) or disable the slow path entirely
+    /// based on observed benefit.
+    AdaptiveFgTle {
+        /// Active orecs at start.
+        initial_orecs: usize,
+        /// Allocated ceiling the holder may grow to.
+        max_orecs: usize,
+    },
+}
+
+impl ElisionPolicy {
+    /// Whether this policy has an instrumented slow path at all.
+    pub fn has_slow_path(self) -> bool {
+        !matches!(self, ElisionPolicy::LockOnly | ElisionPolicy::Tle)
+    }
+
+    /// Whether the policy needs orec arrays.
+    pub fn orec_capacity(self) -> Option<usize> {
+        match self {
+            ElisionPolicy::FgTle { orecs } => Some(orecs),
+            ElisionPolicy::AdaptiveFgTle { max_orecs, .. } => Some(max_orecs),
+            _ => None,
+        }
+    }
+
+    /// Short display name matching the paper's figure legends.
+    pub fn label(self) -> String {
+        match self {
+            ElisionPolicy::LockOnly => "Lock".to_string(),
+            ElisionPolicy::Tle => "TLE".to_string(),
+            ElisionPolicy::RwTle => "RW-TLE".to_string(),
+            ElisionPolicy::FgTle { orecs } => format!("FG-TLE({orecs})"),
+            ElisionPolicy::AdaptiveFgTle { .. } => "FG-TLE(adaptive)".to_string(),
+        }
+    }
+}
+
+/// Retry policy: how speculation failures escalate to the lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Fast-path HTM attempts before acquiring the lock. The paper's
+    /// experiments use a static 5 (§2 footnote 1: raised from libitm's 2).
+    /// Slow-path failures are *not* held against this budget (§6.2.1).
+    pub max_attempts: u32,
+    /// Subscribe to the lock just before commit instead of right after
+    /// begin (§5). Restores the Figure 4 "lock as barrier" semantics for
+    /// refined TLE at some cost in slow-path parallelism; always safe for
+    /// RW-/FG-TLE because their slow paths are instrumented.
+    pub lazy_subscription: bool,
+    /// Abort the whole fast-path budget early on an abort that can never
+    /// succeed (e.g. an unsupported instruction).
+    pub give_up_on_unsupported: bool,
+    /// Anti-starvation bound (§6.2.1 notes one is "trivial to add"): cap
+    /// the *hopeful* slow-path retries of a single operation; once
+    /// exceeded, the operation stops speculating and queues on the lock,
+    /// which bounds its total work. `None` reproduces the paper's
+    /// unlimited-slow-retries configuration.
+    pub max_slow_attempts: Option<u32>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            lazy_subscription: false,
+            give_up_on_unsupported: true,
+            max_slow_attempts: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(ElisionPolicy::LockOnly.label(), "Lock");
+        assert_eq!(ElisionPolicy::Tle.label(), "TLE");
+        assert_eq!(ElisionPolicy::RwTle.label(), "RW-TLE");
+        assert_eq!(ElisionPolicy::FgTle { orecs: 256 }.label(), "FG-TLE(256)");
+    }
+
+    #[test]
+    fn slow_path_classification() {
+        assert!(!ElisionPolicy::LockOnly.has_slow_path());
+        assert!(!ElisionPolicy::Tle.has_slow_path());
+        assert!(ElisionPolicy::RwTle.has_slow_path());
+        assert!(ElisionPolicy::FgTle { orecs: 1 }.has_slow_path());
+        assert!(ElisionPolicy::AdaptiveFgTle {
+            initial_orecs: 64,
+            max_orecs: 8192
+        }
+        .has_slow_path());
+    }
+
+    #[test]
+    fn orec_capacity() {
+        assert_eq!(ElisionPolicy::Tle.orec_capacity(), None);
+        assert_eq!(ElisionPolicy::FgTle { orecs: 16 }.orec_capacity(), Some(16));
+        assert_eq!(
+            ElisionPolicy::AdaptiveFgTle {
+                initial_orecs: 4,
+                max_orecs: 1024
+            }
+            .orec_capacity(),
+            Some(1024)
+        );
+    }
+
+    #[test]
+    fn default_retry_matches_paper() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.max_attempts, 5);
+        assert!(!r.lazy_subscription);
+        assert_eq!(
+            r.max_slow_attempts, None,
+            "unlimited slow retries, as evaluated"
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Execution statistics, mirroring the "various lightweight statistics" the
+//! paper instruments its runs with (§6.2.1): per-path commit counts, abort
+//! counts by cause, lock acquisitions, and total time spent with the lock
+//! held. Figures 6 and 7 are plotted directly from these quantities.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use rtle_htm::AbortCode;
+
+/// Which execution path completed (or attempted) a critical section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Path {
+    /// Uninstrumented hardware transaction (lock observed free).
+    FastHtm,
+    /// Instrumented hardware transaction running while the lock is held.
+    SlowHtm,
+    /// Pessimistic execution under the lock.
+    UnderLock,
+}
+
+/// Shared, relaxed counters attached to one [`crate::ElidableLock`].
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    ops: AtomicU64,
+    fast_commits: AtomicU64,
+    slow_commits: AtomicU64,
+    lock_acquisitions: AtomicU64,
+    fast_aborts: AtomicU64,
+    slow_aborts: AtomicU64,
+    aborts_conflict: AtomicU64,
+    aborts_capacity: AtomicU64,
+    aborts_explicit: AtomicU64,
+    aborts_unsupported: AtomicU64,
+    aborts_other: AtomicU64,
+    /// Explicit aborts broken down by runtime code (index =
+    /// `crate::abort_codes::*`, 0..8).
+    aborts_by_code: [AtomicU64; 8],
+    time_locked_ns: AtomicU64,
+}
+
+impl ExecStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn record_op(&self) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_commit(&self, path: Path) {
+        match path {
+            Path::FastHtm => &self.fast_commits,
+            Path::SlowHtm => &self.slow_commits,
+            Path::UnderLock => &self.lock_acquisitions,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_abort(&self, path: Path, code: AbortCode) {
+        match path {
+            Path::FastHtm => self.fast_aborts.fetch_add(1, Ordering::Relaxed),
+            Path::SlowHtm => self.slow_aborts.fetch_add(1, Ordering::Relaxed),
+            Path::UnderLock => unreachable!("lock path cannot abort"),
+        };
+        match code {
+            AbortCode::Conflict => &self.aborts_conflict,
+            AbortCode::Capacity => &self.aborts_capacity,
+            AbortCode::Explicit(c) => {
+                if let Some(slot) = self.aborts_by_code.get(c as usize) {
+                    slot.fetch_add(1, Ordering::Relaxed);
+                }
+                &self.aborts_explicit
+            }
+            AbortCode::Unsupported => &self.aborts_unsupported,
+            AbortCode::Nested | AbortCode::Spurious => &self.aborts_other,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_time_locked(&self, d: Duration) {
+        self.time_locked_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Number of slow-path HTM commits so far (used by the adaptive
+    /// heuristic as its benefit signal).
+    #[inline]
+    pub(crate) fn slow_commits_now(&self) -> u64 {
+        self.slow_commits.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn slow_aborts_now(&self) -> u64 {
+        self.slow_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            ops: self.ops.load(Ordering::Relaxed),
+            fast_commits: self.fast_commits.load(Ordering::Relaxed),
+            slow_commits: self.slow_commits.load(Ordering::Relaxed),
+            lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+            fast_aborts: self.fast_aborts.load(Ordering::Relaxed),
+            slow_aborts: self.slow_aborts.load(Ordering::Relaxed),
+            aborts_conflict: self.aborts_conflict.load(Ordering::Relaxed),
+            aborts_capacity: self.aborts_capacity.load(Ordering::Relaxed),
+            aborts_explicit: self.aborts_explicit.load(Ordering::Relaxed),
+            aborts_unsupported: self.aborts_unsupported.load(Ordering::Relaxed),
+            aborts_other: self.aborts_other.load(Ordering::Relaxed),
+            aborts_by_code: std::array::from_fn(|i| self.aborts_by_code[i].load(Ordering::Relaxed)),
+            time_locked: Duration::from_nanos(self.time_locked_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Immutable view of [`ExecStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Critical sections completed (by any path).
+    pub ops: u64,
+    /// Commits on the uninstrumented fast path.
+    pub fast_commits: u64,
+    /// Commits on the instrumented slow path (concurrent with a holder).
+    pub slow_commits: u64,
+    /// Times the lock was actually acquired (pessimistic executions).
+    pub lock_acquisitions: u64,
+    /// Hardware aborts on the fast path.
+    pub fast_aborts: u64,
+    /// Hardware aborts on the slow path.
+    pub slow_aborts: u64,
+    /// Aborts caused by data conflicts.
+    pub aborts_conflict: u64,
+    /// Aborts caused by capacity overflow.
+    pub aborts_capacity: u64,
+    /// Explicit aborts (see [`crate::abort_codes`] and `aborts_by_code`).
+    pub aborts_explicit: u64,
+    /// Aborts from HTM-unfriendly operations.
+    pub aborts_unsupported: u64,
+    /// Nested/spurious aborts.
+    pub aborts_other: u64,
+    /// Explicit aborts by runtime code (index = `crate::abort_codes::*`).
+    pub aborts_by_code: [u64; 8],
+    /// Total wall time some thread held the lock.
+    pub time_locked: Duration,
+}
+
+impl StatsSnapshot {
+    /// Fraction of completed operations that fell back to the lock — the
+    /// "failure rate" the paper quotes for ccTSA (§6.4.2).
+    pub fn lock_fallback_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.lock_acquisitions as f64 / self.ops as f64
+        }
+    }
+
+    /// Completed operations per millisecond of `elapsed` wall time — the
+    /// paper's throughput metric.
+    pub fn ops_per_ms(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.ops as f64 / elapsed.as_secs_f64() / 1e3
+        }
+    }
+
+    /// Counter deltas relative to `earlier`.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            ops: self.ops - earlier.ops,
+            fast_commits: self.fast_commits - earlier.fast_commits,
+            slow_commits: self.slow_commits - earlier.slow_commits,
+            lock_acquisitions: self.lock_acquisitions - earlier.lock_acquisitions,
+            fast_aborts: self.fast_aborts - earlier.fast_aborts,
+            slow_aborts: self.slow_aborts - earlier.slow_aborts,
+            aborts_conflict: self.aborts_conflict - earlier.aborts_conflict,
+            aborts_capacity: self.aborts_capacity - earlier.aborts_capacity,
+            aborts_explicit: self.aborts_explicit - earlier.aborts_explicit,
+            aborts_unsupported: self.aborts_unsupported - earlier.aborts_unsupported,
+            aborts_other: self.aborts_other - earlier.aborts_other,
+            aborts_by_code: std::array::from_fn(|i| {
+                self.aborts_by_code[i] - earlier.aborts_by_code[i]
+            }),
+            time_locked: self.time_locked.saturating_sub(earlier.time_locked),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = ExecStats::new();
+        s.record_op();
+        s.record_op();
+        s.record_commit(Path::FastHtm);
+        s.record_commit(Path::SlowHtm);
+        s.record_commit(Path::UnderLock);
+        s.record_abort(Path::FastHtm, AbortCode::Conflict);
+        s.record_abort(Path::SlowHtm, AbortCode::Explicit(4));
+        s.record_time_locked(Duration::from_micros(5));
+
+        let snap = s.snapshot();
+        assert_eq!(snap.ops, 2);
+        assert_eq!(snap.fast_commits, 1);
+        assert_eq!(snap.slow_commits, 1);
+        assert_eq!(snap.lock_acquisitions, 1);
+        assert_eq!(snap.fast_aborts, 1);
+        assert_eq!(snap.slow_aborts, 1);
+        assert_eq!(snap.aborts_conflict, 1);
+        assert_eq!(snap.aborts_explicit, 1);
+        assert_eq!(snap.time_locked, Duration::from_micros(5));
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let snap = StatsSnapshot {
+            ops: 1000,
+            lock_acquisitions: 15,
+            ..Default::default()
+        };
+        assert!((snap.lock_fallback_rate() - 0.015).abs() < 1e-12);
+        let tput = snap.ops_per_ms(Duration::from_secs(1));
+        assert!((tput - 1.0).abs() < 1e-9, "1000 ops / 1000 ms");
+        assert_eq!(StatsSnapshot::default().lock_fallback_rate(), 0.0);
+        assert_eq!(StatsSnapshot::default().ops_per_ms(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = StatsSnapshot {
+            ops: 10,
+            fast_commits: 4,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            ops: 25,
+            fast_commits: 9,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.ops, 15);
+        assert_eq!(d.fast_commits, 5);
+    }
+}

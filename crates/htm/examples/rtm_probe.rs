@@ -1,0 +1,23 @@
+//! Probes whether real RTM transactions commit on this machine.
+fn main() {
+    #[cfg(feature = "rtm")]
+    {
+        use rtle_htm::rtm;
+        println!("cpuid RTM: {}", rtm::rtm_supported());
+        let mut commits = 0;
+        let mut aborts = 0;
+        let cell = std::sync::atomic::AtomicU64::new(0);
+        for _ in 0..1000 {
+            match rtm::try_txn(|| cell.fetch_add(1, std::sync::atomic::Ordering::Relaxed)) {
+                Ok(_) => commits += 1,
+                Err(_) => aborts += 1,
+            }
+        }
+        println!(
+            "commits={commits} aborts={aborts} cell={}",
+            cell.load(std::sync::atomic::Ordering::Relaxed)
+        );
+    }
+    #[cfg(not(feature = "rtm"))]
+    println!("built without the rtm feature");
+}

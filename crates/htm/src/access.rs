@@ -1,0 +1,132 @@
+//! [`TxAccess`]: the interface between transactional data structures and
+//! whatever synchronization runtime executes them.
+//!
+//! The paper's benchmark compares one AVL tree under many synchronization
+//! methods (Lock, TLE, RW-TLE, FG-TLE(x), NOrec, RHNOrec). That works
+//! because GCC emits barrier calls against a common ABI (libitm) and the
+//! method is swapped by swapping the library. `TxAccess` is that ABI here:
+//! data-structure code is generic over it, and each runtime provides an
+//! implementation (`rtle_core::Ctx`, `rtle_hytm::TmCtx`, or [`PlainAccess`]
+//! for unsynchronized sequential use).
+
+use crate::cell::TxCell;
+use crate::word::TxWord;
+
+/// Read/write barriers a transactional runtime exposes to data-structure
+/// code.
+pub trait TxAccess {
+    /// Reads `cell` under the runtime's barrier discipline.
+    fn load<T: TxWord>(&self, cell: &TxCell<T>) -> T;
+    /// Writes `cell` under the runtime's barrier discipline.
+    fn store<T: TxWord>(&self, cell: &TxCell<T>, value: T);
+}
+
+/// Object-safe, word-level variant of [`TxAccess`].
+///
+/// `TxAccess` has generic methods and therefore cannot be a trait object;
+/// benchmark harnesses that select the synchronization method at runtime
+/// need one. Every `TxAccess` is automatically a `DynAccess` (blanket
+/// impl), and `dyn DynAccess` implements `TxAccess` back, so generic
+/// data-structure code accepts it directly (with `A: TxAccess + ?Sized`).
+pub trait DynAccess {
+    /// Reads the raw word of `cell`.
+    fn load_word(&self, cell: &TxCell<u64>) -> u64;
+    /// Writes the raw word of `cell`.
+    fn store_word(&self, cell: &TxCell<u64>, word: u64);
+}
+
+impl<A: TxAccess> DynAccess for A {
+    #[inline]
+    fn load_word(&self, cell: &TxCell<u64>) -> u64 {
+        self.load(cell)
+    }
+
+    #[inline]
+    fn store_word(&self, cell: &TxCell<u64>, word: u64) {
+        self.store(cell, word)
+    }
+}
+
+impl TxAccess for dyn DynAccess + '_ {
+    #[inline]
+    fn load<T: TxWord>(&self, cell: &TxCell<T>) -> T {
+        T::from_word(self.load_word(cell.as_word_cell()))
+    }
+
+    #[inline]
+    fn store<T: TxWord>(&self, cell: &TxCell<T>, value: T) {
+        self.store_word(cell.as_word_cell(), value.to_word())
+    }
+}
+
+/// Direct, unsynchronized access — for sequential setup/teardown phases and
+/// single-threaded reference runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlainAccess;
+
+impl TxAccess for PlainAccess {
+    #[inline]
+    fn load<T: TxWord>(&self, cell: &TxCell<T>) -> T {
+        cell.read_plain()
+    }
+
+    #[inline]
+    fn store<T: TxWord>(&self, cell: &TxCell<T>, value: T) {
+        cell.write(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_access_roundtrip() {
+        let c = TxCell::new(1u64);
+        let a = PlainAccess;
+        assert_eq!(a.load(&c), 1);
+        a.store(&c, 2);
+        assert_eq!(a.load(&c), 2);
+    }
+
+    fn generic_inc<A: TxAccess>(a: &A, c: &TxCell<u64>) {
+        a.store(c, a.load(c) + 1);
+    }
+
+    #[test]
+    fn generic_code_over_access() {
+        let c = TxCell::new(0u64);
+        generic_inc(&PlainAccess, &c);
+        generic_inc(&PlainAccess, &c);
+        assert_eq!(c.read_plain(), 2);
+    }
+}
+
+#[cfg(test)]
+mod dyn_tests {
+    use super::*;
+
+    fn generic_add<A: TxAccess + ?Sized>(a: &A, c: &TxCell<u32>, d: u32) {
+        a.store(c, a.load(c) + d);
+    }
+
+    #[test]
+    fn dyn_access_roundtrips_through_words() {
+        let c = TxCell::new(5u32);
+        let plain = PlainAccess;
+        let dynamic: &dyn DynAccess = &plain;
+        generic_add(dynamic, &c, 3);
+        assert_eq!(c.read_plain(), 8);
+        assert_eq!(dynamic.load_word(c.as_word_cell()), 8);
+    }
+
+    #[test]
+    fn dyn_access_preserves_typed_values() {
+        let b = TxCell::new(false);
+        let plain = PlainAccess;
+        let dynamic: &dyn DynAccess = &plain;
+        dynamic.store(&b, true);
+        assert!(b.read_plain());
+        assert!(dynamic.load(&b));
+    }
+}

@@ -1,0 +1,82 @@
+//! Backend selection: the elision runtimes in `rtle-core` are generic over
+//! [`HtmBackend`], so the same policy code drives the software emulation and
+//! (with the `rtm` feature, on TSX hardware) real Intel RTM.
+
+use crate::abort::AbortCode;
+use crate::swhtm;
+
+/// A best-effort transaction executor.
+///
+/// Implementations run the closure atomically or report an abort code; they
+/// make no retry decisions of their own.
+pub trait HtmBackend: Sync {
+    /// One transaction attempt.
+    fn try_txn<R>(&self, f: impl FnOnce() -> R) -> Result<R, AbortCode>;
+
+    /// Human-readable backend name, for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether this backend can actually run transactions on this machine.
+    fn is_available(&self) -> bool {
+        true
+    }
+}
+
+/// The software-emulated HTM (always available).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwHtmBackend;
+
+impl HtmBackend for SwHtmBackend {
+    #[inline]
+    fn try_txn<R>(&self, f: impl FnOnce() -> R) -> Result<R, AbortCode> {
+        swhtm::try_txn(f)
+    }
+
+    fn name(&self) -> &'static str {
+        "swhtm"
+    }
+}
+
+/// Real Intel RTM (requires the `rtm` crate feature *and* TSX hardware;
+/// check [`HtmBackend::is_available`] before use).
+#[cfg(feature = "rtm")]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RtmBackend;
+
+#[cfg(feature = "rtm")]
+impl HtmBackend for RtmBackend {
+    #[inline]
+    fn try_txn<R>(&self, f: impl FnOnce() -> R) -> Result<R, AbortCode> {
+        crate::rtm::try_txn(f)
+    }
+
+    fn name(&self) -> &'static str {
+        "rtm"
+    }
+
+    fn is_available(&self) -> bool {
+        crate::rtm::rtm_supported()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TxCell;
+
+    #[test]
+    fn sw_backend_runs_txn() {
+        let b = SwHtmBackend;
+        assert!(b.is_available());
+        assert_eq!(b.name(), "swhtm");
+        let c = TxCell::new(3u64);
+        assert_eq!(b.try_txn(|| c.read() * 2), Ok(6));
+    }
+
+    fn assert_backend<B: HtmBackend>(_: &B) {}
+
+    #[test]
+    fn sw_backend_is_backend() {
+        assert_backend(&SwHtmBackend);
+    }
+}

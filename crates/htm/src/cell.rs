@@ -1,0 +1,330 @@
+//! [`TxCell`]: a shared memory word the emulated HTM can track.
+//!
+//! Real HTM watches *every* memory access transparently through cache
+//! coherence. Software cannot, so all shared words that participate in
+//! transactions live in `TxCell`s. The cell's accessors dispatch on the
+//! calling thread's execution mode:
+//!
+//! * inside a software transaction — [`crate::swhtm`] read/write barriers
+//!   (version validation, redo-log buffering);
+//! * inside a real hardware transaction (`rtm` feature) — plain atomic
+//!   accesses (the hardware tracks them);
+//! * outside any transaction — *strongly atomic* plain accesses: reads use a
+//!   seqlock against the cell's stripe so a concurrent commit appears
+//!   atomic, writes take the stripe lock and publish a fresh version so
+//!   concurrent transactions observe the store and abort.
+//!
+//! This uniform dispatch is what lets the same data-structure code run on
+//! the TLE fast path, the refined-TLE slow path, and under the lock.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::descriptor;
+use crate::stripe;
+use crate::swhtm;
+use crate::word::TxWord;
+
+/// A 64-bit-word shared cell, tracked by the emulated HTM.
+///
+/// `TxCell` is `Sync`: any thread may access it at any time, transactionally
+/// or not; the emulation guarantees transactions serialize with each other
+/// and with plain accesses.
+#[repr(transparent)]
+pub struct TxCell<T: TxWord> {
+    raw: AtomicU64,
+    _marker: std::marker::PhantomData<T>,
+}
+
+// SAFETY: all access to `raw` is via atomics; `T` is a Copy word type.
+unsafe impl<T: TxWord> Sync for TxCell<T> {}
+unsafe impl<T: TxWord> Send for TxCell<T> {}
+
+impl<T: TxWord> TxCell<T> {
+    /// Creates a cell holding `value`.
+    #[inline]
+    pub fn new(value: T) -> Self {
+        TxCell {
+            raw: AtomicU64::new(value.to_word()),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Reads the cell in the current execution mode (see module docs).
+    #[inline]
+    pub fn read(&self) -> T {
+        #[cfg(feature = "rtm")]
+        if crate::rtm::in_hw_txn() {
+            return T::from_word(self.raw.load(Ordering::Acquire));
+        }
+        if descriptor::in_sw_txn() {
+            T::from_word(swhtm::read_barrier(&self.raw))
+        } else {
+            T::from_word(self.seqlock_read())
+        }
+    }
+
+    /// Writes the cell in the current execution mode (see module docs).
+    #[inline]
+    pub fn write(&self, value: T) {
+        #[cfg(feature = "rtm")]
+        if crate::rtm::in_hw_txn() {
+            self.raw.store(value.to_word(), Ordering::Release);
+            return;
+        }
+        if descriptor::in_sw_txn() {
+            swhtm::write_barrier(&self.raw, value.to_word());
+        } else {
+            self.store_plain(value.to_word());
+        }
+    }
+
+    /// Non-transactional read, regardless of mode. Used by code that is
+    /// *known* to run outside transactions (statistics, validation between
+    /// benchmark phases) and by tests.
+    #[inline]
+    pub fn read_plain(&self) -> T {
+        T::from_word(self.seqlock_read())
+    }
+
+    /// Completely unsynchronized snapshot (single atomic load, no seqlock).
+    /// Only meaningful when no transaction can be mid-commit, e.g. in
+    /// quiescent phases.
+    #[inline]
+    pub fn read_unvalidated(&self) -> T {
+        T::from_word(self.raw.load(Ordering::Acquire))
+    }
+
+    /// Seqlock read against the cell's stripe: spins while a committer holds
+    /// the line, retries if the version moved under the load.
+    #[inline]
+    fn seqlock_read(&self) -> u64 {
+        let idx = stripe::stripe_index(self.addr());
+        loop {
+            let w1 = stripe::load(idx);
+            if stripe::is_locked(w1) {
+                std::hint::spin_loop();
+                continue;
+            }
+            let val = self.raw.load(Ordering::Acquire);
+            let w2 = stripe::load(idx);
+            if w1 == w2 {
+                return val;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Plain atomic fetch-add on the raw word (only sensible for integer
+    /// payloads). Takes the stripe lock like a plain store, so it is
+    /// strongly atomic and dooms conflicting transactions. Returns the
+    /// previous value. Must not be called inside a software transaction.
+    pub fn fetch_add_plain(&self, delta: u64) -> T {
+        debug_assert!(
+            !descriptor::in_sw_txn(),
+            "fetch_add_plain inside a software transaction"
+        );
+        let idx = stripe::stripe_index(self.addr());
+        let _prev = stripe::lock_spin(idx, descriptor::thread_token());
+        let cur = self.raw.load(Ordering::Acquire);
+        self.raw.store(cur.wrapping_add(delta), Ordering::Release);
+        stripe::unlock(idx, stripe::next_commit_version());
+        T::from_word(cur)
+    }
+
+    /// Plain store: takes the stripe lock, stores, releases at a fresh
+    /// global-clock version so concurrent transactions are doomed (strong
+    /// atomicity).
+    #[inline]
+    fn store_plain(&self, word: u64) {
+        let idx = stripe::stripe_index(self.addr());
+        let _prev = stripe::lock_spin(idx, descriptor::thread_token());
+        self.raw.store(word, Ordering::Release);
+        stripe::unlock(idx, stripe::next_commit_version());
+    }
+
+    /// Plain (non-transactional) compare-and-swap. Takes the stripe lock,
+    /// compares, conditionally stores, and releases at a fresh version when
+    /// the store happened (so subscribed transactions are doomed) or at the
+    /// old version when it did not (a failed CAS is invisible).
+    ///
+    /// Returns `true` iff the exchange happened. Must not be called inside
+    /// a software transaction (it would bypass the redo log); debug-asserted.
+    pub fn compare_exchange_plain(&self, expected: T, new: T) -> bool {
+        debug_assert!(
+            !descriptor::in_sw_txn(),
+            "compare_exchange_plain inside a software transaction"
+        );
+        let idx = stripe::stripe_index(self.addr());
+        let prev = stripe::lock_spin(idx, descriptor::thread_token());
+        let cur = self.raw.load(Ordering::Acquire);
+        if cur == expected.to_word() {
+            self.raw.store(new.to_word(), Ordering::Release);
+            stripe::unlock(idx, stripe::next_commit_version());
+            true
+        } else {
+            stripe::unlock(idx, prev);
+            false
+        }
+    }
+
+    /// Test hook: forces the plain-store path even while a software
+    /// transaction is active on this thread (modelling an external
+    /// non-transactional writer).
+    #[doc(hidden)]
+    pub fn store_plain_for_test(&self, value: T) {
+        self.store_plain(value.to_word());
+    }
+
+    /// Reinterprets this cell as a word-typed cell. Sound because `TxCell`
+    /// is `repr(transparent)` over `AtomicU64` for every payload type and
+    /// all payloads round-trip through the same raw word. Used by software
+    /// TMs that keep heterogeneous redo logs.
+    #[inline]
+    pub fn as_word_cell(&self) -> &TxCell<u64> {
+        // SAFETY: identical layout (repr(transparent) over AtomicU64);
+        // TxWord conversions are bit-faithful.
+        unsafe { &*(self as *const TxCell<T> as *const TxCell<u64>) }
+    }
+
+    /// The cell's stable memory address. This is what FG-TLE hashes to an
+    /// ownership record, and what the emulated HTM hashes to a conflict
+    /// stripe — both at cache-line granularity.
+    #[inline]
+    pub fn addr(&self) -> usize {
+        &self.raw as *const AtomicU64 as usize
+    }
+}
+
+impl<T: TxWord + fmt::Debug> fmt::Debug for TxCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("TxCell")
+            .field(&self.read_unvalidated())
+            .finish()
+    }
+}
+
+impl<T: TxWord + Default> Default for TxCell<T> {
+    fn default() -> Self {
+        TxCell::new(T::default())
+    }
+}
+
+impl<T: TxWord> From<T> for TxCell<T> {
+    fn from(v: T) -> Self {
+        TxCell::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_read_write_roundtrip() {
+        let c = TxCell::new(5u64);
+        assert_eq!(c.read(), 5);
+        c.write(9);
+        assert_eq!(c.read(), 9);
+        assert_eq!(c.read_plain(), 9);
+        assert_eq!(c.read_unvalidated(), 9);
+    }
+
+    #[test]
+    fn typed_cells() {
+        let b = TxCell::new(true);
+        b.write(false);
+        assert!(!b.read());
+
+        let i = TxCell::new(-7i64);
+        assert_eq!(i.read(), -7);
+
+        let f = TxCell::new(2.5f64);
+        assert_eq!(f.read(), 2.5);
+    }
+
+    #[test]
+    fn debug_and_default() {
+        let c: TxCell<u32> = TxCell::default();
+        assert_eq!(c.read(), 0);
+        assert_eq!(format!("{c:?}"), "TxCell(0)");
+        let d: TxCell<u32> = 3u32.into();
+        assert_eq!(d.read(), 3);
+    }
+
+    #[test]
+    fn fetch_add_plain_accumulates() {
+        use std::sync::Arc;
+        let c = Arc::new(TxCell::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.fetch_add_plain(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.read_plain(), 4000);
+    }
+
+    #[test]
+    fn word_cell_view_aliases_payload() {
+        let c = TxCell::new(true);
+        let w = c.as_word_cell();
+        assert_eq!(w.read_plain(), 1);
+        w.write(0);
+        assert!(!c.read_plain());
+    }
+
+    #[test]
+    fn compare_exchange_plain_semantics() {
+        let c = TxCell::new(5u64);
+        assert!(!c.compare_exchange_plain(4, 9));
+        assert_eq!(c.read_plain(), 5);
+        assert!(c.compare_exchange_plain(5, 9));
+        assert_eq!(c.read_plain(), 9);
+    }
+
+    #[test]
+    fn compare_exchange_races_have_single_winner() {
+        use std::sync::Arc;
+        let c = Arc::new(TxCell::new(0u64));
+        let winners: u32 = (0..8)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || u32::from(c.compare_exchange_plain(0, i + 1)))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum();
+        assert_eq!(winners, 1);
+        assert_ne!(c.read_plain(), 0);
+    }
+
+    #[test]
+    fn plain_accesses_cross_threads() {
+        use std::sync::Arc;
+        let c = Arc::new(TxCell::new(0u64));
+        let writers: Vec<_> = (0..4)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.write(i);
+                        let v = c.read();
+                        assert!(v < 4);
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Tunables of the emulated HTM.
+//!
+//! Defaults model a Haswell-class core: the write set is bounded by the L1D
+//! (32 KiB / 64 B = 512 lines), the read set by a larger tracking structure.
+//! The values are process-global (hardware is, too) but adjustable before —
+//! or between — transactions, which the tests use to exercise capacity
+//! aborts deterministically.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// log2 of the emulated cache-line size; conflict detection granularity.
+/// Two `TxCell`s whose addresses share all bits above this shift alias to
+/// the same line (false sharing is reproduced deliberately).
+pub const LINE_SHIFT: u32 = 6;
+
+/// Number of versioned-lock stripes in the global conflict table. Must be a
+/// power of two. 2^20 stripes ≈ 8 MiB; large enough that distinct lines
+/// rarely alias in the benchmarks while still fitting comfortably in memory.
+pub const STRIPE_COUNT: usize = 1 << 20;
+
+/// Default write-set capacity in lines (Haswell L1D-sized).
+pub const DEFAULT_WRITE_CAPACITY: u32 = 512;
+
+/// Default read-set capacity in lines (Haswell tracks reads in L2-ish
+/// structures; we allow 8× the write capacity).
+pub const DEFAULT_READ_CAPACITY: u32 = 4096;
+
+static WRITE_CAPACITY: AtomicU32 = AtomicU32::new(DEFAULT_WRITE_CAPACITY);
+static READ_CAPACITY: AtomicU32 = AtomicU32::new(DEFAULT_READ_CAPACITY);
+/// Spurious abort injection: a transaction aborts spuriously with
+/// probability 1 / `SPURIOUS_ONE_IN` at begin-time. 0 disables injection.
+static SPURIOUS_ONE_IN: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the emulated-HTM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HtmConfig {
+    /// Maximum distinct lines a transaction may write before aborting with
+    /// [`crate::AbortCode::Capacity`].
+    pub write_capacity: u32,
+    /// Maximum distinct lines a transaction may read before aborting with
+    /// [`crate::AbortCode::Capacity`].
+    pub read_capacity: u32,
+    /// If non-zero, inject one spurious abort per this many transactions.
+    pub spurious_one_in: u64,
+}
+
+impl Default for HtmConfig {
+    fn default() -> Self {
+        HtmConfig {
+            write_capacity: DEFAULT_WRITE_CAPACITY,
+            read_capacity: DEFAULT_READ_CAPACITY,
+            spurious_one_in: 0,
+        }
+    }
+}
+
+impl HtmConfig {
+    /// Reads the currently installed global configuration.
+    pub fn current() -> Self {
+        HtmConfig {
+            write_capacity: WRITE_CAPACITY.load(Ordering::Relaxed),
+            read_capacity: READ_CAPACITY.load(Ordering::Relaxed),
+            spurious_one_in: SPURIOUS_ONE_IN.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Installs `self` as the global configuration. Affects transactions
+    /// that begin after the call; in-flight transactions keep the limits
+    /// they started with.
+    pub fn install(self) {
+        WRITE_CAPACITY.store(self.write_capacity, Ordering::Relaxed);
+        READ_CAPACITY.store(self.read_capacity, Ordering::Relaxed);
+        SPURIOUS_ONE_IN.store(self.spurious_one_in, Ordering::Relaxed);
+    }
+
+    /// Runs `f` with `self` installed, then restores the previous
+    /// configuration. Concurrent `with_installed` calls serialize on an
+    /// internal mutex (the configuration is process-global, like the
+    /// hardware it models), so tests mutating limits do not trample each
+    /// other. Tests that *assume* the default configuration can still race
+    /// with one; keep such assumptions loose or use this helper too.
+    pub fn with_installed<R>(self, f: impl FnOnce() -> R) -> R {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = HtmConfig::current();
+        self.install();
+        let r = f();
+        prev.install();
+        r
+    }
+}
+
+#[inline]
+pub(crate) fn write_capacity() -> u32 {
+    WRITE_CAPACITY.load(Ordering::Relaxed)
+}
+
+#[inline]
+pub(crate) fn read_capacity() -> u32 {
+    READ_CAPACITY.load(Ordering::Relaxed)
+}
+
+#[inline]
+pub(crate) fn spurious_one_in() -> u64 {
+    SPURIOUS_ONE_IN.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_constants() {
+        let c = HtmConfig::default();
+        assert_eq!(c.write_capacity, DEFAULT_WRITE_CAPACITY);
+        assert_eq!(c.read_capacity, DEFAULT_READ_CAPACITY);
+        assert_eq!(c.spurious_one_in, 0);
+    }
+
+    #[test]
+    fn stripe_count_is_power_of_two() {
+        assert!(STRIPE_COUNT.is_power_of_two());
+    }
+
+    #[test]
+    fn install_roundtrip() {
+        let prev = HtmConfig::current();
+        let cfg = HtmConfig {
+            write_capacity: 8,
+            read_capacity: 16,
+            spurious_one_in: 5,
+        };
+        cfg.with_installed(|| {
+            assert_eq!(HtmConfig::current(), cfg);
+        });
+        assert_eq!(HtmConfig::current(), prev);
+    }
+}

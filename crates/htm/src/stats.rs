@@ -1,0 +1,139 @@
+//! Global HTM event counters.
+//!
+//! The paper's evaluation leans on "lightweight statistics" (§6.2.1):
+//! commits and aborts per path, broken down by cause. These counters are the
+//! emulated equivalent of the hardware performance events a real TSX study
+//! would read. They are process-global, relaxed, and cheap.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::abort::AbortCode;
+
+static STARTS: AtomicU64 = AtomicU64::new(0);
+static COMMITS: AtomicU64 = AtomicU64::new(0);
+static ABORT_CONFLICT: AtomicU64 = AtomicU64::new(0);
+static ABORT_CAPACITY: AtomicU64 = AtomicU64::new(0);
+static ABORT_EXPLICIT: AtomicU64 = AtomicU64::new(0);
+static ABORT_UNSUPPORTED: AtomicU64 = AtomicU64::new(0);
+static ABORT_NESTED: AtomicU64 = AtomicU64::new(0);
+static ABORT_SPURIOUS: AtomicU64 = AtomicU64::new(0);
+
+/// Immutable snapshot of the global HTM counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HtmStats {
+    /// Transactions begun.
+    pub starts: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Aborts caused by data conflicts.
+    pub aborts_conflict: u64,
+    /// Aborts caused by footprint capacity overflow.
+    pub aborts_capacity: u64,
+    /// Explicit program-requested aborts.
+    pub aborts_explicit: u64,
+    /// Aborts from operations HTM cannot commit.
+    pub aborts_unsupported: u64,
+    /// Aborts from unsupported nesting.
+    pub aborts_nested: u64,
+    /// Injected/spurious aborts.
+    pub aborts_spurious: u64,
+}
+
+impl HtmStats {
+    /// Reads the current counter values.
+    pub fn snapshot() -> Self {
+        HtmStats {
+            starts: STARTS.load(Ordering::Relaxed),
+            commits: COMMITS.load(Ordering::Relaxed),
+            aborts_conflict: ABORT_CONFLICT.load(Ordering::Relaxed),
+            aborts_capacity: ABORT_CAPACITY.load(Ordering::Relaxed),
+            aborts_explicit: ABORT_EXPLICIT.load(Ordering::Relaxed),
+            aborts_unsupported: ABORT_UNSUPPORTED.load(Ordering::Relaxed),
+            aborts_nested: ABORT_NESTED.load(Ordering::Relaxed),
+            aborts_spurious: ABORT_SPURIOUS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total aborts of any cause.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_conflict
+            + self.aborts_capacity
+            + self.aborts_explicit
+            + self.aborts_unsupported
+            + self.aborts_nested
+            + self.aborts_spurious
+    }
+
+    /// Counter deltas since `earlier` (saturating, in case of interleaved
+    /// resets).
+    pub fn since(&self, earlier: &HtmStats) -> HtmStats {
+        HtmStats {
+            starts: self.starts.saturating_sub(earlier.starts),
+            commits: self.commits.saturating_sub(earlier.commits),
+            aborts_conflict: self.aborts_conflict.saturating_sub(earlier.aborts_conflict),
+            aborts_capacity: self.aborts_capacity.saturating_sub(earlier.aborts_capacity),
+            aborts_explicit: self.aborts_explicit.saturating_sub(earlier.aborts_explicit),
+            aborts_unsupported: self
+                .aborts_unsupported
+                .saturating_sub(earlier.aborts_unsupported),
+            aborts_nested: self.aborts_nested.saturating_sub(earlier.aborts_nested),
+            aborts_spurious: self.aborts_spurious.saturating_sub(earlier.aborts_spurious),
+        }
+    }
+}
+
+#[inline]
+pub(crate) fn record_start() {
+    STARTS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_commit() {
+    COMMITS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_abort(code: AbortCode) {
+    let c = match code {
+        AbortCode::Conflict => &ABORT_CONFLICT,
+        AbortCode::Capacity => &ABORT_CAPACITY,
+        AbortCode::Explicit(_) => &ABORT_EXPLICIT,
+        AbortCode::Unsupported => &ABORT_UNSUPPORTED,
+        AbortCode::Nested => &ABORT_NESTED,
+        AbortCode::Spurious => &ABORT_SPURIOUS,
+    };
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{swhtm, TxCell};
+
+    #[test]
+    fn commit_and_abort_counted() {
+        let before = HtmStats::snapshot();
+        let c = TxCell::new(0u64);
+        swhtm::try_txn(|| c.write(1)).unwrap();
+        let _: Result<(), AbortCode> = swhtm::try_txn(|| crate::abort(1));
+        let d = HtmStats::snapshot().since(&before);
+        assert!(d.starts >= 2);
+        assert!(d.commits >= 1);
+        assert!(d.aborts_explicit >= 1);
+        assert!(d.aborts() >= 1);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = HtmStats {
+            starts: 5,
+            ..Default::default()
+        };
+        let b = HtmStats {
+            starts: 3,
+            ..Default::default()
+        };
+        assert_eq!(b.since(&a).starts, 0);
+        assert_eq!(a.since(&b).starts, 2);
+    }
+}

@@ -1,0 +1,214 @@
+//! The transactional execution context for NOrec / RHNOrec critical
+//! sections — the hybrid-TM counterpart of [`rtle_core::Ctx`].
+
+use std::cell::RefCell;
+
+use rtle_htm::{TxCell, TxWord};
+
+use crate::descriptor::{sw_abort, SwDescriptor};
+use crate::stats::TmStats;
+
+enum Inner<'a> {
+    /// Running inside a hardware transaction: plain accesses, the HTM
+    /// tracks everything.
+    Hw,
+    /// Running as a software transaction: value-logging reads with
+    /// opacity-preserving revalidation, buffered writes.
+    Sw {
+        desc: &'a RefCell<SwDescriptor>,
+        clock: &'a TxCell<u64>,
+        stats: &'a TmStats,
+    },
+}
+
+/// Execution token passed to [`crate::Norec::execute`] /
+/// [`crate::RhNorec::execute`] closures. All shared accesses inside the
+/// atomic block must go through it.
+pub struct TmCtx<'a> {
+    inner: Inner<'a>,
+}
+
+impl<'a> TmCtx<'a> {
+    pub(crate) fn hw() -> Self {
+        TmCtx { inner: Inner::Hw }
+    }
+
+    pub(crate) fn sw(
+        desc: &'a RefCell<SwDescriptor>,
+        clock: &'a TxCell<u64>,
+        stats: &'a TmStats,
+    ) -> Self {
+        TmCtx {
+            inner: Inner::Sw { desc, clock, stats },
+        }
+    }
+
+    /// Whether this execution runs in hardware.
+    pub fn is_hardware(&self) -> bool {
+        matches!(self.inner, Inner::Hw)
+    }
+
+    /// Transactional read.
+    #[inline]
+    pub fn read<T: TxWord>(&self, cell: &TxCell<T>) -> T {
+        match &self.inner {
+            Inner::Hw => cell.read(),
+            Inner::Sw { desc, clock, stats } => {
+                let word = sw_read(&mut desc.borrow_mut(), clock, stats, cell.as_word_cell());
+                T::from_word(word)
+            }
+        }
+    }
+
+    /// Transactional write.
+    #[inline]
+    pub fn write<T: TxWord>(&self, cell: &TxCell<T>, value: T) {
+        match &self.inner {
+            Inner::Hw => cell.write(value),
+            Inner::Sw { desc, .. } => {
+                desc.borrow_mut()
+                    .log_write(cell.as_word_cell(), value.to_word());
+            }
+        }
+    }
+}
+
+impl rtle_htm::TxAccess for TmCtx<'_> {
+    #[inline]
+    fn load<T: TxWord>(&self, cell: &TxCell<T>) -> T {
+        self.read(cell)
+    }
+
+    #[inline]
+    fn store<T: TxWord>(&self, cell: &TxCell<T>, value: T) {
+        self.write(cell, value)
+    }
+}
+
+/// Spins until the clock is even (no commit in progress) and returns it.
+#[inline]
+pub(crate) fn wait_even(clock: &TxCell<u64>) -> u64 {
+    loop {
+        let v = clock.read_plain();
+        if v & 1 == 0 {
+            return v;
+        }
+        std::hint::spin_loop();
+    }
+}
+
+/// NOrec's value-based validation: waits for a stable even clock under
+/// which every logged read still holds its logged value. Returns the new
+/// snapshot, or aborts the software transaction on a mismatch.
+///
+/// Every pass is counted — this is the quantity of the paper's Figure 10.
+pub(crate) fn validate(desc: &mut SwDescriptor, clock: &TxCell<u64>, stats: &TmStats) -> u64 {
+    loop {
+        let t = wait_even(clock);
+        stats.record_validation();
+        if !desc.reads_still_valid() {
+            sw_abort();
+        }
+        if clock.read_plain() == t {
+            return t;
+        }
+        // A commit slipped in during validation; try again.
+    }
+}
+
+/// NOrec software read barrier: read-own-write, then read the memory value
+/// and (re)validate whenever the global clock moved since the snapshot.
+pub(crate) fn sw_read(
+    desc: &mut SwDescriptor,
+    clock: &TxCell<u64>,
+    stats: &TmStats,
+    cell: &TxCell<u64>,
+) -> u64 {
+    if let Some(v) = desc.lookup_write(cell) {
+        return v;
+    }
+    let mut val = cell.read_plain();
+    while clock.read_plain() != desc.snapshot {
+        desc.snapshot = validate(desc, clock, stats);
+        val = cell.read_plain();
+    }
+    desc.log_read(cell, val);
+    val
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::catch_sw;
+
+    #[test]
+    fn hw_ctx_reads_plainly() {
+        let c = TxCell::new(3u64);
+        let ctx = TmCtx::hw();
+        assert!(ctx.is_hardware());
+        assert_eq!(ctx.read(&c), 3);
+        ctx.write(&c, 4);
+        assert_eq!(c.read_plain(), 4);
+    }
+
+    #[test]
+    fn sw_ctx_buffers_writes() {
+        let clock = TxCell::new(0u64);
+        let stats = TmStats::new();
+        let desc = RefCell::new(SwDescriptor::default());
+        desc.borrow_mut().reset(0);
+        let ctx = TmCtx::sw(&desc, &clock, &stats);
+        assert!(!ctx.is_hardware());
+
+        let c = TxCell::new(1u64);
+        ctx.write(&c, 9);
+        assert_eq!(c.read_plain(), 1, "write is buffered, not applied");
+        assert_eq!(ctx.read(&c), 9, "read-own-write");
+    }
+
+    #[test]
+    fn sw_read_revalidates_on_clock_move() {
+        let clock = TxCell::new(0u64);
+        let stats = TmStats::new();
+        let desc = RefCell::new(SwDescriptor::default());
+        desc.borrow_mut().reset(0);
+        let ctx = TmCtx::sw(&desc, &clock, &stats);
+
+        let a = TxCell::new(5u64);
+        assert_eq!(ctx.read(&a), 5);
+        // Someone commits (values unchanged): clock moves to 2.
+        clock.write(2);
+        let b = TxCell::new(6u64);
+        assert_eq!(ctx.read(&b), 6, "revalidation succeeds, read proceeds");
+        assert!(stats.snapshot().validations >= 1);
+        assert_eq!(desc.borrow().snapshot, 2, "snapshot extended");
+    }
+
+    #[test]
+    fn sw_read_aborts_when_values_changed() {
+        let clock = TxCell::new(0u64);
+        let stats = TmStats::new();
+        let a = TxCell::new(5u64);
+        let b = TxCell::new(6u64);
+
+        let r = catch_sw(|| {
+            let desc = RefCell::new(SwDescriptor::default());
+            desc.borrow_mut().reset(0);
+            let ctx = TmCtx::sw(&desc, &clock, &stats);
+            let _ = ctx.read(&a);
+            // A conflicting commit changes `a` and bumps the clock.
+            a.write(50);
+            clock.write(2);
+            ctx.read(&b) // must revalidate -> value mismatch -> abort
+        });
+        assert_eq!(r, None, "software transaction must abort");
+        // Restore for other tests sharing the cells (none, but tidy).
+        a.write(5);
+    }
+
+    #[test]
+    fn wait_even_skips_odd() {
+        let clock = TxCell::new(4u64);
+        assert_eq!(wait_even(&clock), 4);
+    }
+}

@@ -1,0 +1,184 @@
+//! The NOrec software-transaction descriptor: a value-logging read set and
+//! a buffering write set, plus the abort-unwinding machinery for the
+//! software path (mirroring what `rtle-htm` does for emulated hardware
+//! transactions).
+
+use std::panic;
+
+use rtle_htm::TxCell;
+
+/// Panic payload marking a software-transaction abort (validation failure).
+/// Caught by the NOrec/RHNOrec execute loops; real panics pass through.
+#[derive(Debug, Clone, Copy)]
+pub struct SwAbort;
+
+/// Unwinds out of the current software transaction attempt.
+#[cold]
+#[inline(never)]
+pub(crate) fn sw_abort() -> ! {
+    panic::panic_any(SwAbort);
+}
+
+/// Runs one software attempt, translating `SwAbort` unwinds into `None`.
+pub(crate) fn catch_sw<R>(f: impl FnOnce() -> R) -> Option<R> {
+    match panic::catch_unwind(panic::AssertUnwindSafe(f)) {
+        Ok(r) => Some(r),
+        Err(payload) => {
+            if payload.downcast_ref::<SwAbort>().is_some() {
+                None
+            } else {
+                panic::resume_unwind(payload)
+            }
+        }
+    }
+}
+
+/// Installs (once) a panic hook that silences `SwAbort` unwinds.
+pub(crate) fn install_silent_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SwAbort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// One logged read: the cell and the value observed (NOrec validates *by
+/// value*, which is what makes it immune to false conflicts).
+#[derive(Clone, Copy)]
+pub(crate) struct ReadEntry {
+    pub cell: *const TxCell<u64>,
+    pub value: u64,
+}
+
+/// One buffered write.
+#[derive(Clone, Copy)]
+pub(crate) struct WriteEntry {
+    pub cell: *const TxCell<u64>,
+    pub value: u64,
+}
+
+/// Per-attempt software transaction state.
+#[derive(Default)]
+pub(crate) struct SwDescriptor {
+    /// Even clock value this attempt's snapshot is consistent with.
+    pub snapshot: u64,
+    pub reads: Vec<ReadEntry>,
+    pub writes: Vec<WriteEntry>,
+}
+
+impl SwDescriptor {
+    pub fn reset(&mut self, snapshot: u64) {
+        self.snapshot = snapshot;
+        self.reads.clear();
+        self.writes.clear();
+    }
+
+    /// Latest buffered value for `cell`, if written by this transaction.
+    pub fn lookup_write(&self, cell: *const TxCell<u64>) -> Option<u64> {
+        self.writes
+            .iter()
+            .rev()
+            .find(|e| std::ptr::eq(e.cell, cell))
+            .map(|e| e.value)
+    }
+
+    /// Buffers (or supersedes) a write.
+    pub fn log_write(&mut self, cell: *const TxCell<u64>, value: u64) {
+        if let Some(e) = self
+            .writes
+            .iter_mut()
+            .rev()
+            .find(|e| std::ptr::eq(e.cell, cell))
+        {
+            e.value = value;
+            return;
+        }
+        self.writes.push(WriteEntry { cell, value });
+    }
+
+    /// Logs a validated read.
+    pub fn log_read(&mut self, cell: *const TxCell<u64>, value: u64) {
+        self.reads.push(ReadEntry { cell, value });
+    }
+
+    /// Re-checks every logged read by value. Returns `false` on mismatch.
+    pub fn reads_still_valid(&self) -> bool {
+        self.reads.iter().all(|e| {
+            // SAFETY: cells outlive the transaction (captured from live
+            // references within the executing closure).
+            unsafe { (*e.cell).read_plain() == e.value }
+        })
+    }
+
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_log_supersedes() {
+        let a = TxCell::new(0u64);
+        let b = TxCell::new(0u64);
+        let mut d = SwDescriptor::default();
+        d.reset(2);
+        assert!(d.is_read_only());
+        d.log_write(&a, 1);
+        d.log_write(&b, 2);
+        d.log_write(&a, 3);
+        assert_eq!(d.lookup_write(&a), Some(3));
+        assert_eq!(d.lookup_write(&b), Some(2));
+        assert_eq!(d.writes.len(), 2);
+        assert!(!d.is_read_only());
+    }
+
+    #[test]
+    fn value_validation_detects_change() {
+        let a = TxCell::new(10u64);
+        let mut d = SwDescriptor::default();
+        d.reset(2);
+        d.log_read(&a, a.read_plain());
+        assert!(d.reads_still_valid());
+        a.write(11);
+        assert!(!d.reads_still_valid());
+        // Value-based: restoring the value re-validates (ABA is fine for
+        // NOrec's semantics).
+        a.write(10);
+        assert!(d.reads_still_valid());
+    }
+
+    #[test]
+    fn catch_sw_translates_aborts() {
+        assert_eq!(catch_sw(|| 5), Some(5));
+        let r: Option<u64> = catch_sw(|| sw_abort());
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn catch_sw_propagates_real_panics() {
+        install_silent_hook();
+        let r = panic::catch_unwind(|| {
+            let _ = catch_sw(|| -> u64 { panic!("real bug") });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn reset_clears_logs() {
+        let a = TxCell::new(0u64);
+        let mut d = SwDescriptor::default();
+        d.log_write(&a, 1);
+        d.log_read(&a, 0);
+        d.reset(4);
+        assert!(d.is_read_only());
+        assert!(d.reads.is_empty());
+        assert_eq!(d.snapshot, 4);
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! # rtle-hytm: the paper's baseline transactional memories
+//!
+//! The evaluation of *Refined Transactional Lock Elision* (§6.2.2) compares
+//! the refined TLE variants against two systems, both built here from
+//! scratch on the same [`rtle_htm::TxCell`] substrate:
+//!
+//! * [`norec::Norec`] — the NOrec STM (Dalessandro, Spear, Scott; PPoPP
+//!   2010): a software TM with **no ownership records**. A single global
+//!   sequence clock orders writer commits; readers log *(address, value)*
+//!   pairs and re-validate them by value whenever the clock moves. Writers
+//!   commit under the clock's odd state (a de-facto single global lock for
+//!   the write-back), so NOrec is immune to false conflicts but serializes
+//!   writer commits.
+//! * [`rhnorec::RhNorec`] — Reduced-Hardware NOrec (Matveev & Shavit,
+//!   TRANSACT 2014, the variant the paper compares against): a hybrid TM.
+//!   Transactions first try to run **entirely in hardware**; while software
+//!   transactions are running, committing hardware transactions must bump
+//!   the global clock (forcing software readers to revalidate). A software
+//!   transaction tries to execute its *commit phase* — write-back plus
+//!   clock bump — inside a small ("reduced") hardware transaction, falling
+//!   back to a clock-acquired single-global-lock commit that halts
+//!   everything.
+//!
+//! Both expose the same closure-over-context interface as
+//! [`rtle_core::ElidableLock::execute`], so the benchmark harness can swap
+//! synchronization methods freely.
+//!
+//! The paper's Figures 8–10 are plotted from the statistics kept here:
+//! execution-type distribution (HTMFast / HTMSlow / STMFastCommit /
+//! STMSlowCommit) and value-based validations per software transaction.
+
+pub mod ctx;
+pub mod descriptor;
+pub mod norec;
+pub mod rhnorec;
+pub mod stats;
+
+pub use ctx::TmCtx;
+pub use norec::Norec;
+pub use rhnorec::RhNorec;
+pub use stats::{TmStats, TmStatsSnapshot};
+
+/// Explicit abort codes used by the hybrid runtimes inside hardware
+/// transactions.
+pub mod abort_codes {
+    /// Reduced hardware commit found the clock moved since the snapshot.
+    pub const CLOCK_CHANGED: u8 = 32;
+    /// Hardware fast path found the single-global-lock commit in progress
+    /// (odd clock).
+    pub const SGL_HELD: u8 = 33;
+}

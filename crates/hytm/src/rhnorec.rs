@@ -1,0 +1,367 @@
+//! Reduced-Hardware NOrec (Matveev & Shavit, TRANSACT 2014) — the hybrid TM
+//! the paper compares refined TLE against (§6.2.2).
+//!
+//! Protocol, as characterized by the paper:
+//!
+//! 1. Transactions first attempt to run **entirely in hardware**. At commit
+//!    they check the count of running software transactions: if zero, they
+//!    commit without touching shared metadata (`HTMFast`); otherwise they
+//!    must bump the global NOrec clock (`HTMSlow`) so that software readers
+//!    revalidate — the single update that, under load, makes the clock's
+//!    cache line a scalability chokepoint (the effect behind Figures 8–10).
+//! 2. After the hardware budget is exhausted, the transaction restarts as a
+//!    NOrec-style **software transaction** (value-logged reads, buffered
+//!    writes). Its commit phase — snapshot check, write-back, clock bump —
+//!    runs inside a small *reduced* hardware transaction (`STMFastCommit`);
+//!    if that keeps failing, the committer acquires the clock (even → odd
+//!    CAS), halting every hardware and software commit, and writes back
+//!    under that single global lock (`STMSlowCommit`).
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use rtle_htm::{swhtm, TxCell};
+
+use crate::abort_codes;
+use crate::ctx::{validate, wait_even, TmCtx};
+use crate::descriptor::{catch_sw, install_silent_hook, SwDescriptor};
+use crate::stats::{CommitKind, TmStats};
+
+/// Hardware attempts before falling to the software path (paper: 5).
+pub const DEFAULT_HW_ATTEMPTS: u32 = 5;
+/// Reduced-hardware commit attempts before the SGL fallback (paper: 5).
+pub const DEFAULT_COMMIT_ATTEMPTS: u32 = 5;
+
+/// A Reduced-Hardware NOrec hybrid TM instance.
+#[derive(Debug)]
+pub struct RhNorec {
+    clock: TxCell<u64>,
+    /// Number of software transactions currently running. Hardware
+    /// transactions read it (transactionally) at commit time to decide
+    /// whether the clock bump is required.
+    sw_count: TxCell<u64>,
+    stats: TmStats,
+    hw_attempts: u32,
+    commit_attempts: u32,
+}
+
+impl Default for RhNorec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RhNorec {
+    /// A fresh instance with the paper's attempt budgets (5 and 5).
+    pub fn new() -> Self {
+        Self::with_attempts(DEFAULT_HW_ATTEMPTS, DEFAULT_COMMIT_ATTEMPTS)
+    }
+
+    /// Custom attempt budgets (both ≥ 0; zero hardware attempts degrades to
+    /// pure NOrec with a hardware-assisted commit).
+    pub fn with_attempts(hw_attempts: u32, commit_attempts: u32) -> Self {
+        RhNorec {
+            clock: TxCell::new(0),
+            sw_count: TxCell::new(0),
+            stats: TmStats::new(),
+            hw_attempts,
+            commit_attempts,
+        }
+    }
+
+    /// Live statistics (Figures 8–10 are derived from these).
+    pub fn stats(&self) -> &TmStats {
+        &self.stats
+    }
+
+    /// Number of software transactions currently running (diagnostics).
+    pub fn sw_running(&self) -> u64 {
+        self.sw_count.read_plain()
+    }
+
+    /// Runs `cs` as one atomic transaction: hardware first, software after.
+    pub fn execute<R>(&self, cs: impl Fn(&TmCtx<'_>) -> R) -> R {
+        install_silent_hook();
+
+        // Phase 1: entirely-in-hardware attempts.
+        for _ in 0..self.hw_attempts {
+            match swhtm::try_txn(|| {
+                let ctx = TmCtx::hw();
+                let r = cs(&ctx);
+                // Commit-time instrumentation: the *only* metadata work on
+                // the hardware path.
+                let bumped = if self.sw_count.read() > 0 {
+                    let c = self.clock.read();
+                    if c & 1 == 1 {
+                        // An SGL commit is in progress: it may write back
+                        // at any moment; bail.
+                        rtle_htm::abort(abort_codes::SGL_HELD);
+                    }
+                    self.clock.write(c + 2);
+                    true
+                } else {
+                    false
+                };
+                (r, bumped)
+            }) {
+                Ok((r, bumped)) => {
+                    self.stats.record_commit(if bumped {
+                        CommitKind::HtmSlow
+                    } else {
+                        CommitKind::HtmFast
+                    });
+                    self.stats.record_op();
+                    return r;
+                }
+                Err(code) => {
+                    self.stats.record_hw_abort();
+                    if !code.may_retry() {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Phase 2: software transaction. The counter is restored by an
+        // RAII guard so a panicking closure cannot leak the increment
+        // (which would force every future hardware commit to bump the
+        // clock forever).
+        struct SwPhase<'a>(&'a TxCell<u64>);
+        impl Drop for SwPhase<'_> {
+            fn drop(&mut self) {
+                // Decrement (wrapping add of -1).
+                self.0.fetch_add_plain(u64::MAX);
+            }
+        }
+        self.sw_count.fetch_add_plain(1);
+        let _phase = SwPhase(&self.sw_count);
+        let desc = RefCell::new(SwDescriptor::default());
+        let result = loop {
+            let t0 = Instant::now();
+            desc.borrow_mut().reset(wait_even(&self.clock));
+            let outcome = catch_sw(|| {
+                let ctx = TmCtx::sw(&desc, &self.clock, &self.stats);
+                let r = cs(&ctx);
+                let kind = self.sw_commit(&mut desc.borrow_mut());
+                (r, kind)
+            });
+            self.stats.record_sw_time(t0.elapsed());
+            match outcome {
+                Some((r, kind)) => {
+                    self.stats.record_commit(kind);
+                    break r;
+                }
+                None => self.stats.record_sw_abort(),
+            }
+        };
+        self.stats.record_op();
+        result
+    }
+
+    /// Software commit: reduced hardware transaction first, SGL after.
+    fn sw_commit(&self, d: &mut SwDescriptor) -> CommitKind {
+        if d.is_read_only() {
+            // Serialized at the last validation point; nothing to publish.
+            return CommitKind::StmFastCommit;
+        }
+
+        for _ in 0..self.commit_attempts {
+            let r = swhtm::try_txn(|| {
+                // The snapshot check subscribes to the clock: any racing
+                // commit (hardware or software) aborts this one.
+                if self.clock.read() != d.snapshot {
+                    rtle_htm::abort(abort_codes::CLOCK_CHANGED);
+                }
+                for w in &d.writes {
+                    // SAFETY: cells outlive the transaction; transactional
+                    // writes keep the write-back atomic.
+                    unsafe { (*w.cell).write(w.value) };
+                }
+                self.clock.write(d.snapshot + 2);
+            });
+            match r {
+                Ok(()) => return CommitKind::StmFastCommit,
+                Err(_) => {
+                    // Extend the snapshot (aborts the transaction if any
+                    // logged read changed value).
+                    d.snapshot = validate(d, &self.clock, &self.stats);
+                }
+            }
+        }
+
+        // SGL fallback: acquire the clock (odd), halting all commits.
+        loop {
+            if self
+                .clock
+                .compare_exchange_plain(d.snapshot, d.snapshot + 1)
+            {
+                break;
+            }
+            d.snapshot = validate(d, &self.clock, &self.stats);
+        }
+        for w in &d.writes {
+            // SAFETY: as above; the odd clock excludes all other commits.
+            unsafe { (*w.cell).write(w.value) };
+        }
+        self.clock.write(d.snapshot + 2);
+        CommitKind::StmSlowCommit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_commits_in_hardware() {
+        let tm = RhNorec::new();
+        let a = TxCell::new(1u64);
+        let v = tm.execute(|ctx| {
+            let v = ctx.read(&a) + 41;
+            ctx.write(&a, v);
+            v
+        });
+        assert_eq!(v, 42);
+        assert_eq!(a.read_plain(), 42);
+        let s = tm.stats().snapshot();
+        assert_eq!(s.htm_fast, 1, "uncontended txn commits HTMFast: {s:?}");
+        assert_eq!(s.stm_commits(), 0);
+    }
+
+    #[test]
+    fn unsupported_op_falls_to_software() {
+        let tm = RhNorec::new();
+        let a = TxCell::new(0u64);
+        tm.execute(|ctx| {
+            rtle_htm::htm_unfriendly_instruction();
+            let v = ctx.read(&a);
+            ctx.write(&a, v + 1);
+        });
+        assert_eq!(a.read_plain(), 1);
+        let s = tm.stats().snapshot();
+        assert_eq!(s.stm_commits(), 1, "must commit as a software txn: {s:?}");
+        assert!(s.hw_aborts >= 1);
+        assert_eq!(tm.sw_running(), 0, "sw_count restored");
+    }
+
+    #[test]
+    fn hardware_bumps_clock_only_when_sw_running() {
+        let tm = RhNorec::new();
+        let a = TxCell::new(0u64);
+
+        let c0 = tm.clock.read_plain();
+        tm.execute(|ctx| ctx.write(&a, 1));
+        assert_eq!(tm.clock.read_plain(), c0, "HTMFast: no clock traffic");
+
+        // Pretend a software transaction is running.
+        tm.sw_count.fetch_add_plain(1);
+        tm.execute(|ctx| ctx.write(&a, 2));
+        tm.sw_count.fetch_add_plain(u64::MAX);
+        assert_eq!(tm.clock.read_plain(), c0 + 2, "HTMSlow: clock bumped");
+        let s = tm.stats().snapshot();
+        assert_eq!(s.htm_fast, 1);
+        assert_eq!(s.htm_slow, 1);
+    }
+
+    #[test]
+    fn software_readers_see_hardware_commits_consistently() {
+        // A software transaction's revalidation must catch hardware commits
+        // that changed its read set.
+        let tm = Arc::new(RhNorec::new());
+        let a = Arc::new(TxCell::new(500u64));
+        let b = Arc::new(TxCell::new(500u64));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let hw_writer = {
+            let (tm, a, b, stop) = (
+                Arc::clone(&tm),
+                Arc::clone(&a),
+                Arc::clone(&b),
+                Arc::clone(&stop),
+            );
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    i += 1;
+                    let d = i % 10;
+                    tm.execute(|ctx| {
+                        let av = ctx.read(&a);
+                        if av >= d {
+                            ctx.write(&a, av - d);
+                            let bv = ctx.read(&b);
+                            ctx.write(&b, bv + d);
+                        }
+                    });
+                }
+            })
+        };
+
+        // Reader that always goes through the software path.
+        for _ in 0..500 {
+            let (av, bv) = tm.execute(|ctx| {
+                rtle_htm::htm_unfriendly_instruction(); // force software
+                (ctx.read(&a), ctx.read(&b))
+            });
+            assert_eq!(av + bv, 1_000, "software snapshot tore");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        hw_writer.join().unwrap();
+        assert_eq!(a.read_plain() + b.read_plain(), 1_000);
+    }
+
+    #[test]
+    fn concurrent_mixed_transfers_conserve_sum() {
+        const ACCOUNTS: usize = 16;
+        const THREADS: usize = 4;
+        const OPS: usize = 1000;
+        let tm = Arc::new(RhNorec::new());
+        let accts: Arc<Vec<TxCell<u64>>> =
+            Arc::new((0..ACCOUNTS).map(|_| TxCell::new(100)).collect());
+
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let (tm, accts) = (Arc::clone(&tm), Arc::clone(&accts));
+                std::thread::spawn(move || {
+                    let mut x = 0x9e3779b97f4a7c15u64 ^ (t as u64 + 1);
+                    for i in 0..OPS {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let from = (x as usize) % ACCOUNTS;
+                        let to = ((x >> 32) as usize) % ACCOUNTS;
+                        if from == to {
+                            continue;
+                        }
+                        // Every 8th op is forced onto the software path so
+                        // hardware and software genuinely interleave.
+                        let force_sw = i % 8 == 0;
+                        tm.execute(|ctx| {
+                            if force_sw {
+                                rtle_htm::htm_unfriendly_instruction();
+                            }
+                            let f = ctx.read(&accts[from]);
+                            if f > 0 {
+                                ctx.write(&accts[from], f - 1);
+                                let tv = ctx.read(&accts[to]);
+                                ctx.write(&accts[to], tv + 1);
+                            }
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = accts.iter().map(|a| a.read_plain()).sum();
+        assert_eq!(total, ACCOUNTS as u64 * 100);
+        let s = tm.stats().snapshot();
+        assert!(s.stm_commits() > 0, "software path exercised: {s:?}");
+        assert!(
+            s.htm_fast + s.htm_slow > 0,
+            "hardware path exercised: {s:?}"
+        );
+        assert_eq!(tm.sw_running(), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Statistics for the hybrid/software TMs — the quantities behind the
+//! paper's Figures 8 (slow-path throughput split), 9 (execution-type
+//! distribution) and 10 (value-based validations per transaction).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How one transaction ultimately committed — the categories of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommitKind {
+    /// Entirely in hardware, no global-clock update (no software txns ran).
+    HtmFast,
+    /// Entirely in hardware, but had to bump the global clock because
+    /// software transactions were running.
+    HtmSlow,
+    /// Software transaction whose commit phase succeeded inside a reduced
+    /// hardware transaction.
+    StmFastCommit,
+    /// Software transaction that committed under the single global lock.
+    StmSlowCommit,
+}
+
+/// Relaxed shared counters for one TM instance.
+#[derive(Debug, Default)]
+pub struct TmStats {
+    ops: AtomicU64,
+    htm_fast: AtomicU64,
+    htm_slow: AtomicU64,
+    stm_fast_commit: AtomicU64,
+    stm_slow_commit: AtomicU64,
+    hw_aborts: AtomicU64,
+    sw_aborts: AtomicU64,
+    validations: AtomicU64,
+    sw_time_ns: AtomicU64,
+}
+
+impl TmStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn record_op(&self) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_commit(&self, kind: CommitKind) {
+        match kind {
+            CommitKind::HtmFast => &self.htm_fast,
+            CommitKind::HtmSlow => &self.htm_slow,
+            CommitKind::StmFastCommit => &self.stm_fast_commit,
+            CommitKind::StmSlowCommit => &self.stm_slow_commit,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_hw_abort(&self) {
+        self.hw_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_sw_abort(&self) {
+        self.sw_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_validation(&self) {
+        self.validations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_sw_time(&self, d: Duration) {
+        self.sw_time_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> TmStatsSnapshot {
+        TmStatsSnapshot {
+            ops: self.ops.load(Ordering::Relaxed),
+            htm_fast: self.htm_fast.load(Ordering::Relaxed),
+            htm_slow: self.htm_slow.load(Ordering::Relaxed),
+            stm_fast_commit: self.stm_fast_commit.load(Ordering::Relaxed),
+            stm_slow_commit: self.stm_slow_commit.load(Ordering::Relaxed),
+            hw_aborts: self.hw_aborts.load(Ordering::Relaxed),
+            sw_aborts: self.sw_aborts.load(Ordering::Relaxed),
+            validations: self.validations.load(Ordering::Relaxed),
+            sw_time: Duration::from_nanos(self.sw_time_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Immutable view of [`TmStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TmStatsSnapshot {
+    /// Transactions completed.
+    pub ops: u64,
+    /// Hardware commits without a clock bump.
+    pub htm_fast: u64,
+    /// Hardware commits that bumped the global clock.
+    pub htm_slow: u64,
+    /// Software commits via the reduced hardware transaction.
+    pub stm_fast_commit: u64,
+    /// Software commits under the single global lock.
+    pub stm_slow_commit: u64,
+    /// Hardware-attempt aborts.
+    pub hw_aborts: u64,
+    /// Software-transaction (validation) aborts.
+    pub sw_aborts: u64,
+    /// Total value-based read-set validations performed.
+    pub validations: u64,
+    /// Total wall time spent running software transactions (Figure 8's
+    /// denominator).
+    pub sw_time: Duration,
+}
+
+impl TmStatsSnapshot {
+    /// Committed software transactions (either commit flavour).
+    pub fn stm_commits(&self) -> u64 {
+        self.stm_fast_commit + self.stm_slow_commit
+    }
+
+    /// Average value-based validations per committed software transaction —
+    /// the paper's Figure 10 metric.
+    pub fn validations_per_stm_txn(&self) -> f64 {
+        let c = self.stm_commits();
+        if c == 0 {
+            0.0
+        } else {
+            self.validations as f64 / c as f64
+        }
+    }
+
+    /// Fraction of commits of each kind, in Figure 9's order
+    /// (HTMFast, HTMSlow, STMFastCommit, STMSlowCommit).
+    pub fn exec_fractions(&self) -> [f64; 4] {
+        let total =
+            (self.htm_fast + self.htm_slow + self.stm_fast_commit + self.stm_slow_commit) as f64;
+        if total == 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.htm_fast as f64 / total,
+            self.htm_slow as f64 / total,
+            self.stm_fast_commit as f64 / total,
+            self.stm_slow_commit as f64 / total,
+        ]
+    }
+
+    /// Counter deltas relative to `earlier`.
+    pub fn since(&self, earlier: &TmStatsSnapshot) -> TmStatsSnapshot {
+        TmStatsSnapshot {
+            ops: self.ops - earlier.ops,
+            htm_fast: self.htm_fast - earlier.htm_fast,
+            htm_slow: self.htm_slow - earlier.htm_slow,
+            stm_fast_commit: self.stm_fast_commit - earlier.stm_fast_commit,
+            stm_slow_commit: self.stm_slow_commit - earlier.stm_slow_commit,
+            hw_aborts: self.hw_aborts - earlier.hw_aborts,
+            sw_aborts: self.sw_aborts - earlier.sw_aborts,
+            validations: self.validations - earlier.validations,
+            sw_time: self.sw_time.saturating_sub(earlier.sw_time),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let s = TmStats::new();
+        s.record_commit(CommitKind::HtmFast);
+        s.record_commit(CommitKind::HtmFast);
+        s.record_commit(CommitKind::HtmSlow);
+        s.record_commit(CommitKind::StmFastCommit);
+        let f = s.snapshot().exec_fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validations_per_txn() {
+        let s = TmStats::new();
+        for _ in 0..6 {
+            s.record_validation();
+        }
+        s.record_commit(CommitKind::StmFastCommit);
+        s.record_commit(CommitKind::StmSlowCommit);
+        let snap = s.snapshot();
+        assert_eq!(snap.stm_commits(), 2);
+        assert!((snap.validations_per_stm_txn() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_is_quiet() {
+        let snap = TmStats::new().snapshot();
+        assert_eq!(snap.exec_fractions(), [0.0; 4]);
+        assert_eq!(snap.validations_per_stm_txn(), 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the NOrec / RHNOrec baselines: differential
+//! equivalence against a sequential model, for arbitrary transaction
+//! programs.
+
+use proptest::prelude::*;
+use rtle_htm::TxCell;
+use rtle_hytm::{Norec, RhNorec};
+
+/// A tiny straight-line transactional program over `N` cells.
+#[derive(Debug, Clone)]
+enum Step {
+    Read(usize),
+    /// `cells[dst] = cells[src] + k`
+    AddInto {
+        src: usize,
+        dst: usize,
+        k: u64,
+    },
+    Write {
+        dst: usize,
+        v: u64,
+    },
+}
+
+fn step_strategy(n: usize) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..n).prop_map(Step::Read),
+        (0..n, 0..n, 0..100u64).prop_map(|(src, dst, k)| Step::AddInto { src, dst, k }),
+        (0..n, 0..1000u64).prop_map(|(dst, v)| Step::Write { dst, v }),
+    ]
+}
+
+fn apply_model(model: &mut [u64], prog: &[Step]) {
+    for s in prog {
+        match s {
+            Step::Read(_) => {}
+            Step::AddInto { src, dst, k } => model[*dst] = model[*src] + k,
+            Step::Write { dst, v } => model[*dst] = *v,
+        }
+    }
+}
+
+fn apply_tm<A: rtle_htm::TxAccess + ?Sized>(a: &A, cells: &[TxCell<u64>], prog: &[Step]) {
+    for s in prog {
+        match s {
+            Step::Read(i) => {
+                let _ = a.load(&cells[*i]);
+            }
+            Step::AddInto { src, dst, k } => {
+                let v = a.load(&cells[*src]) + k;
+                a.store(&cells[*dst], v);
+            }
+            Step::Write { dst, v } => a.store(&cells[*dst], *v),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Sequential NOrec execution of arbitrary transaction programs equals
+    /// the direct sequential model.
+    #[test]
+    fn norec_matches_model(
+        progs in proptest::collection::vec(
+            proptest::collection::vec(step_strategy(6), 0..12), 0..12)
+    ) {
+        let tm = Norec::new();
+        let cells: Vec<TxCell<u64>> = (0..6).map(|_| TxCell::new(0)).collect();
+        let mut model = vec![0u64; 6];
+        for prog in &progs {
+            tm.execute(|ctx| apply_tm(ctx, &cells, prog));
+            apply_model(&mut model, prog);
+        }
+        for (c, m) in cells.iter().zip(&model) {
+            prop_assert_eq!(c.read_plain(), *m);
+        }
+    }
+
+    /// Same for RHNOrec, mixing hardware and (forced) software paths.
+    #[test]
+    fn rhnorec_matches_model(
+        progs in proptest::collection::vec(
+            (proptest::collection::vec(step_strategy(6), 0..12), any::<bool>()), 0..12)
+    ) {
+        let tm = RhNorec::new();
+        let cells: Vec<TxCell<u64>> = (0..6).map(|_| TxCell::new(0)).collect();
+        let mut model = vec![0u64; 6];
+        for (prog, force_sw) in &progs {
+            tm.execute(|ctx| {
+                if *force_sw {
+                    rtle_htm::htm_unfriendly_instruction();
+                }
+                apply_tm(ctx, &cells, prog)
+            });
+            apply_model(&mut model, prog);
+        }
+        for (c, m) in cells.iter().zip(&model) {
+            prop_assert_eq!(c.read_plain(), *m);
+        }
+        prop_assert_eq!(tm.sw_running(), 0, "sw counter balanced");
+    }
+
+    /// Commit-kind accounting partitions the op count.
+    #[test]
+    fn rhnorec_commit_kinds_partition_ops(force_sw in proptest::collection::vec(any::<bool>(), 1..40)) {
+        let tm = RhNorec::new();
+        let c = TxCell::new(0u64);
+        for f in &force_sw {
+            tm.execute(|ctx| {
+                if *f {
+                    rtle_htm::htm_unfriendly_instruction();
+                }
+                let v = ctx.read(&c);
+                ctx.write(&c, v + 1);
+            });
+        }
+        let s = tm.stats().snapshot();
+        prop_assert_eq!(s.ops as usize, force_sw.len());
+        prop_assert_eq!(
+            s.htm_fast + s.htm_slow + s.stm_fast_commit + s.stm_slow_commit,
+            s.ops
+        );
+        prop_assert_eq!(c.read_plain() as usize, force_sw.len());
+    }
+}

@@ -1,0 +1,1604 @@
+//! The discrete-event engine.
+//!
+//! ## Model
+//!
+//! Time is in cycles. Each logical thread alternates between non-critical
+//! setup work and critical-section *attempts*. Every shared object — data,
+//! the lock word, RW-TLE's write flag, FG-TLE's orecs, the NOrec clock,
+//! RHNOrec's software-transaction counter — is a **cache line** identified
+//! by a `u64`. The engine keeps, per line, the time of the last committed
+//! write.
+//!
+//! A speculative attempt records *watch entries* `(line, from)` — "I had
+//! this line in my read/write set from time `from`". At the attempt's end
+//! event the engine validates: a committed write to a watched line at time
+//! `≥ from` aborts the attempt. Choosing `from` per line expresses every
+//! protocol subtlety uniformly:
+//!
+//! * early lock subscription: lock line watched from the attempt start;
+//! * lazy subscription: lock line watched only from just before commit;
+//! * FG-TLE orec ownership: orec lines watched from the start of the
+//!   critical section that was active when the attempt began (the
+//!   `local_seq_number` snapshot semantics of §4.2);
+//! * RHNOrec's reduced commit window: the global clock watched only for
+//!   the commit instrumentation's duration.
+//!
+//! Pessimistic executions (under a lock, or a software commit's
+//! write-back) cannot abort, so their stores are pre-scheduled as timed
+//! line-write events; event ordering guarantees any attempt ending later
+//! observes them.
+//!
+//! ## Simplifications
+//!
+//! Conflicting speculative attempts abort at the end of their window (real
+//! HTM aborts mid-flight); the wasted time is slightly overestimated for
+//! every method equally. A slow-path attempt that hits an already-owned
+//! orec or a raised write flag is charged one abort and then waits for the
+//! lock release (the real runtime retries and re-aborts, with the same net
+//! effect). RHNOrec software writer commits serialize on the clock; a
+//! commit that had to queue is classified as an SGL (slow) commit.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use rtle_htm::hash::fast_hash;
+
+use crate::cost::CostModel;
+use crate::method::SimMethod;
+use crate::stats::SimStats;
+use crate::workload::{OpSpec, Workload};
+
+/// How a run terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Threads stop starting operations after this many cycles (the
+    /// paper's timed 5-second runs).
+    FixedDuration(u64),
+    /// Threads run until the workload reports no remaining operations
+    /// (ccTSA's fixed total work; the result metric is the end time).
+    FixedWork,
+}
+
+/// The paper's static retry policy.
+const ATTEMPTS: u32 = 5;
+
+/// Wang-mix hasher for `u64` line ids (the default SipHash dominates the
+/// simulator's profile otherwise).
+#[derive(Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ b as u64;
+        }
+        self.0 = rtle_htm::hash::wang_mix64(self.0);
+    }
+    fn write_u64(&mut self, i: u64) {
+        self.0 = rtle_htm::hash::wang_mix64(i);
+    }
+}
+
+type LineMap<V> = HashMap<u64, V, BuildHasherDefault<LineHasher>>;
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    line: u64,
+    from: u64,
+    /// Whether this entry is in the attempt's *write* set (eager pairwise
+    /// conflicts require at least one writer).
+    write: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Path {
+    FastHtm,
+    SlowHtm,
+    SwTxn,
+}
+
+/// Cause attached to a pre-decided (forced) abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum ForcedCause {
+    #[default]
+    None,
+    Capacity,
+    Uarch,
+}
+
+#[derive(Debug)]
+struct Attempt {
+    t0: u64,
+    path: Path,
+    watches: Vec<Watch>,
+    commit_writes: Vec<u64>,
+    /// Abort regardless of validation (hostile instruction, capacity,
+    /// injected microarchitectural abort); the cause is recorded so the
+    /// statistics can attribute it.
+    forced_abort: bool,
+    forced_cause: ForcedCause,
+    /// RHNOrec hardware attempt: resolve the clock obligation at commit.
+    rh_hw: bool,
+    /// Lazy subscription (§5): check the lock *state* just before commit
+    /// and abort if it is held (a write-timestamp watch cannot express
+    /// "currently held", only "acquired during my window").
+    lazy_lock: bool,
+}
+
+#[derive(Debug, Default)]
+struct ThreadState {
+    attempts_left: u32,
+    op_active: bool,
+    pending: Option<Attempt>,
+    sw_commit: Option<SwCommit>,
+    done: bool,
+    /// RHNOrec: currently in the software phase (sw_count contribution).
+    in_sw_phase: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CsRecord {
+    start: u64,
+    end: u64,
+    first_write: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    free_at: u64,
+    cs: VecDeque<CsRecord>,
+    /// Threads currently spin-waiting on this lock. Spinners bounce the
+    /// lock word's cache line and slow the holder down — the coherence
+    /// feedback behind the lemming effect [10]: more waiters → longer
+    /// critical sections → more waiters.
+    waiters: u32,
+}
+
+impl LockState {
+    fn held(&self, t: u64) -> bool {
+        t < self.free_at
+    }
+
+    /// The critical section covering time `t`, if any.
+    fn covering(&self, t: u64) -> Option<CsRecord> {
+        self.cs
+            .iter()
+            .rev()
+            .find(|c| c.start <= t && t < c.end)
+            .copied()
+    }
+
+    fn prune(&mut self, now: u64) {
+        while let Some(front) = self.cs.front() {
+            if front.end + 1_000_000 < now && self.cs.len() > 4 {
+                self.cs.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EvKind {
+    /// Apply a committed/pessimistic write to `line` at the event time.
+    LineWrite(u64),
+    /// Thread finishes a speculative attempt: validate and commit/abort.
+    AttemptEnd(u32),
+    /// Thread finishes a software transaction's read phase.
+    SwAttemptEnd(u32),
+    /// A software writer commit's write-back completes.
+    SwCommitDone(u32),
+    /// Thread decides its next action.
+    Ready(u32),
+}
+
+/// A software writer commit in flight.
+#[derive(Debug, Clone, Copy)]
+struct SwCommit {
+    /// Start of the transaction attempt (for software-time accounting).
+    t0: u64,
+    /// Whether the committer had to queue behind another commit (the
+    /// single-global-lock fallback classification).
+    queued: bool,
+}
+
+type Ev = Reverse<(u64, u64, EvKind)>;
+
+/// Adaptive FG-TLE state (mirrors `rtle_core::adaptive`): the lock holder
+/// adapts the active orec range every WINDOW acquisitions based on the
+/// slow path's recent benefit.
+#[derive(Debug, Default)]
+struct AdaptState {
+    active: u64,
+    initial: u64,
+    max: u64,
+    enabled: bool,
+    sections: u64,
+    last_slow_commits: u64,
+    last_slow_aborts: u64,
+    slow_aborts: u64,
+    idle_windows: u64,
+    disabled_windows: u64,
+}
+
+const ADAPT_WINDOW: u64 = 32;
+const ADAPT_REENABLE_WINDOWS: u64 = 32;
+
+impl AdaptState {
+    fn new(initial: u64, max: u64) -> Self {
+        AdaptState {
+            active: initial.max(1),
+            initial: initial.max(1),
+            max: max.max(1),
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Returns `true` when the active range (or enablement) changed.
+    fn on_lock_acquired(&mut self, slow_commits: u64) -> bool {
+        self.sections += 1;
+        if !self.sections.is_multiple_of(ADAPT_WINDOW) {
+            return false;
+        }
+        let dsc = slow_commits - self.last_slow_commits;
+        self.last_slow_commits = slow_commits;
+        let dsa = self.slow_aborts - self.last_slow_aborts;
+        self.last_slow_aborts = self.slow_aborts;
+
+        if !self.enabled {
+            self.disabled_windows += 1;
+            if dsa > 0 || self.disabled_windows.is_multiple_of(ADAPT_REENABLE_WINDOWS) {
+                self.enabled = true;
+                self.active = self.initial;
+                self.idle_windows = 0;
+                return true;
+            }
+            return false;
+        }
+        if dsc == 0 && dsa == 0 {
+            self.idle_windows += 1;
+            if self.active > 1 {
+                self.active /= 2;
+                return true;
+            }
+            if self.idle_windows >= 2 {
+                self.enabled = false;
+                self.disabled_windows = 0;
+                return true;
+            }
+        } else {
+            self.idle_windows = 0;
+            if dsa > 4 * dsc.max(1) && self.active < self.max {
+                self.active = (self.active * 2).min(self.max);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The simulator.
+pub struct Engine<W: Workload> {
+    method: SimMethod,
+    threads: usize,
+    cost: CostModel,
+    mode: RunMode,
+    lazy_subscription: bool,
+    /// Ablation: model §4.2's `uniq_*_orecs` shortcut (on by default).
+    uniq_shortcut: bool,
+    /// Uniform per-thread slowdown (SMT core sharing); scales the cost
+    /// model and the workload's cycle quantities.
+    time_scale: f64,
+    /// Per-attempt probability of a microarchitectural abort (cache-set
+    /// aliasing, SMT-induced capacity pressure). Seeds the fallback
+    /// cascades real TSX exhibits at high thread counts.
+    spurious_prob: f64,
+    rng: u64,
+    workload: W,
+
+    now: u64,
+    seq: u64,
+    events: BinaryHeap<Ev>,
+    last_write: LineMap<u64>,
+    /// Reverse index of in-flight hardware attempts: line -> watchers
+    /// (thread, watched-from, is-write). Drives the eager pairwise
+    /// conflict detection in O(own-footprint) per attempt.
+    watchers: LineMap<Vec<(u32, u64, bool)>>,
+    locks: Vec<LockState>,
+    ts: Vec<ThreadState>,
+    /// NOrec/RHNOrec global clock: bump times (sorted) + committer queue.
+    clock_bumps: Vec<u64>,
+    clock_free_at: u64,
+    sw_running: i64,
+    adapt: AdaptState,
+    stats: SimStats,
+    last_completion: u64,
+}
+
+// ---- line-space layout -------------------------------------------------
+
+impl<W: Workload> Engine<W> {
+    /// Builds an engine for `method` with `threads` logical threads.
+    pub fn new(
+        method: SimMethod,
+        threads: usize,
+        cost: CostModel,
+        mode: RunMode,
+        workload: W,
+    ) -> Self {
+        assert!(threads >= 1);
+        let n_locks = match method {
+            SimMethod::LockOnly { locks } => locks,
+            _ => 1,
+        };
+        let adapt = match method {
+            SimMethod::AdaptiveFgTle { initial, max_orecs } => {
+                AdaptState::new(initial as u64, max_orecs as u64)
+            }
+            _ => AdaptState::default(),
+        };
+        Engine {
+            method,
+            threads,
+            cost,
+            mode,
+            lazy_subscription: false,
+            uniq_shortcut: true,
+            time_scale: 1.0,
+            spurious_prob: 0.0,
+            rng: 0x2545_f491_4f6c_dd1d,
+            workload,
+            now: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            last_write: LineMap::default(),
+            watchers: LineMap::default(),
+            locks: (0..n_locks).map(|_| LockState::default()).collect(),
+            ts: (0..threads).map(|_| ThreadState::default()).collect(),
+            clock_bumps: Vec::new(),
+            clock_free_at: 0,
+            sw_running: 0,
+            adapt,
+            stats: SimStats::default(),
+            last_completion: 0,
+        }
+    }
+
+    /// Enables lazy lock subscription (§5) for elision methods.
+    pub fn with_lazy_subscription(mut self, on: bool) -> Self {
+        self.lazy_subscription = on;
+        self
+    }
+
+    /// Ablation switch for the lock holder's `uniq_*_orecs` barrier
+    /// shortcut (§4.2); disabling it prices every under-lock access with
+    /// the full barrier.
+    pub fn with_uniq_shortcut(mut self, on: bool) -> Self {
+        self.uniq_shortcut = on;
+        self
+    }
+
+    /// Applies a uniform per-thread slowdown factor (e.g.
+    /// [`crate::MachineProfile::smt_factor`]); call at most once.
+    pub fn with_time_scale(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0);
+        self.cost = self.cost.scaled(factor);
+        self.time_scale = factor;
+        self
+    }
+
+    /// Sets the per-attempt microarchitectural abort probability.
+    pub fn with_spurious_aborts(mut self, prob: f64) -> Self {
+        assert!((0.0..1.0).contains(&prob));
+        self.spurious_prob = prob;
+        self
+    }
+
+    /// Deterministic per-engine RNG draw in [0, 1).
+    fn draw(&mut self) -> f64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether this hardware attempt suffers a microarchitectural abort.
+    fn spurious_abort(&mut self) -> bool {
+        self.spurious_prob > 0.0 && self.draw() < self.spurious_prob
+    }
+
+    fn n_locks(&self) -> u64 {
+        self.locks.len() as u64
+    }
+
+    fn lock_line(&self, id: usize) -> u64 {
+        id as u64
+    }
+
+    fn clock_line(&self) -> u64 {
+        self.n_locks()
+    }
+
+    fn sw_count_line(&self) -> u64 {
+        self.n_locks() + 1
+    }
+
+    fn flag_line(&self) -> u64 {
+        self.n_locks() + 2
+    }
+
+    /// Metadata line holding the active orec count (adaptive FG-TLE);
+    /// slow-path attempts subscribe to it so resizes doom them (§4.1).
+    fn active_size_line(&self) -> u64 {
+        self.n_locks() + 3
+    }
+
+    fn orec_base(&self) -> u64 {
+        self.n_locks() + 4
+    }
+
+    /// Allocated orec capacity (line-space layout; fixed per run).
+    fn orec_capacity(&self) -> u64 {
+        match self.method {
+            SimMethod::FgTle { orecs } => orecs as u64,
+            SimMethod::AdaptiveFgTle { max_orecs, .. } => max_orecs as u64,
+            _ => 0,
+        }
+    }
+
+    /// Orecs currently in use for hashing (≤ capacity; dynamic under the
+    /// adaptive policy).
+    fn active_orecs_now(&self) -> u64 {
+        match self.method {
+            SimMethod::FgTle { orecs } => orecs as u64,
+            SimMethod::AdaptiveFgTle { .. } => self.adapt.active,
+            _ => 0,
+        }
+    }
+
+    /// Write-orec line for a workload line.
+    fn w_orec_line(&self, data_line: u64) -> u64 {
+        self.orec_base() + fast_hash(data_line, self.active_orecs_now())
+    }
+
+    /// Read-orec line for a workload line.
+    fn r_orec_line(&self, data_line: u64) -> u64 {
+        self.orec_base() + self.orec_capacity() + fast_hash(data_line, self.active_orecs_now())
+    }
+
+    fn data_line(&self, workload_line: u64) -> u64 {
+        self.orec_base() + 2 * self.orec_capacity() + workload_line
+    }
+
+    // ---- event plumbing --------------------------------------------------
+
+    fn push(&mut self, time: u64, kind: EvKind) {
+        self.seq += 1;
+        self.events.push(Reverse((time, self.seq, kind)));
+    }
+
+    fn write_line_at(&mut self, line: u64, time: u64) {
+        if time <= self.now {
+            let e = self.last_write.entry(line).or_insert(0);
+            *e = (*e).max(time);
+        } else {
+            self.push(time, EvKind::LineWrite(line));
+        }
+    }
+
+    fn last_write_of(&self, line: u64) -> u64 {
+        self.last_write.get(&line).copied().unwrap_or(0)
+    }
+
+    // ---- main loop ---------------------------------------------------------
+
+    /// Runs the simulation and returns the statistics together with the
+    /// workload (so callers can verify shadow-state invariants).
+    pub fn run_returning(mut self) -> (SimStats, W) {
+        let stats = self.run_inner();
+        (stats, self.workload)
+    }
+
+    /// Runs the simulation to completion and returns the statistics.
+    pub fn run(mut self) -> SimStats {
+        self.run_inner()
+    }
+
+    fn run_inner(&mut self) -> SimStats {
+        for t in 0..self.threads {
+            self.push(1 + 13 * t as u64, EvKind::Ready(t as u32));
+        }
+
+        while let Some(Reverse((time, _, kind))) = self.events.pop() {
+            debug_assert!(time >= self.now, "event time went backwards");
+            self.now = time;
+            match kind {
+                EvKind::LineWrite(line) => {
+                    let e = self.last_write.entry(line).or_insert(0);
+                    *e = (*e).max(time);
+                }
+                EvKind::Ready(t) => self.on_ready(t as usize),
+                EvKind::AttemptEnd(t) => self.on_attempt_end(t as usize),
+                EvKind::SwAttemptEnd(t) => self.on_sw_attempt_end(t as usize),
+                EvKind::SwCommitDone(t) => self.on_sw_commit_done(t as usize),
+            }
+            if self.ts.iter().all(|t| t.done) {
+                break;
+            }
+        }
+
+        self.stats.sim_cycles = match self.mode {
+            RunMode::FixedDuration(d) => d,
+            RunMode::FixedWork => self.last_completion,
+        };
+        self.stats
+    }
+
+    // ---- decisions -----------------------------------------------------------
+
+    fn on_ready(&mut self, t: usize) {
+        if self.ts[t].done {
+            return;
+        }
+        if let RunMode::FixedDuration(d) = self.mode {
+            if self.now >= d {
+                self.ts[t].done = true;
+                return;
+            }
+        }
+        if let RunMode::FixedWork = self.mode {
+            if !self.ts[t].op_active && self.workload.remaining(t) == Some(0) {
+                self.ts[t].done = true;
+                return;
+            }
+        }
+
+        let fresh = !self.ts[t].op_active;
+        let mut spec = if fresh {
+            self.ts[t].op_active = true;
+            self.ts[t].attempts_left = ATTEMPTS;
+            self.workload.next_op(t)
+        } else {
+            self.workload.regenerate(t)
+        };
+        if self.time_scale != 1.0 {
+            spec.setup_cycles = (spec.setup_cycles as f64 * self.time_scale) as u64;
+            spec.cs_compute = (spec.cs_compute as f64 * self.time_scale) as u64;
+        }
+        let start = if fresh {
+            self.now + spec.setup_cycles
+        } else {
+            self.now
+        };
+
+        match self.method {
+            SimMethod::LockOnly { .. } => self.schedule_lock_execution(t, start, &spec),
+            SimMethod::Tle
+            | SimMethod::RwTle
+            | SimMethod::FgTle { .. }
+            | SimMethod::AdaptiveFgTle { .. } => self.elision_decision(t, start, spec),
+            SimMethod::Norec => self.schedule_sw_txn(t, start, &spec),
+            SimMethod::RhNorec => {
+                if self.ts[t].attempts_left > 0 && !spec.htm_hostile {
+                    self.schedule_rh_hw_attempt(t, start, &spec);
+                } else {
+                    self.enter_sw_phase(t, start, &spec);
+                }
+            }
+        }
+        self.locks.iter_mut().for_each(|l| l.prune(self.now));
+    }
+
+    fn elision_decision(&mut self, t: usize, start: u64, spec: OpSpec) {
+        if self.ts[t].attempts_left == 0 {
+            self.schedule_lock_execution(t, start, &spec);
+            return;
+        }
+        let lock = &self.locks[0];
+        if !lock.held(start) {
+            self.schedule_fast_attempt(t, start, &spec);
+            return;
+        }
+        // Lock is held.
+        let free_at = lock.free_at;
+        match self.method {
+            SimMethod::Tle => {
+                // Standard TLE: wait for the release, then re-decide.
+                self.locks[0].waiters += 1;
+                self.push(free_at + 1, EvKind::Ready(t as u32));
+            }
+            SimMethod::RwTle => {
+                let covering = lock.covering(start);
+                let flag_raised = covering
+                    .and_then(|c| c.first_write)
+                    .is_some_and(|fw| fw <= start);
+                if spec.htm_hostile || flag_raised {
+                    // Hopeless while this holder runs: one cheap abort,
+                    // then wait (spinning) for the release.
+                    self.stats.aborts += 1;
+                    if flag_raised {
+                        self.stats.aborts_eager_owned += 1;
+                    } else {
+                        self.stats.aborts_hostile += 1;
+                    }
+                    self.locks[0].waiters += 1;
+                    self.push(
+                        free_at.max(start + self.cost.abort_penalty),
+                        EvKind::Ready(t as u32),
+                    );
+                } else {
+                    self.schedule_rw_slow_attempt(t, start, &spec, covering);
+                }
+            }
+            SimMethod::FgTle { .. } | SimMethod::AdaptiveFgTle { .. } => {
+                let fg_disabled = matches!(self.method, SimMethod::AdaptiveFgTle { .. })
+                    && !self.adapt.enabled;
+                if spec.htm_hostile || fg_disabled {
+                    // Hostile, or the adaptive policy collapsed to plain
+                    // TLE (slow attempts self-abort on the disabled flag).
+                    self.stats.aborts += 1;
+                    if spec.htm_hostile {
+                        self.stats.aborts_hostile += 1;
+                    } else {
+                        self.stats.aborts_eager_owned += 1;
+                    }
+                    self.adapt.slow_aborts += 1;
+                    self.locks[0].waiters += 1;
+                    self.push(
+                        free_at.max(start + self.cost.abort_penalty),
+                        EvKind::Ready(t as u32),
+                    );
+                } else {
+                    self.schedule_fg_slow_attempt(t, start, &spec);
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // ---- speculative attempts --------------------------------------------------
+
+    fn schedule_fast_attempt(&mut self, t: usize, start: u64, spec: &OpSpec) {
+        let c = self.cost;
+        if spec.htm_hostile {
+            // The HTM-unfriendly instruction sits at the start of the
+            // critical section (Figure 12 evaluated both placements with
+            // similar results, §6.3): the attempt dies immediately.
+            self.stats.aborts += 1;
+            self.stats.aborts_hostile += 1;
+            self.ts[t].attempts_left = self.ts[t].attempts_left.saturating_sub(1);
+            self.push(
+                start + c.htm_begin + c.access + c.abort_penalty,
+                EvKind::Ready(t as u32),
+            );
+            return;
+        }
+        let dur = c.htm_begin + spec.trace.len() as u64 * c.access + spec.cs_compute + c.htm_commit;
+        let t1 = start + dur;
+
+        let (dr, dw) = spec.distinct_rw();
+        let forced_cause = if dr + dw > c.htm_read_capacity || dw > c.htm_write_capacity {
+            ForcedCause::Capacity
+        } else if self.spurious_abort() {
+            ForcedCause::Uarch
+        } else {
+            ForcedCause::None
+        };
+        let forced = forced_cause != ForcedCause::None;
+
+        let mut watches = Vec::with_capacity(spec.trace.len() + 1);
+        let lock_from = if self.lazy_subscription {
+            t1 - c.htm_commit
+        } else {
+            start
+        };
+        watches.push(Watch {
+            line: self.lock_line(0),
+            from: lock_from,
+            write: false,
+        });
+        let mut commit_writes = Vec::new();
+        for (i, a) in spec.trace.iter().enumerate() {
+            let at = start + c.htm_begin + i as u64 * c.access;
+            let line = self.data_line(a.line);
+            watches.push(Watch {
+                line,
+                from: at,
+                write: a.write,
+            });
+            if a.write {
+                commit_writes.push(line);
+            }
+        }
+
+        self.ts[t].pending = Some(Attempt {
+            t0: start,
+            path: Path::FastHtm,
+            watches,
+            commit_writes,
+            forced_abort: forced,
+            forced_cause,
+            rh_hw: false,
+            lazy_lock: self.lazy_subscription,
+        });
+        if self.eager_conflict_scan(t) {
+            if let Some(a) = &mut self.ts[t].pending {
+                a.forced_abort = true;
+            }
+        }
+        self.push(t1, EvKind::AttemptEnd(t as u32));
+    }
+
+    fn schedule_rw_slow_attempt(
+        &mut self,
+        t: usize,
+        start: u64,
+        spec: &OpSpec,
+        covering: Option<CsRecord>,
+    ) {
+        let c = self.cost;
+        let cs_start = covering.map_or(start, |cs| cs.start);
+
+        if let Some(fw) = spec.first_write() {
+            // Figure 2: the write barrier aborts the transaction at the
+            // first write. Hopeless while this holder runs.
+            let abort_at = start + c.htm_begin + (fw as u64 + 1) * c.access + c.abort_penalty;
+            self.stats.aborts += 1;
+            self.stats.aborts_eager_owned += 1;
+            self.locks[0].waiters += 1;
+            let free_at = self.locks[0].free_at;
+            self.push(free_at.max(abort_at), EvKind::Ready(t as u32));
+            return;
+        }
+
+        // Read-only: subscribe to the write flag (from the covering CS
+        // start: a flag raised by that holder at any time dooms us) and to
+        // the lock (eager return on release, §6.3).
+        let dur = c.htm_begin
+            + c.access
+            + spec.trace.len() as u64 * c.access
+            + spec.cs_compute
+            + c.htm_commit;
+        let t1 = start + dur;
+        let mut watches = vec![
+            Watch {
+                line: self.flag_line(),
+                from: cs_start,
+                write: false,
+            },
+            Watch {
+                line: self.lock_line(0),
+                from: start,
+                write: false,
+            },
+        ];
+        for (i, a) in spec.trace.iter().enumerate() {
+            let at = start + c.htm_begin + c.access + i as u64 * c.access;
+            watches.push(Watch {
+                line: self.data_line(a.line),
+                from: at,
+                write: false,
+            });
+        }
+
+        let forced = self.spurious_abort();
+        self.ts[t].pending = Some(Attempt {
+            t0: start,
+            path: Path::SlowHtm,
+            watches,
+            commit_writes: Vec::new(),
+            forced_abort: forced,
+            forced_cause: if forced { ForcedCause::Uarch } else { ForcedCause::None },
+            rh_hw: false,
+            lazy_lock: self.lazy_subscription,
+        });
+        if self.eager_conflict_scan(t) {
+            if let Some(a) = &mut self.ts[t].pending {
+                a.forced_abort = true;
+            }
+        }
+        self.push(t1, EvKind::AttemptEnd(t as u32));
+    }
+
+    fn schedule_fg_slow_attempt(&mut self, t: usize, start: u64, spec: &OpSpec) {
+        let c = self.cost;
+        let cs_start = self.locks[0].covering(start).map_or(start, |cs| cs.start);
+
+        // Eager ownership check: an orec stamped at/after the covering CS
+        // start and before `start` is owned now — the paper's explicit
+        // `htm_abort()` in the barrier. One abort charged, then wait for
+        // the release (retrying against the same holder would re-abort).
+        let mut owned_at_start = false;
+        for a in &spec.trace {
+            let w = self.w_orec_line(a.line);
+            if self.last_write_of(w) >= cs_start {
+                owned_at_start = true;
+                break;
+            }
+            if a.write && self.last_write_of(self.r_orec_line(a.line)) >= cs_start {
+                owned_at_start = true;
+                break;
+            }
+        }
+        if owned_at_start {
+            self.stats.aborts += 1;
+            self.stats.aborts_eager_owned += 1;
+            self.adapt.slow_aborts += 1;
+            self.locks[0].waiters += 1;
+            let free_at = self.locks[0].free_at;
+            self.push(
+                free_at.max(start + self.cost.abort_penalty),
+                EvKind::Ready(t as u32),
+            );
+            return;
+        }
+
+        let per_access = c.access + c.slow_barrier_extra;
+        let dur =
+            c.htm_begin + spec.trace.len() as u64 * per_access + spec.cs_compute + c.htm_commit;
+        let t1 = start + dur;
+
+        let (dr, dw) = spec.distinct_rw();
+        // Orec reads roughly double the tracked read footprint.
+        let forced_cause = if 2 * (dr + dw) > c.htm_read_capacity || dw > c.htm_write_capacity {
+            ForcedCause::Capacity
+        } else if self.spurious_abort() {
+            ForcedCause::Uarch
+        } else {
+            ForcedCause::None
+        };
+        let forced = forced_cause != ForcedCause::None;
+
+        let mut watches = Vec::with_capacity(2 * spec.trace.len() + 1);
+        if matches!(self.method, SimMethod::AdaptiveFgTle { .. }) {
+            // Read the active orec count inside the transaction (§4.1):
+            // a resize by the holder dooms this attempt.
+            watches.push(Watch {
+                line: self.active_size_line(),
+                from: start,
+                write: false,
+            });
+        }
+        let mut commit_writes = Vec::new();
+        for (i, a) in spec.trace.iter().enumerate() {
+            let at = start + c.htm_begin + i as u64 * per_access;
+            let line = self.data_line(a.line);
+            watches.push(Watch {
+                line,
+                from: at,
+                write: a.write,
+            });
+            // Orec subscriptions: watched from the CS start (local_seq
+            // snapshot semantics): any stamp by the current-or-later
+            // holder aborts us; stamps by earlier holders do not.
+            watches.push(Watch {
+                line: self.w_orec_line(a.line),
+                from: cs_start,
+                write: false,
+            });
+            if a.write {
+                watches.push(Watch {
+                    line: self.r_orec_line(a.line),
+                    from: cs_start,
+                    write: false,
+                });
+                commit_writes.push(line);
+            }
+        }
+
+        self.ts[t].pending = Some(Attempt {
+            t0: start,
+            path: Path::SlowHtm,
+            watches,
+            commit_writes,
+            forced_abort: forced,
+            forced_cause,
+            rh_hw: false,
+            lazy_lock: self.lazy_subscription,
+        });
+        if self.eager_conflict_scan(t) {
+            if let Some(a) = &mut self.ts[t].pending {
+                a.forced_abort = true;
+            }
+        }
+        self.push(t1, EvKind::AttemptEnd(t as u32));
+    }
+
+    fn schedule_rh_hw_attempt(&mut self, t: usize, start: u64, spec: &OpSpec) {
+        let c = self.cost;
+        if spec.htm_hostile {
+            self.stats.aborts += 1;
+            self.stats.aborts_hostile += 1;
+            self.ts[t].attempts_left = self.ts[t].attempts_left.saturating_sub(1);
+            self.push(
+                start + c.htm_begin + c.access + c.abort_penalty,
+                EvKind::Ready(t as u32),
+            );
+            return;
+        }
+        let dur = c.htm_begin + spec.trace.len() as u64 * c.access + spec.cs_compute + c.htm_commit;
+        let t1 = start + dur;
+
+        let (dr, dw) = spec.distinct_rw();
+        let forced_cause = if dr + dw > c.htm_read_capacity || dw > c.htm_write_capacity {
+            ForcedCause::Capacity
+        } else if self.spurious_abort() {
+            ForcedCause::Uarch
+        } else {
+            ForcedCause::None
+        };
+        let forced = forced_cause != ForcedCause::None;
+
+        let mut watches = Vec::with_capacity(spec.trace.len() + 2);
+        // Commit instrumentation: the sw-count read and (conditionally)
+        // the clock access live in the reduced window before commit.
+        let commit_from = t1 - c.htm_commit;
+        watches.push(Watch {
+            line: self.sw_count_line(),
+            from: commit_from,
+            write: false,
+        });
+        // The conditional clock bump: a *write* in the reduced commit
+        // window, visible to the eager pairwise scan so concurrent bumps
+        // collide (the contention §6.2.2 blames for RHNOrec's collapse).
+        if self.sw_running > 0 {
+            watches.push(Watch {
+                line: self.clock_line(),
+                from: commit_from,
+                write: true,
+            });
+        }
+        let mut commit_writes = Vec::new();
+        for (i, a) in spec.trace.iter().enumerate() {
+            let at = start + c.htm_begin + i as u64 * c.access;
+            let line = self.data_line(a.line);
+            watches.push(Watch {
+                line,
+                from: at,
+                write: a.write,
+            });
+            if a.write {
+                commit_writes.push(line);
+            }
+        }
+
+        self.ts[t].pending = Some(Attempt {
+            t0: start,
+            path: Path::FastHtm,
+            watches,
+            commit_writes,
+            forced_abort: forced,
+            forced_cause,
+            rh_hw: true,
+            lazy_lock: false, // RHNOrec has no lock to subscribe to
+        });
+        if self.eager_conflict_scan(t) {
+            if let Some(a) = &mut self.ts[t].pending {
+                a.forced_abort = true;
+            }
+        }
+        self.push(t1, EvKind::AttemptEnd(t as u32));
+    }
+
+    /// Eager pairwise conflict between in-flight *hardware* attempts,
+    /// modelling cache-coherence conflict detection: when two concurrent
+    /// attempts touch the same line and at least one writes it, the one
+    /// that reached the line *earlier* is invalidated by the later access
+    /// (requester wins, as on Intel TSX). Registers the new attempt in the
+    /// per-line watcher index and returns `true` when the new attempt
+    /// itself is doomed; doomed victims are marked `forced_abort` and fail
+    /// at their own end event.
+    fn eager_conflict_scan(&mut self, me: usize) -> bool {
+        let watches: Vec<Watch> = match &self.ts[me].pending {
+            Some(a) if a.path != Path::SwTxn => a.watches.clone(),
+            _ => return false,
+        };
+        let mut i_die = false;
+        let mut victims: Vec<u32> = Vec::new();
+        for w in &watches {
+            let list = self.watchers.entry(w.line).or_default();
+            for &(other, ofrom, owrite) in list.iter() {
+                if other as usize == me || !(w.write || owrite) {
+                    continue;
+                }
+                if w.from >= ofrom {
+                    victims.push(other);
+                } else {
+                    i_die = true;
+                }
+            }
+            list.push((me as u32, w.from, w.write));
+        }
+        for v in victims {
+            if let Some(oa) = &mut self.ts[v as usize].pending {
+                oa.forced_abort = true;
+            }
+        }
+        i_die
+    }
+
+    /// Removes a finished attempt's entries from the watcher index.
+    fn unindex_attempt(&mut self, me: usize, attempt: &Attempt) {
+        if attempt.path == Path::SwTxn {
+            return;
+        }
+        for w in &attempt.watches {
+            if let Some(list) = self.watchers.get_mut(&w.line) {
+                list.retain(|e| e.0 as usize != me);
+                if list.is_empty() {
+                    self.watchers.remove(&w.line);
+                }
+            }
+        }
+    }
+
+    // ---- attempt resolution -------------------------------------------------
+
+    fn on_attempt_end(&mut self, t: usize) {
+        let attempt = self.ts[t].pending.take().expect("attempt in flight");
+        self.unindex_attempt(t, &attempt);
+        let t1 = self.now;
+
+        let mut conflict = attempt.forced_abort;
+        if !conflict {
+            conflict = attempt
+                .watches
+                .iter()
+                .any(|w| self.last_write_of(w.line) >= w.from);
+        }
+        // Lazy subscription: the lock must be free at commit time (§5).
+        let mut lazy_held = false;
+        if !conflict && attempt.lazy_lock && self.locks[0].held(t1) {
+            conflict = true;
+            lazy_held = true;
+        }
+        // RHNOrec hardware commit: clock obligations.
+        let mut rh_bumped = false;
+        if !conflict && attempt.rh_hw && self.sw_running > 0 {
+            let commit_from = t1.saturating_sub(self.cost.htm_commit);
+            // An SGL/reduced write-back in progress, or a racing bump in
+            // our commit window, aborts us.
+            if self.clock_free_at > t1 || self.last_write_of(self.clock_line()) >= commit_from {
+                conflict = true;
+            } else {
+                rh_bumped = true;
+            }
+        }
+
+        if conflict {
+            self.stats.aborts += 1;
+            if lazy_held {
+                self.stats.aborts_lazy += 1;
+            } else {
+                match attempt.forced_cause {
+                    ForcedCause::Capacity => self.stats.aborts_capacity += 1,
+                    ForcedCause::Uarch => self.stats.aborts_uarch += 1,
+                    ForcedCause::None => self.stats.aborts_conflict += 1,
+                }
+            }
+            if attempt.path == Path::SlowHtm {
+                self.adapt.slow_aborts += 1;
+            }
+            if attempt.path == Path::FastHtm {
+                self.ts[t].attempts_left = self.ts[t].attempts_left.saturating_sub(1);
+            }
+            if lazy_held {
+                // Hopeless until the release: wait (spinning) like the
+                // real runtime's LAZY_LOCK_HELD handling.
+                self.locks[0].waiters += 1;
+                let free_at = self.locks[0].free_at;
+                self.push(
+                    free_at.max(t1 + self.cost.abort_penalty),
+                    EvKind::Ready(t as u32),
+                );
+            } else {
+                self.push(t1 + self.cost.abort_penalty, EvKind::Ready(t as u32));
+            }
+            return;
+        }
+
+        // Commit.
+        for line in &attempt.commit_writes {
+            let e = self.last_write.entry(*line).or_insert(0);
+            *e = (*e).max(t1);
+        }
+        if rh_bumped {
+            let cl = self.clock_line();
+            let e = self.last_write.entry(cl).or_insert(0);
+            *e = (*e).max(t1);
+            self.clock_bumps.push(t1);
+            self.stats.htm_slow_commits += 1;
+        } else if attempt.path == Path::FastHtm {
+            self.stats.fast_commits += 1;
+        }
+        if attempt.path == Path::SlowHtm {
+            self.stats.slow_commits += 1;
+        }
+        self.complete_op(t, t1);
+    }
+
+    fn complete_op(&mut self, t: usize, at: u64) {
+        if self.ts[t].in_sw_phase {
+            self.ts[t].in_sw_phase = false;
+            self.sw_running -= 1;
+            self.write_line_at(self.sw_count_line(), at);
+        }
+        self.workload.commit(t);
+        self.ts[t].op_active = false;
+        self.stats.ops += 1;
+        self.last_completion = self.last_completion.max(at);
+        self.push(at + 1, EvKind::Ready(t as u32));
+    }
+
+    /// Number of global-clock bumps in `(after, upto]`.
+    fn bumps_between(&self, after: u64, upto: u64) -> u64 {
+        let lo = self.clock_bumps.partition_point(|&b| b <= after);
+        let hi = self.clock_bumps.partition_point(|&b| b <= upto);
+        (hi - lo) as u64
+    }
+
+    // ---- pessimistic lock execution ------------------------------------------
+
+    fn schedule_lock_execution(&mut self, t: usize, start: u64, spec: &OpSpec) {
+        let c = self.cost;
+        let lock_id = if self.locks.len() > 1 {
+            spec.lock_id % self.locks.len()
+        } else {
+            0
+        };
+        let contended = self.locks[lock_id].free_at > start;
+        let s = self.locks[lock_id].free_at.max(start)
+            + c.lock_acquire
+            + if contended { c.lock_contended_extra } else { 0 };
+        // Coherence degradation: spinners slow every store of the holder.
+        let waiters = self.locks[lock_id].waiters;
+        let slow_num = 100 + 6 * waiters.min(64) as u64;
+        self.locks[lock_id].waiters = waiters / 2;
+
+        // Adaptive FG-TLE: resizes/mode flips happen right here, while
+        // holding the lock (§4.2.1); the store to the active-size line
+        // dooms in-flight slow attempts that subscribed to it.
+        if matches!(self.method, SimMethod::AdaptiveFgTle { .. })
+            && self.adapt.on_lock_acquired(self.stats.slow_commits)
+        {
+            self.write_line_at(self.active_size_line(), s);
+        }
+        let fg_instrumented = match self.method {
+            SimMethod::FgTle { .. } => true,
+            SimMethod::AdaptiveFgTle { .. } => self.adapt.enabled,
+            _ => false,
+        };
+
+        // Per-policy instrumented cost of the critical section, computing
+        // stamp times as we walk the trace.
+        let mut time = s;
+        let mut first_write: Option<u64> = None;
+        let mut stamps: Vec<(u64, u64)> = Vec::new(); // (line, at)
+        let mut data_writes: Vec<(u64, u64)> = Vec::new();
+        let orecs = self.active_orecs_now();
+        // §4.2 keeps *separate* uniq_r_orecs / uniq_w_orecs counters: the
+        // read barrier goes trivial once all orecs are read-stamped even
+        // if writes are still stamping (and vice versa). FG-TLE(1) reaches
+        // that point after its first read — the reason it beats FG-TLE(4)
+        // and FG-TLE(16) throughout the paper's evaluation.
+        let mut stamped_r: HashMap<u64, ()> = HashMap::new();
+        let mut stamped_w: HashMap<u64, ()> = HashMap::new();
+
+        for a in &spec.trace {
+            let extra = match self.method {
+                SimMethod::FgTle { .. } | SimMethod::AdaptiveFgTle { .. } if fg_instrumented => {
+                    let side = if a.write { &stamped_w } else { &stamped_r };
+                    if !self.uniq_shortcut || (side.len() as u64) < orecs {
+                        c.lock_barrier_extra
+                    } else {
+                        0
+                    }
+                }
+                SimMethod::RwTle if a.write && first_write.is_none() => c.lock_barrier_extra,
+                _ => 0,
+            };
+            time += (c.access + extra) * slow_num / 100;
+            if fg_instrumented {
+                let (oline, side) = if a.write {
+                    (self.w_orec_line(a.line), &mut stamped_w)
+                } else {
+                    (self.r_orec_line(a.line), &mut stamped_r)
+                };
+                if side.insert(oline, ()).is_none() {
+                    stamps.push((oline, time));
+                }
+            }
+            if a.write {
+                if first_write.is_none() {
+                    first_write = Some(time);
+                }
+                data_writes.push((self.data_line(a.line), time));
+            }
+        }
+        let e = time + spec.cs_compute * slow_num / 100;
+
+        // Publish the stores as timed line writes.
+        let lock_line = self.lock_line(lock_id);
+        self.write_line_at(lock_line, s); // acquisition store (dooms subscribers)
+        for (line, at) in stamps {
+            self.write_line_at(line, at);
+        }
+        if matches!(self.method, SimMethod::RwTle) {
+            if let Some(fw) = first_write {
+                self.write_line_at(self.flag_line(), fw);
+            }
+        }
+        for (line, at) in data_writes {
+            self.write_line_at(line, at);
+        }
+        self.write_line_at(lock_line, e); // release store
+
+        let lk = &mut self.locks[lock_id];
+        lk.free_at = e + c.lock_release;
+        lk.cs.push_back(CsRecord {
+            start: s,
+            end: e,
+            first_write,
+        });
+
+        self.stats.lock_commits += 1;
+        self.stats.cycles_locked += e - s;
+        self.complete_op(t, e + c.lock_release);
+    }
+
+    // ---- software transactions (NOrec / RHNOrec software phase) ---------------
+
+    fn enter_sw_phase(&mut self, t: usize, start: u64, spec: &OpSpec) {
+        if !self.ts[t].in_sw_phase {
+            self.ts[t].in_sw_phase = true;
+            self.sw_running += 1;
+            self.write_line_at(self.sw_count_line(), start);
+        }
+        self.schedule_sw_txn(t, start, spec);
+    }
+
+    fn schedule_sw_txn(&mut self, t: usize, start: u64, spec: &OpSpec) {
+        let c = self.cost;
+        let t1 = start + spec.trace.len() as u64 * c.sw_access + spec.cs_compute;
+        let mut watches = Vec::with_capacity(spec.trace.len());
+        let mut commit_writes = Vec::new();
+        for (i, a) in spec.trace.iter().enumerate() {
+            let at = start + i as u64 * c.sw_access;
+            let line = self.data_line(a.line);
+            watches.push(Watch {
+                line,
+                from: at,
+                write: a.write,
+            });
+            if a.write {
+                commit_writes.push(line);
+            }
+        }
+        self.ts[t].pending = Some(Attempt {
+            t0: start,
+            path: Path::SwTxn,
+            watches,
+            commit_writes,
+            forced_abort: false,
+            forced_cause: ForcedCause::None,
+            rh_hw: false,
+            lazy_lock: false,
+        });
+        self.push(t1, EvKind::SwAttemptEnd(t as u32));
+    }
+
+    /// End of a software transaction's read phase: pay for the value-based
+    /// validations the clock traffic forced, check the read set, then
+    /// commit (read-only: immediately; writer: serialized on the clock).
+    fn on_sw_attempt_end(&mut self, t: usize) {
+        let attempt = self.ts[t].pending.take().expect("sw attempt in flight");
+        let c = self.cost;
+        let t1 = self.now;
+
+        // Every clock bump inside the window forced one value-based
+        // validation pass over the read set (Figure 10's quantity).
+        let v = self.bumps_between(attempt.t0, t1);
+        self.stats.validations += v;
+        let reads = attempt.watches.len() as u64;
+        let t1v = t1 + v * reads * c.sw_validate_per_entry;
+
+        let conflict = attempt
+            .watches
+            .iter()
+            .any(|w| self.last_write_of(w.line) >= w.from);
+        if conflict {
+            self.stats.sw_aborts += 1;
+            self.stats.cycles_in_sw += t1v - attempt.t0;
+            self.push(t1v + c.abort_penalty / 2, EvKind::Ready(t as u32));
+            return;
+        }
+
+        if attempt.commit_writes.is_empty() {
+            // Read-only: serialized at the last validation point.
+            self.stats.stm_fast_commits += 1;
+            self.stats.cycles_in_sw += t1v - attempt.t0;
+            self.complete_op(t, t1v);
+            return;
+        }
+
+        // Writer: the commit (reduced hardware transaction or, when it has
+        // to queue behind another committer, the single-global-lock
+        // fallback) serializes on the clock.
+        let mut wlines = attempt.commit_writes.clone();
+        wlines.sort_unstable();
+        wlines.dedup();
+        let writeback = c.sw_commit + wlines.len() as u64 * c.sw_writeback_per_line;
+        let cs = self.clock_free_at.max(t1v);
+        let queued = cs > t1v;
+        let end = cs + writeback;
+        self.clock_free_at = end;
+        self.clock_bumps.push(end);
+        debug_assert!(
+            self.clock_bumps.windows(2).all(|w| w[0] <= w[1]),
+            "clock bumps stay sorted"
+        );
+        let cl = self.clock_line();
+        self.write_line_at(cl, end);
+        for line in wlines {
+            self.write_line_at(line, end);
+        }
+        self.ts[t].sw_commit = Some(SwCommit {
+            t0: attempt.t0,
+            queued,
+        });
+        self.push(end, EvKind::SwCommitDone(t as u32));
+    }
+
+    fn on_sw_commit_done(&mut self, t: usize) {
+        let commit = self.ts[t].sw_commit.take().expect("sw commit in flight");
+        if commit.queued {
+            self.stats.stm_slow_commits += 1;
+        } else {
+            self.stats.stm_fast_commits += 1;
+        }
+        self.stats.cycles_in_sw += self.now - commit.t0;
+        self.complete_op(t, self.now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Access;
+
+    /// Minimal workload: every op reads `reads` lines then writes `writes`
+    /// lines, all distinct per thread unless `shared` (then everyone hits
+    /// the same lines).
+    struct Synthetic {
+        reads: usize,
+        writes: usize,
+        shared: bool,
+        remaining: Vec<u64>,
+        committed: u64,
+    }
+
+    impl Synthetic {
+        fn new(threads: usize, reads: usize, writes: usize, shared: bool, per_thread: u64) -> Self {
+            Synthetic {
+                reads,
+                writes,
+                shared,
+                remaining: vec![per_thread; threads],
+                committed: 0,
+            }
+        }
+    }
+
+    impl Workload for Synthetic {
+        fn next_op(&mut self, thread: usize) -> OpSpec {
+            let base = if self.shared {
+                0
+            } else {
+                1_000 * thread as u64
+            };
+            let mut trace = Vec::new();
+            for i in 0..self.reads {
+                trace.push(Access {
+                    line: base + i as u64,
+                    write: false,
+                });
+            }
+            for i in 0..self.writes {
+                trace.push(Access {
+                    line: base + 500 + i as u64,
+                    write: true,
+                });
+            }
+            OpSpec {
+                trace,
+                setup_cycles: 30,
+                ..Default::default()
+            }
+        }
+
+        fn next_op_again(&mut self, thread: usize) -> OpSpec {
+            self.next_op(thread)
+        }
+
+        fn commit(&mut self, thread: usize) {
+            self.committed += 1;
+            self.remaining[thread] = self.remaining[thread].saturating_sub(1);
+        }
+
+        fn remaining(&self, thread: usize) -> Option<u64> {
+            Some(self.remaining[thread])
+        }
+    }
+
+    fn run_fixed(method: SimMethod, threads: usize, shared: bool) -> SimStats {
+        let w = Synthetic::new(threads, 8, 2, shared, 200);
+        Engine::new(method, threads, CostModel::default(), RunMode::FixedWork, w).run()
+    }
+
+    #[test]
+    fn lock_only_completes_all_ops() {
+        let s = run_fixed(SimMethod::LockOnly { locks: 1 }, 4, false);
+        assert_eq!(s.ops, 800);
+        assert_eq!(s.lock_commits, 800);
+        assert_eq!(s.fast_commits, 0);
+        assert!(s.cycles_locked > 0);
+        assert!(s.sim_cycles > 0);
+    }
+
+    #[test]
+    fn tle_disjoint_ops_mostly_commit_fast() {
+        let s = run_fixed(SimMethod::Tle, 4, false);
+        assert_eq!(s.ops, 800);
+        assert!(s.fast_commits >= 790, "disjoint ops speculate: {s:?}");
+        assert_eq!(s.slow_commits, 0, "TLE has no slow path");
+    }
+
+    #[test]
+    fn tle_scales_on_disjoint_work() {
+        let s1 = run_fixed(SimMethod::Tle, 1, false);
+        let s4 = run_fixed(SimMethod::Tle, 4, false);
+        // Same per-thread work: 4 threads do 4x ops in barely more time.
+        assert!(
+            (s4.sim_cycles as f64) < (s1.sim_cycles as f64) * 1.5,
+            "1thr: {} cycles, 4thr: {} cycles",
+            s1.sim_cycles,
+            s4.sim_cycles
+        );
+    }
+
+    #[test]
+    fn lock_only_serializes() {
+        let s1 = run_fixed(SimMethod::LockOnly { locks: 1 }, 1, false);
+        let s4 = run_fixed(SimMethod::LockOnly { locks: 1 }, 4, false);
+        assert!(
+            s4.sim_cycles > s1.sim_cycles * 3,
+            "a single lock must serialize: {} vs {}",
+            s4.sim_cycles,
+            s1.sim_cycles
+        );
+    }
+
+    #[test]
+    fn contended_tle_aborts_but_completes() {
+        let s = run_fixed(SimMethod::Tle, 4, true);
+        assert_eq!(s.ops, 800);
+        assert!(s.aborts > 0, "shared writes must conflict: {s:?}");
+        // Conflicting attempts serialize through abort-retry; whether the
+        // 5-attempt budget ever exhausts here is timing-dependent, but the
+        // run must cost far more than the uncontended one.
+        let disjoint = run_fixed(SimMethod::Tle, 4, false);
+        assert!(
+            s.sim_cycles > disjoint.sim_cycles * 2,
+            "contention must cost: shared={} disjoint={}",
+            s.sim_cycles,
+            disjoint.sim_cycles
+        );
+    }
+
+    #[test]
+    fn hostile_ops_exhaust_budget_and_lock() {
+        struct Hostile {
+            remaining: Vec<u64>,
+        }
+        impl Workload for Hostile {
+            fn next_op(&mut self, thread: usize) -> OpSpec {
+                OpSpec {
+                    trace: vec![Access {
+                        line: thread as u64,
+                        write: true,
+                    }],
+                    setup_cycles: 10,
+                    htm_hostile: true,
+                    ..Default::default()
+                }
+            }
+            fn next_op_again(&mut self, thread: usize) -> OpSpec {
+                self.next_op(thread)
+            }
+            fn commit(&mut self, thread: usize) {
+                self.remaining[thread] -= 1;
+            }
+            fn remaining(&self, thread: usize) -> Option<u64> {
+                Some(self.remaining[thread])
+            }
+        }
+        let s = Engine::new(
+            SimMethod::Tle,
+            2,
+            CostModel::default(),
+            RunMode::FixedWork,
+            Hostile {
+                remaining: vec![50; 2],
+            },
+        )
+        .run();
+        assert_eq!(s.ops, 100);
+        assert_eq!(s.lock_commits, 100, "every op must fall back: {s:?}");
+        assert_eq!(s.aborts, 500, "5 attempts burned per op: {s:?}");
+    }
+
+    #[test]
+    fn fg_tle_slow_path_commits_under_lock() {
+        // Shared-read, disjoint-write workload with frequent lock holders.
+        struct Mix {
+            remaining: Vec<u64>,
+        }
+        impl Workload for Mix {
+            fn next_op(&mut self, thread: usize) -> OpSpec {
+                let hostile = thread == 0; // thread 0 always locks
+                let base = 1_000 * thread as u64;
+                OpSpec {
+                    trace: vec![
+                        Access {
+                            line: base,
+                            write: false,
+                        },
+                        Access {
+                            line: base + 1,
+                            write: true,
+                        },
+                    ],
+                    setup_cycles: 20,
+                    htm_hostile: hostile,
+                    ..Default::default()
+                }
+            }
+            fn next_op_again(&mut self, thread: usize) -> OpSpec {
+                self.next_op(thread)
+            }
+            fn commit(&mut self, thread: usize) {
+                self.remaining[thread] -= 1;
+            }
+            fn remaining(&self, thread: usize) -> Option<u64> {
+                Some(self.remaining[thread])
+            }
+        }
+        let s = Engine::new(
+            SimMethod::FgTle { orecs: 1024 },
+            4,
+            CostModel::default(),
+            RunMode::FixedWork,
+            Mix {
+                remaining: vec![200; 4],
+            },
+        )
+        .run();
+        assert_eq!(s.ops, 800);
+        assert!(
+            s.lock_commits >= 200,
+            "hostile thread locks every op: {s:?}"
+        );
+        assert!(
+            s.slow_commits > 0,
+            "refined TLE must commit on the slow path: {s:?}"
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! The synchronization methods the simulator models — the legend of the
+//! paper's figures.
+
+use serde::Serialize;
+
+/// A synchronization method under simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SimMethod {
+    /// Plain locking, never elided. `locks` > 1 models fine-grained
+    /// sharded locking (ccTSA's original design; ops carry a lock id).
+    LockOnly {
+        /// Number of shard locks (1 = the paper's single `Lock`).
+        locks: usize,
+    },
+    /// Standard transactional lock elision (wait while the lock is held).
+    Tle,
+    /// Refined TLE, write-flag variant (§3).
+    RwTle,
+    /// Refined TLE, ownership-record variant (§4) with `orecs` records.
+    FgTle {
+        /// Ownership-record count (the X of FG-TLE(X)).
+        orecs: usize,
+    },
+    /// Adaptive FG-TLE (§4.2.1): the holder resizes the active orec range
+    /// within `[1, max_orecs]` and may collapse to plain TLE.
+    AdaptiveFgTle {
+        /// Active orecs at start.
+        initial: usize,
+        /// Allocated ceiling the holder may grow to.
+        max_orecs: usize,
+    },
+    /// NOrec STM (software only).
+    Norec,
+    /// Reduced-hardware NOrec hybrid.
+    RhNorec,
+}
+
+impl SimMethod {
+    /// Label matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            SimMethod::LockOnly { locks: 1 } => "Lock".into(),
+            SimMethod::LockOnly { locks } => format!("Lock.orig({locks})"),
+            SimMethod::Tle => "TLE".into(),
+            SimMethod::RwTle => "RW-TLE".into(),
+            SimMethod::FgTle { orecs } => format!("FG-TLE({orecs})"),
+            SimMethod::AdaptiveFgTle { .. } => "FG-TLE(adaptive)".into(),
+            SimMethod::Norec => "NOrec".into(),
+            SimMethod::RhNorec => "RHNOrec".into(),
+        }
+    }
+
+    /// Every method of the Figure 5 sweeps, in legend order.
+    pub fn figure5_set() -> Vec<SimMethod> {
+        let mut v = vec![
+            SimMethod::LockOnly { locks: 1 },
+            SimMethod::Norec,
+            SimMethod::RhNorec,
+            SimMethod::Tle,
+            SimMethod::RwTle,
+        ];
+        for orecs in [1usize, 4, 16, 256, 1024, 4096, 8192] {
+            v.push(SimMethod::FgTle { orecs });
+        }
+        v
+    }
+
+    /// Whether this method runs hardware transactions at all.
+    pub fn uses_htm(&self) -> bool {
+        !matches!(self, SimMethod::LockOnly { .. } | SimMethod::Norec)
+    }
+
+    /// Whether this method has an instrumented slow path concurrent with a
+    /// lock holder.
+    pub fn refined(&self) -> bool {
+        matches!(
+            self,
+            SimMethod::RwTle | SimMethod::FgTle { .. } | SimMethod::AdaptiveFgTle { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(SimMethod::LockOnly { locks: 1 }.label(), "Lock");
+        assert_eq!(
+            SimMethod::LockOnly { locks: 4096 }.label(),
+            "Lock.orig(4096)"
+        );
+        assert_eq!(SimMethod::FgTle { orecs: 64 }.label(), "FG-TLE(64)");
+        assert_eq!(SimMethod::RhNorec.label(), "RHNOrec");
+    }
+
+    #[test]
+    fn figure5_set_matches_paper_legend() {
+        let set = SimMethod::figure5_set();
+        assert_eq!(set.len(), 12);
+        assert_eq!(set[0].label(), "Lock");
+        assert!(set.contains(&SimMethod::FgTle { orecs: 8192 }));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(!SimMethod::Norec.uses_htm());
+        assert!(SimMethod::RhNorec.uses_htm());
+        assert!(SimMethod::RwTle.refined());
+        assert!(!SimMethod::Tle.refined());
+    }
+}

@@ -1,0 +1,140 @@
+//! The workload interface: operations as cache-line access traces.
+
+/// One shared-memory access of a critical section, at cache-line
+/// granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Workload-space line id (the engine offsets these past its protocol
+    /// metadata lines).
+    pub line: u64,
+    /// Whether the access is a store.
+    pub write: bool,
+}
+
+/// One critical-section execution request, generated fresh per attempt
+/// from the workload's current shadow state.
+#[derive(Debug, Clone, Default)]
+pub struct OpSpec {
+    /// Accesses in program order.
+    pub trace: Vec<Access>,
+    /// Which lock protects this critical section (multi-lock methods only;
+    /// single-lock methods ignore it). Index into the engine's lock array.
+    pub lock_id: usize,
+    /// Cycles of non-critical work before the critical section (key
+    /// selection, read parsing, ...).
+    pub setup_cycles: u64,
+    /// Pure-compute cycles *inside* the critical section (the paper's
+    /// "short calculation" in the bank benchmark); lengthens the conflict
+    /// window without touching more lines.
+    pub cs_compute: u64,
+    /// The operation executes an instruction best-effort HTM cannot commit
+    /// (Figure 12's divide-by-zero): every HTM attempt fails.
+    pub htm_hostile: bool,
+}
+
+impl OpSpec {
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether the trace has no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Whether the trace performs any write.
+    pub fn has_writes(&self) -> bool {
+        self.trace.iter().any(|a| a.write)
+    }
+
+    /// Index of the first write, if any.
+    pub fn first_write(&self) -> Option<usize> {
+        self.trace.iter().position(|a| a.write)
+    }
+
+    /// Distinct lines read / written (for capacity checks).
+    pub fn distinct_rw(&self) -> (usize, usize) {
+        let mut reads: Vec<u64> = self
+            .trace
+            .iter()
+            .filter(|a| !a.write)
+            .map(|a| a.line)
+            .collect();
+        let mut writes: Vec<u64> = self
+            .trace
+            .iter()
+            .filter(|a| a.write)
+            .map(|a| a.line)
+            .collect();
+        reads.sort_unstable();
+        reads.dedup();
+        writes.sort_unstable();
+        writes.dedup();
+        (reads.len(), writes.len())
+    }
+}
+
+/// A benchmark workload driving the simulator.
+///
+/// The engine calls `next_op` once per operation (per thread), may call
+/// `regenerate` for each retry attempt (the re-execution follows the
+/// current shadow state, as a real re-run would), and calls `commit`
+/// exactly once when an attempt of the operation finally succeeds.
+pub trait Workload {
+    /// Starts a new operation for `thread` and returns its first trace.
+    fn next_op(&mut self, thread: usize) -> OpSpec;
+
+    /// Regenerates the trace of `thread`'s current operation against the
+    /// current shadow state (called on retry). Default: same as a fresh
+    /// generation.
+    fn regenerate(&mut self, thread: usize) -> OpSpec {
+        self.next_op_again(thread)
+    }
+
+    /// Helper for the default `regenerate`; implementors that keep
+    /// per-thread current-op state should re-trace it here.
+    fn next_op_again(&mut self, thread: usize) -> OpSpec;
+
+    /// Applies `thread`'s current operation to the shadow state.
+    fn commit(&mut self, thread: usize);
+
+    /// Remaining operations for `thread` in fixed-work mode; `None` means
+    /// unbounded (fixed-duration mode).
+    fn remaining(&self, _thread: usize) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(pairs: &[(u64, bool)]) -> OpSpec {
+        OpSpec {
+            trace: pairs
+                .iter()
+                .map(|&(line, write)| Access { line, write })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn first_write_and_has_writes() {
+        let ro = spec(&[(1, false), (2, false)]);
+        assert!(!ro.has_writes());
+        assert_eq!(ro.first_write(), None);
+        let rw = spec(&[(1, false), (2, true), (3, true)]);
+        assert!(rw.has_writes());
+        assert_eq!(rw.first_write(), Some(1));
+    }
+
+    #[test]
+    fn distinct_counts_dedupe() {
+        let s = spec(&[(1, false), (1, false), (2, true), (2, true), (3, true)]);
+        assert_eq!(s.distinct_rw(), (1, 2));
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+}

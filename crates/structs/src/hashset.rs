@@ -1,0 +1,203 @@
+//! Open-addressing transactional hash set.
+
+use rtle_htm::hash::wang_mix64;
+use rtle_htm::{PlainAccess, TxAccess, TxCell};
+
+/// Slot encoding: 0 = never used, 1 = tombstone, key + 2 = occupied.
+const EMPTY: u64 = 0;
+const TOMBSTONE: u64 = 1;
+
+/// One slot, cache-line padded so distinct slots never share a conflict
+/// line (probing neighbours stay independent).
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Slot {
+    word: TxCell<u64>,
+}
+
+/// A fixed-capacity set of `u64` keys with linear-probing open addressing.
+///
+/// Deletions leave tombstones (probe chains stay intact); the structure
+/// never rehashes, so size it at ≥ 2× the expected live keys plus churn.
+/// All operations are generic over [`TxAccess`].
+#[derive(Debug)]
+pub struct TxHashSet {
+    slots: Box<[Slot]>,
+    mask: u64,
+    max_key: u64,
+}
+
+impl TxHashSet {
+    /// Allocates a set with at least `capacity` slots (rounded to a power
+    /// of two). Keys up to `u64::MAX - 2` are supported.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(8);
+        TxHashSet {
+            slots: (0..cap).map(|_| Slot::default()).collect(),
+            mask: cap as u64 - 1,
+            max_key: u64::MAX - 2,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn encode(&self, key: u64) -> u64 {
+        assert!(key <= self.max_key, "key too large");
+        key + 2
+    }
+
+    /// Membership test. Reads the probe chain only.
+    pub fn contains<A: TxAccess + ?Sized>(&self, a: &A, key: u64) -> bool {
+        let stored = self.encode(key);
+        let mut i = wang_mix64(key) & self.mask;
+        for _ in 0..self.slots.len() {
+            let w = a.load(&self.slots[i as usize].word);
+            if w == stored {
+                return true;
+            }
+            if w == EMPTY {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+        false
+    }
+
+    /// Inserts `key`; returns `false` if already present (read-only in
+    /// that case — the §3 shape that lets RW-TLE commit it concurrently
+    /// with a lock holder).
+    pub fn insert<A: TxAccess + ?Sized>(&self, a: &A, key: u64) -> bool {
+        let stored = self.encode(key);
+        let mut i = wang_mix64(key) & self.mask;
+        let mut first_tombstone: Option<u64> = None;
+        for _ in 0..self.slots.len() {
+            let w = a.load(&self.slots[i as usize].word);
+            if w == stored {
+                return false;
+            }
+            if w == TOMBSTONE && first_tombstone.is_none() {
+                first_tombstone = Some(i);
+            }
+            if w == EMPTY {
+                let target = first_tombstone.unwrap_or(i);
+                a.store(&self.slots[target as usize].word, stored);
+                return true;
+            }
+            i = (i + 1) & self.mask;
+        }
+        // No EMPTY found: reuse a tombstone if the probe found one.
+        if let Some(t) = first_tombstone {
+            a.store(&self.slots[t as usize].word, stored);
+            return true;
+        }
+        panic!("TxHashSet full: size it at >= 2x the expected keys");
+    }
+
+    /// Removes `key`; returns `false` if absent (read-only in that case).
+    pub fn remove<A: TxAccess + ?Sized>(&self, a: &A, key: u64) -> bool {
+        let stored = self.encode(key);
+        let mut i = wang_mix64(key) & self.mask;
+        for _ in 0..self.slots.len() {
+            let w = a.load(&self.slots[i as usize].word);
+            if w == stored {
+                a.store(&self.slots[i as usize].word, TOMBSTONE);
+                return true;
+            }
+            if w == EMPTY {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+        false
+    }
+
+    /// Live key count. O(capacity); quiescent use only.
+    pub fn len_plain(&self) -> usize {
+        let a = PlainAccess;
+        self.slots.iter().filter(|s| a.load(&s.word) >= 2).count()
+    }
+
+    /// All keys, unordered. Quiescent use only.
+    pub fn keys_plain(&self) -> Vec<u64> {
+        let a = PlainAccess;
+        self.slots
+            .iter()
+            .filter_map(|s| {
+                let w = a.load(&s.word);
+                if w >= 2 {
+                    Some(w - 2)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_semantics() {
+        let s = TxHashSet::with_capacity(64);
+        let a = PlainAccess;
+        assert!(!s.contains(&a, 7));
+        assert!(s.insert(&a, 7));
+        assert!(!s.insert(&a, 7));
+        assert!(s.contains(&a, 7));
+        assert!(s.remove(&a, 7));
+        assert!(!s.remove(&a, 7));
+        assert!(!s.contains(&a, 7));
+        assert_eq!(s.len_plain(), 0);
+    }
+
+    #[test]
+    fn key_zero_and_one_are_fine() {
+        // The EMPTY/TOMBSTONE sentinels must not collide with small keys.
+        let s = TxHashSet::with_capacity(16);
+        let a = PlainAccess;
+        assert!(s.insert(&a, 0));
+        assert!(s.insert(&a, 1));
+        assert!(s.contains(&a, 0));
+        assert!(s.contains(&a, 1));
+        assert!(s.remove(&a, 0));
+        assert!(s.contains(&a, 1));
+    }
+
+    #[test]
+    fn tombstones_keep_probe_chains_intact() {
+        let s = TxHashSet::with_capacity(8); // force collisions
+        let a = PlainAccess;
+        for k in 0..5 {
+            assert!(s.insert(&a, k));
+        }
+        // Remove a middle-of-chain key; the rest must stay reachable.
+        assert!(s.remove(&a, 2));
+        for k in [0u64, 1, 3, 4] {
+            assert!(s.contains(&a, k), "key {k} lost after tombstoning");
+        }
+        // Reinsertion reuses the tombstone.
+        assert!(s.insert(&a, 2));
+        assert_eq!(s.len_plain(), 5);
+    }
+
+    #[test]
+    fn slots_are_line_padded() {
+        assert_eq!(std::mem::size_of::<Slot>(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "TxHashSet full")]
+    fn full_set_panics() {
+        let s = TxHashSet::with_capacity(8);
+        let a = PlainAccess;
+        for k in 0..9 {
+            s.insert(&a, k);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Sorted singly-linked list set — the long-read-chain stress shape.
+
+use rtle_htm::{PlainAccess, TxAccess, TxCell};
+
+/// Null link; slot 0 is the head sentinel, key `k` owns slot `k + 1`.
+const NIL: u32 = u32::MAX;
+
+/// One node: just the next link (the key is the slot index), padded to a
+/// cache line so each traversal hop is one tracked line — maximal read
+/// footprint, exactly what makes lists hard for best-effort HTM.
+#[repr(align(64))]
+#[derive(Debug)]
+struct Node {
+    next: TxCell<u32>,
+}
+
+/// A sorted linked-list set of keys in `[0, key_range)`.
+///
+/// `contains`/`insert`/`remove` traverse from the head, reading O(n)
+/// cache lines: with a few hundred live keys the read set exceeds the
+/// emulated HTM's capacity and operations *must* fall back — the designed
+/// use of this structure in tests and benchmarks.
+#[derive(Debug)]
+pub struct TxListSet {
+    /// `nodes[0]` is the head sentinel.
+    nodes: Box<[Node]>,
+    key_range: u64,
+}
+
+impl TxListSet {
+    /// An empty set for keys in `[0, key_range)`.
+    pub fn with_key_range(key_range: u64) -> Self {
+        assert!(key_range >= 1 && key_range < (u32::MAX as u64) - 2);
+        TxListSet {
+            nodes: (0..=key_range)
+                .map(|_| Node {
+                    next: TxCell::new(NIL),
+                })
+                .collect(),
+            key_range,
+        }
+    }
+
+    /// The accepted key range.
+    pub fn key_range(&self) -> u64 {
+        self.key_range
+    }
+
+    #[inline]
+    fn slot(&self, key: u64) -> u32 {
+        assert!(key < self.key_range, "key {key} out of range");
+        (key + 1) as u32
+    }
+
+    /// Finds the insertion point: returns `(prev, cur)` where `cur` is the
+    /// first node with slot ≥ `target` (or NIL), and `prev` precedes it.
+    fn locate<A: TxAccess + ?Sized>(&self, a: &A, target: u32) -> (u32, u32) {
+        let mut prev = 0u32; // head sentinel
+        let mut cur = a.load(&self.nodes[0].next);
+        while cur != NIL && cur < target {
+            prev = cur;
+            cur = a.load(&self.nodes[cur as usize].next);
+        }
+        (prev, cur)
+    }
+
+    /// Membership test (reads the chain up to the key's position).
+    pub fn contains<A: TxAccess + ?Sized>(&self, a: &A, key: u64) -> bool {
+        let target = self.slot(key);
+        let (_, cur) = self.locate(a, target);
+        cur == target
+    }
+
+    /// Inserts `key`; `false` (and no writes) if present.
+    pub fn insert<A: TxAccess + ?Sized>(&self, a: &A, key: u64) -> bool {
+        let target = self.slot(key);
+        let (prev, cur) = self.locate(a, target);
+        if cur == target {
+            return false;
+        }
+        a.store(&self.nodes[target as usize].next, cur);
+        a.store(&self.nodes[prev as usize].next, target);
+        true
+    }
+
+    /// Removes `key`; `false` (and no writes) if absent.
+    pub fn remove<A: TxAccess + ?Sized>(&self, a: &A, key: u64) -> bool {
+        let target = self.slot(key);
+        let (prev, cur) = self.locate(a, target);
+        if cur != target {
+            return false;
+        }
+        let nxt = a.load(&self.nodes[target as usize].next);
+        a.store(&self.nodes[prev as usize].next, nxt);
+        a.store(&self.nodes[target as usize].next, NIL);
+        true
+    }
+
+    /// Keys in ascending order. Quiescent use only.
+    pub fn keys_plain(&self) -> Vec<u64> {
+        let a = PlainAccess;
+        let mut out = Vec::new();
+        let mut cur = a.load(&self.nodes[0].next);
+        while cur != NIL {
+            out.push(cur as u64 - 1);
+            cur = a.load(&self.nodes[cur as usize].next);
+        }
+        out
+    }
+
+    /// Live key count. Quiescent use only.
+    pub fn len_plain(&self) -> usize {
+        self.keys_plain().len()
+    }
+
+    /// Checks the sorted-chain invariant. Quiescent use only.
+    pub fn check_invariants_plain(&self) -> Result<(), String> {
+        let keys = self.keys_plain();
+        if keys.len() > self.key_range as usize {
+            return Err("cycle detected (more nodes than keys)".into());
+        }
+        for w in keys.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!("ordering violated: {} !< {}", w[0], w[1]));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_semantics() {
+        let s = TxListSet::with_key_range(100);
+        let a = PlainAccess;
+        assert!(!s.contains(&a, 5));
+        assert!(s.insert(&a, 5));
+        assert!(!s.insert(&a, 5));
+        assert!(s.insert(&a, 3));
+        assert!(s.insert(&a, 9));
+        assert_eq!(s.keys_plain(), vec![3, 5, 9]);
+        assert!(s.remove(&a, 5));
+        assert!(!s.remove(&a, 5));
+        assert_eq!(s.keys_plain(), vec![3, 9]);
+        s.check_invariants_plain().unwrap();
+    }
+
+    #[test]
+    fn boundary_keys() {
+        let s = TxListSet::with_key_range(10);
+        let a = PlainAccess;
+        assert!(s.insert(&a, 0));
+        assert!(s.insert(&a, 9));
+        assert_eq!(s.keys_plain(), vec![0, 9]);
+        assert!(s.remove(&a, 0));
+        assert_eq!(s.keys_plain(), vec![9]);
+    }
+
+    #[test]
+    fn long_chain_reads_exceed_htm_capacity() {
+        use rtle_htm::{swhtm, AbortCode, HtmConfig};
+        let s = TxListSet::with_key_range(256);
+        let a = PlainAccess;
+        for k in 0..256 {
+            s.insert(&a, k);
+        }
+        // A transactional lookup of the last key reads 256 chained lines;
+        // with a 64-line read capacity it must abort for capacity.
+        let cfg = HtmConfig {
+            read_capacity: 64,
+            write_capacity: 64,
+            spurious_one_in: 0,
+        };
+        let r = cfg.with_installed(|| swhtm::try_txn(|| s.contains(&swhtm_access(), 255)));
+        assert_eq!(r, Err(AbortCode::Capacity));
+    }
+
+    /// Inside a software transaction, PlainAccess would bypass tracking;
+    /// this shim routes loads through the transactional path.
+    fn swhtm_access() -> TxAccessShim {
+        TxAccessShim
+    }
+    struct TxAccessShim;
+    impl TxAccess for TxAccessShim {
+        fn load<T: rtle_htm::TxWord>(&self, cell: &TxCell<T>) -> T {
+            cell.read()
+        }
+        fn store<T: rtle_htm::TxWord>(&self, cell: &TxCell<T>, v: T) {
+            cell.write(v)
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let s = TxListSet::with_key_range(4);
+        s.contains(&PlainAccess, 4);
+    }
+}

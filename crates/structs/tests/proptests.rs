@@ -1,0 +1,81 @@
+//! Differential property tests for the extra structures.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use rtle_htm::PlainAccess;
+use rtle_structs::{TxHashSet, TxListSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn ops(range: u64, n: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..range).prop_map(Op::Insert),
+            (0..range).prop_map(Op::Remove),
+            (0..range).prop_map(Op::Contains),
+        ],
+        0..n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hashset_matches_btreeset(ops in ops(96, 300)) {
+        let s = TxHashSet::with_capacity(1024);
+        let mut model = BTreeSet::new();
+        let a = PlainAccess;
+        for op in &ops {
+            match op {
+                Op::Insert(k) => prop_assert_eq!(s.insert(&a, *k), model.insert(*k)),
+                Op::Remove(k) => prop_assert_eq!(s.remove(&a, *k), model.remove(k)),
+                Op::Contains(k) => prop_assert_eq!(s.contains(&a, *k), model.contains(k)),
+            }
+        }
+        let mut keys = s.keys_plain();
+        keys.sort_unstable();
+        prop_assert_eq!(keys, model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn listset_matches_btreeset(ops in ops(64, 250)) {
+        let s = TxListSet::with_key_range(64);
+        let mut model = BTreeSet::new();
+        let a = PlainAccess;
+        for op in &ops {
+            match op {
+                Op::Insert(k) => prop_assert_eq!(s.insert(&a, *k), model.insert(*k)),
+                Op::Remove(k) => prop_assert_eq!(s.remove(&a, *k), model.remove(k)),
+                Op::Contains(k) => prop_assert_eq!(s.contains(&a, *k), model.contains(k)),
+            }
+        }
+        prop_assert!(s.check_invariants_plain().is_ok());
+        prop_assert_eq!(s.keys_plain(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Heavy churn on a tiny hash set: tombstone reuse must never lose or
+    /// resurrect keys, even when tombstones outnumber live entries.
+    #[test]
+    fn hashset_tombstone_churn(seq in proptest::collection::vec(0u64..6, 0..400)) {
+        let s = TxHashSet::with_capacity(16);
+        let mut model = BTreeSet::new();
+        let a = PlainAccess;
+        for (i, k) in seq.iter().enumerate() {
+            if i % 2 == 0 {
+                prop_assert_eq!(s.insert(&a, *k), model.insert(*k));
+            } else {
+                prop_assert_eq!(s.remove(&a, *k), model.remove(k));
+            }
+        }
+        let mut keys = s.keys_plain();
+        keys.sort_unstable();
+        prop_assert_eq!(keys, model.into_iter().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,128 @@
+//! The paper's bank-accounts corner case (§6.3): every critical section is
+//! a read-modify-write transfer, so RW-TLE's read-only slow path never
+//! helps and NOrec-style systems serialize writer commits. Checks the
+//! conservation invariant across all methods, including the hybrid TMs.
+//!
+//! ```sh
+//! cargo run --release --example bank_transfer [threads] [transfers]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use refined_tle::prelude::*;
+use rtle_avltree::xorshift64;
+
+const ACCOUNTS: u64 = 256;
+const INITIAL: u64 = 1_000;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let threads: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let transfers: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(50_000);
+
+    println!("bank: {ACCOUNTS} accounts, {threads} threads x {transfers} transfers\n");
+    println!("{:<18}{:>12}{:>14}", "method", "ops/ms", "total-after");
+
+    // Elision methods.
+    for policy in [
+        ElisionPolicy::LockOnly,
+        ElisionPolicy::Tle,
+        ElisionPolicy::RwTle,
+        ElisionPolicy::FgTle { orecs: 1024 },
+    ] {
+        let accounts = make_accounts();
+        let lock = ElidableLock::new(policy);
+        let t0 = Instant::now();
+        drive(threads, transfers, &accounts, |from, to, amt| {
+            lock.execute(|ctx| transfer(ctx, &accounts, from, to, amt));
+        });
+        report(policy.label(), t0, threads, transfers, &accounts);
+    }
+
+    // Hybrid / software TMs.
+    {
+        let accounts = make_accounts();
+        let tm = Norec::new();
+        let t0 = Instant::now();
+        drive(threads, transfers, &accounts, |from, to, amt| {
+            tm.execute(|ctx| transfer(ctx, &accounts, from, to, amt));
+        });
+        report("NOrec".into(), t0, threads, transfers, &accounts);
+    }
+    {
+        let accounts = make_accounts();
+        let tm = RhNorec::new();
+        let t0 = Instant::now();
+        drive(threads, transfers, &accounts, |from, to, amt| {
+            tm.execute(|ctx| transfer(ctx, &accounts, from, to, amt));
+        });
+        report("RHNOrec".into(), t0, threads, transfers, &accounts);
+        let s = tm.stats().snapshot();
+        println!(
+            "  RHNOrec split: HTMFast={} HTMSlow={} STMFast={} STMSlow={} validations/txn={:.1}",
+            s.htm_fast,
+            s.htm_slow,
+            s.stm_fast_commit,
+            s.stm_slow_commit,
+            s.validations_per_stm_txn()
+        );
+    }
+}
+
+fn make_accounts() -> Arc<Vec<TxCell<u64>>> {
+    Arc::new((0..ACCOUNTS).map(|_| TxCell::new(INITIAL)).collect())
+}
+
+/// One atomic transfer through any barrier implementation.
+fn transfer<A: TxAccess + ?Sized>(a: &A, accounts: &[TxCell<u64>], from: u64, to: u64, amt: u64) {
+    let f = a.load(&accounts[from as usize]);
+    let m = amt.min(f);
+    a.store(&accounts[from as usize], f - m);
+    let t = a.load(&accounts[to as usize]);
+    a.store(&accounts[to as usize], t + m);
+}
+
+fn drive(
+    threads: usize,
+    transfers: u64,
+    _accounts: &Arc<Vec<TxCell<u64>>>,
+    op: impl Fn(u64, u64, u64) + Sync,
+) {
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let op = &op;
+            scope.spawn(move || {
+                let mut rng = 0xaced ^ (t as u64 + 1);
+                for _ in 0..transfers {
+                    let r = xorshift64(&mut rng);
+                    let from = r % ACCOUNTS;
+                    let mut to = (r >> 24) % ACCOUNTS;
+                    if to == from {
+                        to = (to + 1) % ACCOUNTS;
+                    }
+                    op(from, to, (r >> 48) % 10);
+                }
+            });
+        }
+    });
+}
+
+fn report(
+    label: String,
+    t0: Instant,
+    threads: usize,
+    transfers: u64,
+    accounts: &Arc<Vec<TxCell<u64>>>,
+) {
+    let elapsed = t0.elapsed();
+    let total: u64 = accounts.iter().map(|a| a.read_plain()).sum();
+    assert_eq!(total, ACCOUNTS * INITIAL, "{label}: money not conserved!");
+    let ops = threads as u64 * transfers;
+    println!(
+        "{:<18}{:>12.1}{:>14}",
+        label,
+        ops as f64 / elapsed.as_secs_f64() / 1e3,
+        total
+    );
+}

@@ -1,0 +1,61 @@
+//! Quick-scale preview of every paper figure the simulator regenerates —
+//! the one-command demo of the reproduction. For full-resolution sweeps
+//! run the per-figure binaries in `rtle-bench` (`cargo run -p rtle-bench
+//! --release --bin fig05`, … `fig13`).
+//!
+//! ```sh
+//! cargo run --release --example figures_preview
+//! ```
+
+use rtle_bench::{figures, print_table, Scale};
+use rtle_sim::MachineProfile;
+
+fn main() {
+    let scale = Scale::Quick;
+
+    print_table(
+        "Figure 5 (panel: Xeon, 8192 keys, 20:20:60) — speedup vs 1-thread Lock",
+        &figures::fig05_panel(&MachineProfile::XEON, 8192, 20, scale),
+    );
+    println!();
+
+    let (slow, lock) = figures::fig06(scale);
+    print_table(
+        "Figure 6 SlowHTM — slow-path commits/ms of locked time",
+        &slow,
+    );
+    print_table("Figure 6 Lock — lock commits/ms of locked time", &lock);
+    println!();
+
+    print_table(
+        "Figure 7 — time under lock vs Lock baseline",
+        &figures::fig07(scale),
+    );
+    println!();
+
+    let (htm, sw) = figures::fig08(scale);
+    print_table("Figure 8 — RHNOrec slow-path throughput", &[htm, sw]);
+    println!();
+
+    print_table(
+        "Figure 9 — RHNOrec execution-type fractions",
+        &figures::fig09(scale),
+    );
+    println!();
+    print_table(
+        "Figure 10 — validations per software txn",
+        &figures::fig10(scale),
+    );
+    println!();
+    print_table("Figure 11 — bank accounts ops/ms", &figures::fig11(scale));
+    println!();
+    print_table(
+        "Figure 12 — hostile updater + finders, ops/ms",
+        &figures::fig12(scale),
+    );
+    println!();
+    print_table(
+        "Figure 13 — ccTSA runtime (ms, lower is better)",
+        &figures::fig13(scale),
+    );
+}

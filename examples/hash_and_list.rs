@@ -1,0 +1,94 @@
+//! The two companion data structures under elision: a hash set (short,
+//! O(1)-line critical sections — RW-TLE's sweet spot, §3) and a sorted
+//! linked list (O(n)-line reads that overflow best-effort HTM capacity and
+//! exercise the lock fallback).
+//!
+//! ```sh
+//! cargo run --release --example hash_and_list
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use refined_tle::prelude::*;
+use rtle_avltree::xorshift64;
+
+fn main() {
+    println!("-- TxHashSet: 512-key mixed workload, 4 threads, 1s per method");
+    println!(
+        "{:<18}{:>12}{:>10}{:>10}{:>10}",
+        "method", "ops/ms", "fast", "slow", "locked"
+    );
+    for policy in [
+        ElisionPolicy::LockOnly,
+        ElisionPolicy::Tle,
+        ElisionPolicy::RwTle,
+        ElisionPolicy::FgTle { orecs: 512 },
+    ] {
+        let set = Arc::new(TxHashSet::with_capacity(4096));
+        run(policy, |ctx, key, pct| {
+            if pct < 20 {
+                set.insert(ctx, key);
+            } else if pct < 40 {
+                set.remove(ctx, key);
+            } else {
+                set.contains(ctx, key);
+            }
+        });
+    }
+
+    println!("\n-- TxListSet: 400-key list (long read chains), 4 threads, 1s per method");
+    println!(
+        "{:<18}{:>12}{:>10}{:>10}{:>10}",
+        "method", "ops/ms", "fast", "slow", "locked"
+    );
+    for policy in [
+        ElisionPolicy::Tle,
+        ElisionPolicy::RwTle,
+        ElisionPolicy::FgTle { orecs: 512 },
+    ] {
+        let list = Arc::new(TxListSet::with_key_range(400));
+        run(policy, |ctx, key, pct| {
+            let key = key % 400;
+            if pct < 10 {
+                list.insert(ctx, key);
+            } else if pct < 20 {
+                list.remove(ctx, key);
+            } else {
+                list.contains(ctx, key);
+            }
+        });
+    }
+}
+
+fn run(policy: ElisionPolicy, op: impl Fn(&Ctx<'_>, u64, u64) + Sync) {
+    let lock = Arc::new(ElidableLock::new(policy));
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let lock = Arc::clone(&lock);
+            let stop = Arc::clone(&stop);
+            let op = &op;
+            scope.spawn(move || {
+                let mut rng = 0xabc ^ (t + 1);
+                while !stop.load(Ordering::Relaxed) {
+                    let r = xorshift64(&mut rng);
+                    lock.execute(|ctx| op(ctx, (r >> 16) % 512, r % 100));
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_secs(1));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let snap = lock.stats().snapshot();
+    println!(
+        "{:<18}{:>12.1}{:>10}{:>10}{:>10}",
+        policy.label(),
+        snap.ops_per_ms(t0.elapsed()),
+        snap.fast_commits,
+        snap.slow_commits,
+        snap.lock_acquisitions
+    );
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+//! # refined-tle: Refined Transactional Lock Elision, reproduced in Rust
+//!
+//! A from-scratch reproduction of *Refined Transactional Lock Elision*
+//! (Dice, Kogan, Lev; PPoPP 2016): standard TLE plus the paper's RW-TLE
+//! and FG-TLE refinements that let hardware transactions run concurrently
+//! with a lock holder, together with every substrate the evaluation needs
+//! — a software-emulated best-effort HTM, the NOrec and RHNOrec baselines,
+//! the AVL-tree and bank micro-benchmarks, a sequence-assembler
+//! application, and a deterministic simulator that regenerates the paper's
+//! figures.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! roof for the examples and integration tests. Depend on the individual
+//! crates for finer-grained builds.
+//!
+//! ```
+//! use refined_tle::prelude::*;
+//!
+//! let lock = ElidableLock::new(ElisionPolicy::FgTle { orecs: 256 });
+//! let cell = TxCell::new(0u64);
+//! lock.execute(|ctx| {
+//!     let v = ctx.read(&cell);
+//!     ctx.write(&cell, v + 1);
+//! });
+//! assert_eq!(cell.read_plain(), 1);
+//! ```
+
+pub use rtle_avltree as avltree;
+pub use rtle_cctsa as cctsa;
+pub use rtle_core as core;
+pub use rtle_htm as htm;
+pub use rtle_hytm as hytm;
+pub use rtle_sim as sim;
+pub use rtle_structs as structs;
+
+/// The items most programs need.
+pub mod prelude {
+    pub use rtle_avltree::AvlSet;
+    pub use rtle_core::{
+        Ctx, ElidableLock, ElisionPolicy, ExecMode, RetryPolicy, TatasLock, TicketLock,
+    };
+    pub use rtle_htm::{AbortCode, PlainAccess, TxAccess, TxCell};
+    pub use rtle_hytm::{Norec, RhNorec, TmCtx};
+    pub use rtle_structs::{TxHashSet, TxListSet};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_work() {
+        use crate::prelude::*;
+        let lock = ElidableLock::new(ElisionPolicy::Tle);
+        let c = TxCell::new(1u64);
+        let v = lock.execute(|ctx| ctx.read(&c));
+        assert_eq!(v, 1);
+    }
+}

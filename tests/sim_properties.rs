@@ -1,0 +1,168 @@
+//! Properties of the evaluation substrate: determinism, conservation
+//! laws, and the headline figure shapes at test scale.
+
+use refined_tle::sim::engine::{Engine, RunMode};
+use refined_tle::sim::workloads::avl::{AvlConfig, AvlWorkload};
+use refined_tle::sim::workloads::bank::{BankConfig, BankWorkload};
+use refined_tle::sim::{CostModel, MachineProfile, SimMethod, SimStats};
+
+fn avl_point(method: SimMethod, threads: usize) -> SimStats {
+    let machine = MachineProfile::XEON;
+    let w = AvlWorkload::new(threads, AvlConfig::new(8192, 20, 20));
+    Engine::new(
+        method,
+        threads,
+        CostModel::pointer_chasing(),
+        RunMode::FixedDuration(machine.cycles_per_ms()),
+        w,
+    )
+    .with_time_scale(machine.smt_factor(threads))
+    .with_spurious_aborts(machine.htm_spurious(threads))
+    .run()
+}
+
+#[test]
+fn simulator_is_deterministic() {
+    for m in [
+        SimMethod::Tle,
+        SimMethod::FgTle { orecs: 256 },
+        SimMethod::RhNorec,
+    ] {
+        let a = avl_point(m, 8);
+        let b = avl_point(m, 8);
+        assert_eq!(a, b, "{m:?} must be bit-deterministic");
+    }
+}
+
+#[test]
+fn commits_partition_ops_for_elision_methods() {
+    for m in [
+        SimMethod::LockOnly { locks: 1 },
+        SimMethod::Tle,
+        SimMethod::RwTle,
+        SimMethod::FgTle { orecs: 1024 },
+    ] {
+        let s = avl_point(m, 12);
+        assert_eq!(
+            s.ops,
+            s.fast_commits + s.slow_commits + s.lock_commits,
+            "{m:?}: every op commits on exactly one path: {s:?}"
+        );
+    }
+}
+
+#[test]
+fn commits_partition_ops_for_tm_methods() {
+    for m in [SimMethod::Norec, SimMethod::RhNorec] {
+        let s = avl_point(m, 12);
+        assert_eq!(
+            s.ops,
+            s.fast_commits + s.htm_slow_commits + s.stm_fast_commits + s.stm_slow_commits,
+            "{m:?}: every op commits exactly once: {s:?}"
+        );
+    }
+}
+
+#[test]
+fn headline_shapes_hold_at_test_scale() {
+    // The paper's core claims, checked as inequalities at 36 threads with
+    // 20% updates:
+    let tle = avl_point(SimMethod::Tle, 36);
+    let fg = avl_point(SimMethod::FgTle { orecs: 8192 }, 36);
+    let rh = avl_point(SimMethod::RhNorec, 36);
+    let lock = avl_point(SimMethod::LockOnly { locks: 1 }, 36);
+
+    // (1) Refined TLE beats standard TLE under contention.
+    assert!(
+        fg.ops > tle.ops * 12 / 10,
+        "FG-TLE(8192)={} TLE={}",
+        fg.ops,
+        tle.ops
+    );
+    // (2) The refinement's mechanism: commits happen on the slow path.
+    assert!(fg.slow_commits > 0 && tle.slow_commits == 0);
+    // (3) RHNOrec collapses at high thread counts (global clock).
+    assert!(fg.ops > rh.ops * 2, "FG={} RHNOrec={}", fg.ops, rh.ops);
+    // (4) Everything elided beats the plain lock.
+    assert!(tle.ops > lock.ops * 2);
+}
+
+#[test]
+fn bank_conserves_and_separates_methods() {
+    let cfg = BankConfig {
+        ops_per_thread: Some(400),
+        ..Default::default()
+    };
+    let machine = MachineProfile::XEON;
+    let run = |m: SimMethod| {
+        let w = BankWorkload::new(24, cfg);
+        Engine::new(m, 24, CostModel::default(), RunMode::FixedWork, w)
+            .with_time_scale(machine.smt_factor(24))
+            .with_spurious_aborts(machine.htm_spurious(24))
+            .run()
+    };
+    let tle = run(SimMethod::Tle);
+    let fg = run(SimMethod::FgTle { orecs: 8192 });
+    assert_eq!(tle.ops, 24 * 400);
+    assert_eq!(fg.ops, 24 * 400);
+    assert!(
+        fg.sim_cycles < tle.sim_cycles,
+        "FG-TLE finishes the transfer workload sooner: fg={} tle={}",
+        fg.sim_cycles,
+        tle.sim_cycles
+    );
+    // RW-TLE cannot use its slow path here: every transfer writes.
+    let rw = run(SimMethod::RwTle);
+    assert_eq!(rw.slow_commits, 0);
+}
+
+#[test]
+fn hostile_updater_shape_fig12() {
+    let machine = MachineProfile::XEON;
+    let run = |m: SimMethod, threads: usize| {
+        let mut cfg = AvlConfig::new(65_536, 0, 0);
+        cfg.hostile_thread = Some(0);
+        let w = AvlWorkload::new(threads, cfg);
+        Engine::new(
+            m,
+            threads,
+            CostModel::pointer_chasing(),
+            RunMode::FixedDuration(machine.cycles_per_ms()),
+            w,
+        )
+        .with_time_scale(machine.smt_factor(threads))
+        .with_spurious_aborts(machine.htm_spurious(threads))
+        .run()
+    };
+    // FG-TLE lets the finders run concurrently with the perpetual lock
+    // holder; TLE stalls them. (The paper's gap is larger; the simulator
+    // compresses it — see EXPERIMENTS.md — but the ordering and the
+    // mechanism must hold.)
+    let tle = run(SimMethod::Tle, 18);
+    let fg = run(SimMethod::FgTle { orecs: 4096 }, 18);
+    assert!(
+        fg.ops > tle.ops * 13 / 10,
+        "fig12: FG={} TLE={}",
+        fg.ops,
+        tle.ops
+    );
+    assert!(
+        fg.slow_commits > fg.fast_commits / 10,
+        "finders use the slow path: {fg:?}"
+    );
+    // TLE flattens with more threads while FG keeps scaling.
+    let tle36 = run(SimMethod::Tle, 36);
+    let fg36 = run(SimMethod::FgTle { orecs: 4096 }, 36);
+    assert!(
+        fg36.ops > fg.ops,
+        "FG keeps scaling 18→36: {} vs {}",
+        fg36.ops,
+        fg.ops
+    );
+    assert!(
+        fg36.ops > tle36.ops * 17 / 10,
+        "gap widens at 36 threads: FG={} TLE={}",
+        fg36.ops,
+        tle36.ops
+    );
+}
