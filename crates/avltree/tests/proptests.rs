@@ -1,10 +1,12 @@
-//! Property-based differential testing of the AVL set against `BTreeSet`.
+//! Randomized differential testing of the AVL set against `BTreeSet`,
+//! driven by a seeded [`SplitMix64`] stream (dependency-free stand-in for
+//! a property-testing harness; failures reproduce from the fixed seeds).
 
 use std::collections::BTreeSet;
 
-use proptest::prelude::*;
 use rtle_avltree::AvlSet;
 use rtle_core::{ElidableLock, ElisionPolicy};
+use rtle_htm::prng::SplitMix64;
 use rtle_htm::PlainAccess;
 
 #[derive(Debug, Clone)]
@@ -14,43 +16,50 @@ enum Op {
     Contains(u64),
 }
 
-fn op_strategy(range: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..range).prop_map(Op::Insert),
-        (0..range).prop_map(Op::Remove),
-        (0..range).prop_map(Op::Contains),
-    ]
+fn gen_op(rng: &mut SplitMix64, range: u64) -> Op {
+    let k = rng.below(range);
+    match rng.below(3) {
+        0 => Op::Insert(k),
+        1 => Op::Remove(k),
+        _ => Op::Contains(k),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn gen_ops(rng: &mut SplitMix64, range: u64, max_len: u64) -> Vec<Op> {
+    (0..rng.below(max_len)).map(|_| gen_op(rng, range)).collect()
+}
 
-    /// Plain (sequential) execution matches BTreeSet exactly, and the AVL
-    /// structural invariants hold after every operation sequence.
-    #[test]
-    fn sequential_matches_btreeset(ops in proptest::collection::vec(op_strategy(64), 0..200)) {
+/// Plain (sequential) execution matches BTreeSet exactly, and the AVL
+/// structural invariants hold after every operation sequence.
+#[test]
+fn sequential_matches_btreeset() {
+    let mut rng = SplitMix64::new(0x51e9_a411);
+    for case in 0..128 {
+        let ops = gen_ops(&mut rng, 64, 200);
         let set = AvlSet::with_key_range(64);
         let mut model = BTreeSet::new();
         let a = PlainAccess;
         for op in &ops {
             match op {
-                Op::Insert(k) => prop_assert_eq!(set.insert(&a, *k), model.insert(*k)),
-                Op::Remove(k) => prop_assert_eq!(set.remove(&a, *k), model.remove(k)),
-                Op::Contains(k) => prop_assert_eq!(set.contains(&a, *k), model.contains(k)),
+                Op::Insert(k) => assert_eq!(set.insert(&a, *k), model.insert(*k)),
+                Op::Remove(k) => assert_eq!(set.remove(&a, *k), model.remove(k)),
+                Op::Contains(k) => assert_eq!(set.contains(&a, *k), model.contains(k)),
             }
         }
-        prop_assert!(set.check_invariants_plain().is_ok());
-        prop_assert_eq!(set.keys_plain(), model.iter().copied().collect::<Vec<_>>());
+        assert!(set.check_invariants_plain().is_ok(), "case {case}");
+        assert_eq!(set.keys_plain(), model.iter().copied().collect::<Vec<_>>());
     }
+}
 
-    /// Executing the same operation sequence through an elided lock
-    /// (single-threaded, so speculation always succeeds or falls back
-    /// deterministically) produces identical results to plain execution.
-    #[test]
-    fn elided_execution_equals_plain(
-        ops in proptest::collection::vec(op_strategy(64), 0..120),
-        orecs in prop_oneof![Just(1usize), Just(16), Just(256)],
-    ) {
+/// Executing the same operation sequence through an elided lock
+/// (single-threaded, so speculation always succeeds or falls back
+/// deterministically) produces identical results to plain execution.
+#[test]
+fn elided_execution_equals_plain() {
+    let mut rng = SplitMix64::new(0x51e9_a412);
+    for case in 0..48 {
+        let ops = gen_ops(&mut rng, 64, 120);
+        let orecs = [1usize, 16, 256][(case % 3) as usize];
         let plain_set = AvlSet::with_key_range(64);
         let elided_set = AvlSet::with_key_range(64);
         let lock = ElidableLock::new(ElisionPolicy::FgTle { orecs });
@@ -61,40 +70,52 @@ proptest! {
                 Op::Insert(k) => {
                     let expected = plain_set.insert(&a, *k);
                     let got = lock.execute(|ctx| elided_set.insert(ctx, *k));
-                    prop_assert_eq!(got, expected);
+                    assert_eq!(got, expected);
                 }
                 Op::Remove(k) => {
                     let expected = plain_set.remove(&a, *k);
                     let got = lock.execute(|ctx| elided_set.remove(ctx, *k));
-                    prop_assert_eq!(got, expected);
+                    assert_eq!(got, expected);
                 }
                 Op::Contains(k) => {
                     let expected = plain_set.contains(&a, *k);
                     let got = lock.execute(|ctx| elided_set.contains(ctx, *k));
-                    prop_assert_eq!(got, expected);
+                    assert_eq!(got, expected);
                 }
             }
         }
-        prop_assert_eq!(plain_set.keys_plain(), elided_set.keys_plain());
-        prop_assert!(elided_set.check_invariants_plain().is_ok());
+        assert_eq!(plain_set.keys_plain(), elided_set.keys_plain());
+        assert!(elided_set.check_invariants_plain().is_ok(), "case {case}");
     }
+}
 
-    /// Tree height stays within the AVL bound 1.44·log2(n+2) for any
-    /// insertion order.
-    #[test]
-    fn height_within_avl_bound(keys in proptest::collection::hash_set(0u64..2048, 1..300)) {
+/// Tree height stays within the AVL bound 1.44·log2(n+2) for any
+/// insertion order.
+#[test]
+fn height_within_avl_bound() {
+    let mut rng = SplitMix64::new(0x51e9_a413);
+    for _case in 0..64 {
+        let mut keys = BTreeSet::new();
+        let n_keys = 1 + rng.below(299);
+        while (keys.len() as u64) < n_keys {
+            keys.insert(rng.below(2048));
+        }
         let set = AvlSet::with_key_range(2048);
         let a = PlainAccess;
         for k in &keys {
             set.insert(&a, *k);
         }
-        prop_assert!(set.check_invariants_plain().is_ok());
+        assert!(set.check_invariants_plain().is_ok());
         for k in &keys {
-            prop_assert!(set.contains(&a, *k));
+            assert!(set.contains(&a, *k));
         }
         let n = keys.len() as f64;
         let bound = (1.4405 * (n + 2.0).log2()).ceil() as usize + 1;
-        prop_assert!(set.root_height_plain() as usize <= bound,
-            "height {} exceeds AVL bound {}", set.root_height_plain(), bound);
+        assert!(
+            set.root_height_plain() as usize <= bound,
+            "height {} exceeds AVL bound {}",
+            set.root_height_plain(),
+            bound
+        );
     }
 }

@@ -1,19 +1,19 @@
-//! Criterion benchmarks of the benchmark data structures themselves:
-//! AVL set operations (plain and under each elision policy) and the
-//! transaction-safe k-mer map.
+//! Micro-benchmarks of the benchmark data structures themselves: AVL
+//! set operations (plain and under each elision policy), the
+//! transaction-safe k-mer map, and the extra set structures. Run with
+//! `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use rtle_avltree::AvlSet;
+use rtle_bench::micro::bench;
 use rtle_cctsa::kmer::Kmer;
 use rtle_cctsa::txmap::KmerMap;
 use rtle_core::{Ctx, ElidableLock, ElisionPolicy};
 use rtle_htm::PlainAccess;
 use rtle_structs::{TxHashSet, TxListSet};
 
-fn bench_avl(c: &mut Criterion) {
-    let mut g = c.benchmark_group("avl");
+fn bench_avl() {
     let set = AvlSet::with_key_range(8192);
     let a = PlainAccess;
     for k in (0..8192).step_by(2) {
@@ -21,19 +21,15 @@ fn bench_avl(c: &mut Criterion) {
     }
 
     let mut key = 1u64;
-    g.bench_function("contains_plain", |b| {
-        b.iter(|| {
-            key = (key * 1103515245 + 12345) % 8192;
-            black_box(set.contains(&a, black_box(key)))
-        })
+    bench("avl/contains_plain", || {
+        key = (key * 1103515245 + 12345) % 8192;
+        black_box(set.contains(&a, black_box(key)));
     });
-    g.bench_function("insert_remove_plain", |b| {
-        b.iter(|| {
-            key = (key * 1103515245 + 12345) % 8192;
-            if !set.insert(&a, key) {
-                set.remove(&a, key);
-            }
-        })
+    bench("avl/insert_remove_plain", || {
+        key = (key * 1103515245 + 12345) % 8192;
+        if !set.insert(&a, key) {
+            set.remove(&a, key);
+        }
     });
 
     for policy in [
@@ -42,60 +38,45 @@ fn bench_avl(c: &mut Criterion) {
         ElisionPolicy::FgTle { orecs: 1024 },
     ] {
         let lock = ElidableLock::new(policy);
-        g.bench_function(format!("contains_{}", policy.label()), |b| {
-            b.iter(|| {
-                key = (key * 1103515245 + 12345) % 8192;
-                lock.execute(|ctx: &Ctx| set.contains(ctx, key))
-            })
+        bench(&format!("avl/contains_{}", policy.label()), || {
+            key = (key * 1103515245 + 12345) % 8192;
+            lock.execute(|ctx: &Ctx| set.contains(ctx, key));
         });
     }
-    g.finish();
 }
 
-fn bench_kmer_map(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kmer_map");
+fn bench_kmer_map() {
     let map = KmerMap::with_capacity(1 << 16);
     let a = PlainAccess;
     let mut x = 1u64;
-    g.bench_function("record", |b| {
-        b.iter(|| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            map.record(
-                &a,
-                Kmer(x % 10_000),
-                Some((x % 4) as u8),
-                Some(((x >> 2) % 4) as u8),
-            )
-        })
+    bench("kmer_map/record", || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        map.record(
+            &a,
+            Kmer(x % 10_000),
+            Some((x % 4) as u8),
+            Some(((x >> 2) % 4) as u8),
+        );
     });
-    g.bench_function("get_hit", |b| {
-        b.iter(|| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            black_box(map.get(&a, Kmer(x % 10_000)))
-        })
+    bench("kmer_map/get_hit", || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        black_box(map.get(&a, Kmer(x % 10_000)));
     });
-    g.bench_function("get_miss", |b| {
-        b.iter(|| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            black_box(map.get(&a, Kmer(1_000_000 + x % 10_000)))
-        })
+    bench("kmer_map/get_miss", || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        black_box(map.get(&a, Kmer(1_000_000 + x % 10_000)));
     });
-    g.finish();
 }
 
-fn bench_assembly(c: &mut Criterion) {
-    let mut g = c.benchmark_group("assembly");
-    g.sample_size(10);
+fn bench_assembly() {
     let genome = rtle_cctsa::Genome::synthetic(5_000, 7);
     let reads = rtle_cctsa::sample_reads(&genome, 36, 4, 0.0, 9);
-    g.bench_function("sequential_pipeline_5k", |b| {
-        b.iter(|| black_box(rtle_cctsa::assemble::assemble_sequential(&reads, 21, 1)))
+    bench("assembly/sequential_pipeline_5k", || {
+        black_box(rtle_cctsa::assemble::assemble_sequential(&reads, 21, 1));
     });
-    g.finish();
 }
 
-fn bench_structs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("structs");
+fn bench_structs() {
     let a = PlainAccess;
 
     let hs = TxHashSet::with_capacity(8192);
@@ -103,39 +84,30 @@ fn bench_structs(c: &mut Criterion) {
         hs.insert(&a, k);
     }
     let mut key = 1u64;
-    g.bench_function("hashset_contains", |b| {
-        b.iter(|| {
-            key = (key * 6364136223846793005).wrapping_add(1) % 4096;
-            black_box(hs.contains(&a, key))
-        })
+    bench("structs/hashset_contains", || {
+        key = (key * 6364136223846793005).wrapping_add(1) % 4096;
+        black_box(hs.contains(&a, key));
     });
-    g.bench_function("hashset_insert_remove", |b| {
-        b.iter(|| {
-            key = (key * 6364136223846793005).wrapping_add(1) % 4096;
-            if !hs.insert(&a, key) {
-                hs.remove(&a, key);
-            }
-        })
+    bench("structs/hashset_insert_remove", || {
+        key = (key * 6364136223846793005).wrapping_add(1) % 4096;
+        if !hs.insert(&a, key) {
+            hs.remove(&a, key);
+        }
     });
 
     let ls = TxListSet::with_key_range(512);
     for k in (0..512).step_by(2) {
         ls.insert(&a, k);
     }
-    g.bench_function("list_contains_256_chain", |b| {
-        b.iter(|| {
-            key = (key * 6364136223846793005).wrapping_add(1) % 512;
-            black_box(ls.contains(&a, key))
-        })
+    bench("structs/list_contains_256_chain", || {
+        key = (key * 6364136223846793005).wrapping_add(1) % 512;
+        black_box(ls.contains(&a, key));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_avl,
-    bench_kmer_map,
-    bench_assembly,
-    bench_structs
-);
-criterion_main!(benches);
+fn main() {
+    bench_avl();
+    bench_kmer_map();
+    bench_assembly();
+    bench_structs();
+}

@@ -1,11 +1,11 @@
-//! Criterion wrappers over single simulator points, so the evaluation
-//! substrate's own performance (and determinism) is tracked like any
-//! other code path. Each bench runs one representative figure point at
-//! quick scale.
+//! Micro-benchmark wrappers over single simulator points, so the
+//! evaluation substrate's own performance (and determinism) is tracked
+//! like any other code path. Each bench runs one representative figure
+//! point at quick scale. Run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use rtle_bench::micro::bench;
 use rtle_sim::engine::{Engine, RunMode};
 use rtle_sim::workloads::avl::{AvlConfig, AvlWorkload};
 use rtle_sim::workloads::bank::{BankConfig, BankWorkload};
@@ -20,74 +20,69 @@ fn sim_point(method: SimMethod, threads: usize) -> u64 {
         .ops
 }
 
-fn bench_fig_points(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_points");
-    g.sample_size(10);
-    g.bench_function("fig05_tle_8thr", |b| {
-        b.iter(|| black_box(sim_point(SimMethod::Tle, 8)))
+fn bench_fig_points() {
+    bench("sim_points/fig05_tle_8thr", || {
+        black_box(sim_point(SimMethod::Tle, 8));
     });
-    g.bench_function("fig05_fg1024_8thr", |b| {
-        b.iter(|| black_box(sim_point(SimMethod::FgTle { orecs: 1024 }, 8)))
+    bench("sim_points/fig05_fg1024_8thr", || {
+        black_box(sim_point(SimMethod::FgTle { orecs: 1024 }, 8));
     });
-    g.bench_function("fig05_rhnorec_8thr", |b| {
-        b.iter(|| black_box(sim_point(SimMethod::RhNorec, 8)))
+    bench("sim_points/fig05_rhnorec_8thr", || {
+        black_box(sim_point(SimMethod::RhNorec, 8));
     });
-    g.bench_function("fig11_bank_tle_8thr", |b| {
-        b.iter(|| {
-            let w = BankWorkload::new(
-                8,
-                BankConfig {
-                    ops_per_thread: Some(500),
-                    ..Default::default()
-                },
-            );
-            black_box(
-                Engine::new(
-                    SimMethod::Tle,
-                    8,
-                    CostModel::default(),
-                    RunMode::FixedWork,
-                    w,
-                )
-                .run()
-                .sim_cycles,
-            )
-        })
-    });
-    g.bench_function("fig13_cctsa_tle_4thr", |b| {
-        b.iter(|| {
-            let cfg = CctsaConfig {
-                genome_len: 2_000,
-                coverage: 2,
+    bench("sim_points/fig11_bank_tle_8thr", || {
+        let w = BankWorkload::new(
+            8,
+            BankConfig {
+                ops_per_thread: Some(500),
                 ..Default::default()
-            };
-            let w = CctsaWorkload::new(4, cfg);
-            black_box(
-                Engine::new(
-                    SimMethod::Tle,
-                    4,
-                    CostModel::default(),
-                    RunMode::FixedWork,
-                    w,
-                )
-                .run()
-                .sim_cycles,
+            },
+        );
+        black_box(
+            Engine::new(
+                SimMethod::Tle,
+                8,
+                CostModel::default(),
+                RunMode::FixedWork,
+                w,
             )
-        })
+            .run()
+            .sim_cycles,
+        );
     });
-    g.finish();
+    bench("sim_points/fig13_cctsa_tle_4thr", || {
+        let cfg = CctsaConfig {
+            genome_len: 2_000,
+            coverage: 2,
+            ..Default::default()
+        };
+        let w = CctsaWorkload::new(4, cfg);
+        black_box(
+            Engine::new(
+                SimMethod::Tle,
+                4,
+                CostModel::default(),
+                RunMode::FixedWork,
+                w,
+            )
+            .run()
+            .sim_cycles,
+        );
+    });
 }
 
 /// Determinism guard: the same configuration must produce bit-identical
 /// statistics (the whole harness depends on it).
-fn bench_determinism(c: &mut Criterion) {
+fn determinism_check() {
     let a = sim_point(SimMethod::FgTle { orecs: 256 }, 8);
     let b = sim_point(SimMethod::FgTle { orecs: 256 }, 8);
     assert_eq!(a, b, "simulator must be deterministic");
-    // Registered as a (trivial) bench so the assertion runs under
-    // `cargo bench` too.
-    c.bench_function("determinism_check", |bch| bch.iter(|| black_box(a)));
+    bench("sim_points/determinism_check", || {
+        black_box(a);
+    });
 }
 
-criterion_group!(benches, bench_fig_points, bench_determinism);
-criterion_main!(benches);
+fn main() {
+    bench_fig_points();
+    determinism_check();
+}

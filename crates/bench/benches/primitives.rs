@@ -1,109 +1,84 @@
-//! Criterion micro-benchmarks of the real (non-simulated) primitives:
-//! the costs the paper's §6 narrative leans on — barrier calls, orec
-//! stamps, HTM begin/commit, lock transfer — measured on the software
-//! emulation so regressions in the hot paths are visible.
+//! Micro-benchmarks of the real (non-simulated) primitives: the costs
+//! the paper's §6 narrative leans on — barrier calls, orec stamps, HTM
+//! begin/commit, lock transfer — measured on the software emulation so
+//! regressions in the hot paths are visible. Run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use rtle_bench::micro::bench;
 use rtle_core::orec::{OrecKind, OrecTable};
 use rtle_core::{fast_hash, wang_mix64, Ctx, ElidableLock, ElisionPolicy, TatasLock};
 use rtle_htm::{swhtm, TxCell};
 use rtle_hytm::{Norec, RhNorec};
 
-fn bench_hash(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hash");
-    g.bench_function("wang_mix64", |b| {
-        let mut x = 0u64;
-        b.iter(|| {
-            x = x.wrapping_add(0x9e37);
-            black_box(wang_mix64(black_box(x)))
-        })
+fn bench_hash() {
+    let mut x = 0u64;
+    bench("hash/wang_mix64", || {
+        x = x.wrapping_add(0x9e37);
+        black_box(wang_mix64(black_box(x)));
     });
-    g.bench_function("fast_hash_8192", |b| {
-        let mut x = 0u64;
-        b.iter(|| {
-            x = x.wrapping_add(64);
-            black_box(fast_hash(black_box(x), 8192))
-        })
+    let mut y = 0u64;
+    bench("hash/fast_hash_8192", || {
+        y = y.wrapping_add(64);
+        black_box(fast_hash(black_box(y), 8192));
     });
-    g.finish();
 }
 
-fn bench_cell(c: &mut Criterion) {
-    let mut g = c.benchmark_group("txcell");
+fn bench_cell() {
     let cell = TxCell::new(1u64);
-    g.bench_function("read_plain(seqlock)", |b| {
-        b.iter(|| black_box(cell.read_plain()))
+    bench("txcell/read_plain(seqlock)", || {
+        black_box(cell.read_plain());
     });
-    g.bench_function("write_plain(versioned)", |b| {
-        let mut v = 0u64;
-        b.iter(|| {
-            v += 1;
-            cell.write(black_box(v));
-        })
+    let mut v = 0u64;
+    bench("txcell/write_plain(versioned)", || {
+        v += 1;
+        cell.write(black_box(v));
     });
-    g.finish();
 }
 
-fn bench_swhtm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("swhtm");
+fn bench_swhtm() {
     let cells: Vec<TxCell<u64>> = (0..16).map(TxCell::new).collect();
-    g.bench_function("ro_txn_16_reads", |b| {
-        b.iter(|| swhtm::try_txn(|| cells.iter().map(|c| c.read()).sum::<u64>()).unwrap())
+    bench("swhtm/ro_txn_16_reads", || {
+        swhtm::try_txn(|| black_box(cells.iter().map(|c| c.read()).sum::<u64>())).unwrap();
     });
-    g.bench_function("rw_txn_4r4w", |b| {
-        b.iter(|| {
-            swhtm::try_txn(|| {
-                for i in 0..4 {
-                    let v = cells[i].read();
-                    cells[i + 8].write(v + 1);
-                }
-            })
-            .unwrap()
+    bench("swhtm/rw_txn_4r4w", || {
+        swhtm::try_txn(|| {
+            for i in 0..4 {
+                let v = cells[i].read();
+                cells[i + 8].write(v + 1);
+            }
         })
+        .unwrap();
     });
-    g.bench_function("explicit_abort", |b| {
-        b.iter(|| {
-            let _: Result<(), _> = swhtm::try_txn(|| rtle_htm::abort(1));
-        })
+    bench("swhtm/explicit_abort", || {
+        let _: Result<(), _> = swhtm::try_txn(|| rtle_htm::abort(1));
     });
-    g.finish();
 }
 
-fn bench_lock_and_orecs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lock_orecs");
+fn bench_lock_and_orecs() {
     let lock = TatasLock::new();
-    g.bench_function("tatas_acquire_release", |b| {
-        b.iter(|| {
-            lock.acquire();
-            lock.release();
-        })
+    bench("lock_orecs/tatas_acquire_release", || {
+        lock.acquire();
+        lock.release();
     });
     let orecs = OrecTable::new(8192);
-    g.bench_function("orec_stamp", |b| {
-        let mut epoch = 1u64;
-        let mut addr = 0usize;
-        b.iter(|| {
-            addr = addr.wrapping_add(64);
-            if orecs.stamp(OrecKind::Write, black_box(addr), epoch) {
-                black_box(());
-            }
-            epoch += 2; // fresh epoch each time so the stamp always stores
-        })
+    let mut epoch = 1u64;
+    let mut addr = 0usize;
+    bench("lock_orecs/orec_stamp", || {
+        addr = addr.wrapping_add(64);
+        if orecs.stamp(OrecKind::Write, black_box(addr), epoch) {
+            black_box(());
+        }
+        epoch += 2; // fresh epoch each time so the stamp always stores
     });
-    g.bench_function("orec_conflict_check", |b| {
-        let mut addr = 0usize;
-        b.iter(|| {
-            addr = addr.wrapping_add(64);
-            black_box(orecs.write_would_conflict(black_box(addr), 8192, u64::MAX))
-        })
+    let mut addr2 = 0usize;
+    bench("lock_orecs/orec_conflict_check", || {
+        addr2 = addr2.wrapping_add(64);
+        black_box(orecs.write_would_conflict(black_box(addr2), 8192, u64::MAX));
     });
-    g.finish();
 }
 
-fn bench_elision_policies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("elidable_lock_1thr");
+fn bench_elision_policies() {
     for policy in [
         ElisionPolicy::LockOnly,
         ElisionPolicy::Tle,
@@ -113,49 +88,38 @@ fn bench_elision_policies(c: &mut Criterion) {
     ] {
         let lock = ElidableLock::new(policy);
         let cell = TxCell::new(0u64);
-        g.bench_function(policy.label(), |b| {
-            b.iter(|| {
-                lock.execute(|ctx: &Ctx| {
-                    let v = ctx.read(&cell);
-                    ctx.write(&cell, v + 1);
-                })
-            })
+        bench(&format!("elidable_lock_1thr/{}", policy.label()), || {
+            lock.execute(|ctx: &Ctx| {
+                let v = ctx.read(&cell);
+                ctx.write(&cell, v + 1);
+            });
         });
     }
-    g.finish();
 }
 
-fn bench_tms(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tm_1thr");
+fn bench_tms() {
     let norec = Norec::new();
     let cell = TxCell::new(0u64);
-    g.bench_function("norec_rmw", |b| {
-        b.iter(|| {
-            norec.execute(|ctx| {
-                let v = ctx.read(&cell);
-                ctx.write(&cell, v + 1);
-            })
-        })
+    bench("tm_1thr/norec_rmw", || {
+        norec.execute(|ctx| {
+            let v = ctx.read(&cell);
+            ctx.write(&cell, v + 1);
+        });
     });
     let rh = RhNorec::new();
-    g.bench_function("rhnorec_rmw", |b| {
-        b.iter(|| {
-            rh.execute(|ctx| {
-                let v = ctx.read(&cell);
-                ctx.write(&cell, v + 1);
-            })
-        })
+    bench("tm_1thr/rhnorec_rmw", || {
+        rh.execute(|ctx| {
+            let v = ctx.read(&cell);
+            ctx.write(&cell, v + 1);
+        });
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_hash,
-    bench_cell,
-    bench_swhtm,
-    bench_lock_and_orecs,
-    bench_elision_policies,
-    bench_tms
-);
-criterion_main!(benches);
+fn main() {
+    bench_hash();
+    bench_cell();
+    bench_swhtm();
+    bench_lock_and_orecs();
+    bench_elision_policies();
+    bench_tms();
+}

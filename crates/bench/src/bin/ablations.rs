@@ -2,14 +2,11 @@
 //! lazy vs eager lock subscription (§5) and the lock holder's
 //! `uniq_*_orecs` barrier shortcut (§4.2).
 
-use rtle_bench::{figures, print_csv, print_table, Scale};
+use rtle_bench::{figures, print_csv, print_table, BenchArgs, Report};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Full
-    };
+    let args = BenchArgs::parse();
+    let scale = args.scale();
     let lazy = figures::ablation_lazy_subscription(scale);
     print_table("Ablation: lazy vs eager subscription (ops/ms)", &lazy);
     print_csv("Ablation lazy", "ops_per_ms", &lazy);
@@ -21,4 +18,9 @@ fn main() {
     let ad = figures::ablation_adaptive(scale);
     print_table("Beyond-paper: adaptive FG-TLE vs fixed configs (ops/ms)", &ad);
     print_csv("Adaptive", "ops_per_ms", &ad);
+    let mut report = Report::new("ablations", scale);
+    report.add_series("lazy_subscription", "ops_per_ms", &lazy);
+    report.add_series("uniq_shortcut", "ops_per_ms", &uniq);
+    report.add_series("adaptive", "ops_per_ms", &ad);
+    report.write_if_requested(args.json.as_deref());
 }

@@ -1,67 +1,32 @@
-//! Diagnostic harness: the abort composition and path distribution behind
-//! the Figure 5/6 headline numbers, per method. Not a paper figure — the
-//! equivalent of the "lightweight statistics" analysis of §6.2.1.
+//! Diagnostic harness: the abort composition, path distribution and
+//! latency percentiles behind the Figure 5/6 headline numbers, per
+//! method, collected through an attempt-level recorder attached to the
+//! simulator. Not a paper figure — the equivalent of the "lightweight
+//! statistics" analysis of §6.2.1.
 //!
 //! ```sh
-//! cargo run -p rtle-bench --release --bin diag [threads]
+//! cargo run -p rtle-bench --release --bin diag -- [threads] [--quick] [--json out.json]
 //! ```
 
-use rtle_sim::engine::{Engine, RunMode};
-use rtle_sim::workloads::avl::{AvlConfig, AvlWorkload};
-use rtle_sim::{CostModel, MachineProfile, SimMethod};
+use rtle_bench::diag::{diag_to_json, print_diag_table, run_diag};
+use rtle_bench::BenchArgs;
 
 fn main() {
-    let threads: usize = std::env::args()
-        .nth(1)
+    let args = BenchArgs::parse();
+    let threads: usize = args
+        .rest
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(36);
-    let machine = MachineProfile::XEON;
-    let cfg = AvlConfig::new(8192, 20, 20);
-
-    println!("AVL 8192 keys, 20:20:60, {threads} threads, {}:", machine.name);
-    println!(
-        "{:<18}{:>9}{:>8}{:>8}{:>8}{:>9}{:>9}{:>9}{:>9}{:>9}",
-        "method",
-        "ops",
-        "fast",
-        "slow",
-        "lock",
-        "ab.conf",
-        "ab.cap",
-        "ab.uarch",
-        "ab.owned",
-        "lockfrac"
-    );
-
-    let mut methods = SimMethod::figure5_set();
-    methods.push(SimMethod::AdaptiveFgTle {
-        initial: 64,
-        max_orecs: 8192,
-    });
-    for m in methods {
-        let w = AvlWorkload::new(threads, cfg);
-        let s = Engine::new(
-            m,
-            threads,
-            CostModel::pointer_chasing(),
-            RunMode::FixedDuration(2 * machine.cycles_per_ms()),
-            w,
-        )
-        .with_time_scale(machine.smt_factor(threads))
-        .with_spurious_aborts(machine.htm_spurious(threads))
-        .run();
-        println!(
-            "{:<18}{:>9}{:>8}{:>8}{:>8}{:>9}{:>9}{:>9}{:>9}{:>9.3}",
-            m.label(),
-            s.ops,
-            s.fast_commits,
-            s.slow_commits,
-            s.lock_commits,
-            s.aborts_conflict,
-            s.aborts_capacity,
-            s.aborts_uarch,
-            s.aborts_eager_owned,
-            s.cycles_locked as f64 / s.sim_cycles as f64,
-        );
+    let sim_ms = if args.quick { 1 } else { 2 };
+    let rows = run_diag(threads, sim_ms);
+    print_diag_table(threads, &rows);
+    if let Some(path) = args.json.as_deref() {
+        let doc = diag_to_json(threads, &rows).to_string_pretty();
+        if let Err(e) = std::fs::write(path, doc + "\n") {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
     }
 }

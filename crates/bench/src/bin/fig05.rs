@@ -1,12 +1,14 @@
 //! Figure 5: AVL-tree set throughput (normalized to 1-thread Lock) for
 //! key ranges {8192, 65536} × Insert/Remove {0, 10, 20, 50}% on both
-//! machine profiles.
+//! machine profiles. `--json <path>` writes all panels as one document.
 
-use rtle_bench::{figures, print_csv, print_table, Scale};
+use rtle_bench::{figures, print_csv, print_table, BenchArgs, Report};
 use rtle_sim::MachineProfile;
 
 fn main() {
-    let scale = scale_from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale();
+    let mut report = Report::new("fig05", scale);
     for machine in [MachineProfile::CORE_I7, MachineProfile::XEON] {
         for key_range in [8192u64, 65_536] {
             for update in [0u32, 10, 20, 50] {
@@ -19,15 +21,13 @@ fn main() {
                 print_table(&title, &series);
                 print_csv(&title, "speedup_vs_1thr_lock", &series);
                 println!();
+                report.add_series(
+                    &format!("{}-{key_range}-{update}", machine.name),
+                    "speedup_vs_1thr_lock",
+                    &series,
+                );
             }
         }
     }
-}
-
-fn scale_from_args() -> Scale {
-    if std::env::args().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Full
-    }
+    report.write_if_requested(args.json.as_deref());
 }

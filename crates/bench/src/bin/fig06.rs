@@ -1,18 +1,18 @@
 //! Figure 6: slow-path throughput (SlowHTM and Lock commits per ms of
 //! locked time) for the refined TLE variants. 8192 keys, 20% updates.
 
-use rtle_bench::{figures, print_csv, print_table, Scale};
+use rtle_bench::{figures, print_csv, print_table, BenchArgs, Report};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Full
-    };
-    let (slow, lock) = figures::fig06(scale);
+    let args = BenchArgs::parse();
+    let (slow, lock) = figures::fig06(args.scale());
     print_table("Figure 6 SlowHTM (commits/ms locked)", &slow);
     print_csv("Figure 6 SlowHTM", "slow_htm_per_ms_locked", &slow);
     println!();
     print_table("Figure 6 Lock (commits/ms locked)", &lock);
     print_csv("Figure 6 Lock", "lock_commits_per_ms_locked", &lock);
+    let mut report = Report::new("fig06", args.scale());
+    report.add_series("slow_htm", "slow_htm_per_ms_locked", &slow);
+    report.add_series("lock", "lock_commits_per_ms_locked", &lock);
+    report.write_if_requested(args.json.as_deref());
 }

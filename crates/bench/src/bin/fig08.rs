@@ -2,16 +2,15 @@
 //! bump the clock (SlowHTM) vs software commits (SWSlow), per ms of
 //! software-transaction time.
 
-use rtle_bench::{figures, print_csv, print_table, Scale};
+use rtle_bench::{figures, print_csv, print_table, BenchArgs, Report};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Full
-    };
-    let (htm, sw) = figures::fig08(scale);
+    let args = BenchArgs::parse();
+    let (htm, sw) = figures::fig08(args.scale());
     let series = vec![htm, sw];
     print_table("Figure 8 RHNOrec slow-path throughput", &series);
     print_csv("Figure 8", "commits_per_ms_sw_time", &series);
+    let mut report = Report::new("fig08", args.scale());
+    report.add_series("slow_path_split", "commits_per_ms_sw_time", &series);
+    report.write_if_requested(args.json.as_deref());
 }

@@ -1,15 +1,14 @@
 //! Figure 9: RHNOrec execution-type distribution (fractions of HTMFast /
 //! HTMSlow / STMFastCommit / STMSlowCommit commits).
 
-use rtle_bench::{figures, print_csv, print_table, Scale};
+use rtle_bench::{figures, print_csv, print_table, BenchArgs, Report};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Full
-    };
-    let series = figures::fig09(scale);
+    let args = BenchArgs::parse();
+    let series = figures::fig09(args.scale());
     print_table("Figure 9 RHNOrec execution types", &series);
     print_csv("Figure 9", "fraction", &series);
+    let mut report = Report::new("fig09", args.scale());
+    report.add_series("execution_types", "fraction", &series);
+    report.write_if_requested(args.json.as_deref());
 }

@@ -1,15 +1,14 @@
 //! Figure 10: average value-based validations per software transaction,
 //! NOrec vs RHNOrec.
 
-use rtle_bench::{figures, print_csv, print_table, Scale};
+use rtle_bench::{figures, print_csv, print_table, BenchArgs, Report};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Full
-    };
-    let series = figures::fig10(scale);
+    let args = BenchArgs::parse();
+    let series = figures::fig10(args.scale());
     print_table("Figure 10 validations per software txn", &series);
     print_csv("Figure 10", "validations_per_txn", &series);
+    let mut report = Report::new("fig10", args.scale());
+    report.add_series("validations", "validations_per_txn", &series);
+    report.write_if_requested(args.json.as_deref());
 }

@@ -1,14 +1,13 @@
 //! Figure 11: bank-accounts transfer throughput (256 padded accounts).
 
-use rtle_bench::{figures, print_csv, print_table, Scale};
+use rtle_bench::{figures, print_csv, print_table, BenchArgs, Report};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Full
-    };
-    let series = figures::fig11(scale);
+    let args = BenchArgs::parse();
+    let series = figures::fig11(args.scale());
     print_table("Figure 11 bank accounts (ops/ms)", &series);
     print_csv("Figure 11", "ops_per_ms", &series);
+    let mut report = Report::new("fig11", args.scale());
+    report.add_series("bank", "ops_per_ms", &series);
+    report.write_if_requested(args.json.as_deref());
 }

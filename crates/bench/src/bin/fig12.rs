@@ -1,15 +1,14 @@
 //! Figure 12: AVL throughput with one thread running HTM-hostile updates
 //! while all other threads run Finds (65536 key range).
 
-use rtle_bench::{figures, print_csv, print_table, Scale};
+use rtle_bench::{figures, print_csv, print_table, BenchArgs, Report};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Full
-    };
-    let series = figures::fig12(scale);
+    let args = BenchArgs::parse();
+    let series = figures::fig12(args.scale());
     print_table("Figure 12 hostile updater + finders (ops/ms)", &series);
     print_csv("Figure 12", "ops_per_ms", &series);
+    let mut report = Report::new("fig12", args.scale());
+    report.add_series("hostile_updater", "ops_per_ms", &series);
+    report.write_if_requested(args.json.as_deref());
 }

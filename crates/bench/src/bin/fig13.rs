@@ -2,15 +2,11 @@
 //! fine-grained-locking program vs the transactified single-lock program
 //! under each elision method. Includes the paper's high-thread zoom.
 
-use rtle_bench::{figures, print_csv, print_table, Scale};
+use rtle_bench::{figures, print_csv, print_table, BenchArgs, Report};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Full
-    };
-    let series = figures::fig13(scale);
+    let args = BenchArgs::parse();
+    let series = figures::fig13(args.scale());
     print_table("Figure 13 ccTSA runtime (sim ms, lower is better)", &series);
     print_csv("Figure 13", "runtime_ms", &series);
     // Zoom panel (b): the last thread points only.
@@ -23,4 +19,8 @@ fn main() {
         .collect();
     println!();
     rtle_bench::print_table_prec("Figure 13(b) zoom: high thread counts", &zoom, 3);
+    let mut report = Report::new("fig13", args.scale());
+    report.add_series("runtime", "runtime_ms", &series);
+    report.add_series("zoom", "runtime_ms", &zoom);
+    report.write_if_requested(args.json.as_deref());
 }

@@ -1,0 +1,220 @@
+//! Diagnostic sweep: the attempt-level composition behind the headline
+//! figure numbers, per method — path distribution, abort composition and
+//! latency percentiles from an [`rtle_obs::Recorder`] attached to the
+//! simulator. The logic lives here (not in the `diag` binary) so tests
+//! can assert the JSON export parses and carries the expected fields.
+
+use std::sync::Arc;
+
+use rtle_obs::{Json, ObsConfig, ObsSnapshot, Recorder, SCHEMA_VERSION};
+use rtle_sim::engine::{Engine, RunMode};
+use rtle_sim::workloads::avl::{AvlConfig, AvlWorkload};
+use rtle_sim::{CostModel, MachineProfile, SimMethod, SimStats};
+
+/// One method's diagnostic results.
+#[derive(Debug)]
+pub struct DiagRow {
+    /// The method's figure-legend label.
+    pub label: String,
+    /// Exact simulator counters.
+    pub stats: SimStats,
+    /// Attempt-level recorder snapshot (latencies in simulator cycles).
+    pub snapshot: ObsSnapshot,
+}
+
+/// Runs the diagnostic workload (the Figure 5/6 AVL configuration:
+/// 8192 keys, 20% Insert / 20% Remove, Xeon profile) for every Figure 5
+/// method plus adaptive FG-TLE, with a recorder attached.
+pub fn run_diag(threads: usize, sim_ms: u64) -> Vec<DiagRow> {
+    let machine = MachineProfile::XEON;
+    let cfg = AvlConfig::new(8192, 20, 20);
+    let mut methods = SimMethod::figure5_set();
+    methods.push(SimMethod::AdaptiveFgTle {
+        initial: 64,
+        max_orecs: 8192,
+    });
+
+    methods
+        .into_iter()
+        .map(|m| {
+            let rec = Arc::new(Recorder::new(ObsConfig {
+                latency_unit: "cycles",
+                ..ObsConfig::default()
+            }));
+            let w = AvlWorkload::new(threads, cfg);
+            let stats = Engine::new(
+                m,
+                threads,
+                CostModel::pointer_chasing(),
+                RunMode::FixedDuration(sim_ms * machine.cycles_per_ms()),
+                w,
+            )
+            .with_time_scale(machine.smt_factor(threads))
+            .with_spurious_aborts(machine.htm_spurious(threads))
+            .with_recorder(Arc::clone(&rec))
+            .run();
+            DiagRow {
+                label: m.label(),
+                stats,
+                snapshot: rec.snapshot(),
+            }
+        })
+        .collect()
+}
+
+/// JSON document for a diag sweep: per-method path distribution, abort
+/// composition, latency p50/p99 and the raw simulator counters, under a
+/// shared schema version.
+pub fn diag_to_json(threads: usize, rows: &[DiagRow]) -> Json {
+    let methods = rows
+        .iter()
+        .map(|r| {
+            let total = r.snapshot.total_commits().max(1) as f64;
+            let path_distribution = Json::Obj(
+                r.snapshot
+                    .commits
+                    .iter()
+                    .map(|(label, n)| (label.clone(), Json::Num(*n as f64 / total)))
+                    .collect(),
+            );
+            Json::obj([
+                ("method", Json::Str(r.label.clone())),
+                ("path_distribution", path_distribution),
+                (
+                    "abort_composition",
+                    Json::Obj(
+                        r.snapshot
+                            .aborts
+                            .iter()
+                            .map(|(label, n)| (label.clone(), Json::UInt(*n)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "cs_latency_cycles",
+                    Json::obj([
+                        ("p50", Json::UInt(r.snapshot.cs_latency.percentile(0.50))),
+                        ("p99", Json::UInt(r.snapshot.cs_latency.percentile(0.99))),
+                        ("max", Json::UInt(r.snapshot.cs_latency.max)),
+                    ]),
+                ),
+                ("stats", r.stats.to_json()),
+                ("observability", r.snapshot.to_json()),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("schema_version", Json::UInt(SCHEMA_VERSION)),
+        ("tool", Json::Str("diag".into())),
+        ("threads", Json::UInt(threads as u64)),
+        ("workload", Json::Str("avl-8192-20-20".into())),
+        ("methods", Json::Arr(methods)),
+    ])
+}
+
+/// The fixed-width table the `diag` binary has always printed.
+pub fn print_diag_table(threads: usize, rows: &[DiagRow]) {
+    println!(
+        "AVL 8192 keys, 20:20:60, {threads} threads, {}:",
+        MachineProfile::XEON.name
+    );
+    println!(
+        "{:<18}{:>9}{:>8}{:>8}{:>8}{:>9}{:>9}{:>9}{:>9}{:>9}{:>10}{:>10}",
+        "method",
+        "ops",
+        "fast",
+        "slow",
+        "lock",
+        "ab.conf",
+        "ab.cap",
+        "ab.uarch",
+        "ab.owned",
+        "lockfrac",
+        "cs.p50",
+        "cs.p99"
+    );
+    for r in rows {
+        let s = &r.stats;
+        println!(
+            "{:<18}{:>9}{:>8}{:>8}{:>8}{:>9}{:>9}{:>9}{:>9}{:>9.3}{:>10}{:>10}",
+            r.label,
+            s.ops,
+            s.fast_commits,
+            s.slow_commits,
+            s.lock_commits,
+            s.aborts_conflict,
+            s.aborts_capacity,
+            s.aborts_uarch,
+            s.aborts_eager_owned,
+            s.cycles_locked as f64 / s.sim_cycles.max(1) as f64,
+            r.snapshot.cs_latency.percentile(0.50),
+            r.snapshot.cs_latency.percentile(0.99),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtle_obs::parse_json;
+
+    /// The acceptance check: a miniature diag run emits valid,
+    /// schema-versioned JSON with per-method path distribution, abort
+    /// composition and latency percentiles.
+    #[test]
+    fn diag_json_parses_with_expected_fields() {
+        let rows = run_diag(4, 1);
+        assert_eq!(rows.len(), 13, "12 figure-5 methods + adaptive");
+        let doc = diag_to_json(4, &rows);
+        let text = doc.to_string_pretty();
+        let j = parse_json(&text).expect("diag JSON must parse");
+        assert_eq!(
+            j.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(j.get("threads").and_then(Json::as_u64), Some(4));
+        let methods = j.get("methods").and_then(Json::as_arr).unwrap();
+        assert_eq!(methods.len(), 13);
+        for m in methods {
+            let label = m.get("method").and_then(Json::as_str).unwrap();
+            let dist = m.get("path_distribution").expect("path distribution");
+            let frac_sum: f64 = ["fast_htm", "slow_htm", "lock"]
+                .iter()
+                .map(|k| dist.get(k).and_then(Json::as_f64).unwrap_or(0.0))
+                .sum();
+            // Methods that commit anything have fractions summing to ~1;
+            // software-only methods (NOrec) record no HTM/lock commits.
+            if m.get("stats")
+                .and_then(|s| s.get("fast_commits"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                > 0
+            {
+                assert!(
+                    (frac_sum - 1.0).abs() < 1e-9,
+                    "{label}: fractions sum to {frac_sum}"
+                );
+            }
+            assert!(m.get("abort_composition").is_some(), "{label}");
+            let lat = m.get("cs_latency_cycles").unwrap();
+            let p50 = lat.get("p50").and_then(Json::as_u64).unwrap();
+            let p99 = lat.get("p99").and_then(Json::as_u64).unwrap();
+            assert!(p99 >= p50, "{label}: p99 {p99} < p50 {p50}");
+            // The embedded full snapshot round-trips.
+            let snap = m.get("observability").unwrap();
+            assert!(ObsSnapshot::from_json(snap).is_some(), "{label}");
+        }
+        // TLE commits on the fast path in this workload.
+        let tle = methods
+            .iter()
+            .find(|m| m.get("method").and_then(Json::as_str) == Some("TLE"))
+            .unwrap();
+        assert!(
+            tle.get("path_distribution")
+                .and_then(|d| d.get("fast_htm"))
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+    }
+}

@@ -10,10 +10,18 @@
 //!
 //! Scale: every function takes a [`Scale`] so integration tests can run
 //! miniature sweeps while the binaries run the full figures.
+//!
+//! Every binary also accepts `--json <path>` ([`report::BenchArgs`]) and
+//! then writes its sweep results as a schema-versioned JSON document for
+//! collection and diffing (see EXPERIMENTS.md).
 
+pub mod diag;
 pub mod figures;
+pub mod micro;
+pub mod report;
 
 pub use figures::{Scale, Series};
+pub use report::{BenchArgs, Report};
 
 /// Prints figure series as CSV: `label,threads,value` rows after a header.
 pub fn print_csv(title: &str, value_name: &str, series: &[Series]) {

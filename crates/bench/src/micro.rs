@@ -1,0 +1,67 @@
+//! Minimal, dependency-free micro-benchmark harness.
+//!
+//! Replaces an external statistics framework with the two things the
+//! repo actually needs: a calibrated median-of-batches ns/op estimate,
+//! and a stable one-line report per benchmark. Used by the `benches/`
+//! targets (all `harness = false`) and by the observability overhead
+//! guard test.
+
+use std::time::Instant;
+
+/// Batches used for the median estimate.
+const BATCHES: usize = 7;
+
+/// Minimum wall time per batch during calibration.
+const MIN_BATCH_NANOS: u128 = 1_000_000; // 1 ms
+
+/// Measures `op` and returns the median ns/op over [`BATCHES`] batches,
+/// after calibrating the per-batch iteration count to at least 1 ms of
+/// wall time (so timer granularity is irrelevant).
+pub fn measure_ns<F: FnMut()>(mut op: F) -> f64 {
+    // Calibrate: double the batch size until a batch takes >= 1 ms.
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        let el = t.elapsed().as_nanos();
+        if el >= MIN_BATCH_NANOS || iters >= 1 << 28 {
+            break;
+        }
+        // Jump close to the target, then keep doubling conservatively.
+        let scale = (MIN_BATCH_NANOS / el.max(1)).clamp(2, 1 << 10) as u64;
+        iters = iters.saturating_mul(scale);
+    }
+    let mut samples = [0f64; BATCHES];
+    for s in &mut samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        *s = t.elapsed().as_nanos() as f64 / iters as f64;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[BATCHES / 2]
+}
+
+/// Runs one named benchmark, prints `name: <ns>/op`, and returns the
+/// median ns/op.
+pub fn bench<F: FnMut()>(name: &str, op: F) -> f64 {
+    let ns = measure_ns(op);
+    println!("{name:<40} {ns:>12.1} ns/op");
+    ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hint::black_box;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut x = 0u64;
+        let ns = measure_ns(|| x = black_box(x).wrapping_add(1));
+        assert!(ns > 0.0 && ns < 1e6, "implausible ns/op: {ns}");
+    }
+}

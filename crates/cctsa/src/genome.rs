@@ -5,8 +5,7 @@
 //! reads at a given coverage. Error-free by default; an optional per-base
 //! substitution error rate exercises the coverage-filtering phase.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rtle_htm::prng::SplitMix64;
 
 /// Bases are stored 2-bit encoded: A=0, C=1, G=2, T=3.
 pub const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
@@ -21,9 +20,9 @@ impl Genome {
     /// Generates a random genome of `len` bases from `seed`.
     pub fn synthetic(len: usize, seed: u64) -> Self {
         assert!(len > 0, "empty genome");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         Genome {
-            seq: (0..len).map(|_| rng.random_range(0..4u8)).collect(),
+            seq: (0..len).map(|_| rng.below(4) as u8).collect(),
         }
     }
 
@@ -85,8 +84,8 @@ pub fn sample_reads(
     assert!((0.0..1.0).contains(&error_rate));
     // Separate streams so read *positions* are identical for any error
     // rate under the same seed (lets tests compare clean vs noisy runs).
-    let mut pos_rng = StdRng::seed_from_u64(seed);
-    let mut err_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut pos_rng = SplitMix64::new(seed);
+    let mut err_rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
     let n_random = (coverage * genome.len()).div_ceil(read_len);
     let max_start = genome.len() - read_len;
 
@@ -102,12 +101,12 @@ pub fn sample_reads(
     }
     // Random coverage passes.
     for _ in 0..n_random {
-        let start = pos_rng.random_range(0..=max_start);
+        let start = pos_rng.range_inclusive(0, max_start as u64) as usize;
         let mut read = genome.bases()[start..start + read_len].to_vec();
         if error_rate > 0.0 {
             for b in &mut read {
-                if err_rng.random::<f64>() < error_rate {
-                    *b = (*b + err_rng.random_range(1..4u8)) % 4;
+                if err_rng.f64() < error_rate {
+                    *b = (*b + err_rng.range_inclusive(1, 3) as u8) % 4;
                 }
             }
         }

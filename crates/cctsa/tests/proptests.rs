@@ -1,42 +1,52 @@
-//! Property tests for the assembler substrate.
+//! Randomized tests for the assembler substrate, driven by a seeded
+//! [`SplitMix64`] stream (dependency-free stand-in for a property-testing
+//! harness; failures reproduce from the fixed seeds).
 
-use proptest::prelude::*;
 use rtle_cctsa::assemble::{assemble_sequential, AssemblyStats};
 use rtle_cctsa::genome::{sample_reads, Genome};
 use rtle_cctsa::kmer::{kmers_with_edges, Kmer};
 use rtle_cctsa::txmap::KmerMap;
+use rtle_htm::prng::SplitMix64;
 use rtle_htm::PlainAccess;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every contig assembled from error-free reads is an exact substring
-    /// of the genome, and assembly covers most of it.
-    #[test]
-    fn contigs_are_genome_substrings(seed in 0u64..500, len in 300usize..1200) {
+/// Every contig assembled from error-free reads is an exact substring
+/// of the genome, and assembly covers most of it.
+#[test]
+fn contigs_are_genome_substrings() {
+    let mut rng = SplitMix64::new(0x51e9_cc01);
+    for _case in 0..48 {
+        let seed = rng.below(500);
+        let len = 300 + rng.below(900) as usize;
         let g = Genome::synthetic(len, seed);
         let reads = sample_reads(&g, 36, 3, 0.0, seed ^ 0x77);
         let contigs = assemble_sequential(&reads, 13, 1);
         let gs = g.bases();
         for c in &contigs {
-            prop_assert!(c.len() >= 13);
-            prop_assert!(
+            assert!(c.len() >= 13);
+            assert!(
                 gs.windows(c.len()).any(|w| w == c.as_slice()),
                 "contig of {} bp not found in genome (seed {seed})",
                 c.len()
             );
         }
         let stats = AssemblyStats::of(&contigs);
-        prop_assert!(stats.total_len >= len, "k-mer coverage spans the genome");
+        assert!(stats.total_len >= len, "k-mer coverage spans the genome");
     }
+}
 
-    /// The k-mer map's multiset of counts equals a HashMap reference for
-    /// arbitrary read sets.
-    #[test]
-    fn kmer_map_matches_hashmap(
-        reads in proptest::collection::vec(
-            proptest::collection::vec(0u8..4, 8..40), 1..20)
-    ) {
+/// The k-mer map's multiset of counts equals a HashMap reference for
+/// arbitrary read sets.
+#[test]
+fn kmer_map_matches_hashmap() {
+    let mut rng = SplitMix64::new(0x51e9_cc02);
+    for _case in 0..48 {
+        let reads: Vec<Vec<u8>> = (0..1 + rng.below(19))
+            .map(|_| {
+                (0..8 + rng.below(32))
+                    .map(|_| rng.below(4) as u8)
+                    .collect()
+            })
+            .collect();
         let k = 7;
         let map = KmerMap::with_capacity(1 << 12);
         let mut reference = std::collections::HashMap::<u64, u32>::new();
@@ -47,17 +57,21 @@ proptest! {
                 *reference.entry(kmer.0).or_default() += 1;
             }
         }
-        prop_assert_eq!(map.len_plain(), reference.len());
+        assert_eq!(map.len_plain(), reference.len());
         for (kv, count) in &reference {
             let info = map.get(&a, Kmer(*kv)).expect("present");
-            prop_assert_eq!(info.count, *count);
+            assert_eq!(info.count, *count);
         }
     }
+}
 
-    /// Edge masks are consistent: every out-edge recorded on u has a
-    /// matching in-edge on the k-mer it rolls into (when both survive).
-    #[test]
-    fn edge_masks_are_symmetric(seed in 0u64..200) {
+/// Edge masks are consistent: every out-edge recorded on u has a
+/// matching in-edge on the k-mer it rolls into (when both survive).
+#[test]
+fn edge_masks_are_symmetric() {
+    let mut rng = SplitMix64::new(0x51e9_cc03);
+    for _case in 0..48 {
+        let seed = rng.below(200);
         let k = 9;
         let g = Genome::synthetic(400, seed);
         let reads = sample_reads(&g, 36, 2, 0.0, seed);
@@ -74,7 +88,7 @@ proptest! {
                     let v = info.kmer.roll(b, k);
                     let vi = map.get(&a, v).expect("successor k-mer must exist");
                     let first = info.kmer.first_base(k);
-                    prop_assert!(
+                    assert!(
                         vi.in_mask & (1 << first) != 0,
                         "missing reciprocal in-edge"
                     );
@@ -82,18 +96,24 @@ proptest! {
             }
         }
     }
+}
 
-    /// N50 definition properties on arbitrary length sets.
-    #[test]
-    fn n50_properties(lens in proptest::collection::vec(1usize..500, 1..30)) {
+/// N50 definition properties on arbitrary length sets.
+#[test]
+fn n50_properties() {
+    let mut rng = SplitMix64::new(0x51e9_cc04);
+    for _case in 0..96 {
+        let lens: Vec<usize> = (0..1 + rng.below(29))
+            .map(|_| 1 + rng.below(499) as usize)
+            .collect();
         let contigs: Vec<Vec<u8>> = lens.iter().map(|&l| vec![0u8; l]).collect();
         let s = AssemblyStats::of(&contigs);
-        prop_assert_eq!(s.contigs, lens.len());
-        prop_assert_eq!(s.total_len, lens.iter().sum::<usize>());
-        prop_assert_eq!(s.longest, *lens.iter().max().unwrap());
-        prop_assert!(s.n50 >= 1 && s.n50 <= s.longest);
+        assert_eq!(s.contigs, lens.len());
+        assert_eq!(s.total_len, lens.iter().sum::<usize>());
+        assert_eq!(s.longest, *lens.iter().max().unwrap());
+        assert!(s.n50 >= 1 && s.n50 <= s.longest);
         // At least half the total length is in contigs of length >= n50.
         let covered: usize = lens.iter().filter(|&&l| l >= s.n50).sum();
-        prop_assert!(covered * 2 >= s.total_len);
+        assert!(covered * 2 >= s.total_len);
     }
 }

@@ -20,6 +20,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rtle_htm::TxCell;
+use rtle_obs::{AdaptAction, AdaptDecision, Recorder};
 
 use crate::orec::OrecTable;
 use crate::stats::ExecStats;
@@ -52,11 +53,16 @@ impl AdaptiveState {
 
     /// Called by the lock holder right after acquiring the lock, before the
     /// critical section runs (resizes are only legal in that window).
+    ///
+    /// Every resize / collapse / re-enable is traced to `recorder` (when
+    /// one is installed) with the window's slow-commit/abort signal, so a
+    /// run can be debugged from its decision history.
     pub fn on_lock_acquired(
         &self,
         orecs: &OrecTable,
         fg_enabled: &TxCell<bool>,
         stats: &ExecStats,
+        recorder: Option<&Recorder>,
     ) {
         let n = self.sections.fetch_add(1, Ordering::Relaxed) + 1;
         if !n.is_multiple_of(WINDOW) {
@@ -67,6 +73,17 @@ impl AdaptiveState {
         let sa = stats.slow_aborts_now();
         let dsc = sc - self.last_slow_commits.swap(sc, Ordering::Relaxed);
         let dsa = sa - self.last_slow_aborts.swap(sa, Ordering::Relaxed);
+        let trace = |action: AdaptAction, before: usize, after: usize| {
+            if let Some(rec) = recorder {
+                rec.record_decision(AdaptDecision {
+                    action,
+                    orecs_before: before as u64,
+                    orecs_after: after as u64,
+                    slow_commits: dsc,
+                    slow_aborts: dsa,
+                });
+            }
+        };
 
         if !fg_enabled.read_plain() {
             // Currently collapsed to plain TLE. Slow-path attempts during
@@ -76,9 +93,12 @@ impl AdaptiveState {
             // probe periodically even without it.
             let dw = self.disabled_windows.fetch_add(1, Ordering::Relaxed) + 1;
             if dsa > 0 || dw.is_multiple_of(REENABLE_WINDOWS) {
-                orecs.resize_active((self.initial_orecs as usize).clamp(1, orecs.capacity()));
+                let before = orecs.active_plain();
+                let restored = (self.initial_orecs as usize).clamp(1, orecs.capacity());
+                orecs.resize_active(restored);
                 fg_enabled.write(true);
                 self.idle_windows.store(0, Ordering::Relaxed);
+                trace(AdaptAction::Reenable, before, restored);
             }
             return;
         }
@@ -90,16 +110,21 @@ impl AdaptiveState {
             // a single orec, collapse to plain TLE.
             let idle = self.idle_windows.fetch_add(1, Ordering::Relaxed) + 1;
             if active > 1 {
-                orecs.resize_active((active / 2).max(1));
+                let target = (active / 2).max(1);
+                orecs.resize_active(target);
+                trace(AdaptAction::Shrink, active, target);
             } else if idle >= 2 {
                 fg_enabled.write(false);
                 self.disabled_windows.store(0, Ordering::Relaxed);
+                trace(AdaptAction::Collapse, active, active);
             }
         } else {
             self.idle_windows.store(0, Ordering::Relaxed);
             if dsa > GROW_ABORT_FACTOR * dsc.max(1) && active < orecs.capacity() {
                 // Slow path keeps aborting: most likely orec aliasing.
-                orecs.resize_active((active * 2).min(orecs.capacity()));
+                let target = (active * 2).min(orecs.capacity());
+                orecs.resize_active(target);
+                trace(AdaptAction::Grow, active, target);
             }
         }
     }
@@ -119,7 +144,7 @@ mod tests {
         k: u64,
     ) {
         for _ in 0..k * WINDOW {
-            st.on_lock_acquired(orecs, fg, stats);
+            st.on_lock_acquired(orecs, fg, stats, None);
         }
     }
 
@@ -147,12 +172,12 @@ mod tests {
 
         // Simulate a window with heavy slow-path aborting and no commits.
         for _ in 0..WINDOW - 1 {
-            st.on_lock_acquired(&orecs, &fg, &stats);
+            st.on_lock_acquired(&orecs, &fg, &stats, None);
         }
         for _ in 0..100 {
             stats.record_abort(Path::SlowHtm, AbortCode::Explicit(4));
         }
-        st.on_lock_acquired(&orecs, &fg, &stats);
+        st.on_lock_acquired(&orecs, &fg, &stats, None);
         assert_eq!(orecs.active_plain(), 4, "doubled under abort pressure");
     }
 
@@ -207,16 +232,66 @@ mod tests {
 
         for w in 0..4u64 {
             for _ in 0..WINDOW - 1 {
-                st.on_lock_acquired(&orecs, &fg, &stats);
+                st.on_lock_acquired(&orecs, &fg, &stats, None);
             }
             // Commits dominate aborts in every window.
             for _ in 0..20 {
                 stats.record_commit(Path::SlowHtm);
             }
             stats.record_abort(Path::SlowHtm, AbortCode::Conflict);
-            st.on_lock_acquired(&orecs, &fg, &stats);
+            st.on_lock_acquired(&orecs, &fg, &stats, None);
             assert_eq!(orecs.active_plain(), 16, "window {w}: size stable");
             assert!(fg.read_plain());
         }
+    }
+
+    /// Every adaptation is traceable: the full shrink → collapse →
+    /// re-enable → grow lifecycle appears in the recorder's decision
+    /// trace, with the window signals that triggered each step.
+    #[test]
+    fn decisions_are_traced_with_signals() {
+        let st = AdaptiveState::new(4);
+        let orecs = OrecTable::with_active(1024, 4);
+        let fg = TxCell::new(true);
+        let stats = ExecStats::new();
+        let rec = Recorder::new(rtle_obs::ObsConfig::default());
+        let step = |k: u64| {
+            for _ in 0..k * WINDOW {
+                st.on_lock_acquired(&orecs, &fg, &stats, Some(&rec));
+            }
+        };
+
+        // Idle: 4 -> 2 -> 1, then two more idle windows collapse.
+        step(4);
+        assert!(!fg.read_plain());
+        // Demand (FG_DISABLED aborts) re-enables within one window.
+        for _ in 0..5 {
+            stats.record_abort(Path::SlowHtm, AbortCode::Explicit(5));
+        }
+        step(1);
+        assert!(fg.read_plain());
+        // Abort pressure grows the range.
+        for _ in 0..100 {
+            stats.record_abort(Path::SlowHtm, AbortCode::Explicit(4));
+        }
+        step(1);
+
+        let actions: Vec<AdaptAction> = rec.decisions().iter().map(|d| d.action).collect();
+        assert_eq!(
+            actions,
+            vec![
+                AdaptAction::Shrink,   // 4 -> 2
+                AdaptAction::Shrink,   // 2 -> 1
+                AdaptAction::Collapse, // idle at 1
+                AdaptAction::Reenable, // demand
+                AdaptAction::Grow,     // abort pressure
+            ]
+        );
+        let d = rec.decisions();
+        assert_eq!((d[0].orecs_before, d[0].orecs_after), (4, 2));
+        assert_eq!(d[3].orecs_after, 4, "re-enable restores initial size");
+        assert!(d[3].slow_aborts >= 5, "demand signal captured");
+        assert_eq!((d[4].orecs_before, d[4].orecs_after), (4, 8));
+        assert!(d[4].slow_aborts >= 100);
     }
 }

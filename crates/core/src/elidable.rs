@@ -14,9 +14,11 @@
 //! speculation continues on the instrumented slow path, concurrent with the
 //! single lock holder.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rtle_htm::{AbortCode, HtmBackend, SwHtmBackend, TxCell};
+use rtle_obs::{AttemptEvent, Outcome, PathKind, Recorder};
 
 use crate::abort_codes;
 use crate::adaptive::AdaptiveState;
@@ -50,6 +52,58 @@ pub struct ElidableLock<B: HtmBackend = SwHtmBackend> {
     fg_enabled: TxCell<bool>,
     adaptive: Option<AdaptiveState>,
     stats: ExecStats,
+    /// Attempt-level observability. `None` (the default) costs one branch
+    /// per operation; installed, sampled operations additionally pay two
+    /// `Instant` reads and a few relaxed stores.
+    recorder: Option<Arc<Recorder>>,
+}
+
+/// Per-thread identity for observability: a stable small key (ring stripe
+/// selection) and a monotone per-thread operation sequence (sampling).
+mod obs_thread {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static NEXT_KEY: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        static KEY: u64 = NEXT_KEY.fetch_add(1, Ordering::Relaxed);
+        static OP_SEQ: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// `(thread_key, op_seq)` — the sequence advances on every call.
+    #[inline]
+    pub(super) fn next() -> (u64, u64) {
+        let key = KEY.with(|k| *k);
+        let seq = OP_SEQ.with(|s| {
+            let v = s.get();
+            s.set(v.wrapping_add(1));
+            v
+        });
+        (key, seq)
+    }
+}
+
+/// Recording context threaded through one sampled operation.
+#[derive(Clone, Copy)]
+struct Rec<'a> {
+    recorder: &'a Recorder,
+    thread_key: u64,
+}
+
+impl Rec<'_> {
+    #[inline]
+    fn attempt(&self, path: PathKind, outcome: Outcome, attempt: u32, started: Instant) {
+        self.recorder.record_attempt(
+            self.thread_key,
+            AttemptEvent {
+                path,
+                outcome,
+                attempt: attempt.min(u8::MAX as u32) as u8,
+                latency: started.elapsed().as_nanos() as u64,
+            },
+        );
+    }
 }
 
 impl ElidableLock<SwHtmBackend> {
@@ -97,7 +151,20 @@ impl<B: HtmBackend> ElidableLock<B> {
             fg_enabled: TxCell::new(true),
             adaptive,
             stats: ExecStats::new(),
+            recorder: None,
         }
+    }
+
+    /// Installs an attempt-level [`Recorder`]; sampled operations then
+    /// emit events, latency histograms, and adaptive decision traces.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The installed recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
     }
 
     /// The policy this lock runs.
@@ -133,14 +200,27 @@ impl<B: HtmBackend> ElidableLock<B> {
     /// [`Ctx::read`]/[`Ctx::write`], exactly as the paper requires all
     /// shared accesses in atomic blocks to be instrumented.
     pub fn execute<R>(&self, cs: impl Fn(&Ctx<'_>) -> R) -> R {
-        let r = self.execute_inner(&cs);
+        // The recording decision is made once per operation, out of the
+        // retry loop: unsampled (and recorder-less) operations run the
+        // exact uninstrumented path.
+        let rec = match &self.recorder {
+            Some(recorder) => {
+                let (thread_key, seq) = obs_thread::next();
+                recorder.should_sample(seq).then_some(Rec {
+                    recorder,
+                    thread_key,
+                })
+            }
+            None => None,
+        };
+        let r = self.execute_inner(&cs, rec);
         self.stats.record_op();
         r
     }
 
-    fn execute_inner<R>(&self, cs: &impl Fn(&Ctx<'_>) -> R) -> R {
+    fn execute_inner<R>(&self, cs: &impl Fn(&Ctx<'_>) -> R, rec: Option<Rec<'_>>) -> R {
         if self.policy == ElisionPolicy::LockOnly {
-            return self.run_under_lock(cs);
+            return self.run_under_lock(cs, rec, 0);
         }
 
         let mut attempts = 0u32;
@@ -157,13 +237,30 @@ impl<B: HtmBackend> ElidableLock<B> {
                     // concurrently with the lock holder. These attempts are
                     // not charged to the fast-path budget (§6.2.1), but an
                     // anti-starvation cap may bound them (RetryPolicy).
+                    let t0 = rec.map(|_| Instant::now());
                     match self.slow_attempt(cs) {
                         Ok(r) => {
                             self.stats.record_commit(Path::SlowHtm);
+                            if let (Some(rc), Some(t0)) = (rec, t0) {
+                                rc.attempt(
+                                    PathKind::SlowHtm,
+                                    Outcome::Commit,
+                                    attempts + slow_attempts,
+                                    t0,
+                                );
+                            }
                             return r;
                         }
                         Err(code) => {
                             self.stats.record_abort(Path::SlowHtm, code);
+                            if let (Some(rc), Some(t0)) = (rec, t0) {
+                                rc.attempt(
+                                    PathKind::SlowHtm,
+                                    Outcome::from_abort(code),
+                                    attempts + slow_attempts,
+                                    t0,
+                                );
+                            }
                             slow_attempts += 1;
                             if slow_attempt_hopeless(code) {
                                 self.lock.spin_while_held();
@@ -183,13 +280,30 @@ impl<B: HtmBackend> ElidableLock<B> {
                 continue;
             }
 
+            let t0 = rec.map(|_| Instant::now());
             match self.fast_attempt(cs) {
                 Ok(r) => {
                     self.stats.record_commit(Path::FastHtm);
+                    if let (Some(rc), Some(t0)) = (rec, t0) {
+                        rc.attempt(
+                            PathKind::FastHtm,
+                            Outcome::Commit,
+                            attempts + slow_attempts,
+                            t0,
+                        );
+                    }
                     return r;
                 }
                 Err(code) => {
                     self.stats.record_abort(Path::FastHtm, code);
+                    if let (Some(rc), Some(t0)) = (rec, t0) {
+                        rc.attempt(
+                            PathKind::FastHtm,
+                            Outcome::from_abort(code),
+                            attempts + slow_attempts,
+                            t0,
+                        );
+                    }
                     attempts += 1;
                     if self.retry.give_up_on_unsupported && !code.may_retry() {
                         break;
@@ -201,7 +315,7 @@ impl<B: HtmBackend> ElidableLock<B> {
             }
         }
 
-        self.run_under_lock(cs)
+        self.run_under_lock(cs, rec, attempts + slow_attempts)
     }
 
     /// One uninstrumented fast-path attempt.
@@ -262,7 +376,7 @@ impl<B: HtmBackend> ElidableLock<B> {
     /// Pessimistic execution: acquire the lock and run the (instrumented,
     /// for refined policies) critical section. Guaranteed to complete in
     /// one attempt — the property §4.1 highlights.
-    fn run_under_lock<R>(&self, cs: &impl Fn(&Ctx<'_>) -> R) -> R {
+    fn run_under_lock<R>(&self, cs: &impl Fn(&Ctx<'_>) -> R, rec: Option<Rec<'_>>, prior_attempts: u32) -> R {
         self.lock.acquire();
         // Recorded at acquisition (not completion) so concurrent observers
         // see the pessimistic execution while it is in flight.
@@ -275,7 +389,14 @@ impl<B: HtmBackend> ElidableLock<B> {
                 if let Some(ad) = &self.adaptive {
                     // Resizes / mode flips are only legal right here, while
                     // holding the lock and before the CS runs (§4.2.1).
-                    ad.on_lock_acquired(orecs, &self.fg_enabled, &self.stats);
+                    // Decisions are always traced when a recorder is
+                    // installed — they are rare and too valuable to sample.
+                    ad.on_lock_acquired(
+                        orecs,
+                        &self.fg_enabled,
+                        &self.stats,
+                        self.recorder.as_deref(),
+                    );
                 }
                 if self.fg_enabled.read_plain() {
                     let epoch_now = self.epoch.begin_locked_section();
@@ -314,7 +435,12 @@ impl<B: HtmBackend> ElidableLock<B> {
             _ => {}
         }
 
-        self.stats.record_time_locked(t0.elapsed());
+        let held = t0.elapsed();
+        self.stats.record_time_locked(held);
+        if let Some(rc) = rec {
+            rc.recorder.record_lock_hold(held.as_nanos() as u64);
+            rc.attempt(PathKind::Lock, Outcome::Commit, prior_attempts, t0);
+        }
         self.lock.release();
         r
     }

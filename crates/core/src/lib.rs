@@ -63,6 +63,11 @@ pub use stats::{ExecStats, StatsSnapshot};
 pub use rtle_htm::hash::{fast_hash, wang_mix64};
 pub use rtle_htm::{AbortCode, HtmBackend, SwHtmBackend, TxCell, TxWord};
 
+/// Re-export of the observability crate so callers can install a
+/// [`rtle_obs::Recorder`] via [`ElidableLock::with_recorder`] without a
+/// separate dependency.
+pub use rtle_obs as obs;
+
 /// Explicit HTM abort codes used by the elision runtimes. Surfaced so tests
 /// and tools can attribute aborts precisely.
 pub mod abort_codes {

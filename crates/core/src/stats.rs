@@ -36,6 +36,10 @@ pub struct ExecStats {
     /// Explicit aborts broken down by runtime code (index =
     /// `crate::abort_codes::*`, 0..8).
     aborts_by_code: [AtomicU64; 8],
+    /// Aborts reported against [`Path::UnderLock`] — a caller bug (the
+    /// pessimistic path cannot abort), but counted rather than silently
+    /// dropped so release-build misuse is observable.
+    lock_path_aborts: AtomicU64,
     time_locked_ns: AtomicU64,
 }
 
@@ -65,7 +69,10 @@ impl ExecStats {
         match path {
             Path::FastHtm => self.fast_aborts.fetch_add(1, Ordering::Relaxed),
             Path::SlowHtm => self.slow_aborts.fetch_add(1, Ordering::Relaxed),
-            Path::UnderLock => unreachable!("lock path cannot abort"),
+            Path::UnderLock => {
+                debug_assert!(false, "lock path cannot abort (code {code:?})");
+                self.lock_path_aborts.fetch_add(1, Ordering::Relaxed)
+            }
         };
         match code {
             AbortCode::Conflict => &self.aborts_conflict,
@@ -115,6 +122,7 @@ impl ExecStats {
             aborts_unsupported: self.aborts_unsupported.load(Ordering::Relaxed),
             aborts_other: self.aborts_other.load(Ordering::Relaxed),
             aborts_by_code: std::array::from_fn(|i| self.aborts_by_code[i].load(Ordering::Relaxed)),
+            lock_path_aborts: self.lock_path_aborts.load(Ordering::Relaxed),
             time_locked: Duration::from_nanos(self.time_locked_ns.load(Ordering::Relaxed)),
         }
     }
@@ -147,6 +155,9 @@ pub struct StatsSnapshot {
     pub aborts_other: u64,
     /// Explicit aborts by runtime code (index = `crate::abort_codes::*`).
     pub aborts_by_code: [u64; 8],
+    /// Aborts misreported against the pessimistic path (always 0 unless a
+    /// caller violates the recording contract; see `ExecStats`).
+    pub lock_path_aborts: u64,
     /// Total wall time some thread held the lock.
     pub time_locked: Duration,
 }
@@ -173,22 +184,27 @@ impl StatsSnapshot {
     }
 
     /// Counter deltas relative to `earlier`.
+    ///
+    /// All subtractions saturate: the counters race under `Relaxed`
+    /// loads, so a snapshot taken "later" can trail `earlier` on an
+    /// individual field, and a plain `-` would panic in debug builds.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
-            ops: self.ops - earlier.ops,
-            fast_commits: self.fast_commits - earlier.fast_commits,
-            slow_commits: self.slow_commits - earlier.slow_commits,
-            lock_acquisitions: self.lock_acquisitions - earlier.lock_acquisitions,
-            fast_aborts: self.fast_aborts - earlier.fast_aborts,
-            slow_aborts: self.slow_aborts - earlier.slow_aborts,
-            aborts_conflict: self.aborts_conflict - earlier.aborts_conflict,
-            aborts_capacity: self.aborts_capacity - earlier.aborts_capacity,
-            aborts_explicit: self.aborts_explicit - earlier.aborts_explicit,
-            aborts_unsupported: self.aborts_unsupported - earlier.aborts_unsupported,
-            aborts_other: self.aborts_other - earlier.aborts_other,
+            ops: self.ops.saturating_sub(earlier.ops),
+            fast_commits: self.fast_commits.saturating_sub(earlier.fast_commits),
+            slow_commits: self.slow_commits.saturating_sub(earlier.slow_commits),
+            lock_acquisitions: self.lock_acquisitions.saturating_sub(earlier.lock_acquisitions),
+            fast_aborts: self.fast_aborts.saturating_sub(earlier.fast_aborts),
+            slow_aborts: self.slow_aborts.saturating_sub(earlier.slow_aborts),
+            aborts_conflict: self.aborts_conflict.saturating_sub(earlier.aborts_conflict),
+            aborts_capacity: self.aborts_capacity.saturating_sub(earlier.aborts_capacity),
+            aborts_explicit: self.aborts_explicit.saturating_sub(earlier.aborts_explicit),
+            aborts_unsupported: self.aborts_unsupported.saturating_sub(earlier.aborts_unsupported),
+            aborts_other: self.aborts_other.saturating_sub(earlier.aborts_other),
             aborts_by_code: std::array::from_fn(|i| {
-                self.aborts_by_code[i] - earlier.aborts_by_code[i]
+                self.aborts_by_code[i].saturating_sub(earlier.aborts_by_code[i])
             }),
+            lock_path_aborts: self.lock_path_aborts.saturating_sub(earlier.lock_path_aborts),
             time_locked: self.time_locked.saturating_sub(earlier.time_locked),
         }
     }
@@ -251,5 +267,52 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.ops, 15);
         assert_eq!(d.fast_commits, 5);
+    }
+
+    /// Relaxed counters can make a "later" snapshot trail an earlier one
+    /// on individual fields; `since` must clamp to zero, not panic.
+    #[test]
+    fn since_saturates_on_racing_counters() {
+        let earlier = StatsSnapshot {
+            ops: 100,
+            fast_commits: 90,
+            slow_aborts: 7,
+            aborts_by_code: [3; 8],
+            lock_path_aborts: 1,
+            ..Default::default()
+        };
+        let later = StatsSnapshot {
+            ops: 99, // trails despite being sampled later
+            fast_commits: 95,
+            ..Default::default()
+        };
+        let d = later.since(&earlier);
+        assert_eq!(d.ops, 0);
+        assert_eq!(d.fast_commits, 5);
+        assert_eq!(d.slow_aborts, 0);
+        assert_eq!(d.aborts_by_code, [0; 8]);
+        assert_eq!(d.lock_path_aborts, 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lock_path_abort_is_a_debug_assertion() {
+        let s = ExecStats::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.record_abort(Path::UnderLock, AbortCode::Conflict)
+        }));
+        assert!(r.is_err(), "misuse must trip the debug assertion");
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn lock_path_abort_is_counted_in_release() {
+        let s = ExecStats::new();
+        s.record_abort(Path::UnderLock, AbortCode::Conflict);
+        let snap = s.snapshot();
+        assert_eq!(snap.lock_path_aborts, 1, "misuse is observable");
+        assert_eq!(snap.aborts_conflict, 1);
+        assert_eq!(snap.fast_aborts, 0);
+        assert_eq!(snap.slow_aborts, 0);
     }
 }

@@ -1,0 +1,188 @@
+//! Integration tests for attempt-level observability: the recorder wired
+//! through `ElidableLock::execute`, concurrent snapshotting, and adaptive
+//! decision tracing from a real workload.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rtle_core::obs::{ObsConfig, Recorder};
+use rtle_core::{Ctx, ElidableLock, ElisionPolicy, TxCell};
+
+fn recorded_lock(policy: ElisionPolicy) -> (Arc<ElidableLock>, Arc<Recorder>) {
+    let rec = Arc::new(Recorder::new(ObsConfig::default()));
+    let lock = Arc::new(ElidableLock::new(policy).with_recorder(Arc::clone(&rec)));
+    (lock, rec)
+}
+
+/// A single-threaded run populates every recorder surface: per-path
+/// commits, retry and latency histograms, the event ring, and lock-hold
+/// samples when the pessimistic path runs.
+#[test]
+fn recorder_captures_fast_and_lock_paths() {
+    let (lock, rec) = recorded_lock(ElisionPolicy::Tle);
+    let c = TxCell::new(0u64);
+    for i in 0..100u64 {
+        lock.execute(|ctx: &Ctx| {
+            // Every 10th op is forced onto the pessimistic path.
+            if i % 10 == 9 {
+                rtle_htm::htm_unfriendly_instruction();
+            }
+            let v = ctx.read(&c);
+            ctx.write(&c, v + 1);
+        });
+    }
+    assert_eq!(c.read_plain(), 100);
+
+    let snap = rec.snapshot();
+    let commits: std::collections::HashMap<_, _> = snap.commits.iter().cloned().collect();
+    assert_eq!(commits["fast_htm"], 90);
+    assert_eq!(commits["lock"], 10);
+    assert_eq!(snap.total_commits(), 100);
+    assert!(snap.total_aborts() >= 10, "unsupported aborts recorded");
+    assert_eq!(snap.cs_latency.count, 100);
+    assert_eq!(snap.retries.count, 100);
+    assert_eq!(snap.lock_hold.count, 10);
+    assert!(snap.cs_latency.percentile(0.99) >= snap.cs_latency.percentile(0.50));
+    assert!(!snap.recent_events.is_empty());
+    // The recorder's view agrees with the exact ExecStats counters
+    // (sampling is 1-in-1 here).
+    let stats = lock.stats().snapshot();
+    assert_eq!(stats.fast_commits, 90);
+    assert_eq!(stats.lock_acquisitions, 10);
+}
+
+/// Sampling records 1 in 2^k operations without losing the exact
+/// ExecStats counters.
+#[test]
+fn sampling_thins_recording_but_not_stats() {
+    let rec = Arc::new(Recorder::new(ObsConfig {
+        sample_shift: 3, // 1 in 8
+        ..ObsConfig::default()
+    }));
+    let lock = ElidableLock::new(ElisionPolicy::Tle).with_recorder(Arc::clone(&rec));
+    let c = TxCell::new(0u64);
+    for _ in 0..800 {
+        lock.execute(|ctx: &Ctx| {
+            let v = ctx.read(&c);
+            ctx.write(&c, v + 1);
+        });
+    }
+    assert_eq!(lock.stats().snapshot().ops, 800, "stats stay exact");
+    let snap = rec.snapshot();
+    // This thread's op sequence may be offset by other tests' threads, so
+    // allow one sample of slack around 800/8.
+    assert!(
+        (99..=101).contains(&snap.total_commits()),
+        "sampled ~100, got {}",
+        snap.total_commits()
+    );
+}
+
+/// Eight threads hammer a recorded lock (histograms + ExecStats) while
+/// the main thread snapshots both continuously: no panics, no torn
+/// values, and the final counts add up.
+#[test]
+fn concurrent_hammer_while_snapshotting() {
+    const THREADS: usize = 8;
+    const OPS: usize = 3_000;
+    let (lock, rec) = recorded_lock(ElisionPolicy::FgTle { orecs: 64 });
+    let c = Arc::new(TxCell::new(0u64));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let (lock, c) = (Arc::clone(&lock), Arc::clone(&c));
+            std::thread::spawn(move || {
+                for _ in 0..OPS {
+                    lock.execute(|ctx: &Ctx| {
+                        let v = ctx.read(&c);
+                        ctx.write(&c, v + 1);
+                    });
+                }
+            })
+        })
+        .collect();
+
+    let observer = {
+        let (lock, rec, done) = (Arc::clone(&lock), Arc::clone(&rec), Arc::clone(&done));
+        std::thread::spawn(move || {
+            let mut last = lock.stats().snapshot();
+            while !done.load(Ordering::Relaxed) {
+                let now = lock.stats().snapshot();
+                let delta = now.since(&last); // must never panic (saturating)
+                assert!(delta.ops <= (THREADS * OPS) as u64);
+                let obs = rec.snapshot();
+                // Commit counters and histogram cells are separate relaxed
+                // atomics, so a mid-run snapshot may catch a worker between
+                // the two updates: allow one in-flight op of skew per
+                // thread. Exact equality is asserted after joining below.
+                let skew = |a: u64, b: u64| a.abs_diff(b) <= THREADS as u64;
+                assert!(skew(obs.cs_latency.count, obs.total_commits()));
+                assert!(skew(obs.retries.count, obs.total_commits()));
+                last = now;
+            }
+        })
+    };
+
+    for w in workers {
+        w.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    observer.join().unwrap();
+
+    assert_eq!(c.read_plain(), (THREADS * OPS) as u64);
+    let stats = lock.stats().snapshot();
+    assert_eq!(stats.ops, (THREADS * OPS) as u64);
+    let obs = rec.snapshot();
+    assert_eq!(obs.total_commits(), (THREADS * OPS) as u64);
+    assert_eq!(obs.cs_latency.count, obs.total_commits());
+    assert_eq!(obs.retries.count, obs.total_commits());
+    assert_eq!(
+        stats.fast_commits + stats.slow_commits + stats.lock_acquisitions,
+        obs.total_commits(),
+        "recorder and exact counters agree at 1-in-1 sampling"
+    );
+}
+
+/// Adaptive FG-TLE under a lock-heavy workload with an idle slow path
+/// emits traceable shrink/collapse decisions through the installed
+/// recorder — the §4.2.1 adaptation is observable end to end.
+#[test]
+fn adaptive_workload_emits_decision_events() {
+    let (lock, rec) = recorded_lock(ElisionPolicy::AdaptiveFgTle {
+        initial_orecs: 16,
+        max_orecs: 1024,
+    });
+    let c = TxCell::new(0u64);
+    // Single-threaded and HTM-unfriendly: every operation takes the lock,
+    // the slow path stays idle, and the policy shrinks 16 -> 1 and then
+    // collapses to plain TLE. 32-acquisition windows x (4 shrinks + 2
+    // idle-at-1) need ~200 ops; run enough to cross all of them.
+    for _ in 0..300 {
+        lock.execute(|ctx: &Ctx| {
+            rtle_htm::htm_unfriendly_instruction();
+            let v = ctx.read(&c);
+            ctx.write(&c, v + 1);
+        });
+    }
+    assert_eq!(c.read_plain(), 300);
+    assert_eq!(lock.slow_path_enabled(), Some(false), "collapsed");
+
+    let decisions = rec.decisions();
+    assert!(!decisions.is_empty(), "adaptation must be traceable");
+    let labels: Vec<&str> = decisions.iter().map(|d| d.action.label()).collect();
+    assert!(labels.contains(&"shrink"), "{labels:?}");
+    assert!(labels.contains(&"collapse"), "{labels:?}");
+    // Each shrink halves the range and records the idle window signal.
+    let first = &decisions[0];
+    assert_eq!(first.action.label(), "shrink");
+    assert_eq!(first.orecs_before, 16);
+    assert_eq!(first.orecs_after, 8);
+    assert_eq!(first.slow_commits, 0);
+    // The same trace appears in the exported snapshot.
+    let snap = rec.snapshot();
+    assert_eq!(snap.decisions.len(), decisions.len());
+    assert!(snap.lock_hold.count >= 300);
+    let commits: std::collections::HashMap<_, _> = snap.commits.iter().cloned().collect();
+    assert_eq!(commits["lock"], 300);
+}

@@ -57,6 +57,7 @@ pub mod cell;
 pub mod config;
 pub mod descriptor;
 pub mod hash;
+pub mod prng;
 #[cfg(feature = "rtm")]
 pub mod rtm;
 pub mod stats;

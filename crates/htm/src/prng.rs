@@ -1,0 +1,114 @@
+//! Deterministic pseudo-random number generation for workloads and tests.
+//!
+//! The evaluation substrate must be reproducible bit-for-bit across runs
+//! and machines, and the build must work in offline sandboxes, so instead
+//! of an external RNG crate this module provides a small SplitMix64
+//! generator (Steele, Lea, Flood; OOPSLA 2014) — the same mixer family as
+//! [`crate::hash::wang_mix64`], with well-understood equidistribution for
+//! the modest stream lengths the workloads draw.
+
+/// A SplitMix64 pseudo-random generator. Deterministic in its seed; not
+/// cryptographic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed` (any value, including 0, is fine).
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, n)`. `n` must be nonzero.
+    ///
+    /// Uses the widening-multiply range reduction (Lemire 2019) — unbiased
+    /// enough for workload generation without a rejection loop.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A uniform draw in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform boolean.
+    #[inline]
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let mut c = SplitMix64::new(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers() {
+        let mut r = SplitMix64::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit in 1000 draws");
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_spread() {
+        let mut r = SplitMix64::new(3);
+        let draws: Vec<f64> = (0..1_000).map(|_| r.f64()).collect();
+        assert!(draws.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = SplitMix64::new(11);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2_000 {
+            match r.range_inclusive(5, 8) {
+                5 => lo_seen = true,
+                8 => hi_seen = true,
+                v => assert!((5..=8).contains(&v)),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

@@ -1,11 +1,13 @@
-//! Property-based tests for the emulated HTM.
+//! Randomized-history tests for the emulated HTM.
 //!
-//! Single-threaded histories let proptest drive arbitrary operation mixes
-//! while a sequential reference model predicts the exact outcome: a
-//! committed transaction applies all its writes; an aborted one applies
-//! none; plain accesses apply immediately.
+//! Single-threaded histories drive arbitrary operation mixes from a
+//! seeded [`SplitMix64`] stream while a sequential reference model
+//! predicts the exact outcome: a committed transaction applies all its
+//! writes; an aborted one applies none; plain accesses apply
+//! immediately. Seeds are fixed, so every run explores the same
+//! histories and failures reproduce bit-for-bit.
 
-use proptest::prelude::*;
+use rtle_htm::prng::SplitMix64;
 use rtle_htm::{swhtm, AbortCode, HtmConfig, TxCell};
 
 /// One step of a generated history.
@@ -21,27 +23,30 @@ enum Step {
     },
 }
 
-fn step_strategy(ncells: usize) -> impl Strategy<Value = Step> {
-    let plain = (0..ncells, any::<u64>()).prop_map(|(i, v)| Step::PlainWrite { i, v });
-    let txn = (
-        proptest::collection::vec((0..ncells, any::<u64>()), 0..6),
-        proptest::option::of(any::<u8>()),
-    )
-        .prop_map(|(writes, abort_with)| Step::Txn { writes, abort_with });
-    prop_oneof![plain, txn]
+fn gen_step(rng: &mut SplitMix64, ncells: usize) -> Step {
+    if rng.bool() {
+        Step::PlainWrite {
+            i: rng.below(ncells as u64) as usize,
+            v: rng.next_u64(),
+        }
+    } else {
+        let writes = (0..rng.below(6))
+            .map(|_| (rng.below(ncells as u64) as usize, rng.next_u64()))
+            .collect();
+        let abort_with = rng.bool().then(|| rng.below(256) as u8);
+        Step::Txn { writes, abort_with }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The cells always equal the sequential reference model after any
-    /// history of plain writes and (possibly self-aborting) transactions.
-    #[test]
-    fn history_matches_reference(
-        steps in proptest::collection::vec(step_strategy(8), 0..40)
-    ) {
+/// The cells always equal the sequential reference model after any
+/// history of plain writes and (possibly self-aborting) transactions.
+#[test]
+fn history_matches_reference() {
+    let mut rng = SplitMix64::new(0x51e9_0001);
+    for _case in 0..256 {
         let cells: Vec<TxCell<u64>> = (0..8).map(|_| TxCell::new(0)).collect();
         let mut model = [0u64; 8];
+        let steps: Vec<Step> = (0..rng.below(40)).map(|_| gen_step(&mut rng, 8)).collect();
 
         for step in &steps {
             match step {
@@ -65,25 +70,31 @@ proptest! {
                             }
                         }
                         (Err(AbortCode::Explicit(c)), Some(expected)) => {
-                            prop_assert_eq!(c, *expected);
+                            assert_eq!(c, *expected);
                         }
-                        (other, _) => prop_assert!(
-                            false, "unexpected outcome {:?} for {:?}", other, step
-                        ),
+                        (other, _) => {
+                            panic!("unexpected outcome {other:?} for {step:?}")
+                        }
                     }
                 }
             }
         }
 
         for (cell, expected) in cells.iter().zip(model.iter()) {
-            prop_assert_eq!(cell.read_plain(), *expected);
+            assert_eq!(cell.read_plain(), *expected);
         }
     }
+}
 
-    /// Read-your-own-writes inside a transaction, for arbitrary write
-    /// sequences: the last buffered value wins.
-    #[test]
-    fn read_own_writes(values in proptest::collection::vec(any::<u64>(), 1..20)) {
+/// Read-your-own-writes inside a transaction, for arbitrary write
+/// sequences: the last buffered value wins.
+#[test]
+fn read_own_writes() {
+    let mut rng = SplitMix64::new(0x51e9_0002);
+    for _case in 0..256 {
+        let values: Vec<u64> = (0..rng.range_inclusive(1, 19))
+            .map(|_| rng.next_u64())
+            .collect();
         let c = TxCell::new(u64::MAX);
         let last = *values.last().unwrap();
         let seen = swhtm::try_txn(|| {
@@ -91,18 +102,28 @@ proptest! {
                 c.write(*v);
             }
             c.read()
-        }).unwrap();
-        prop_assert_eq!(seen, last);
-        prop_assert_eq!(c.read_plain(), last);
+        })
+        .unwrap();
+        assert_eq!(seen, last);
+        assert_eq!(c.read_plain(), last);
     }
+}
 
-    /// Capacity limits are enforced exactly: writing n distinct heap cells
-    /// succeeds iff n does not exceed the configured write capacity.
-    /// (Heap-allocated cells land on distinct lines with overwhelming
-    /// probability; we allow the rare alias by asserting one-sided.)
-    #[test]
-    fn write_capacity_respected(n in 1usize..40, cap in 1u32..32) {
-        let cfg = HtmConfig { write_capacity: cap, read_capacity: 1 << 20, spurious_one_in: 0 };
+/// Capacity limits are enforced exactly: writing n distinct heap cells
+/// succeeds iff n does not exceed the configured write capacity.
+/// (Heap-allocated cells land on distinct lines with overwhelming
+/// probability; we allow the rare alias by asserting one-sided.)
+#[test]
+fn write_capacity_respected() {
+    let mut rng = SplitMix64::new(0x51e9_0003);
+    for _case in 0..128 {
+        let n = rng.range_inclusive(1, 39) as usize;
+        let cap = rng.range_inclusive(1, 31) as u32;
+        let cfg = HtmConfig {
+            write_capacity: cap,
+            read_capacity: 1 << 20,
+            spurious_one_in: 0,
+        };
         let outcome = cfg.with_installed(|| {
             let cells: Vec<Box<TxCell<u64>>> =
                 (0..n).map(|_| Box::new(TxCell::new(0))).collect();
@@ -116,10 +137,10 @@ proptest! {
             // More distinct cells than capacity: must abort unless stripes
             // aliased (possible but rare); accept only Capacity as an error.
             if let Err(code) = outcome {
-                prop_assert_eq!(code, AbortCode::Capacity);
+                assert_eq!(code, AbortCode::Capacity);
             }
         } else {
-            prop_assert!(outcome.is_ok(), "n={} cap={} -> {:?}", n, cap, outcome);
+            assert!(outcome.is_ok(), "n={n} cap={cap} -> {outcome:?}");
         }
     }
 }

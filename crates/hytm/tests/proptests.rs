@@ -1,8 +1,10 @@
-//! Property tests for the NOrec / RHNOrec baselines: differential
+//! Randomized tests for the NOrec / RHNOrec baselines: differential
 //! equivalence against a sequential model, for arbitrary transaction
-//! programs.
+//! programs. Driven by a seeded [`SplitMix64`] stream (dependency-free
+//! stand-in for a property-testing harness; failures reproduce from the
+//! fixed seeds).
 
-use proptest::prelude::*;
+use rtle_htm::prng::SplitMix64;
 use rtle_htm::TxCell;
 use rtle_hytm::{Norec, RhNorec};
 
@@ -22,12 +24,23 @@ enum Step {
     },
 }
 
-fn step_strategy(n: usize) -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0..n).prop_map(Step::Read),
-        (0..n, 0..n, 0..100u64).prop_map(|(src, dst, k)| Step::AddInto { src, dst, k }),
-        (0..n, 0..1000u64).prop_map(|(dst, v)| Step::Write { dst, v }),
-    ]
+fn gen_step(rng: &mut SplitMix64, n: u64) -> Step {
+    match rng.below(3) {
+        0 => Step::Read(rng.below(n) as usize),
+        1 => Step::AddInto {
+            src: rng.below(n) as usize,
+            dst: rng.below(n) as usize,
+            k: rng.below(100),
+        },
+        _ => Step::Write {
+            dst: rng.below(n) as usize,
+            v: rng.below(1000),
+        },
+    }
+}
+
+fn gen_prog(rng: &mut SplitMix64, n: u64, max_len: u64) -> Vec<Step> {
+    (0..rng.below(max_len)).map(|_| gen_step(rng, n)).collect()
 }
 
 fn apply_model(model: &mut [u64], prog: &[Step]) {
@@ -55,55 +68,58 @@ fn apply_tm<A: rtle_htm::TxAccess + ?Sized>(a: &A, cells: &[TxCell<u64>], prog: 
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Sequential NOrec execution of arbitrary transaction programs equals
-    /// the direct sequential model.
-    #[test]
-    fn norec_matches_model(
-        progs in proptest::collection::vec(
-            proptest::collection::vec(step_strategy(6), 0..12), 0..12)
-    ) {
+/// Sequential NOrec execution of arbitrary transaction programs equals
+/// the direct sequential model.
+#[test]
+fn norec_matches_model() {
+    let mut rng = SplitMix64::new(0x51e9_4001);
+    for _case in 0..96 {
         let tm = Norec::new();
         let cells: Vec<TxCell<u64>> = (0..6).map(|_| TxCell::new(0)).collect();
         let mut model = vec![0u64; 6];
-        for prog in &progs {
-            tm.execute(|ctx| apply_tm(ctx, &cells, prog));
-            apply_model(&mut model, prog);
+        for _ in 0..rng.below(12) {
+            let prog = gen_prog(&mut rng, 6, 12);
+            tm.execute(|ctx| apply_tm(ctx, &cells, &prog));
+            apply_model(&mut model, &prog);
         }
         for (c, m) in cells.iter().zip(&model) {
-            prop_assert_eq!(c.read_plain(), *m);
+            assert_eq!(c.read_plain(), *m);
         }
     }
+}
 
-    /// Same for RHNOrec, mixing hardware and (forced) software paths.
-    #[test]
-    fn rhnorec_matches_model(
-        progs in proptest::collection::vec(
-            (proptest::collection::vec(step_strategy(6), 0..12), any::<bool>()), 0..12)
-    ) {
+/// Same for RHNOrec, mixing hardware and (forced) software paths.
+#[test]
+fn rhnorec_matches_model() {
+    let mut rng = SplitMix64::new(0x51e9_4002);
+    for _case in 0..96 {
         let tm = RhNorec::new();
         let cells: Vec<TxCell<u64>> = (0..6).map(|_| TxCell::new(0)).collect();
         let mut model = vec![0u64; 6];
-        for (prog, force_sw) in &progs {
+        for _ in 0..rng.below(12) {
+            let prog = gen_prog(&mut rng, 6, 12);
+            let force_sw = rng.bool();
             tm.execute(|ctx| {
-                if *force_sw {
+                if force_sw {
                     rtle_htm::htm_unfriendly_instruction();
                 }
-                apply_tm(ctx, &cells, prog)
+                apply_tm(ctx, &cells, &prog)
             });
-            apply_model(&mut model, prog);
+            apply_model(&mut model, &prog);
         }
         for (c, m) in cells.iter().zip(&model) {
-            prop_assert_eq!(c.read_plain(), *m);
+            assert_eq!(c.read_plain(), *m);
         }
-        prop_assert_eq!(tm.sw_running(), 0, "sw counter balanced");
+        assert_eq!(tm.sw_running(), 0, "sw counter balanced");
     }
+}
 
-    /// Commit-kind accounting partitions the op count.
-    #[test]
-    fn rhnorec_commit_kinds_partition_ops(force_sw in proptest::collection::vec(any::<bool>(), 1..40)) {
+/// Commit-kind accounting partitions the op count.
+#[test]
+fn rhnorec_commit_kinds_partition_ops() {
+    let mut rng = SplitMix64::new(0x51e9_4003);
+    for _case in 0..96 {
+        let force_sw: Vec<bool> = (0..1 + rng.below(39)).map(|_| rng.bool()).collect();
         let tm = RhNorec::new();
         let c = TxCell::new(0u64);
         for f in &force_sw {
@@ -116,11 +132,11 @@ proptest! {
             });
         }
         let s = tm.stats().snapshot();
-        prop_assert_eq!(s.ops as usize, force_sw.len());
-        prop_assert_eq!(
+        assert_eq!(s.ops as usize, force_sw.len());
+        assert_eq!(
             s.htm_fast + s.htm_slow + s.stm_fast_commit + s.stm_slow_commit,
             s.ops
         );
-        prop_assert_eq!(c.read_plain() as usize, force_sw.len());
+        assert_eq!(c.read_plain() as usize, force_sw.len());
     }
 }

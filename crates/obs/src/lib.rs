@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! # rtle-obs: observability for the elision runtimes
+//!
+//! The paper's evaluation (§6.2.1) leans on "various lightweight
+//! statistics collected during execution" — per-path commit counts,
+//! abort composition, lock-hold time. This crate turns those one-off
+//! counters into a reusable pipeline with four pieces:
+//!
+//! * **Attempt events** ([`AttemptEvent`]) — one record per retry-loop
+//!   pass (path, outcome, attempt index, critical-section latency),
+//!   packed into a single `u64` so recording is a tear-free relaxed
+//!   store, buffered in striped lock-free rings ([`EventRing`]).
+//! * **Histograms** ([`Histogram`]) — log-linear (HDR-style) with atomic
+//!   buckets, for critical-section latency, lock-hold time, and retry
+//!   counts; mergeable across threads.
+//! * **Recorder / sinks** ([`Recorder`], [`Sink`]) — one shared object
+//!   absorbs everything and produces schema-versioned [`ObsSnapshot`]s;
+//!   sinks deliver them in memory ([`MemorySink`]), as human-readable
+//!   text ([`TextSink`]), or as JSON ([`JsonSink`]).
+//! * **Decision tracing** ([`AdaptDecision`]) — each adaptive FG-TLE
+//!   resize/collapse/re-enable with the slow-commit/abort window signal
+//!   that triggered it.
+//!
+//! Recording is opt-in: the lock runtime holds an `Option<Arc<Recorder>>`
+//! and pays only an `Option` null-check when none is installed, plus a
+//! sampling mask test ([`Recorder::should_sample`]) when one is.
+//!
+//! The [`json`] module is a self-contained JSON writer/parser — exports
+//! must work in offline build environments where serde cannot be
+//! vendored, and the parser lets tests assert that every `--json` file
+//! round-trips.
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod recorder;
+pub mod ring;
+
+pub use event::{AdaptAction, AdaptDecision, AttemptEvent, Outcome, PathKind};
+pub use hist::{HistSnapshot, Histogram};
+pub use json::{parse as parse_json, Json};
+pub use recorder::{
+    JsonSink, MemorySink, ObsConfig, ObsSnapshot, Recorder, Sink, TextSink, SCHEMA_VERSION,
+};

@@ -1,0 +1,703 @@
+//! The [`Recorder`]: one object that absorbs attempt events, latency
+//! samples, and adaptive-policy decisions, and produces schema-versioned
+//! [`ObsSnapshot`]s that flow to [`Sink`]s.
+//!
+//! A recorder is shared behind an `Arc`: the lock runtime (or the
+//! simulator) holds one and feeds it from the hot path; the harness
+//! snapshots it at any time. Everything on the recording side is
+//! lock-free and `Relaxed` — a handful of fetch-adds and one ring store
+//! per *sampled* operation — except decision tracing, which is a
+//! mutex-guarded `Vec` because decisions happen at most once per
+//! adaptation window and always under the elided lock.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+use crate::event::{AdaptDecision, AdaptAction, AttemptEvent, Outcome, PathKind};
+use crate::hist::{HistSnapshot, Histogram};
+use crate::json::Json;
+use crate::ring::EventRing;
+
+/// Version stamped into every exported snapshot. Bump on any
+/// backwards-incompatible change to the JSON layout.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Static configuration for a [`Recorder`].
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Sample 1 in `2^sample_shift` operations for event/histogram
+    /// recording. `0` records every operation; `4` records 1 in 16.
+    pub sample_shift: u32,
+    /// Slots per ring stripe (rounded up to a power of two).
+    pub ring_capacity: usize,
+    /// Independent ring stripes (rounded up to a power of two). More
+    /// stripes means less cross-thread contention on the ring cursors.
+    pub stripes: usize,
+    /// Unit of every latency value fed to this recorder: `"ns"` for the
+    /// real runtime, `"cycles"` for the simulator. Purely descriptive —
+    /// stamped into snapshots so downstream tooling never mixes units.
+    pub latency_unit: &'static str,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            sample_shift: 0,
+            ring_capacity: 1024,
+            stripes: 8,
+            latency_unit: "ns",
+        }
+    }
+}
+
+const PATHS: usize = 3;
+const OUTCOMES: usize = 7; // index = Outcome kind code; 0 is Commit (unused)
+const EXPLICIT_CODES: usize = 8;
+
+fn path_index(p: PathKind) -> usize {
+    match p {
+        PathKind::FastHtm => 0,
+        PathKind::SlowHtm => 1,
+        PathKind::Lock => 2,
+    }
+}
+
+/// Collects attempt events, latency histograms, and adaptive decisions.
+/// See the module docs.
+pub struct Recorder {
+    cfg: ObsConfig,
+    sample_mask: u64,
+    ring: EventRing,
+    /// Critical-section latency of committed attempts.
+    cs_latency: Histogram,
+    /// Time the fallback lock was held per acquisition.
+    lock_hold: Histogram,
+    /// Attempts needed before an operation committed (0 = first try).
+    retries: Histogram,
+    commits: [AtomicU64; PATHS],
+    aborts: [AtomicU64; OUTCOMES],
+    explicit_codes: [AtomicU64; EXPLICIT_CODES],
+    decisions: Mutex<Vec<AdaptDecision>>,
+}
+
+impl Recorder {
+    /// A recorder with the given configuration.
+    pub fn new(cfg: ObsConfig) -> Recorder {
+        Recorder {
+            sample_mask: (1u64 << cfg.sample_shift.min(63)) - 1,
+            ring: EventRing::new(cfg.stripes, cfg.ring_capacity),
+            cs_latency: Histogram::new(),
+            lock_hold: Histogram::new(),
+            retries: Histogram::new(),
+            commits: Default::default(),
+            aborts: Default::default(),
+            explicit_codes: Default::default(),
+            decisions: Mutex::new(Vec::new()),
+            cfg,
+        }
+    }
+
+    /// The recorder's configuration.
+    pub fn config(&self) -> &ObsConfig {
+        &self.cfg
+    }
+
+    /// Whether operation number `op_seq` (any per-thread counter) should
+    /// be recorded, honouring `sample_shift`.
+    #[inline]
+    pub fn should_sample(&self, op_seq: u64) -> bool {
+        op_seq & self.sample_mask == 0
+    }
+
+    /// Records one attempt event: bumps the path/outcome counters, feeds
+    /// the retry and critical-section histograms on commit, and publishes
+    /// the packed event to the ring. `thread_key` picks the ring stripe.
+    #[inline]
+    pub fn record_attempt(&self, thread_key: u64, ev: AttemptEvent) {
+        match ev.outcome {
+            Outcome::Commit => {
+                self.commits[path_index(ev.path)].fetch_add(1, Relaxed);
+                self.cs_latency.record(ev.latency);
+                self.retries.record(ev.attempt as u64);
+            }
+            other => {
+                self.aborts[other.kind_index()].fetch_add(1, Relaxed);
+                if let Outcome::AbortExplicit(c) = other {
+                    self.explicit_codes[c as usize % EXPLICIT_CODES].fetch_add(1, Relaxed);
+                }
+            }
+        }
+        self.ring.push(thread_key, ev.pack());
+    }
+
+    /// Records how long the fallback lock was held, in the recorder's
+    /// latency unit.
+    #[inline]
+    pub fn record_lock_hold(&self, duration: u64) {
+        self.lock_hold.record(duration);
+    }
+
+    /// Appends an adaptive-policy decision to the trace.
+    pub fn record_decision(&self, d: AdaptDecision) {
+        self.decisions.lock().unwrap().push(d);
+    }
+
+    /// The decisions traced so far.
+    pub fn decisions(&self) -> Vec<AdaptDecision> {
+        self.decisions.lock().unwrap().clone()
+    }
+
+    /// A point-in-time snapshot of everything the recorder holds.
+    ///
+    /// Count lists are sorted by label — the same order the JSON object
+    /// form carries — so a snapshot compares equal after a round-trip.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let mut commit_labels = [PathKind::FastHtm, PathKind::SlowHtm, PathKind::Lock];
+        commit_labels.sort_by_key(|p| p.label());
+        let outcome_labels = [
+            "commit",
+            "conflict",
+            "capacity",
+            "explicit",
+            "unsupported",
+            "nested",
+            "spurious",
+        ];
+        let mut aborts: Vec<(String, u64)> = outcome_labels
+            .iter()
+            .enumerate()
+            .skip(1) // index 0 is "commit", not an abort
+            .map(|(i, &l)| (l.to_string(), self.aborts[i].load(Relaxed)))
+            .collect();
+        aborts.sort();
+        ObsSnapshot {
+            schema_version: SCHEMA_VERSION,
+            latency_unit: self.cfg.latency_unit.to_string(),
+            sample_shift: self.cfg.sample_shift,
+            commits: commit_labels
+                .iter()
+                .map(|&p| {
+                    (
+                        p.label().to_string(),
+                        self.commits[path_index(p)].load(Relaxed),
+                    )
+                })
+                .collect(),
+            aborts,
+            explicit_codes: self
+                .explicit_codes
+                .iter()
+                .enumerate()
+                .filter_map(|(c, n)| {
+                    let n = n.load(Relaxed);
+                    (n > 0).then_some((c as u64, n))
+                })
+                .collect(),
+            cs_latency: self.cs_latency.snapshot(),
+            lock_hold: self.lock_hold.snapshot(),
+            retries: self.retries.snapshot(),
+            decisions: self.decisions(),
+            events_recorded: self.ring.pushed(),
+            recent_events: self.ring.drain(),
+        }
+    }
+}
+
+impl Outcome {
+    /// Index into the per-outcome abort counter array (1..=6; commit is 0
+    /// and never used as an abort index).
+    fn kind_index(self) -> usize {
+        match self {
+            Outcome::Commit => 0,
+            Outcome::AbortConflict => 1,
+            Outcome::AbortCapacity => 2,
+            Outcome::AbortExplicit(_) => 3,
+            Outcome::AbortUnsupported => 4,
+            Outcome::AbortNested => 5,
+            Outcome::AbortSpurious => 6,
+        }
+    }
+}
+
+/// A complete, self-describing export of a [`Recorder`]'s state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsSnapshot {
+    /// [`SCHEMA_VERSION`] at export time.
+    pub schema_version: u64,
+    /// `"ns"` or `"cycles"` — the unit of every latency field below.
+    pub latency_unit: String,
+    /// Sampling rate the data was collected at (1 in `2^sample_shift`).
+    pub sample_shift: u32,
+    /// Sampled commits by path label.
+    pub commits: Vec<(String, u64)>,
+    /// Sampled aborts by outcome label.
+    pub aborts: Vec<(String, u64)>,
+    /// Sampled explicit aborts by protocol code.
+    pub explicit_codes: Vec<(u64, u64)>,
+    /// Critical-section latency of committed attempts.
+    pub cs_latency: HistSnapshot,
+    /// Fallback lock hold time per acquisition.
+    pub lock_hold: HistSnapshot,
+    /// Attempts before commit (0 = committed first try).
+    pub retries: HistSnapshot,
+    /// Adaptive-policy decision trace, oldest first.
+    pub decisions: Vec<AdaptDecision>,
+    /// Total events pushed to the ring (monotone, includes overwritten).
+    pub events_recorded: u64,
+    /// Events resident in the ring at snapshot time.
+    pub recent_events: Vec<AttemptEvent>,
+}
+
+impl ObsSnapshot {
+    /// Total sampled commits across paths.
+    pub fn total_commits(&self) -> u64 {
+        self.commits.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Total sampled aborts across causes.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// JSON form (the schema that `--json` files carry).
+    pub fn to_json(&self) -> Json {
+        fn counts(pairs: &[(String, u64)]) -> Json {
+            Json::Obj(
+                pairs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                    .collect(),
+            )
+        }
+        Json::obj([
+            ("schema_version", Json::UInt(self.schema_version)),
+            ("latency_unit", Json::Str(self.latency_unit.clone())),
+            ("sample_shift", Json::UInt(self.sample_shift as u64)),
+            ("commits", counts(&self.commits)),
+            ("aborts", counts(&self.aborts)),
+            (
+                "explicit_codes",
+                Json::Arr(
+                    self.explicit_codes
+                        .iter()
+                        .map(|&(c, n)| Json::Arr(vec![Json::UInt(c), Json::UInt(n)]))
+                        .collect(),
+                ),
+            ),
+            ("cs_latency", self.cs_latency.to_json()),
+            ("lock_hold", self.lock_hold.to_json()),
+            ("retries", self.retries.to_json()),
+            (
+                "decisions",
+                Json::Arr(self.decisions.iter().map(AdaptDecision::to_json).collect()),
+            ),
+            ("events_recorded", Json::UInt(self.events_recorded)),
+            (
+                "recent_events",
+                Json::Arr(
+                    self.recent_events
+                        .iter()
+                        .map(AttemptEvent::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds a snapshot from [`Self::to_json`] output. `None` on
+    /// schema mismatch (including an unknown `schema_version`).
+    pub fn from_json(j: &Json) -> Option<ObsSnapshot> {
+        let version = j.get("schema_version")?.as_u64()?;
+        if version != SCHEMA_VERSION {
+            return None;
+        }
+        fn counts(j: &Json) -> Option<Vec<(String, u64)>> {
+            match j {
+                Json::Obj(m) => m
+                    .iter()
+                    .map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                    .collect(),
+                _ => None,
+            }
+        }
+        fn decision(j: &Json) -> Option<AdaptDecision> {
+            let action = match j.get("action")?.as_str()? {
+                "shrink" => AdaptAction::Shrink,
+                "grow" => AdaptAction::Grow,
+                "collapse" => AdaptAction::Collapse,
+                "reenable" => AdaptAction::Reenable,
+                _ => return None,
+            };
+            Some(AdaptDecision {
+                action,
+                orecs_before: j.get("orecs_before")?.as_u64()?,
+                orecs_after: j.get("orecs_after")?.as_u64()?,
+                slow_commits: j.get("slow_commits")?.as_u64()?,
+                slow_aborts: j.get("slow_aborts")?.as_u64()?,
+            })
+        }
+        fn attempt(j: &Json) -> Option<AttemptEvent> {
+            let path = match j.get("path")?.as_str()? {
+                "fast_htm" => PathKind::FastHtm,
+                "slow_htm" => PathKind::SlowHtm,
+                "lock" => PathKind::Lock,
+                _ => return None,
+            };
+            let outcome = match j.get("outcome")?.as_str()? {
+                "commit" => Outcome::Commit,
+                "conflict" => Outcome::AbortConflict,
+                "capacity" => Outcome::AbortCapacity,
+                "explicit" => {
+                    Outcome::AbortExplicit(j.get("abort_code")?.as_u64()? as u8)
+                }
+                "unsupported" => Outcome::AbortUnsupported,
+                "nested" => Outcome::AbortNested,
+                "spurious" => Outcome::AbortSpurious,
+                _ => return None,
+            };
+            Some(AttemptEvent {
+                path,
+                outcome,
+                attempt: j.get("attempt")?.as_u64()? as u8,
+                latency: j.get("latency")?.as_u64()?,
+            })
+        }
+        Some(ObsSnapshot {
+            schema_version: version,
+            latency_unit: j.get("latency_unit")?.as_str()?.to_string(),
+            sample_shift: j.get("sample_shift")?.as_u64()? as u32,
+            commits: counts(j.get("commits")?)?,
+            aborts: counts(j.get("aborts")?)?,
+            explicit_codes: j
+                .get("explicit_codes")?
+                .as_arr()?
+                .iter()
+                .map(|pair| {
+                    let p = pair.as_arr()?;
+                    Some((p.first()?.as_u64()?, p.get(1)?.as_u64()?))
+                })
+                .collect::<Option<Vec<_>>>()?,
+            cs_latency: HistSnapshot::from_json(j.get("cs_latency")?)?,
+            lock_hold: HistSnapshot::from_json(j.get("lock_hold")?)?,
+            retries: HistSnapshot::from_json(j.get("retries")?)?,
+            decisions: j
+                .get("decisions")?
+                .as_arr()?
+                .iter()
+                .map(decision)
+                .collect::<Option<Vec<_>>>()?,
+            events_recorded: j.get("events_recorded")?.as_u64()?,
+            recent_events: j
+                .get("recent_events")?
+                .as_arr()?
+                .iter()
+                .map(attempt)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+
+    /// A compact human-readable report (what [`TextSink`] writes).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "observability snapshot (schema v{}, latencies in {}, 1-in-{} sampling)",
+            self.schema_version,
+            self.latency_unit,
+            1u64 << self.sample_shift
+        );
+        let tc = self.total_commits().max(1);
+        let _ = writeln!(out, "  commits by path:");
+        for (label, n) in &self.commits {
+            let _ = writeln!(
+                out,
+                "    {label:<10} {n:>12}  ({:.1}%)",
+                *n as f64 * 100.0 / tc as f64
+            );
+        }
+        let ta = self.total_aborts();
+        let _ = writeln!(out, "  aborts by cause ({ta} total):");
+        for (label, n) in &self.aborts {
+            if *n > 0 {
+                let _ = writeln!(
+                    out,
+                    "    {label:<12} {n:>12}  ({:.1}%)",
+                    *n as f64 * 100.0 / ta.max(1) as f64
+                );
+            }
+        }
+        for &(code, n) in &self.explicit_codes {
+            let _ = writeln!(out, "      explicit code {code}: {n}");
+        }
+        for (name, h) in [
+            ("cs_latency", &self.cs_latency),
+            ("lock_hold", &self.lock_hold),
+            ("retries", &self.retries),
+        ] {
+            let _ = writeln!(
+                out,
+                "  {name:<10} n={} mean={:.1} p50={} p99={} max={}",
+                h.count,
+                h.mean(),
+                h.percentile(0.50),
+                h.percentile(0.99),
+                h.max
+            );
+        }
+        if !self.decisions.is_empty() {
+            let _ = writeln!(out, "  adaptive decisions ({}):", self.decisions.len());
+            for d in &self.decisions {
+                let _ = writeln!(
+                    out,
+                    "    {:<9} orecs {} -> {}  (window: {} slow commits, {} slow aborts)",
+                    d.action.label(),
+                    d.orecs_before,
+                    d.orecs_after,
+                    d.slow_commits,
+                    d.slow_aborts
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  events: {} recorded, {} resident in ring",
+            self.events_recorded,
+            self.recent_events.len()
+        );
+        out
+    }
+}
+
+/// A destination for snapshots.
+pub trait Sink {
+    /// Delivers one snapshot.
+    fn emit(&mut self, snap: &ObsSnapshot) -> std::io::Result<()>;
+}
+
+/// Keeps emitted snapshots in memory (tests, programmatic consumers).
+#[derive(Default)]
+pub struct MemorySink {
+    /// Snapshots in emission order.
+    pub snapshots: Vec<ObsSnapshot>,
+}
+
+impl Sink for MemorySink {
+    fn emit(&mut self, snap: &ObsSnapshot) -> std::io::Result<()> {
+        self.snapshots.push(snap.clone());
+        Ok(())
+    }
+}
+
+/// Writes [`ObsSnapshot::render_text`] to any [`Write`] (stderr, a log
+/// file).
+pub struct TextSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> TextSink<W> {
+    /// A text sink over `w`.
+    pub fn new(w: W) -> Self {
+        TextSink { w }
+    }
+}
+
+impl<W: Write> Sink for TextSink<W> {
+    fn emit(&mut self, snap: &ObsSnapshot) -> std::io::Result<()> {
+        self.w.write_all(snap.render_text().as_bytes())
+    }
+}
+
+/// Writes pretty-printed snapshot JSON to any [`Write`].
+pub struct JsonSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JsonSink<W> {
+    /// A JSON sink over `w`.
+    pub fn new(w: W) -> Self {
+        JsonSink { w }
+    }
+}
+
+impl<W: Write> Sink for JsonSink<W> {
+    fn emit(&mut self, snap: &ObsSnapshot) -> std::io::Result<()> {
+        self.w.write_all(snap.to_json().to_string_pretty().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn commit(path: PathKind, attempt: u8, latency: u64) -> AttemptEvent {
+        AttemptEvent {
+            path,
+            outcome: Outcome::Commit,
+            attempt,
+            latency,
+        }
+    }
+
+    #[test]
+    fn sampling_mask() {
+        let all = Recorder::new(ObsConfig::default());
+        assert!((0..100).all(|i| all.should_sample(i)));
+        let sixteenth = Recorder::new(ObsConfig {
+            sample_shift: 4,
+            ..ObsConfig::default()
+        });
+        assert_eq!((0..160).filter(|&i| sixteenth.should_sample(i)).count(), 10);
+    }
+
+    #[test]
+    fn counters_and_histograms_populate() {
+        let r = Recorder::new(ObsConfig::default());
+        r.record_attempt(0, commit(PathKind::FastHtm, 0, 100));
+        r.record_attempt(0, commit(PathKind::FastHtm, 2, 300));
+        r.record_attempt(
+            0,
+            AttemptEvent {
+                path: PathKind::SlowHtm,
+                outcome: Outcome::AbortExplicit(4),
+                attempt: 1,
+                latency: 0,
+            },
+        );
+        r.record_attempt(0, commit(PathKind::Lock, 3, 9_000));
+        r.record_lock_hold(8_500);
+        let s = r.snapshot();
+        assert_eq!(s.total_commits(), 3);
+        assert_eq!(s.total_aborts(), 1);
+        assert_eq!(
+            s.commits,
+            vec![
+                ("fast_htm".to_string(), 2),
+                ("lock".to_string(), 1),
+                ("slow_htm".to_string(), 0)
+            ]
+        );
+        assert_eq!(s.explicit_codes, vec![(4, 1)]);
+        assert_eq!(s.cs_latency.count, 3);
+        assert_eq!(s.retries.count, 3);
+        assert_eq!(s.lock_hold.count, 1);
+        assert_eq!(s.recent_events.len(), 4);
+    }
+
+    #[test]
+    fn json_sink_round_trips_snapshot() {
+        let r = Recorder::new(ObsConfig {
+            latency_unit: "cycles",
+            ..ObsConfig::default()
+        });
+        for i in 0..200u64 {
+            r.record_attempt(i % 4, commit(PathKind::FastHtm, (i % 3) as u8, i * 13));
+        }
+        r.record_attempt(
+            1,
+            AttemptEvent {
+                path: PathKind::SlowHtm,
+                outcome: Outcome::AbortConflict,
+                attempt: 0,
+                latency: 0,
+            },
+        );
+        r.record_lock_hold(4_000);
+        r.record_decision(AdaptDecision {
+            action: AdaptAction::Grow,
+            orecs_before: 64,
+            orecs_after: 128,
+            slow_commits: 2,
+            slow_aborts: 11,
+        });
+        let snap = r.snapshot();
+
+        let mut buf = Vec::new();
+        JsonSink::new(&mut buf).emit(&snap).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = crate::json::parse(&text).expect("sink output parses");
+        let back = ObsSnapshot::from_json(&parsed).expect("schema round-trips");
+        assert_eq!(back, snap);
+        assert_eq!(back.decisions[0].action, AdaptAction::Grow);
+        assert_eq!(back.latency_unit, "cycles");
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_schema_version() {
+        let r = Recorder::new(ObsConfig::default());
+        let mut j = r.snapshot().to_json();
+        if let Json::Obj(m) = &mut j {
+            m.insert("schema_version".into(), Json::UInt(999));
+        }
+        assert!(ObsSnapshot::from_json(&j).is_none());
+    }
+
+    #[test]
+    fn memory_and_text_sinks() {
+        let r = Recorder::new(ObsConfig::default());
+        r.record_attempt(0, commit(PathKind::FastHtm, 0, 42));
+        r.record_decision(AdaptDecision {
+            action: AdaptAction::Collapse,
+            orecs_before: 1,
+            orecs_after: 1,
+            slow_commits: 0,
+            slow_aborts: 0,
+        });
+        let snap = r.snapshot();
+
+        let mut mem = MemorySink::default();
+        mem.emit(&snap).unwrap();
+        assert_eq!(mem.snapshots.len(), 1);
+        assert_eq!(mem.snapshots[0].total_commits(), 1);
+
+        let mut buf = Vec::new();
+        TextSink::new(&mut buf).emit(&snap).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("commits by path"));
+        assert!(text.contains("collapse"));
+        assert!(text.contains("fast_htm"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let r = Arc::new(Recorder::new(ObsConfig::default()));
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        if i % 5 == 4 {
+                            r.record_attempt(
+                                t,
+                                AttemptEvent {
+                                    path: PathKind::SlowHtm,
+                                    outcome: Outcome::AbortConflict,
+                                    attempt: 0,
+                                    latency: 0,
+                                },
+                            );
+                        } else {
+                            r.record_attempt(t, commit(PathKind::FastHtm, 1, i % 1_000));
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Snapshot while writers are running: must never panic or tear.
+        for _ in 0..20 {
+            let s = r.snapshot();
+            assert!(s.total_commits() <= 8 * 8_000);
+            assert!(s.cs_latency.count == s.total_commits());
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = r.snapshot();
+        assert_eq!(s.total_commits(), 8 * 8_000);
+        assert_eq!(s.total_aborts(), 8 * 2_000);
+        assert_eq!(s.retries.count, 8 * 8_000);
+        assert_eq!(s.events_recorded, 8 * 10_000);
+    }
+}

@@ -1,0 +1,171 @@
+//! A striped, lock-free, bounded ring of packed events.
+//!
+//! The hot path pushes one `u64` per sampled attempt; the ring must never
+//! block, allocate, or serialize writers. Each *stripe* is an independent
+//! power-of-two circular buffer with its own wrapping cursor; a writer
+//! picks a stripe by hashing its thread id, does one `fetch_add` to claim
+//! a slot and one `Relaxed` store to publish the packed word. Old events
+//! are overwritten — the ring keeps the most recent `capacity` events per
+//! stripe, which is the right shape for "what just happened" diagnostics.
+//!
+//! Reads are racy by design: a drain sees whatever packed words are
+//! published at that instant. Because an event is a single word with a
+//! valid bit ([`crate::event::AttemptEvent::pack`]), a racy read yields
+//! either a complete event or an empty slot, never a torn one.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use crate::event::AttemptEvent;
+
+struct Stripe {
+    cursor: AtomicU64,
+    slots: Box<[AtomicU64]>,
+}
+
+impl Stripe {
+    fn new(capacity: usize) -> Stripe {
+        Stripe {
+            cursor: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn push(&self, word: u64) {
+        let at = self.cursor.fetch_add(1, Relaxed) as usize & (self.slots.len() - 1);
+        self.slots[at].store(word, Relaxed);
+    }
+}
+
+/// A bounded multi-writer event ring. See the module docs.
+pub struct EventRing {
+    stripes: Box<[Stripe]>,
+}
+
+impl EventRing {
+    /// A ring with `stripes` independent buffers of `capacity` slots
+    /// each. Both are rounded up to powers of two (minimum 1 stripe,
+    /// 8 slots).
+    pub fn new(stripes: usize, capacity: usize) -> EventRing {
+        let stripes = stripes.max(1).next_power_of_two();
+        let capacity = capacity.max(8).next_power_of_two();
+        EventRing {
+            stripes: (0..stripes).map(|_| Stripe::new(capacity)).collect(),
+        }
+    }
+
+    /// Total slots across all stripes.
+    pub fn capacity(&self) -> usize {
+        self.stripes.len() * self.stripes[0].slots.len()
+    }
+
+    /// Publishes a packed event word to the stripe for `thread_key`
+    /// (any per-thread value; callers hash a thread id once and reuse it).
+    #[inline]
+    pub fn push(&self, thread_key: u64, word: u64) {
+        let s = rtle_htm::hash::wang_mix64(thread_key) as usize & (self.stripes.len() - 1);
+        self.stripes[s].push(word);
+    }
+
+    /// Number of events published so far (monotone; includes
+    /// overwritten ones).
+    pub fn pushed(&self) -> u64 {
+        self.stripes.iter().map(|s| s.cursor.load(Relaxed)).sum()
+    }
+
+    /// Collects the currently resident events, oldest-first within each
+    /// stripe. Racy with concurrent pushes (see module docs).
+    pub fn drain(&self) -> Vec<AttemptEvent> {
+        let mut out = Vec::new();
+        for stripe in self.stripes.iter() {
+            let n = stripe.slots.len();
+            let cur = stripe.cursor.load(Relaxed) as usize;
+            // Start at the oldest resident slot: `cur` is the next write
+            // position, so `cur..cur+n` (mod n) is oldest..newest once the
+            // stripe has wrapped, and skipping empty slots handles the
+            // pre-wrap prefix.
+            for i in 0..n {
+                let word = stripe.slots[(cur + i) & (n - 1)].load(Relaxed);
+                if let Some(ev) = AttemptEvent::unpack(word) {
+                    out.push(ev);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Outcome, PathKind};
+    use std::sync::Arc;
+
+    fn ev(attempt: u8, latency: u64) -> AttemptEvent {
+        AttemptEvent {
+            path: PathKind::FastHtm,
+            outcome: Outcome::Commit,
+            attempt,
+            latency,
+        }
+    }
+
+    #[test]
+    fn keeps_most_recent_when_overflowing() {
+        let ring = EventRing::new(1, 8);
+        for i in 0..20u64 {
+            ring.push(0, ev(0, i).pack());
+        }
+        let events = ring.drain();
+        assert_eq!(events.len(), 8);
+        let latencies: Vec<u64> = events.iter().map(|e| e.latency).collect();
+        assert_eq!(latencies, (12..20).collect::<Vec<_>>(), "oldest-first, most recent kept");
+        assert_eq!(ring.pushed(), 20);
+    }
+
+    #[test]
+    fn partial_fill_returns_only_written() {
+        let ring = EventRing::new(2, 16);
+        ring.push(1, ev(3, 77).pack());
+        ring.push(2, ev(5, 99).pack());
+        let events = ring.drain();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().any(|e| e.latency == 77 && e.attempt == 3));
+        assert!(events.iter().any(|e| e.latency == 99 && e.attempt == 5));
+    }
+
+    #[test]
+    fn rounds_capacity_to_power_of_two() {
+        let ring = EventRing::new(3, 100);
+        assert_eq!(ring.capacity(), 4 * 128);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_tear() {
+        let ring = Arc::new(EventRing::new(4, 64));
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        // Encode thread & sequence so any torn word would
+                        // decode to an impossible combination.
+                        ring.push(t, ev((t as u8) * 8, i).pack());
+                    }
+                })
+            })
+            .collect();
+        // Drain concurrently while writers run.
+        for _ in 0..50 {
+            for e in ring.drain() {
+                assert!(e.attempt % 8 == 0 && e.attempt < 64);
+                assert!(e.latency < 5_000);
+            }
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.pushed(), 8 * 5_000);
+        assert!(!ring.drain().is_empty());
+    }
+}

@@ -7,10 +7,8 @@
 //! HTM abort costs about as much as a cache miss burst, a lock handoff is
 //! a coherence transfer), not about absolute calibration.
 
-use serde::Serialize;
-
 /// Cycle prices for the primitive actions of every protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// One shared access on an uninstrumented (fast HTM / plain) path.
     pub access: u64,
@@ -113,7 +111,7 @@ impl Default for CostModel {
 }
 
 /// The two machines of §6.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineProfile {
     /// Display name ("Core i7", "Xeon").
     pub name: &'static str,

@@ -41,8 +41,11 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
+use rtle_core::abort_codes;
 use rtle_htm::hash::fast_hash;
+use rtle_obs::{AdaptAction, AdaptDecision, AttemptEvent, Outcome, PathKind, Recorder};
 
 use crate::cost::CostModel;
 use crate::method::SimMethod;
@@ -240,46 +243,59 @@ impl AdaptState {
         }
     }
 
-    /// Returns `true` when the active range (or enablement) changed.
-    fn on_lock_acquired(&mut self, slow_commits: u64) -> bool {
+    /// Returns the decision taken when the active range (or enablement)
+    /// changed, with the window signals that triggered it.
+    fn on_lock_acquired(&mut self, slow_commits: u64) -> Option<AdaptDecision> {
         self.sections += 1;
         if !self.sections.is_multiple_of(ADAPT_WINDOW) {
-            return false;
+            return None;
         }
         let dsc = slow_commits - self.last_slow_commits;
         self.last_slow_commits = slow_commits;
         let dsa = self.slow_aborts - self.last_slow_aborts;
         self.last_slow_aborts = self.slow_aborts;
+        let decide = |action, orecs_before, orecs_after| {
+            Some(AdaptDecision {
+                action,
+                orecs_before,
+                orecs_after,
+                slow_commits: dsc,
+                slow_aborts: dsa,
+            })
+        };
 
         if !self.enabled {
             self.disabled_windows += 1;
             if dsa > 0 || self.disabled_windows.is_multiple_of(ADAPT_REENABLE_WINDOWS) {
+                let before = self.active;
                 self.enabled = true;
                 self.active = self.initial;
                 self.idle_windows = 0;
-                return true;
+                return decide(AdaptAction::Reenable, before, self.active);
             }
-            return false;
+            return None;
         }
         if dsc == 0 && dsa == 0 {
             self.idle_windows += 1;
             if self.active > 1 {
+                let before = self.active;
                 self.active /= 2;
-                return true;
+                return decide(AdaptAction::Shrink, before, self.active);
             }
             if self.idle_windows >= 2 {
                 self.enabled = false;
                 self.disabled_windows = 0;
-                return true;
+                return decide(AdaptAction::Collapse, self.active, self.active);
             }
         } else {
             self.idle_windows = 0;
             if dsa > 4 * dsc.max(1) && self.active < self.max {
+                let before = self.active;
                 self.active = (self.active * 2).min(self.max);
-                return true;
+                return decide(AdaptAction::Grow, before, self.active);
             }
         }
-        false
+        None
     }
 }
 
@@ -319,6 +335,8 @@ pub struct Engine<W: Workload> {
     adapt: AdaptState,
     stats: SimStats,
     last_completion: u64,
+    /// Optional attempt-level recorder (latencies in simulator cycles).
+    recorder: Option<Arc<Recorder>>,
 }
 
 // ---- line-space layout -------------------------------------------------
@@ -367,6 +385,34 @@ impl<W: Workload> Engine<W> {
             adapt,
             stats: SimStats::default(),
             last_completion: 0,
+            recorder: None,
+        }
+    }
+
+    /// Installs an attempt-level recorder. The engine feeds it every HTM
+    /// attempt resolution, eager self-abort, pessimistic execution and
+    /// adaptive decision; latencies are in simulator **cycles** (configure
+    /// the recorder with `latency_unit: "cycles"`). Keep a clone of the
+    /// `Arc` to snapshot after the run.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Records one attempt resolution (latency `t1 - t0` cycles) when a
+    /// recorder is installed.
+    fn obs_attempt(&self, t: usize, path: PathKind, outcome: Outcome, t0: u64, t1: u64) {
+        if let Some(rec) = &self.recorder {
+            let attempt = ATTEMPTS - self.ts[t].attempts_left;
+            rec.record_attempt(
+                t as u64,
+                AttemptEvent {
+                    path,
+                    outcome,
+                    attempt: attempt.min(u8::MAX as u32) as u8,
+                    latency: t1.saturating_sub(t0),
+                },
+            );
         }
     }
 
@@ -624,11 +670,14 @@ impl<W: Workload> Engine<W> {
                     // Hopeless while this holder runs: one cheap abort,
                     // then wait (spinning) for the release.
                     self.stats.aborts += 1;
-                    if flag_raised {
+                    let outcome = if flag_raised {
                         self.stats.aborts_eager_owned += 1;
+                        Outcome::AbortExplicit(abort_codes::WRITE_FLAG_SET)
                     } else {
                         self.stats.aborts_hostile += 1;
-                    }
+                        Outcome::AbortUnsupported
+                    };
+                    self.obs_attempt(t, PathKind::SlowHtm, outcome, start, start + self.cost.abort_penalty);
                     self.locks[0].waiters += 1;
                     self.push(
                         free_at.max(start + self.cost.abort_penalty),
@@ -645,11 +694,14 @@ impl<W: Workload> Engine<W> {
                     // Hostile, or the adaptive policy collapsed to plain
                     // TLE (slow attempts self-abort on the disabled flag).
                     self.stats.aborts += 1;
-                    if spec.htm_hostile {
+                    let outcome = if spec.htm_hostile {
                         self.stats.aborts_hostile += 1;
+                        Outcome::AbortUnsupported
                     } else {
                         self.stats.aborts_eager_owned += 1;
-                    }
+                        Outcome::AbortExplicit(abort_codes::FG_DISABLED)
+                    };
+                    self.obs_attempt(t, PathKind::SlowHtm, outcome, start, start + self.cost.abort_penalty);
                     self.adapt.slow_aborts += 1;
                     self.locks[0].waiters += 1;
                     self.push(
@@ -674,11 +726,10 @@ impl<W: Workload> Engine<W> {
             // similar results, §6.3): the attempt dies immediately.
             self.stats.aborts += 1;
             self.stats.aborts_hostile += 1;
+            let end = start + c.htm_begin + c.access + c.abort_penalty;
+            self.obs_attempt(t, PathKind::FastHtm, Outcome::AbortUnsupported, start, end);
             self.ts[t].attempts_left = self.ts[t].attempts_left.saturating_sub(1);
-            self.push(
-                start + c.htm_begin + c.access + c.abort_penalty,
-                EvKind::Ready(t as u32),
-            );
+            self.push(end, EvKind::Ready(t as u32));
             return;
         }
         let dur = c.htm_begin + spec.trace.len() as u64 * c.access + spec.cs_compute + c.htm_commit;
@@ -753,6 +804,13 @@ impl<W: Workload> Engine<W> {
             let abort_at = start + c.htm_begin + (fw as u64 + 1) * c.access + c.abort_penalty;
             self.stats.aborts += 1;
             self.stats.aborts_eager_owned += 1;
+            self.obs_attempt(
+                t,
+                PathKind::SlowHtm,
+                Outcome::AbortExplicit(abort_codes::RW_SLOW_WRITE),
+                start,
+                abort_at,
+            );
             self.locks[0].waiters += 1;
             let free_at = self.locks[0].free_at;
             self.push(free_at.max(abort_at), EvKind::Ready(t as u32));
@@ -831,6 +889,13 @@ impl<W: Workload> Engine<W> {
         if owned_at_start {
             self.stats.aborts += 1;
             self.stats.aborts_eager_owned += 1;
+            self.obs_attempt(
+                t,
+                PathKind::SlowHtm,
+                Outcome::AbortExplicit(abort_codes::OREC_CONFLICT),
+                start,
+                start + self.cost.abort_penalty,
+            );
             self.adapt.slow_aborts += 1;
             self.locks[0].waiters += 1;
             let free_at = self.locks[0].free_at;
@@ -917,11 +982,10 @@ impl<W: Workload> Engine<W> {
         if spec.htm_hostile {
             self.stats.aborts += 1;
             self.stats.aborts_hostile += 1;
+            let end = start + c.htm_begin + c.access + c.abort_penalty;
+            self.obs_attempt(t, PathKind::FastHtm, Outcome::AbortUnsupported, start, end);
             self.ts[t].attempts_left = self.ts[t].attempts_left.saturating_sub(1);
-            self.push(
-                start + c.htm_begin + c.access + c.abort_penalty,
-                EvKind::Ready(t as u32),
-            );
+            self.push(end, EvKind::Ready(t as u32));
             return;
         }
         let dur = c.htm_begin + spec.trace.len() as u64 * c.access + spec.cs_compute + c.htm_commit;
@@ -1075,14 +1139,33 @@ impl<W: Workload> Engine<W> {
 
         if conflict {
             self.stats.aborts += 1;
-            if lazy_held {
+            let outcome = if lazy_held {
                 self.stats.aborts_lazy += 1;
+                Outcome::AbortExplicit(abort_codes::LAZY_LOCK_HELD)
             } else {
                 match attempt.forced_cause {
-                    ForcedCause::Capacity => self.stats.aborts_capacity += 1,
-                    ForcedCause::Uarch => self.stats.aborts_uarch += 1,
-                    ForcedCause::None => self.stats.aborts_conflict += 1,
+                    ForcedCause::Capacity => {
+                        self.stats.aborts_capacity += 1;
+                        Outcome::AbortCapacity
+                    }
+                    ForcedCause::Uarch => {
+                        self.stats.aborts_uarch += 1;
+                        Outcome::AbortSpurious
+                    }
+                    ForcedCause::None => {
+                        self.stats.aborts_conflict += 1;
+                        Outcome::AbortConflict
+                    }
                 }
+            };
+            match attempt.path {
+                Path::FastHtm => {
+                    self.obs_attempt(t, PathKind::FastHtm, outcome, attempt.t0, t1)
+                }
+                Path::SlowHtm => {
+                    self.obs_attempt(t, PathKind::SlowHtm, outcome, attempt.t0, t1)
+                }
+                Path::SwTxn => {}
             }
             if attempt.path == Path::SlowHtm {
                 self.adapt.slow_aborts += 1;
@@ -1121,6 +1204,15 @@ impl<W: Workload> Engine<W> {
         }
         if attempt.path == Path::SlowHtm {
             self.stats.slow_commits += 1;
+        }
+        match attempt.path {
+            Path::FastHtm => {
+                self.obs_attempt(t, PathKind::FastHtm, Outcome::Commit, attempt.t0, t1)
+            }
+            Path::SlowHtm => {
+                self.obs_attempt(t, PathKind::SlowHtm, Outcome::Commit, attempt.t0, t1)
+            }
+            Path::SwTxn => {}
         }
         self.complete_op(t, t1);
     }
@@ -1166,10 +1258,13 @@ impl<W: Workload> Engine<W> {
         // Adaptive FG-TLE: resizes/mode flips happen right here, while
         // holding the lock (§4.2.1); the store to the active-size line
         // dooms in-flight slow attempts that subscribed to it.
-        if matches!(self.method, SimMethod::AdaptiveFgTle { .. })
-            && self.adapt.on_lock_acquired(self.stats.slow_commits)
-        {
-            self.write_line_at(self.active_size_line(), s);
+        if matches!(self.method, SimMethod::AdaptiveFgTle { .. }) {
+            if let Some(d) = self.adapt.on_lock_acquired(self.stats.slow_commits) {
+                self.write_line_at(self.active_size_line(), s);
+                if let Some(rec) = &self.recorder {
+                    rec.record_decision(d);
+                }
+            }
         }
         let fg_instrumented = match self.method {
             SimMethod::FgTle { .. } => true,
@@ -1251,6 +1346,10 @@ impl<W: Workload> Engine<W> {
 
         self.stats.lock_commits += 1;
         self.stats.cycles_locked += e - s;
+        if let Some(rec) = &self.recorder {
+            rec.record_lock_hold(e - s);
+        }
+        self.obs_attempt(t, PathKind::Lock, Outcome::Commit, start, e + c.lock_release);
         self.complete_op(t, e + c.lock_release);
     }
 
@@ -1543,6 +1642,99 @@ mod tests {
         assert_eq!(s.ops, 100);
         assert_eq!(s.lock_commits, 100, "every op must fall back: {s:?}");
         assert_eq!(s.aborts, 500, "5 attempts burned per op: {s:?}");
+    }
+
+    #[test]
+    fn recorder_sees_every_resolution() {
+        use rtle_obs::ObsConfig;
+        let rec = Arc::new(Recorder::new(ObsConfig {
+            latency_unit: "cycles",
+            ..ObsConfig::default()
+        }));
+        let w = Synthetic::new(4, 8, 2, false, 200);
+        let s = Engine::new(
+            SimMethod::Tle,
+            4,
+            CostModel::default(),
+            RunMode::FixedWork,
+            w,
+        )
+        .with_recorder(Arc::clone(&rec))
+        .run();
+        let snap = rec.snapshot();
+        assert_eq!(snap.latency_unit, "cycles");
+        assert_eq!(snap.total_commits(), s.ops);
+        assert_eq!(
+            snap.total_aborts(),
+            s.aborts,
+            "every simulated abort must be recorded"
+        );
+        assert_eq!(snap.cs_latency.count, s.ops);
+        assert!(snap.cs_latency.percentile(0.5) > 0, "cycle latencies");
+        let commits: HashMap<_, _> = snap.commits.iter().cloned().collect();
+        assert_eq!(commits["fast_htm"], s.fast_commits);
+        assert_eq!(commits["lock"], s.lock_commits);
+    }
+
+    #[test]
+    fn recorder_traces_adaptive_decisions_in_sim() {
+        use rtle_obs::ObsConfig;
+        let rec = Arc::new(Recorder::new(ObsConfig {
+            latency_unit: "cycles",
+            ..ObsConfig::default()
+        }));
+        // Single-threaded all-hostile ops: every op exhausts its HTM budget
+        // and locks, the slow path stays idle (no concurrent thread ever
+        // attempts it), and the adaptive holder shrinks its orec range and
+        // finally collapses to plain TLE.
+        struct Hostile {
+            remaining: Vec<u64>,
+        }
+        impl Workload for Hostile {
+            fn next_op(&mut self, thread: usize) -> OpSpec {
+                OpSpec {
+                    trace: vec![Access {
+                        line: thread as u64,
+                        write: true,
+                    }],
+                    setup_cycles: 10,
+                    htm_hostile: true,
+                    ..Default::default()
+                }
+            }
+            fn next_op_again(&mut self, thread: usize) -> OpSpec {
+                self.next_op(thread)
+            }
+            fn commit(&mut self, thread: usize) {
+                self.remaining[thread] -= 1;
+            }
+            fn remaining(&self, thread: usize) -> Option<u64> {
+                Some(self.remaining[thread])
+            }
+        }
+        let s = Engine::new(
+            SimMethod::AdaptiveFgTle {
+                initial: 16,
+                max_orecs: 1024,
+            },
+            1,
+            CostModel::default(),
+            RunMode::FixedWork,
+            Hostile {
+                remaining: vec![300],
+            },
+        )
+        .with_recorder(Arc::clone(&rec))
+        .run();
+        assert_eq!(s.ops, 300);
+        let decisions = rec.decisions();
+        assert!(!decisions.is_empty(), "adaptation must be traced");
+        let labels: Vec<&str> = decisions.iter().map(|d| d.action.label()).collect();
+        assert!(labels.contains(&"shrink"), "{labels:?}");
+        assert!(labels.contains(&"collapse"), "{labels:?}");
+        assert_eq!(decisions[0].orecs_before, 16);
+        assert_eq!(decisions[0].orecs_after, 8);
+        assert_eq!(rec.snapshot().decisions.len(), decisions.len());
     }
 
     #[test]

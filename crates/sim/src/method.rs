@@ -1,10 +1,8 @@
 //! The synchronization methods the simulator models — the legend of the
 //! paper's figures.
 
-use serde::Serialize;
-
 /// A synchronization method under simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimMethod {
     /// Plain locking, never elided. `locks` > 1 models fine-grained
     /// sharded locking (ccTSA's original design; ops carry a lock id).

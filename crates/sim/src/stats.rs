@@ -1,11 +1,11 @@
 //! Simulation statistics — the quantities the paper's Figures 5–13 plot.
 
-use serde::Serialize;
+use rtle_obs::Json;
 
 use crate::cost::MachineProfile;
 
 /// Counters accumulated over one simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SimStats {
     /// Completed critical sections (any path).
     pub ops: u64,
@@ -129,6 +129,32 @@ impl SimStats {
         } else {
             self.validations as f64 / c as f64
         }
+    }
+
+    /// JSON form: every raw counter, keyed by its field name (units are
+    /// simulator cycles).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ops", Json::UInt(self.ops)),
+            ("fast_commits", Json::UInt(self.fast_commits)),
+            ("slow_commits", Json::UInt(self.slow_commits)),
+            ("lock_commits", Json::UInt(self.lock_commits)),
+            ("htm_slow_commits", Json::UInt(self.htm_slow_commits)),
+            ("stm_fast_commits", Json::UInt(self.stm_fast_commits)),
+            ("stm_slow_commits", Json::UInt(self.stm_slow_commits)),
+            ("aborts", Json::UInt(self.aborts)),
+            ("aborts_conflict", Json::UInt(self.aborts_conflict)),
+            ("aborts_capacity", Json::UInt(self.aborts_capacity)),
+            ("aborts_uarch", Json::UInt(self.aborts_uarch)),
+            ("aborts_hostile", Json::UInt(self.aborts_hostile)),
+            ("aborts_eager_owned", Json::UInt(self.aborts_eager_owned)),
+            ("aborts_lazy", Json::UInt(self.aborts_lazy)),
+            ("sw_aborts", Json::UInt(self.sw_aborts)),
+            ("validations", Json::UInt(self.validations)),
+            ("cycles_locked", Json::UInt(self.cycles_locked)),
+            ("cycles_in_sw", Json::UInt(self.cycles_in_sw)),
+            ("sim_cycles", Json::UInt(self.sim_cycles)),
+        ])
     }
 }
 

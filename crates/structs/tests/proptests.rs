@@ -1,8 +1,10 @@
-//! Differential property tests for the extra structures.
+//! Randomized differential tests for the extra structures, driven by a
+//! seeded [`SplitMix64`] stream (dependency-free stand-in for a
+//! property-testing harness; failures reproduce from the fixed seeds).
 
 use std::collections::BTreeSet;
 
-use proptest::prelude::*;
+use rtle_htm::prng::SplitMix64;
 use rtle_htm::PlainAccess;
 use rtle_structs::{TxHashSet, TxListSet};
 
@@ -13,69 +15,79 @@ enum Op {
     Contains(u64),
 }
 
-fn ops(range: u64, n: usize) -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0..range).prop_map(Op::Insert),
-            (0..range).prop_map(Op::Remove),
-            (0..range).prop_map(Op::Contains),
-        ],
-        0..n,
-    )
+fn gen_ops(rng: &mut SplitMix64, range: u64, max_len: u64) -> Vec<Op> {
+    (0..rng.below(max_len))
+        .map(|_| {
+            let k = rng.below(range);
+            match rng.below(3) {
+                0 => Op::Insert(k),
+                1 => Op::Remove(k),
+                _ => Op::Contains(k),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn hashset_matches_btreeset(ops in ops(96, 300)) {
+#[test]
+fn hashset_matches_btreeset() {
+    let mut rng = SplitMix64::new(0x51e9_5701);
+    for case in 0..128 {
+        let ops = gen_ops(&mut rng, 96, 300);
         let s = TxHashSet::with_capacity(1024);
         let mut model = BTreeSet::new();
         let a = PlainAccess;
         for op in &ops {
             match op {
-                Op::Insert(k) => prop_assert_eq!(s.insert(&a, *k), model.insert(*k)),
-                Op::Remove(k) => prop_assert_eq!(s.remove(&a, *k), model.remove(k)),
-                Op::Contains(k) => prop_assert_eq!(s.contains(&a, *k), model.contains(k)),
+                Op::Insert(k) => assert_eq!(s.insert(&a, *k), model.insert(*k)),
+                Op::Remove(k) => assert_eq!(s.remove(&a, *k), model.remove(k)),
+                Op::Contains(k) => assert_eq!(s.contains(&a, *k), model.contains(k)),
             }
         }
         let mut keys = s.keys_plain();
         keys.sort_unstable();
-        prop_assert_eq!(keys, model.into_iter().collect::<Vec<_>>());
+        assert_eq!(keys, model.into_iter().collect::<Vec<_>>(), "case {case}");
     }
+}
 
-    #[test]
-    fn listset_matches_btreeset(ops in ops(64, 250)) {
+#[test]
+fn listset_matches_btreeset() {
+    let mut rng = SplitMix64::new(0x51e9_5702);
+    for case in 0..128 {
+        let ops = gen_ops(&mut rng, 64, 250);
         let s = TxListSet::with_key_range(64);
         let mut model = BTreeSet::new();
         let a = PlainAccess;
         for op in &ops {
             match op {
-                Op::Insert(k) => prop_assert_eq!(s.insert(&a, *k), model.insert(*k)),
-                Op::Remove(k) => prop_assert_eq!(s.remove(&a, *k), model.remove(k)),
-                Op::Contains(k) => prop_assert_eq!(s.contains(&a, *k), model.contains(k)),
+                Op::Insert(k) => assert_eq!(s.insert(&a, *k), model.insert(*k)),
+                Op::Remove(k) => assert_eq!(s.remove(&a, *k), model.remove(k)),
+                Op::Contains(k) => assert_eq!(s.contains(&a, *k), model.contains(k)),
             }
         }
-        prop_assert!(s.check_invariants_plain().is_ok());
-        prop_assert_eq!(s.keys_plain(), model.into_iter().collect::<Vec<_>>());
+        assert!(s.check_invariants_plain().is_ok(), "case {case}");
+        assert_eq!(s.keys_plain(), model.into_iter().collect::<Vec<_>>());
     }
+}
 
-    /// Heavy churn on a tiny hash set: tombstone reuse must never lose or
-    /// resurrect keys, even when tombstones outnumber live entries.
-    #[test]
-    fn hashset_tombstone_churn(seq in proptest::collection::vec(0u64..6, 0..400)) {
+/// Heavy churn on a tiny hash set: tombstone reuse must never lose or
+/// resurrect keys, even when tombstones outnumber live entries.
+#[test]
+fn hashset_tombstone_churn() {
+    let mut rng = SplitMix64::new(0x51e9_5703);
+    for case in 0..128 {
+        let seq: Vec<u64> = (0..rng.below(400)).map(|_| rng.below(6)).collect();
         let s = TxHashSet::with_capacity(16);
         let mut model = BTreeSet::new();
         let a = PlainAccess;
         for (i, k) in seq.iter().enumerate() {
             if i % 2 == 0 {
-                prop_assert_eq!(s.insert(&a, *k), model.insert(*k));
+                assert_eq!(s.insert(&a, *k), model.insert(*k));
             } else {
-                prop_assert_eq!(s.remove(&a, *k), model.remove(k));
+                assert_eq!(s.remove(&a, *k), model.remove(k));
             }
         }
         let mut keys = s.keys_plain();
         keys.sort_unstable();
-        prop_assert_eq!(keys, model.into_iter().collect::<Vec<_>>());
+        assert_eq!(keys, model.into_iter().collect::<Vec<_>>(), "case {case}");
     }
 }

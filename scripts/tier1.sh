@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and a diag --json smoke
+# check that validates the observability export end-to-end.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace --release -q
+
+echo "== diag --json smoke =="
+out="$(mktemp -d)/diag.json"
+cargo run -p rtle-bench --release --bin diag -- 8 --quick --json "$out" >/dev/null
+# Validate the document parses and carries the expected schema version,
+# using the same parser the library ships.
+cat > /tmp/tier1_smoke.rs <<'RS'
+fn main() {
+    let path = std::env::args().nth(1).unwrap();
+    let text = std::fs::read_to_string(&path).expect("read diag json");
+    let j = rtle_obs::parse_json(&text).expect("diag json must parse");
+    let v = j.get("schema_version").and_then(rtle_obs::Json::as_u64);
+    assert_eq!(v, Some(rtle_obs::SCHEMA_VERSION), "schema version mismatch");
+    let methods = j.get("methods").and_then(rtle_obs::Json::as_arr).expect("methods");
+    assert!(!methods.is_empty(), "no methods in diag output");
+    println!("ok: {} methods, schema v{}", methods.len(), v.unwrap());
+}
+RS
+obs_rlib="$(ls target/release/deps/librtle_obs-*.rlib | head -1)"
+rustc --edition 2021 -O --extern rtle_obs="$obs_rlib" \
+    -L dependency=target/release/deps \
+    -o /tmp/tier1_smoke /tmp/tier1_smoke.rs
+/tmp/tier1_smoke "$out"
+
+echo "tier1: all green"
