@@ -27,11 +27,11 @@ pub struct BenchArgs {
 impl BenchArgs {
     /// Parses `std::env::args()` (skipping the binary name).
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_args(std::env::args().skip(1))
     }
 
     /// Parses an explicit argument list (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+    pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut out = BenchArgs::default();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -192,7 +192,7 @@ mod tests {
 
     #[test]
     fn args_parse_flags_and_positionals() {
-        let a = BenchArgs::from_iter(
+        let a = BenchArgs::parse_args(
             ["--quick", "--json", "/tmp/x.json", "12"]
                 .map(String::from)
                 .into_iter(),
@@ -201,7 +201,7 @@ mod tests {
         assert_eq!(a.scale(), Scale::Quick);
         assert_eq!(a.json.as_deref(), Some(Path::new("/tmp/x.json")));
         assert_eq!(a.rest, vec!["12".to_string()]);
-        assert_eq!(BenchArgs::from_iter(std::iter::empty()).scale(), Scale::Full);
+        assert_eq!(BenchArgs::parse_args(std::iter::empty()).scale(), Scale::Full);
     }
 
     #[test]

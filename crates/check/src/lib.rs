@@ -1,0 +1,38 @@
+//! `rtle-check` — the concurrency correctness gate for the refined-TLE
+//! workspace.
+//!
+//! Two engines, both dependency-free:
+//!
+//! * [`lint`] — a hand-rolled source scanner enforcing the memory-ordering
+//!   invariant table over `rtle-core`/`rtle-htm`, the §4 fence discipline
+//!   in `orec.rs`, `// SAFETY:` comments on every `unsafe` block, and
+//!   `unwrap`/`panic!` bans in hot-path modules.
+//! * [`model`] — an exhaustive interleaving explorer over small closed
+//!   configurations of the TLE / RW-TLE / FG-TLE / lazy-subscription state
+//!   machines, validating every committed history against a
+//!   serializability oracle. The suite includes a deliberately broken
+//!   lazy-subscription mutant the checker must catch — a regression test
+//!   for the oracle itself.
+//!
+//! Run both with `cargo run -p rtle-check` (see `main.rs` for flags); the
+//! tier-1 script wires this into CI.
+
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod model;
+
+use std::path::{Path, PathBuf};
+
+/// Locates the workspace root: walks up from `start` looking for a
+/// directory that contains both `Cargo.toml` and `crates/`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}

@@ -1,0 +1,514 @@
+//! The declarative concurrency-invariant table and the rule engine.
+//!
+//! Every atomic-ordering use in `crates/core` and `crates/htm` must either
+//! match a row of [`ORDERING_RULES`] (file + receiver + operation →
+//! allowed orderings) or carry a nearby `// ordering: <reason>` annotation;
+//! anything else is a finding. The table is the reviewable artifact: adding
+//! a new atomic means adding a row (or an annotation) stating its contract.
+
+use super::source::Stmt;
+
+/// Atomic operations the scanner recognizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicOp {
+    /// `.load(ordering)`
+    Load,
+    /// `.store(v, ordering)`
+    Store,
+    /// `.swap(v, ordering)`
+    Swap,
+    /// `.fetch_add(v, ordering)` / `.fetch_sub(v, ordering)`
+    FetchAdd,
+    /// `.compare_exchange*(cur, new, success, failure)` — both orderings
+    /// are checked against the allowed set.
+    CompareExchange,
+    /// Free `fence(ordering)`.
+    Fence,
+}
+
+impl AtomicOp {
+    fn name(self) -> &'static str {
+        match self {
+            AtomicOp::Load => "load",
+            AtomicOp::Store => "store",
+            AtomicOp::Swap => "swap",
+            AtomicOp::FetchAdd => "fetch_add/fetch_sub",
+            AtomicOp::CompareExchange => "compare_exchange",
+            AtomicOp::Fence => "fence",
+        }
+    }
+}
+
+/// One row of the invariant table.
+pub struct OrderingRule {
+    /// Path suffix the rule applies to (e.g. `core/src/stats.rs`).
+    pub file_suffix: &'static str,
+    /// Receiver name (last path segment, call/index suffixes stripped);
+    /// `"*"` matches any receiver.
+    pub receiver: &'static str,
+    /// Operation the rule covers.
+    pub op: AtomicOp,
+    /// Orderings allowed at this site.
+    pub allowed: &'static [&'static str],
+    /// The contract (shown when the rule is violated).
+    pub why: &'static str,
+}
+
+/// The memory-ordering invariant table for `rtle-core` and `rtle-htm`.
+/// Mirrored in DESIGN.md — update both together.
+pub const ORDERING_RULES: &[OrderingRule] = &[
+    // ---- rtle-htm: TxCell is the protocol choke point -------------------
+    // Every TxCell read is a potential lock/write_flag/epoch/orec
+    // subscription; every TxCell write is a potential publication of
+    // protocol state. Acquire/Release floors are therefore non-negotiable
+    // (write_flag stores, epoch bumps and lock hand-offs all route through
+    // here).
+    OrderingRule {
+        file_suffix: "htm/src/cell.rs",
+        receiver: "raw",
+        op: AtomicOp::Load,
+        allowed: &["Acquire", "SeqCst"],
+        why: "TxCell loads subscribe protocol state (lock word, write_flag, epoch, orecs); Acquire is the floor",
+    },
+    OrderingRule {
+        file_suffix: "htm/src/cell.rs",
+        receiver: "raw",
+        op: AtomicOp::Store,
+        allowed: &["Release", "SeqCst"],
+        why: "TxCell stores publish protocol state; Release is the floor",
+    },
+    // Stripe version words + the global clock implement TL2-style
+    // publication: no Relaxed anywhere in the file.
+    OrderingRule {
+        file_suffix: "htm/src/stripe.rs",
+        receiver: "*",
+        op: AtomicOp::Load,
+        allowed: &["Acquire", "SeqCst"],
+        why: "stripe versions / global clock are validation reads; Acquire is the floor",
+    },
+    OrderingRule {
+        file_suffix: "htm/src/stripe.rs",
+        receiver: "*",
+        op: AtomicOp::Store,
+        allowed: &["Release", "SeqCst"],
+        why: "stripe unlock publishes the new version; Release is the floor",
+    },
+    OrderingRule {
+        file_suffix: "htm/src/stripe.rs",
+        receiver: "*",
+        op: AtomicOp::CompareExchange,
+        allowed: &["Acquire", "AcqRel", "SeqCst"],
+        why: "stripe lock acquisition; both success and failure orderings must be at least Acquire",
+    },
+    OrderingRule {
+        file_suffix: "htm/src/stripe.rs",
+        receiver: "CLOCK",
+        op: AtomicOp::FetchAdd,
+        allowed: &["AcqRel", "SeqCst"],
+        why: "global-clock bump orders commit timestamps; AcqRel is the floor",
+    },
+    // Commit-time strong-atomicity publication in the software HTM.
+    OrderingRule {
+        file_suffix: "htm/src/swhtm.rs",
+        receiver: "cell",
+        op: AtomicOp::Store,
+        allowed: &["Release", "SeqCst"],
+        why: "redo-log write-back publishes committed values; Release is the floor",
+    },
+    OrderingRule {
+        file_suffix: "htm/src/swhtm.rs",
+        receiver: "cell",
+        op: AtomicOp::Load,
+        allowed: &["Acquire", "SeqCst"],
+        why: "strong-atomicity read of a possibly-concurrently-committed cell; Acquire is the floor",
+    },
+    // Statistics and configuration: counters with no synchronization role.
+    OrderingRule {
+        file_suffix: "htm/src/stats.rs",
+        receiver: "*",
+        op: AtomicOp::Load,
+        allowed: &["Relaxed"],
+        why: "statistics counters: monotonic, advisory, no ordering role",
+    },
+    OrderingRule {
+        file_suffix: "htm/src/stats.rs",
+        receiver: "*",
+        op: AtomicOp::FetchAdd,
+        allowed: &["Relaxed"],
+        why: "statistics counters: monotonic, advisory, no ordering role",
+    },
+    OrderingRule {
+        file_suffix: "htm/src/config.rs",
+        receiver: "*",
+        op: AtomicOp::Load,
+        allowed: &["Relaxed"],
+        why: "capacity/chaos knobs: values are self-contained, no ordering role",
+    },
+    OrderingRule {
+        file_suffix: "htm/src/config.rs",
+        receiver: "*",
+        op: AtomicOp::Store,
+        allowed: &["Relaxed"],
+        why: "capacity/chaos knobs: values are self-contained, no ordering role",
+    },
+    // (One-off sites — NEXT_TOKEN in htm/descriptor.rs, NEXT_KEY in
+    // core/elidable.rs — are audited by in-source `// ordering:`
+    // annotations instead of table rows.)
+    // ---- rtle-core ------------------------------------------------------
+    OrderingRule {
+        file_suffix: "core/src/stats.rs",
+        receiver: "*",
+        op: AtomicOp::Load,
+        allowed: &["Relaxed"],
+        why: "per-lock statistics counters: monotonic, advisory",
+    },
+    OrderingRule {
+        file_suffix: "core/src/stats.rs",
+        receiver: "*",
+        op: AtomicOp::FetchAdd,
+        allowed: &["Relaxed"],
+        why: "per-lock statistics counters: monotonic, advisory",
+    },
+    // The adaptive state is written only by the lock holder; the lock's
+    // own acquire/release edges order every access.
+    OrderingRule {
+        file_suffix: "core/src/adaptive.rs",
+        receiver: "*",
+        op: AtomicOp::FetchAdd,
+        allowed: &["Relaxed"],
+        why: "holder-only adaptation counters; the elided lock orders all accesses",
+    },
+    OrderingRule {
+        file_suffix: "core/src/adaptive.rs",
+        receiver: "*",
+        op: AtomicOp::Swap,
+        allowed: &["Relaxed"],
+        why: "holder-only adaptation counters; the elided lock orders all accesses",
+    },
+    OrderingRule {
+        file_suffix: "core/src/adaptive.rs",
+        receiver: "*",
+        op: AtomicOp::Store,
+        allowed: &["Relaxed"],
+        why: "holder-only adaptation counters; the elided lock orders all accesses",
+    },
+    // The paper's §4 store-load fence after an orec acquisition.
+    OrderingRule {
+        file_suffix: "core/src/orec.rs",
+        receiver: "*",
+        op: AtomicOp::Fence,
+        allowed: &["SeqCst"],
+        why: "the store-load fence after an orec stamp must be full-strength (§4)",
+    },
+];
+
+/// Hot-path modules where `unwrap`/`panic!` are banned outside tests.
+pub const HOT_PATH_FILES: &[&str] = &["core/src/elidable.rs", "core/src/orec.rs", "htm/src/swhtm.rs"];
+
+/// Files whose atomic-ordering uses must be covered by the table (or
+/// annotated).
+pub const ORDERING_SCOPE: &[&str] = &["crates/core/src/", "crates/htm/src/"];
+
+/// One ordering usage found in a statement.
+#[derive(Debug)]
+pub struct OrderingUse {
+    /// Operation.
+    pub op: AtomicOp,
+    /// Normalized receiver name (empty for fences).
+    pub receiver: String,
+    /// The `Ordering::X` names passed (compare-exchange has two).
+    pub orderings: Vec<String>,
+    /// 1-based line of the statement.
+    pub line: usize,
+}
+
+const OP_PATTERNS: &[(&str, AtomicOp)] = &[
+    (".load(", AtomicOp::Load),
+    (".store(", AtomicOp::Store),
+    (".swap(", AtomicOp::Swap),
+    (".fetch_add(", AtomicOp::FetchAdd),
+    (".fetch_sub(", AtomicOp::FetchAdd),
+    (".compare_exchange(", AtomicOp::CompareExchange),
+    (".compare_exchange_weak(", AtomicOp::CompareExchange),
+    ("fence(", AtomicOp::Fence),
+];
+
+/// Extracts every atomic-ordering use from one logical statement.
+pub fn ordering_uses(stmt: &Stmt) -> Vec<OrderingUse> {
+    let code = &stmt.code;
+    if code.trim_start().starts_with("use ") {
+        return Vec::new();
+    }
+    let mut uses = Vec::new();
+    for &(pat, op) in OP_PATTERNS {
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(pat) {
+            let at = from + rel;
+            from = at + pat.len();
+            // `fence(` must not be the tail of an identifier or a method
+            // (`.fence(` never occurs, but e.g. `my_fence(` should not
+            // match) — and the method patterns start with '.', so they are
+            // already anchored.
+            if op == AtomicOp::Fence {
+                if let Some(prev) = code[..at].chars().next_back() {
+                    if prev.is_alphanumeric() || prev == '_' || prev == '.' {
+                        continue;
+                    }
+                }
+            }
+            let args = argument_list(code, at + pat.len() - 1);
+            let orderings = extract_orderings(&args);
+            if orderings.is_empty() {
+                continue; // not an atomic op (e.g. TxCell::store, Vec ops)
+            }
+            uses.push(OrderingUse {
+                op,
+                receiver: if op == AtomicOp::Fence {
+                    String::new()
+                } else {
+                    receiver_name(code, at)
+                },
+                orderings,
+                line: stmt.line,
+            });
+        }
+    }
+    uses
+}
+
+/// Returns the balanced `(...)` argument text starting at `open` (the index
+/// of the opening parenthesis).
+fn argument_list(code: &str, open: usize) -> String {
+    let mut depth = 0i32;
+    let mut out = String::new();
+    for (bi, c) in code.char_indices() {
+        if bi < open {
+            continue;
+        }
+        match c {
+            '(' => {
+                depth += 1;
+                if depth == 1 {
+                    continue;
+                }
+            }
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if depth >= 1 {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Pulls `Ordering::X` (and fully qualified variants) names out of an
+/// argument list.
+fn extract_orderings(args: &str) -> Vec<String> {
+    let mut found = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = args[from..].find("Ordering::") {
+        let at = from + rel + "Ordering::".len();
+        let name: String = args[at..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        from = at;
+        if !name.is_empty() {
+            found.push(name);
+        }
+    }
+    found
+}
+
+/// Walks back from the `.` of a method call to recover the receiver
+/// expression, then normalizes it to a bare name: trailing call/index
+/// groups stripped, last `.`/`::` segment taken, leading `&*(` dropped.
+fn receiver_name(code: &str, dot: usize) -> String {
+    let chars: Vec<char> = code[..dot].chars().collect();
+    let mut i = chars.len();
+    // Walk left over balanced groups and identifier characters.
+    while i > 0 {
+        let c = chars[i - 1];
+        match c {
+            ')' | ']' | '}' => {
+                let (open, close) = match c {
+                    ')' => ('(', ')'),
+                    ']' => ('[', ']'),
+                    _ => ('{', '}'),
+                };
+                let mut depth = 0;
+                while i > 0 {
+                    let d = chars[i - 1];
+                    if d == close {
+                        depth += 1;
+                    } else if d == open {
+                        depth -= 1;
+                        if depth == 0 {
+                            i -= 1;
+                            break;
+                        }
+                    }
+                    i -= 1;
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' => i -= 1,
+            '*' | '&' => i -= 1,
+            _ => break,
+        }
+    }
+    let expr: String = chars[i..].iter().collect();
+    normalize_receiver(&expr)
+}
+
+fn normalize_receiver(expr: &str) -> String {
+    let mut s = expr.trim().to_string();
+    loop {
+        let t = s.trim().to_string();
+        // Unwrap one outer parenthesis group.
+        let t = if t.starts_with('(') && t.ends_with(')') {
+            t[1..t.len() - 1].to_string()
+        } else {
+            t
+        };
+        // Strip trailing call / index groups.
+        let t = strip_trailing_group(&t);
+        let t = t
+            .trim_start_matches(['&', '*', ' '])
+            .trim()
+            .to_string();
+        if t == s {
+            break;
+        }
+        s = t;
+    }
+    // Last path segment.
+    let s = s.rsplit("::").next().unwrap_or(&s).to_string();
+    let s = s.rsplit('.').next().unwrap_or(&s).to_string();
+    strip_trailing_group(&s)
+}
+
+fn strip_trailing_group(s: &str) -> String {
+    let t = s.trim_end();
+    for (open, close) in [('(', ')'), ('[', ']'), ('{', '}')] {
+        if t.ends_with(close) {
+            let mut depth = 0;
+            for (i, c) in t.char_indices().rev() {
+                if c == close {
+                    depth += 1;
+                } else if c == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        return t[..i].trim_end().to_string();
+                    }
+                }
+            }
+        }
+    }
+    t.to_string()
+}
+
+/// Finds the table row covering `(path, receiver, op)`, if any.
+pub fn rule_for(path: &str, receiver: &str, op: AtomicOp) -> Option<&'static OrderingRule> {
+    ORDERING_RULES.iter().find(|r| {
+        path.ends_with(r.file_suffix) && r.op == op && (r.receiver == "*" || r.receiver == receiver)
+    })
+}
+
+/// Formats an ordering-rule violation message.
+pub fn violation_msg(rule: &OrderingRule, u: &OrderingUse) -> String {
+    format!(
+        "{} on `{}` uses Ordering::{} but the invariant table allows only {:?} — {}",
+        u.op.name(),
+        if u.receiver.is_empty() { "<fence>" } else { &u.receiver },
+        u.orderings.join("/"),
+        rule.allowed,
+        rule.why
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::source::SourceFile;
+
+    fn uses_of(code: &str) -> Vec<OrderingUse> {
+        let sf = SourceFile::parse(code);
+        sf.stmts.iter().flat_map(ordering_uses).collect()
+    }
+
+    #[test]
+    fn simple_load() {
+        let u = uses_of("let v = self.raw.load(Ordering::Acquire);");
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].op, AtomicOp::Load);
+        assert_eq!(u[0].receiver, "raw");
+        assert_eq!(u[0].orderings, vec!["Acquire"]);
+    }
+
+    #[test]
+    fn multiline_fetch_add_joins() {
+        let u = uses_of("COUNTER.fetch_add(1,\n    Ordering::Relaxed);\n");
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].receiver, "COUNTER");
+        assert_eq!(u[0].orderings, vec!["Relaxed"]);
+    }
+
+    #[test]
+    fn deref_and_index_receivers() {
+        let u = uses_of("unsafe { (*e.cell).store(e.value, std::sync::atomic::Ordering::Release) };");
+        assert_eq!(u[0].receiver, "cell");
+        let u = uses_of("stripes()[idx as usize].load(Ordering::Acquire)");
+        assert_eq!(u[0].receiver, "stripes");
+    }
+
+    #[test]
+    fn compare_exchange_has_two_orderings() {
+        let u = uses_of("s.compare_exchange(cur, next, Ordering::Acquire, Ordering::Acquire)");
+        assert_eq!(u[0].op, AtomicOp::CompareExchange);
+        assert_eq!(u[0].orderings, vec!["Acquire", "Acquire"]);
+    }
+
+    #[test]
+    fn method_chain_after_match_joins() {
+        let code = "match path {\n    A => &self.x,\n    B => &self.y,\n}\n.fetch_add(1, Ordering::Relaxed);\n";
+        let u = uses_of(code);
+        assert_eq!(u.len(), 1, "chained fetch_add found: {u:?}");
+        assert_eq!(u[0].orderings, vec!["Relaxed"]);
+    }
+
+    #[test]
+    fn non_atomic_store_ignored() {
+        // TxCell::write / Vec-ish calls carry no Ordering argument.
+        assert!(uses_of("orec.write(epoch);").is_empty());
+        assert!(uses_of("self.buf.store(x, y);").is_empty());
+    }
+
+    #[test]
+    fn fence_matches_standalone_only() {
+        let u = uses_of("fence(Ordering::SeqCst);");
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].op, AtomicOp::Fence);
+        assert!(uses_of("my_fence(Ordering::SeqCst);").is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_confuse() {
+        let code = "let s = \"x.load(Ordering::Relaxed)\"; // x.store(Ordering::Relaxed)\n";
+        assert!(uses_of(code).is_empty());
+    }
+
+    #[test]
+    fn table_lookup() {
+        let r = rule_for("crates/htm/src/cell.rs", "raw", AtomicOp::Load).expect("row exists");
+        assert_eq!(r.allowed, &["Acquire", "SeqCst"]);
+        assert!(rule_for("crates/htm/src/cell.rs", "raw", AtomicOp::Swap).is_none());
+        // Wildcard receiver.
+        assert!(rule_for("crates/core/src/stats.rs", "anything", AtomicOp::FetchAdd).is_some());
+    }
+}

@@ -1,0 +1,333 @@
+//! A hand-rolled Rust source scanner: no external parser, just enough
+//! lexing to make line/token-level lint rules reliable.
+//!
+//! Per file it produces:
+//! * per-physical-line **code** (comments and string/char literal contents
+//!   stripped, so rule patterns never match inside text) and **comment**
+//!   text (so annotation rules can look for `// SAFETY:` / `// ordering:`),
+//! * a `#[cfg(test)]`-region marking (brace-matched), so production-only
+//!   rules skip test code,
+//! * **logical statements**: physical lines joined while parentheses or
+//!   square brackets are open, or while the next line continues a method
+//!   chain (leading `.`), with the brace depth at statement start recorded
+//!   for scope-limited rules (e.g. "a fence must follow within the same
+//!   function").
+
+/// One physical line after lexing.
+#[derive(Debug)]
+pub struct LineInfo {
+    /// Code with comments removed and literal contents blanked.
+    pub code: String,
+    /// Comment text (everything after `//`, plus block-comment content).
+    pub comment: String,
+    /// Inside a `#[cfg(test)]` item's braces.
+    pub in_test: bool,
+}
+
+/// One logical statement (one or more joined physical lines).
+#[derive(Debug)]
+pub struct Stmt {
+    /// 1-based first physical line.
+    pub line: usize,
+    /// Joined, stripped code.
+    pub code: String,
+    /// Inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Brace depth at the start of the statement.
+    pub depth: usize,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Physical lines, index 0 = line 1.
+    pub lines: Vec<LineInfo>,
+    /// Logical statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// Multi-line lexer state.
+enum Mode {
+    Normal,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Strips one line under the running `mode`; returns (code, comment).
+fn strip_line(line: &str, mode: &mut Mode) -> (String, String) {
+    let b: Vec<char> = line.chars().collect();
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0;
+    while i < b.len() {
+        match mode {
+            Mode::BlockComment(depth) => {
+                if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    *depth -= 1;
+                    if *depth == 0 {
+                        *mode = Mode::Normal;
+                    }
+                    i += 2;
+                } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    *depth += 1;
+                    i += 2;
+                } else {
+                    comment.push(b[i]);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if b[i] == '\\' {
+                    i += 2;
+                } else if b[i] == '"' {
+                    code.push('"');
+                    *mode = Mode::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if b[i] == '"' {
+                    let n = *hashes as usize;
+                    if b[i + 1..].iter().take(n).filter(|&&c| c == '#').count() == n {
+                        code.push('"');
+                        *mode = Mode::Normal;
+                        i += 1 + n;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Mode::Normal => match b[i] {
+                '/' if b.get(i + 1) == Some(&'/') => {
+                    comment.extend(&b[i + 2..]);
+                    i = b.len();
+                }
+                '/' if b.get(i + 1) == Some(&'*') => {
+                    *mode = Mode::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    code.push('"');
+                    *mode = Mode::Str;
+                    i += 1;
+                }
+                'r' if b.get(i + 1) == Some(&'"')
+                    || (b.get(i + 1) == Some(&'#')
+                        && {
+                            let mut j = i + 1;
+                            while b.get(j) == Some(&'#') {
+                                j += 1;
+                            }
+                            b.get(j) == Some(&'"')
+                        }) =>
+                {
+                    // Raw string start: only when `r` is not part of an
+                    // identifier (e.g. `for`).
+                    let ident_tail = i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_');
+                    if ident_tail {
+                        code.push('r');
+                        i += 1;
+                    } else {
+                        let mut j = i + 1;
+                        let mut hashes = 0;
+                        while b.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        code.push('"');
+                        *mode = Mode::RawStr(hashes);
+                        i = j + 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal vs. lifetime: a literal closes within a
+                    // few chars (`'x'`, `'\n'`, `'\u{..}'`).
+                    let close = if b.get(i + 1) == Some(&'\\') {
+                        b[i + 2..].iter().position(|&c| c == '\'').map(|p| i + 2 + p)
+                    } else if b.get(i + 2) == Some(&'\'') {
+                        Some(i + 2)
+                    } else {
+                        None
+                    };
+                    match close {
+                        Some(end) => {
+                            code.push_str("' '");
+                            i = end + 1;
+                        }
+                        None => {
+                            code.push('\'');
+                            i += 1; // lifetime
+                        }
+                    }
+                }
+                c => {
+                    code.push(c);
+                    i += 1;
+                }
+            },
+        }
+    }
+    (code, comment)
+}
+
+fn is_test_attr(code: &str) -> bool {
+    let t = code.trim_start();
+    t.starts_with("#[cfg(test)]")
+        || t.starts_with("#[cfg(all(test")
+        || t.starts_with("#[cfg(any(test")
+        || t.starts_with("#[test]")
+}
+
+impl SourceFile {
+    /// Lexes `text` into lines and logical statements.
+    pub fn parse(text: &str) -> SourceFile {
+        let mut mode = Mode::Normal;
+        let mut raw: Vec<(String, String)> = Vec::new();
+        for line in text.lines() {
+            raw.push(strip_line(line, &mut mode));
+        }
+
+        // Pass 2: mark #[cfg(test)] regions by brace matching.
+        let mut lines = Vec::with_capacity(raw.len());
+        let mut depth: i64 = 0;
+        let mut pending_attr = false;
+        let mut test_until: Option<i64> = None;
+        for (code, comment) in raw {
+            let mut in_test = test_until.is_some();
+            if test_until.is_none() && is_test_attr(&code) {
+                pending_attr = true;
+                in_test = true;
+            }
+            let mut line_depth = depth;
+            let mut opened_at: Option<i64> = None;
+            for c in code.chars() {
+                match c {
+                    '{' => {
+                        if opened_at.is_none() {
+                            opened_at = Some(line_depth);
+                        }
+                        line_depth += 1;
+                    }
+                    '}' => line_depth -= 1,
+                    _ => {}
+                }
+            }
+            if pending_attr {
+                in_test = true;
+                if let Some(d) = opened_at {
+                    test_until = Some(d);
+                    pending_attr = false;
+                } else if code.trim_end().ends_with(';') {
+                    pending_attr = false; // braceless item, e.g. a `use`
+                }
+            }
+            if let Some(d) = test_until {
+                in_test = true;
+                if line_depth <= d {
+                    test_until = None;
+                }
+            }
+            depth = line_depth;
+            lines.push(LineInfo {
+                code,
+                comment,
+                in_test,
+            });
+        }
+
+        // Pass 3: logical statements.
+        let mut stmts = Vec::new();
+        let mut depth_before: i64 = 0;
+        let mut i = 0;
+        while i < lines.len() {
+            if lines[i].code.trim().is_empty() {
+                depth_before += brace_delta(&lines[i].code);
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let start_depth = depth_before.max(0) as usize;
+            let in_test = lines[i].in_test;
+            let mut code = String::new();
+            let mut paren: i64 = 0;
+            loop {
+                let lc = &lines[i].code;
+                if !code.is_empty() {
+                    code.push(' ');
+                }
+                code.push_str(lc.trim());
+                depth_before += brace_delta(lc);
+                for c in lc.chars() {
+                    match c {
+                        '(' | '[' => paren += 1,
+                        ')' | ']' => paren -= 1,
+                        _ => {}
+                    }
+                }
+                i += 1;
+                if i >= lines.len() {
+                    break;
+                }
+                // Keep joining while a bracket group is open or the next
+                // line continues a method chain.
+                let next = lines[i].code.trim();
+                if paren > 0 || next.starts_with('.') {
+                    continue;
+                }
+                break;
+            }
+            stmts.push(Stmt {
+                line: start + 1,
+                code,
+                in_test,
+                depth: start_depth,
+            });
+        }
+        SourceFile { lines, stmts }
+    }
+
+    /// True if a comment containing `needle` appears on `line` (1-based),
+    /// within `back` lines above it, or anywhere in the contiguous
+    /// comment/attribute block immediately above it (so multi-line SAFETY
+    /// comments of any length count).
+    pub fn has_annotation(&self, line: usize, back: usize, needle: &str) -> bool {
+        let idx = line.saturating_sub(1).min(self.lines.len() - 1);
+        let from = idx.saturating_sub(back);
+        if self.lines[from..=idx].iter().any(|l| l.comment.contains(needle)) {
+            return true;
+        }
+        // Walk the comment/attribute block above: lines with no code, or
+        // pure attribute lines, up to a sanity cap.
+        let mut i = idx;
+        let mut budget = 32;
+        while i > 0 && budget > 0 {
+            i -= 1;
+            budget -= 1;
+            let l = &self.lines[i];
+            let code = l.code.trim();
+            if code.is_empty() || code.starts_with("#[") {
+                if l.comment.contains(needle) {
+                    return true;
+                }
+                continue;
+            }
+            break;
+        }
+        false
+    }
+}
+
+fn brace_delta(code: &str) -> i64 {
+    let mut d = 0;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}

@@ -1,0 +1,117 @@
+//! `rtle-check` CLI: `rtle-check [--root <path>] [lint|model|all]`.
+//!
+//! * `lint` — run the static pass over the workspace sources.
+//! * `model` — exhaustively check the standard protocol configurations
+//!   *and* verify the seeded lazy-subscription mutant is caught.
+//! * `all` (default) — both.
+//!
+//! Exit code 0 iff everything is clean (and the mutant was detected).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rtle_check::model::{explore, mutant_config, standard_suite};
+use rtle_check::{find_workspace_root, lint};
+
+fn run_lint(root: &PathBuf) -> bool {
+    let findings = lint::lint_workspace(root);
+    if findings.is_empty() {
+        let n = lint::workspace_sources(root).len();
+        println!("lint: OK ({n} files, 0 findings)");
+        true
+    } else {
+        for f in &findings {
+            println!("lint: {f}");
+        }
+        println!("lint: FAILED ({} findings)", findings.len());
+        false
+    }
+}
+
+fn run_model() -> bool {
+    let mut ok = true;
+    for cfg in standard_suite() {
+        let r = explore(&cfg);
+        println!(
+            "model: {:<24} {:>7} states {:>6} terminals (paths f/s/l: {}/{}/{}) -> {}",
+            r.config,
+            r.states,
+            r.terminals,
+            r.fast_commit_terminals,
+            r.slow_commit_terminals,
+            r.lock_commit_terminals,
+            if r.clean() {
+                "OK".to_string()
+            } else {
+                format!("{} VIOLATIONS", r.violation_count)
+            }
+        );
+        for v in &r.violations {
+            println!("model:   [{}] {} (schedule {:?})", v.kind, v.detail, v.schedule);
+        }
+        ok &= r.clean();
+    }
+
+    // The oracle's own regression test: the unsafe-lazy-subscription mutant
+    // must be *caught*.
+    let mutant = explore(&mutant_config());
+    let caught = mutant
+        .violations
+        .iter()
+        .any(|v| v.kind == "non-serializable");
+    println!(
+        "model: {:<24} {:>7} states {:>6} terminals -> {}",
+        mutant.config,
+        mutant.states,
+        mutant.terminals,
+        if caught {
+            format!("MUTANT CAUGHT ({} violations, as required)", mutant.violation_count)
+        } else {
+            "MUTANT MISSED — oracle regression!".to_string()
+        }
+    );
+    if let Some(v) = mutant.violations.first() {
+        println!("model:   zombie witness: {} (schedule {:?})", v.detail, v.schedule);
+    }
+    ok && caught
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut mode = String::from("all");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "lint" | "model" | "all" => mode = a,
+            other => {
+                eprintln!("usage: rtle-check [--root <path>] [lint|model|all] (got {other:?})");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        find_workspace_root(&cwd)
+            .or_else(|| find_workspace_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR"))))
+    });
+
+    let mut ok = true;
+    if mode == "lint" || mode == "all" {
+        match &root {
+            Some(r) => ok &= run_lint(r),
+            None => {
+                eprintln!("rtle-check: could not locate the workspace root (use --root)");
+                ok = false;
+            }
+        }
+    }
+    if mode == "model" || mode == "all" {
+        ok &= run_model();
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

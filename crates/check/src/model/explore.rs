@@ -1,0 +1,161 @@
+//! Exhaustive DFS over all interleavings of a configuration.
+//!
+//! Plain stateful search: every reachable global state is visited once
+//! (memoized in a hash set), every enabled thread is tried from every
+//! state. The committed history is part of the state, so two interleavings
+//! that produce the same memory but different histories are still explored
+//! separately — the oracle judges histories, not just final memory.
+//!
+//! Schedules (the sequence of thread choices from the initial state) ride
+//! along on the DFS stack purely for diagnostics: a violation report can
+//! print the exact interleaving that produced it.
+
+use std::collections::HashSet;
+
+use super::machine::{Config, State};
+use super::oracle::find_serial_witness;
+
+/// Cap on recorded violations per configuration (counting continues).
+const MAX_RECORDED_VIOLATIONS: usize = 5;
+
+/// One concrete violation with the schedule that reached it.
+#[derive(Debug, Clone)]
+pub struct ViolationReport {
+    /// Violation class (`non-serializable`, `bad-terminal`, `stuck`).
+    pub kind: &'static str,
+    /// Human-readable description: history, final memory, invariant.
+    pub detail: String,
+    /// The thread-choice sequence from the initial state.
+    pub schedule: Vec<u8>,
+}
+
+/// Result of exhaustively exploring one configuration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Configuration name.
+    pub config: String,
+    /// Distinct states visited.
+    pub states: u64,
+    /// Distinct terminal states reached.
+    pub terminals: u64,
+    /// Total violations found (recorded ones capped at
+    /// [`MAX_RECORDED_VIOLATIONS`]).
+    pub violation_count: u64,
+    /// Recorded violations.
+    pub violations: Vec<ViolationReport>,
+    /// Commit-path coverage over all terminal states: how many terminal
+    /// histories contain at least one fast / slow / lock commit.
+    pub fast_commit_terminals: u64,
+    /// Terminal states whose history contains a slow-path commit.
+    pub slow_commit_terminals: u64,
+    /// Terminal states whose history contains an under-lock commit.
+    pub lock_commit_terminals: u64,
+}
+
+impl Report {
+    /// True iff no violation of any kind was found.
+    pub fn clean(&self) -> bool {
+        self.violation_count == 0
+    }
+}
+
+fn record(report: &mut Report, kind: &'static str, detail: String, schedule: &[u8]) {
+    report.violation_count += 1;
+    if report.violations.len() < MAX_RECORDED_VIOLATIONS {
+        report.violations.push(ViolationReport {
+            kind,
+            detail,
+            schedule: schedule.to_vec(),
+        });
+    }
+}
+
+fn check_terminal(cfg: &Config, state: &State, schedule: &[u8], report: &mut Report) {
+    report.terminals += 1;
+    if let Some(why) = state.terminal_invariant_violation() {
+        record(report, "bad-terminal", why, schedule);
+        return;
+    }
+    let entries: Vec<_> = state.committed().iter().flatten().collect();
+    let mut fast = false;
+    let mut slow = false;
+    let mut lock = false;
+    for e in &entries {
+        match e.path {
+            super::oracle::CommitPath::Fast => fast = true,
+            super::oracle::CommitPath::Slow => slow = true,
+            super::oracle::CommitPath::Lock => lock = true,
+        }
+    }
+    report.fast_commit_terminals += fast as u64;
+    report.slow_commit_terminals += slow as u64;
+    report.lock_commit_terminals += lock as u64;
+
+    let init = vec![0u64; cfg.nloc as usize];
+    if find_serial_witness(&init, state.data(), &entries).is_none() {
+        let hist: Vec<String> = entries.iter().map(|e| e.to_string()).collect();
+        record(
+            report,
+            "non-serializable",
+            format!(
+                "history [{}] with final memory {:?} matches no serial order",
+                hist.join(", "),
+                state.data()
+            ),
+            schedule,
+        );
+    }
+}
+
+/// Explores every interleaving of `cfg` and checks every terminal state.
+pub fn explore(cfg: &Config) -> Report {
+    cfg.validate();
+    let mut report = Report {
+        config: cfg.name.clone(),
+        states: 0,
+        terminals: 0,
+        violation_count: 0,
+        violations: Vec::new(),
+        fast_commit_terminals: 0,
+        slow_commit_terminals: 0,
+        lock_commit_terminals: 0,
+    };
+
+    let initial = State::initial(cfg);
+    let mut visited: HashSet<State> = HashSet::new();
+    visited.insert(initial.clone());
+    let mut stack: Vec<(State, Vec<u8>)> = vec![(initial, Vec::new())];
+
+    while let Some((state, schedule)) = stack.pop() {
+        report.states += 1;
+        let enabled: Vec<usize> = (0..cfg.threads.len())
+            .filter(|&t| state.enabled(cfg, t))
+            .collect();
+        if enabled.is_empty() {
+            if state.terminal() {
+                check_terminal(cfg, &state, &schedule, &mut report);
+            } else {
+                // Cannot happen (the lock holder is always enabled), but a
+                // modeling bug should surface as a finding, not silently
+                // shrink the state space.
+                record(
+                    &mut report,
+                    "stuck",
+                    "non-terminal state with no enabled thread".into(),
+                    &schedule,
+                );
+            }
+            continue;
+        }
+        for t in enabled {
+            let mut next = state.clone();
+            next.step(cfg, t);
+            if visited.insert(next.clone()) {
+                let mut sched = schedule.clone();
+                sched.push(t as u8);
+                stack.push((next, sched));
+            }
+        }
+    }
+    report
+}

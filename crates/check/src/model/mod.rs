@@ -1,0 +1,34 @@
+//! Exhaustive interleaving checker for the TLE protocol family.
+//!
+//! The module is a small-step operational model of the runtime in
+//! `rtle-core`: each thread is a state machine walking the fast
+//! (speculative), slow (speculative-while-locked) and pessimistic (under
+//! lock) paths of TLE, RW-TLE and FG-TLE, over a tiny shared memory of
+//! numbered locations. The explorer ([`explore`]) enumerates *every*
+//! interleaving of the per-thread steps from a given configuration (DFS with
+//! memoized states) and checks each terminal state against
+//!
+//! * structural invariants (lock released, `write_flag` lowered, epoch even,
+//!   every thread committed exactly once), and
+//! * a serializability oracle ([`oracle`]): the committed history must be
+//!   equivalent to *some* serial order of the critical sections replayed
+//!   over shadow memory.
+//!
+//! Conflict detection models a requester-wins HTM: any committed (plain or
+//! under-lock) store to a line dooms every speculative transaction that has
+//! the line in its read or write set; a doomed transaction aborts at its
+//! next step. Lock subscription is exactly a transactional read of the lock
+//! line, so eager subscription makes lock acquisition doom the subscriber —
+//! while the [`Subscription::LazyUnsafe`] variant (no subscription, no
+//! commit-time check) reproduces the zombie-transaction hazard the paper's
+//! companion work warns about, and the oracle must catch it.
+
+pub mod explore;
+pub mod machine;
+pub mod oracle;
+pub mod suite;
+
+pub use explore::{explore, Report, ViolationReport};
+pub use machine::{Config, Op, Policy, State, Subscription, ThreadSpec, Val};
+pub use oracle::{find_serial_witness, CommitPath, Committed, HOp};
+pub use suite::{mutant_config, standard_suite};

@@ -1,0 +1,130 @@
+//! The standard model-checking suite: small closed configurations covering
+//! every protocol variant, plus the deliberately broken lazy-subscription
+//! mutant used as a regression test *for the oracle*.
+
+use super::machine::{Config, Op, Policy, Subscription, ThreadSpec, Val};
+
+fn t(ops: Vec<Op>) -> ThreadSpec {
+    ThreadSpec {
+        ops,
+        hostile: false,
+    }
+}
+
+fn hostile(ops: Vec<Op>) -> ThreadSpec {
+    ThreadSpec { ops, hostile: true }
+}
+
+/// The invariant-pair workload: the hostile thread writes `x` then `y`
+/// (invariant: `x == y` between critical sections) while the other thread
+/// reads both. Any interleaving that observes `x=1, y=0` is the zombie.
+fn invariant_pair(name: &str, policy: Policy, sub: Subscription, max_slow: u8) -> Config {
+    Config {
+        name: name.into(),
+        policy,
+        sub,
+        threads: vec![
+            hostile(vec![
+                Op::Write(0, Val::Const(1)),
+                Op::Write(1, Val::Const(1)),
+            ]),
+            t(vec![Op::Read(0), Op::Read(1)]),
+        ],
+        nloc: 2,
+        max_fast_attempts: 2,
+        max_slow_attempts: max_slow,
+    }
+}
+
+/// Safe configurations: the checker must find **zero** violations in every
+/// one of these, over every interleaving.
+pub fn standard_suite() -> Vec<Config> {
+    vec![
+        // Two speculating incrementers racing on one counter: conflict
+        // dooming, retry budgets, and the lock fallback all get exercised;
+        // the oracle additionally rules out lost updates.
+        Config {
+            name: "tle-eager-counter".into(),
+            policy: Policy::Tle,
+            sub: Subscription::Eager,
+            threads: vec![
+                t(vec![Op::Read(0), Op::Write(0, Val::LastReadPlus(0, 1))]),
+                t(vec![Op::Read(0), Op::Write(0, Val::LastReadPlus(0, 1))]),
+            ],
+            nloc: 1,
+            max_fast_attempts: 2,
+            max_slow_attempts: 0,
+        },
+        // Hostile writer vs. speculating reader on the invariant pair.
+        invariant_pair("tle-eager-pair", Policy::Tle, Subscription::Eager, 0),
+        // Same workload, lazy subscription with the safe commit-time check.
+        invariant_pair("tle-lazysafe-pair", Policy::Tle, Subscription::LazySafe, 0),
+        // RW-TLE: the reader may speculate while the writer holds the lock,
+        // but write_flag must fence it away from torn observations.
+        invariant_pair("rwtle-reader-vs-writer", Policy::RwTle, Subscription::Eager, 2),
+        // RW-TLE with a read-only holder: the slow reader can commit
+        // *while the lock is held* (the paper's §3 win).
+        Config {
+            name: "rwtle-reader-vs-reader".into(),
+            policy: Policy::RwTle,
+            sub: Subscription::Eager,
+            threads: vec![
+                hostile(vec![Op::Read(0)]),
+                t(vec![Op::Read(0), Op::Read(1)]),
+            ],
+            nloc: 2,
+            max_fast_attempts: 2,
+            max_slow_attempts: 2,
+        },
+        // FG-TLE, disjoint footprints (loc 0 -> orec 0, loc 1 -> orec 1):
+        // the slow writer can commit concurrently with the holder.
+        Config {
+            name: "fgtle-disjoint".into(),
+            policy: Policy::FgTle { orecs: 2 },
+            sub: Subscription::Eager,
+            threads: vec![
+                hostile(vec![Op::Write(0, Val::Const(1))]),
+                t(vec![Op::Read(1), Op::Write(1, Val::LastReadPlus(1, 1))]),
+            ],
+            nloc: 2,
+            max_fast_attempts: 2,
+            max_slow_attempts: 2,
+        },
+        // FG-TLE, overlapping footprints: orec checks must doom the slow
+        // reader racing the invariant-pair holder.
+        invariant_pair(
+            "fgtle-conflict",
+            Policy::FgTle { orecs: 2 },
+            Subscription::Eager,
+            2,
+        ),
+        // Three threads around one location: writer plus two observers,
+        // one of which copies x into y.
+        Config {
+            name: "tle-eager-3thread".into(),
+            policy: Policy::Tle,
+            sub: Subscription::Eager,
+            threads: vec![
+                hostile(vec![Op::Write(0, Val::Const(1))]),
+                t(vec![Op::Read(0)]),
+                t(vec![Op::Read(0), Op::Write(1, Val::LastReadPlus(0, 0))]),
+            ],
+            nloc: 2,
+            max_fast_attempts: 1,
+            max_slow_attempts: 0,
+        },
+    ]
+}
+
+/// The seeded bug: lazy subscription with no commit-time lock check. The
+/// explorer must report a non-serializable history for this configuration
+/// (the zombie transaction reads `x=1, y=0` mid-critical-section and
+/// commits) — if it ever stops doing so, the oracle itself has regressed.
+pub fn mutant_config() -> Config {
+    invariant_pair(
+        "tle-lazyunsafe-mutant",
+        Policy::Tle,
+        Subscription::LazyUnsafe,
+        0,
+    )
+}

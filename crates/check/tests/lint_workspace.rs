@@ -1,0 +1,23 @@
+//! The lint pass must run clean on this workspace: `cargo test` therefore
+//! enforces the invariant table even when `scripts/tier1.sh` is skipped.
+
+use std::path::Path;
+
+use rtle_check::lint::lint_workspace;
+use rtle_check::find_workspace_root;
+
+#[test]
+fn workspace_lint_is_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root locatable from crates/check");
+    let findings = lint_workspace(&root);
+    assert!(
+        findings.is_empty(),
+        "lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -67,6 +67,8 @@ mod obs_thread {
     static NEXT_KEY: AtomicU64 = AtomicU64::new(0);
 
     thread_local! {
+        // ordering: key allocation — only uniqueness matters, the value
+        // never synchronizes other memory.
         static KEY: u64 = NEXT_KEY.fetch_add(1, Ordering::Relaxed);
         static OP_SEQ: Cell<u64> = const { Cell::new(0) };
     }

@@ -34,8 +34,16 @@ impl Default for SeqEpoch {
 impl SeqEpoch {
     /// New counter at 0 (even: no critical section running).
     pub fn new() -> Self {
+        SeqEpoch::starting_at(0)
+    }
+
+    /// New counter at an arbitrary even value — exists so overflow
+    /// behavior near `u64::MAX` is testable without 2^63 critical
+    /// sections.
+    pub fn starting_at(value: u64) -> Self {
+        assert_eq!(value & 1, 0, "epoch must start even (no section running)");
         SeqEpoch {
-            counter: TxCell::new(0),
+            counter: TxCell::new(value),
         }
     }
 
@@ -55,7 +63,7 @@ impl SeqEpoch {
     pub fn begin_locked_section(&self) -> u64 {
         let v = self.counter.read_plain();
         debug_assert_eq!(v & 1, 0, "epoch must be even when the lock is acquired");
-        let odd = v + 1;
+        let odd = v.wrapping_add(1);
         self.counter.write(odd);
         odd
     }
@@ -66,12 +74,18 @@ impl SeqEpoch {
     pub fn end_locked_section(&self) {
         let v = self.counter.read_plain();
         debug_assert_eq!(v & 1, 1, "epoch must be odd while the lock is held");
-        self.counter.write(v + 1);
+        self.counter.write(v.wrapping_add(1));
     }
 
     /// Whether an orec stamped `orec_epoch` is owned from the point of view
     /// of a transaction whose snapshot is `local_seq` (Figure 3's
     /// comparisons): owned iff `orec_epoch >= local_seq`.
+    ///
+    /// Across a wraparound of the 64-bit counter this comparison is
+    /// *conservative*: stamps from before the wrap are numerically huge and
+    /// read as owned by post-wrap snapshots, so affected slow-path
+    /// transactions abort spuriously (never the unsafe direction). The
+    /// window heals as post-wrap critical sections re-stamp the orecs.
     #[inline]
     pub fn owned(orec_epoch: u64, local_seq: u64) -> bool {
         orec_epoch >= local_seq
@@ -118,5 +132,42 @@ mod tests {
         let e = SeqEpoch::new();
         e.begin_locked_section();
         e.begin_locked_section();
+    }
+
+    #[test]
+    fn wraparound_preserves_parity_lifecycle() {
+        // u64::MAX is odd, so the last pre-wrap section begins at MAX and
+        // ends by wrapping to 0 — parity (even = free, odd = held) must
+        // survive the wrap without panicking.
+        let e = SeqEpoch::starting_at(u64::MAX - 1);
+        assert_eq!(e.begin_locked_section(), u64::MAX);
+        e.end_locked_section();
+        assert_eq!(e.snapshot(), 0, "counter wraps to 0, which is even");
+        assert_eq!(e.begin_locked_section(), 1);
+        e.end_locked_section();
+        assert_eq!(e.snapshot(), 2);
+    }
+
+    #[test]
+    fn wraparound_ownership_is_conservative() {
+        // A stamp from the final pre-wrap section vs. a post-wrap snapshot:
+        // the orec looks owned (spurious abort), never un-owned while the
+        // stamping section still runs.
+        let pre_wrap_stamp = u64::MAX;
+        assert!(
+            SeqEpoch::owned(pre_wrap_stamp, 0),
+            "stale pre-wrap stamps read as owned by post-wrap snapshots (safe direction)"
+        );
+        // Within the pre-wrap section itself the rule is exact.
+        assert!(SeqEpoch::owned(pre_wrap_stamp, u64::MAX));
+        // Once post-wrap sections re-stamp, exactness returns.
+        assert!(SeqEpoch::owned(1, 1));
+        assert!(!SeqEpoch::owned(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn starting_at_rejects_odd() {
+        let _ = SeqEpoch::starting_at(u64::MAX);
     }
 }

@@ -15,6 +15,8 @@
 //! active size inside their transaction, so a resize dooms them instead of
 //! letting them index with a stale size.
 
+use std::sync::atomic::{fence, Ordering};
+
 use rtle_htm::hash::fast_hash;
 use rtle_htm::TxCell;
 
@@ -95,10 +97,6 @@ impl OrecTable {
     /// unless it already carries a stamp `>= epoch`. Returns `true` iff a
     /// store was performed (i.e. this orec was newly acquired by this
     /// critical section) — the caller maintains the `uniq_*_orecs` counter.
-    ///
-    /// The store is strongly atomic (it publishes a fresh version on the
-    /// orec's line), which subsumes the store-load fence the paper inserts
-    /// after each orec acquisition.
     #[inline]
     pub fn stamp(&self, kind: OrecKind, addr: usize, epoch: u64) -> bool {
         let n = self.active_plain();
@@ -110,6 +108,14 @@ impl OrecTable {
             return false;
         }
         orec.write(epoch);
+        // §4's store-load fence: the acquisition store must be ordered
+        // before the holder's subsequent data access, or a slow-path
+        // transaction could read the old data after checking the old orec.
+        // TxCell::write already publishes a fresh stripe version, but that
+        // is an artifact of the software emulation — on real RTM hardware
+        // the store above is plain, so the protocol-mandated fence stays
+        // (rtle-check's orec-fence lint rule pins it here).
+        fence(Ordering::SeqCst);
         true
     }
 

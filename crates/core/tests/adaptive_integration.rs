@@ -2,7 +2,7 @@
 //! lock holder shrinks/disables the slow path when it buys nothing, and
 //! keeps it when concurrent slow-path commits are happening.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rtle_core::{ElidableLock, ElisionPolicy, TxCell};
@@ -53,22 +53,34 @@ fn adaptive_keeps_slow_path_when_it_pays() {
     // whenever one of them falls back to the lock — correctly).
     let cold: Arc<Vec<TxCell<u64>>> = Arc::new((0..2).map(|_| TxCell::new(0)).collect());
     let stop = Arc::new(AtomicBool::new(false));
+    let cold_ops = Arc::new(AtomicU64::new(0));
 
     std::thread::scope(|scope| {
-        // Pessimistic updater (always locks, writes `hot`). Yields after
-        // each op so the slow-path threads genuinely interleave even on a
-        // single-core test machine (otherwise whole adaptation windows
-        // elapse inside one scheduling quantum and look idle).
+        // Pessimistic updater (always locks, writes `hot`). It keeps the
+        // lock held until the disjoint threads make progress — while the
+        // lock is held they can only progress via the slow path, so this
+        // guarantees lock/slow-path overlap on any core count. (Merely
+        // yielding between ops is not enough: on a single-CPU machine the
+        // lock is released before the other threads ever get scheduled,
+        // whole adaptation windows look idle, and the slow path collapses
+        // without having been exercised once.)
         {
             let (lock, hot, stop) = (Arc::clone(&lock), Arc::clone(&hot), Arc::clone(&stop));
+            let cold_ops = Arc::clone(&cold_ops);
             scope.spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     lock.execute(|ctx| {
                         rtle_htm::htm_unfriendly_instruction();
                         let v = ctx.read(&hot);
                         ctx.write(&hot, v + 1);
+                        let c0 = cold_ops.load(Ordering::Relaxed);
+                        for _ in 0..200 {
+                            if cold_ops.load(Ordering::Relaxed) >= c0 + 2 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
                     });
-                    std::thread::yield_now();
                 }
             });
         }
@@ -76,12 +88,14 @@ fn adaptive_keeps_slow_path_when_it_pays() {
         // updater holds the lock.
         for t in 0..2usize {
             let (lock, cold, stop) = (Arc::clone(&lock), Arc::clone(&cold), Arc::clone(&stop));
+            let cold_ops = Arc::clone(&cold_ops);
             scope.spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     lock.execute(|ctx| {
                         let v = ctx.read(&cold[t]);
                         ctx.write(&cold[t], v + 1);
                     });
+                    cold_ops.fetch_add(1, Ordering::Relaxed);
                 }
             });
         }

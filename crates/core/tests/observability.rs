@@ -111,12 +111,22 @@ fn concurrent_hammer_while_snapshotting() {
                 let now = lock.stats().snapshot();
                 let delta = now.since(&last); // must never panic (saturating)
                 assert!(delta.ops <= (THREADS * OPS) as u64);
+                let before = rec.snapshot();
                 let obs = rec.snapshot();
+                let after = rec.snapshot();
                 // Commit counters and histogram cells are separate relaxed
-                // atomics, so a mid-run snapshot may catch a worker between
-                // the two updates: allow one in-flight op of skew per
-                // thread. Exact equality is asserted after joining below.
-                let skew = |a: u64, b: u64| a.abs_diff(b) <= THREADS as u64;
+                // atomics, and a snapshot reads them one by one while the
+                // workers keep committing. Two sources of skew: at most one
+                // in-flight op per thread (caught between its histogram
+                // record and its commit-counter bump), plus every op that
+                // committed while the snapshot itself was being read. The
+                // bracketing snapshots bound the latter. Exact equality is
+                // asserted after joining below.
+                let slack = THREADS as u64
+                    + after
+                        .total_commits()
+                        .saturating_sub(before.total_commits());
+                let skew = |a: u64, b: u64| a.abs_diff(b) <= slack;
                 assert!(skew(obs.cs_latency.count, obs.total_commits()));
                 assert!(skew(obs.retries.count, obs.total_commits()));
                 last = now;

@@ -166,6 +166,8 @@ thread_local! {
 static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
+    // ordering: token allocation — only uniqueness matters, the value
+    // never synchronizes other memory.
     static TOKEN: u64 = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
 }
 

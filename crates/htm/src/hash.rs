@@ -81,6 +81,48 @@ mod tests {
     }
 
     #[test]
+    fn mix_known_answers_are_stable() {
+        // Pinned outputs of the hash64shift reference. Orec indices and
+        // emulated-HTM stripe mapping both derive from these values, so a
+        // silent change to the mix would silently change every conflict
+        // granularity decision — any edit must be deliberate and re-pin.
+        for (input, expected) in [
+            (0u64, 0x77cf_a1ee_f01b_ca90u64),
+            (1, 0x5bca_7c69_b794_f8ce),
+            (42, 0x0f3d_b82f_1e7b_6f7a),
+            (0xdead_beef, 0x386f_2a5f_36b2_57cb),
+            (0x7f00_0000_0000, 0x49c8_1396_e9bb_ed66),
+            (u64::MAX, 0x1f89_206e_3f8e_c794),
+        ] {
+            assert_eq!(
+                wang_mix64(input),
+                expected,
+                "wang_mix64({input:#x}) drifted from its pinned value"
+            );
+        }
+    }
+
+    #[test]
+    fn mix_avalanches_single_bit_flips() {
+        // Flipping any single input bit should flip about half of the 64
+        // output bits (the reference mix averages ~32.0). A weak bound of
+        // [20, 44] on the per-seed mean still catches any real regression
+        // (identity/shift-only mixing averages far below 20).
+        for seed in [0u64, 0x1234_5678_9abc_def0, 0xffff_0000_ffff_0000] {
+            let base = wang_mix64(seed);
+            let mut flipped_bits = 0u32;
+            for bit in 0..64 {
+                flipped_bits += (base ^ wang_mix64(seed ^ (1u64 << bit))).count_ones();
+            }
+            let mean = flipped_bits / 64;
+            assert!(
+                (20..=44).contains(&mean),
+                "avalanche mean {mean} out of range for seed {seed:#x}"
+            );
+        }
+    }
+
+    #[test]
     fn mix_is_bijective_on_sample() {
         use std::collections::HashSet;
         let mut seen = HashSet::new();

@@ -141,6 +141,9 @@ pub fn actually_in_hw_txn() -> bool {
 /// Aborts the current hardware transaction with an explicit code.
 #[inline]
 pub fn hw_abort(code: u8) -> ! {
+    // SAFETY: xabort is always legal to execute; outside a transaction it
+    // is a no-op falling through to the (diverging) path below, inside one
+    // it transfers control back to the xbegin fallback address.
     #[cfg(target_arch = "x86_64")]
     unsafe {
         intrin::xabort(code)
@@ -165,6 +168,10 @@ pub fn try_txn<R>(f: impl FnOnce() -> R) -> Result<R, AbortCode> {
         if !rtm_supported() {
             return Err(AbortCode::Unsupported);
         }
+        // SAFETY: xbegin/xend are paired on the success path only: xend
+        // runs iff xbegin returned XBEGIN_STARTED and the closure did not
+        // abort (an abort rolls back to xbegin with a status code, so
+        // control never reaches the xend of an aborted transaction).
         unsafe {
             let status = intrin::xbegin();
             if status == intrin::XBEGIN_STARTED {

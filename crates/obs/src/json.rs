@@ -89,13 +89,6 @@ impl Json {
         }
     }
 
-    /// Serializes to a compact JSON string.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
     /// Serializes with two-space indentation (for files humans diff).
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();
@@ -175,6 +168,15 @@ impl Json {
             }
             other => other.write(out),
         }
+    }
+}
+
+/// Compact JSON serialization (`json.to_string()` comes from here).
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
     }
 }
 

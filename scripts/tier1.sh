@@ -10,6 +10,12 @@ cargo build --workspace --release
 echo "== tests =="
 cargo test --workspace --release -q
 
+echo "== clippy (deny warnings) =="
+cargo clippy --all-targets -q -- -D warnings
+
+echo "== rtle-check (lint + interleaving model) =="
+cargo run -p rtle-check --release
+
 echo "== diag --json smoke =="
 out="$(mktemp -d)/diag.json"
 cargo run -p rtle-bench --release --bin diag -- 8 --quick --json "$out" >/dev/null
