@@ -1,0 +1,329 @@
+//! Perf-baseline regression harness.
+//!
+//! `bench run` measures a fixed set of named micro-benchmarks over the
+//! *real* runtime (not the simulator) with [`crate::micro::measure_ns`]
+//! and writes a schema-versioned JSON baseline (`BENCH_<n>.json` at the
+//! repo root by convention). `bench compare OLD NEW` diffs two such
+//! documents with noise-tolerant thresholds: a benchmark only counts as
+//! regressed when it is slower by more than a ratio threshold *and* by an
+//! absolute floor, so timer jitter on loaded CI machines cannot fake a
+//! regression. `scripts/bench_compare.sh` wires this into tier-1 as a
+//! non-fatal report.
+
+use std::sync::Arc;
+
+use rtle_core::{Ctx, ElidableLock, ElisionPolicy};
+use rtle_htm::TxCell;
+use rtle_obs::{Json, ObsConfig, Recorder, TraceKind, Tracer, SCHEMA_VERSION};
+
+use crate::micro::measure_ns;
+
+/// Default regression ratio: `new > old * RATIO` flags a benchmark.
+pub const DEFAULT_RATIO: f64 = 1.8;
+
+/// Absolute floor in ns/op: differences below this are always noise
+/// (sub-clock-resolution benches would otherwise trip the ratio check).
+pub const ABS_FLOOR_NS: f64 = 15.0;
+
+/// One measured benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Stable benchmark name (the compare key).
+    pub name: String,
+    /// Median ns/op.
+    pub ns_per_op: f64,
+}
+
+fn rmw_ns(lock: &ElidableLock) -> f64 {
+    let cell = TxCell::new(0u64);
+    measure_ns(|| {
+        lock.execute(|ctx: &Ctx| {
+            let v = ctx.read(&cell);
+            ctx.write(&cell, v + 1);
+        });
+    })
+}
+
+fn read_ns(lock: &ElidableLock) -> f64 {
+    let cell = TxCell::new(7u64);
+    measure_ns(|| {
+        lock.execute(|ctx: &Ctx| {
+            std::hint::black_box(ctx.read(&cell));
+        });
+    })
+}
+
+/// Runs the fixed baseline suite and returns `(name, ns/op)` rows in a
+/// stable order. Single-threaded on purpose: the baseline tracks the
+/// *code's* fast-path cost, not the machine's contention behaviour, so
+/// runs on different CI hosts stay comparable.
+pub fn run_baseline() -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    let mut push = |name: &str, ns: f64| {
+        println!("{name:<40} {ns:>12.1} ns/op");
+        out.push(BenchResult {
+            name: name.into(),
+            ns_per_op: ns,
+        });
+    };
+
+    push(
+        "tle_uncontended_rmw",
+        rmw_ns(&ElidableLock::new(ElisionPolicy::Tle)),
+    );
+    push(
+        "rwtle_uncontended_read",
+        read_ns(&ElidableLock::new(ElisionPolicy::RwTle)),
+    );
+    push(
+        "fgtle64_uncontended_rmw",
+        rmw_ns(&ElidableLock::new(ElisionPolicy::FgTle { orecs: 64 })),
+    );
+    push(
+        "adaptive_uncontended_rmw",
+        rmw_ns(&ElidableLock::new(ElisionPolicy::AdaptiveFgTle {
+            initial_orecs: 16,
+            max_orecs: 1024,
+        })),
+    );
+    push(
+        "lockonly_rmw",
+        rmw_ns(&ElidableLock::new(ElisionPolicy::LockOnly)),
+    );
+    push(
+        "tle_sampled_recorder_rmw",
+        rmw_ns(
+            &ElidableLock::new(ElisionPolicy::Tle)
+                .with_recorder(Arc::new(Recorder::new(ObsConfig::default()))),
+        ),
+    );
+    {
+        // Trace-span recording cost: ~0 when the `trace` feature is off
+        // (the call folds away), a few ns when on. Baselines produced by
+        // differently-featured builds are not comparable; `bench run`
+        // stamps the feature state into the document for that reason.
+        let tracer = Tracer::new(4, 1024);
+        push(
+            "tracer_span_record",
+            measure_ns(|| {
+                tracer.span_ending_now(0, TraceKind::FastCommit, 100, 0);
+            }),
+        );
+    }
+    push("orec_heatmap_snapshot", {
+        let lock = ElidableLock::new(ElisionPolicy::FgTle { orecs: 64 });
+        let cell = TxCell::new(0u64);
+        lock.execute(|ctx: &Ctx| {
+            let v = ctx.read(&cell);
+            ctx.write(&cell, v + 1);
+        });
+        measure_ns(|| {
+            std::hint::black_box(lock.orec_heatmap());
+        })
+    });
+    out
+}
+
+/// The baseline JSON document.
+pub fn baseline_to_json(results: &[BenchResult]) -> Json {
+    Json::obj([
+        ("schema_version", Json::UInt(SCHEMA_VERSION)),
+        ("tool", Json::Str("bench".into())),
+        ("kind", Json::Str("perf-baseline".into())),
+        ("latency_unit", Json::Str("ns".into())),
+        ("trace_feature", Json::Bool(cfg!(feature = "trace"))),
+        (
+            "benches",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("name", Json::Str(r.name.clone())),
+                            ("ns_per_op", Json::Num(r.ns_per_op)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a baseline document back into results. `None` when the document
+/// is not a perf-baseline or is malformed.
+pub fn baseline_from_json(j: &Json) -> Option<Vec<BenchResult>> {
+    if j.get("kind").and_then(Json::as_str) != Some("perf-baseline") {
+        return None;
+    }
+    j.get("benches")?
+        .as_arr()?
+        .iter()
+        .map(|b| {
+            Some(BenchResult {
+                name: b.get("name")?.as_str()?.to_string(),
+                ns_per_op: b.get("ns_per_op")?.as_f64()?,
+            })
+        })
+        .collect()
+}
+
+/// One line of a comparison verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareLine {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline ns/op.
+    pub old_ns: f64,
+    /// Current ns/op.
+    pub new_ns: f64,
+    /// `new / old`.
+    pub ratio: f64,
+}
+
+/// Outcome of comparing a new run against a baseline.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct CompareOutcome {
+    /// Benchmarks slower than both thresholds — the regression verdict.
+    pub regressions: Vec<CompareLine>,
+    /// Benchmarks faster by the same margins (informational).
+    pub improvements: Vec<CompareLine>,
+    /// Every benchmark present in both documents, in baseline order.
+    pub all: Vec<CompareLine>,
+    /// Names present in only one of the two documents.
+    pub unmatched: Vec<String>,
+}
+
+impl CompareOutcome {
+    /// True when no benchmark regressed.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares `new` against the `old` baseline. A benchmark regresses when
+/// it is slower by more than `ratio` *and* by more than [`ABS_FLOOR_NS`]
+/// — both conditions, so neither tiny absolute wobbles on fast benches
+/// nor proportionally-small drifts on slow ones trip the gate.
+pub fn compare(old: &[BenchResult], new: &[BenchResult], ratio: f64) -> CompareOutcome {
+    assert!(ratio > 1.0, "ratio threshold must exceed 1.0");
+    let mut out = CompareOutcome::default();
+    for o in old {
+        let Some(n) = new.iter().find(|n| n.name == o.name) else {
+            out.unmatched.push(o.name.clone());
+            continue;
+        };
+        let line = CompareLine {
+            name: o.name.clone(),
+            old_ns: o.ns_per_op,
+            new_ns: n.ns_per_op,
+            ratio: n.ns_per_op / o.ns_per_op.max(f64::MIN_POSITIVE),
+        };
+        if n.ns_per_op > o.ns_per_op * ratio && n.ns_per_op - o.ns_per_op > ABS_FLOOR_NS {
+            out.regressions.push(line.clone());
+        } else if o.ns_per_op > n.ns_per_op * ratio && o.ns_per_op - n.ns_per_op > ABS_FLOOR_NS {
+            out.improvements.push(line.clone());
+        }
+        out.all.push(line);
+    }
+    for n in new {
+        if !old.iter().any(|o| o.name == n.name) {
+            out.unmatched.push(n.name.clone());
+        }
+    }
+    out
+}
+
+/// Renders the comparison as the report `bench compare` prints.
+pub fn render_compare(outcome: &CompareOutcome) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<40}{:>12}{:>12}{:>8}\n",
+        "benchmark", "old ns/op", "new ns/op", "ratio"
+    ));
+    for l in &outcome.all {
+        let mark = if outcome.regressions.contains(l) {
+            "  REGRESSED"
+        } else if outcome.improvements.contains(l) {
+            "  improved"
+        } else {
+            ""
+        };
+        s.push_str(&format!(
+            "{:<40}{:>12.1}{:>12.1}{:>8.2}{mark}\n",
+            l.name, l.old_ns, l.new_ns, l.ratio
+        ));
+    }
+    for u in &outcome.unmatched {
+        s.push_str(&format!("{u:<40}   (present in only one document)\n"));
+    }
+    s.push_str(&format!(
+        "{} compared, {} regressed, {} improved, {} unmatched\n",
+        outcome.all.len(),
+        outcome.regressions.len(),
+        outcome.improvements.len(),
+        outcome.unmatched.len()
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtle_obs::parse_json;
+
+    fn res(rows: &[(&str, f64)]) -> Vec<BenchResult> {
+        rows.iter()
+            .map(|&(name, ns)| BenchResult {
+                name: name.into(),
+                ns_per_op: ns,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let r = res(&[("a", 12.5), ("b", 900.0)]);
+        let text = baseline_to_json(&r).to_string_pretty();
+        let j = parse_json(&text).expect("baseline JSON parses");
+        assert_eq!(
+            j.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("perf-baseline"));
+        assert_eq!(baseline_from_json(&j).unwrap(), r);
+        assert_eq!(baseline_from_json(&Json::obj([])), None);
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let old = res(&[("fast", 10.0), ("slow", 1000.0), ("gone", 5.0)]);
+        let new = res(&[
+            // 3x slower but only +20ns-ish… above both thresholds.
+            ("fast", 31.0),
+            // +10%: within the ratio threshold.
+            ("slow", 1100.0),
+            ("added", 7.0),
+        ]);
+        let c = compare(&old, &new, DEFAULT_RATIO);
+        assert_eq!(c.regressions.len(), 1);
+        assert_eq!(c.regressions[0].name, "fast");
+        assert!(!c.ok());
+        assert_eq!(c.all.len(), 2);
+        assert_eq!(c.unmatched, vec!["gone".to_string(), "added".to_string()]);
+        let report = render_compare(&c);
+        assert!(report.contains("REGRESSED"));
+        assert!(report.contains("1 regressed"));
+    }
+
+    #[test]
+    fn compare_tolerates_noise_on_fast_benches() {
+        // 4x ratio but only 6ns absolute: sub-floor, so not a regression.
+        let old = res(&[("tiny", 2.0)]);
+        let new = res(&[("tiny", 8.0)]);
+        assert!(compare(&old, &new, DEFAULT_RATIO).ok());
+        // Improvement detection is symmetric.
+        let c = compare(&res(&[("x", 200.0)]), &res(&[("x", 50.0)]), DEFAULT_RATIO);
+        assert!(c.ok());
+        assert_eq!(c.improvements.len(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Perf-baseline harness binary.
+//!
+//! ```sh
+//! # Measure the baseline suite and write a schema-versioned document:
+//! cargo run -p rtle-bench --release --bin bench -- run --out BENCH_0.json
+//!
+//! # Diff a new run against a stored baseline (exit 1 on regression,
+//! # unless --report-only):
+//! cargo run -p rtle-bench --release --bin bench -- compare BENCH_0.json new.json
+//! ```
+
+use std::path::Path;
+use std::process::exit;
+
+use rtle_bench::baseline::{
+    baseline_from_json, baseline_to_json, compare, render_compare, run_baseline, DEFAULT_RATIO,
+};
+use rtle_obs::parse_json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench run [--out PATH]\n       bench compare OLD NEW [--threshold RATIO] [--report-only]"
+    );
+    exit(2);
+}
+
+fn load(path: &str) -> Vec<rtle_bench::baseline::BenchResult> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let j = parse_json(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: invalid JSON: {e}");
+        exit(1);
+    });
+    baseline_from_json(&j).unwrap_or_else(|| {
+        eprintln!("{path}: not a perf-baseline document");
+        exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let mut out: Option<String> = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--out" => out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+                    _ => usage(),
+                }
+            }
+            let results = run_baseline();
+            if let Some(path) = out {
+                let doc = baseline_to_json(&results).to_string_pretty();
+                if let Err(e) = std::fs::write(Path::new(&path), doc + "\n") {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1);
+                }
+                eprintln!("wrote {path}");
+            }
+        }
+        Some("compare") => {
+            if args.len() < 3 {
+                usage();
+            }
+            let (old_path, new_path) = (&args[1], &args[2]);
+            let mut threshold = DEFAULT_RATIO;
+            let mut report_only = false;
+            let mut it = args[3..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--threshold" => {
+                        threshold = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&t| t > 1.0)
+                            .unwrap_or_else(|| usage());
+                    }
+                    "--report-only" => report_only = true,
+                    _ => usage(),
+                }
+            }
+            let outcome = compare(&load(old_path), &load(new_path), threshold);
+            print!("{}", render_compare(&outcome));
+            if !outcome.ok() && !report_only {
+                exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -5,11 +5,27 @@
 //! statistics" analysis of §6.2.1.
 //!
 //! ```sh
-//! cargo run -p rtle-bench --release --bin diag -- [threads] [--quick] [--json out.json]
+//! cargo run -p rtle-bench --release --bin diag -- \
+//!     [threads] [--quick] [--json out.json] [--heatmap] [--trace out.trace.json]
 //! ```
+//!
+//! `--heatmap` prints the per-orec conflict hot-spot report; `--trace`
+//! writes a Chrome `trace_event` document loadable in Perfetto
+//! (<https://ui.perfetto.dev>), one process per method (requires the
+//! default `trace` feature for non-empty tracks).
 
-use rtle_bench::diag::{diag_to_json, print_diag_table, run_diag};
+use rtle_bench::diag::{
+    diag_to_json, diag_trace_to_json, print_diag_table, print_heatmap_report, run_diag,
+};
 use rtle_bench::BenchArgs;
+
+fn write_doc(path: &std::path::Path, doc: String) {
+    if let Err(e) = std::fs::write(path, doc + "\n") {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", path.display());
+}
 
 fn main() {
     let args = BenchArgs::parse();
@@ -21,12 +37,14 @@ fn main() {
     let sim_ms = if args.quick { 1 } else { 2 };
     let rows = run_diag(threads, sim_ms);
     print_diag_table(threads, &rows);
+    if args.heatmap {
+        println!();
+        print_heatmap_report(&rows);
+    }
     if let Some(path) = args.json.as_deref() {
-        let doc = diag_to_json(threads, &rows).to_string_pretty();
-        if let Err(e) = std::fs::write(path, doc + "\n") {
-            eprintln!("cannot write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-        eprintln!("wrote {}", path.display());
+        write_doc(path, diag_to_json(threads, &rows).to_string_pretty());
+    }
+    if let Some(path) = args.trace.as_deref() {
+        write_doc(path, diag_trace_to_json(&rows).to_string_pretty());
     }
 }

@@ -6,7 +6,8 @@
 
 use std::sync::Arc;
 
-use rtle_obs::{Json, ObsConfig, ObsSnapshot, Recorder, SCHEMA_VERSION};
+use rtle_obs::trace::{chrome_document, chrome_event, chrome_process_name};
+use rtle_obs::{Json, ObsConfig, ObsSnapshot, Recorder, TraceRecord, SCHEMA_VERSION};
 use rtle_sim::engine::{Engine, RunMode};
 use rtle_sim::workloads::avl::{AvlConfig, AvlWorkload};
 use rtle_sim::{CostModel, MachineProfile, SimMethod, SimStats};
@@ -20,6 +21,9 @@ pub struct DiagRow {
     pub stats: SimStats,
     /// Attempt-level recorder snapshot (latencies in simulator cycles).
     pub snapshot: ObsSnapshot,
+    /// Causal trace of the run, cycle-stamped (empty when the `trace`
+    /// feature is off).
+    pub trace: Vec<TraceRecord>,
 }
 
 /// Runs the diagnostic workload (the Figure 5/6 AVL configuration:
@@ -57,6 +61,7 @@ pub fn run_diag(threads: usize, sim_ms: u64) -> Vec<DiagRow> {
                 label: m.label(),
                 stats,
                 snapshot: rec.snapshot(),
+                trace: rec.tracer().drain(),
             }
         })
         .collect()
@@ -110,6 +115,46 @@ pub fn diag_to_json(threads: usize, rows: &[DiagRow]) -> Json {
         ("workload", Json::Str("avl-8192-20-20".into())),
         ("methods", Json::Arr(methods)),
     ])
+}
+
+/// Combined Chrome `trace_event` document for a diag sweep: one process
+/// per method (named via metadata events), thread tracks inside each.
+/// Timestamps are simulator cycles (`otherData.raw_time_unit`).
+pub fn diag_trace_to_json(rows: &[DiagRow]) -> Json {
+    let mut events = Vec::new();
+    for (i, r) in rows.iter().enumerate() {
+        let pid = i as u64 + 1;
+        events.push(chrome_process_name(pid, &r.label));
+        for rec in &r.trace {
+            events.push(chrome_event(rec, pid));
+        }
+    }
+    chrome_document(events, "cycles")
+}
+
+/// Hash-hot-spot report: the per-orec conflict heatmap for methods that
+/// attribute conflicts (FG-TLE and adaptive FG-TLE), with the invariant
+/// line (per-slot sums == aggregate attributed aborts) made visible.
+pub fn print_heatmap_report(rows: &[DiagRow]) {
+    println!("orec conflict heatmap (top 8 slots per method):");
+    for r in rows {
+        let s = &r.stats;
+        if s.orec_conflicts.is_empty() {
+            continue;
+        }
+        let sum: u64 = s.orec_conflicts.iter().sum();
+        println!(
+            "  {:<18} capacity {:>5}  attributed {:>8}  (slot sum {:>8})",
+            r.label,
+            s.orec_conflicts.len(),
+            s.orec_conflict_aborts,
+            sum
+        );
+        for (slot, n) in s.hottest_orec_slots(8) {
+            let share = n as f64 / s.orec_conflict_aborts.max(1) as f64;
+            println!("    slot {slot:>5}  {n:>8} conflicts  ({share:>5.1}%)", share = share * 100.0);
+        }
+    }
 }
 
 /// The fixed-width table the `diag` binary has always printed.
@@ -215,6 +260,47 @@ mod tests {
                 .and_then(Json::as_f64)
                 .unwrap()
                 > 0.0
+        );
+    }
+
+    /// Heatmap and trace exports off one sweep. The hash-hot-spot
+    /// invariant: for every FG method, the per-slot conflict sums equal
+    /// the aggregate attributed counter. The combined diag trace is valid
+    /// Chrome `trace_event` JSON after a parser round-trip (what Perfetto
+    /// checks before loading), with one named process per method.
+    #[test]
+    fn heatmap_invariant_and_chrome_trace_validity() {
+        use rtle_obs::trace::validate_chrome;
+        let rows = run_diag(4, 1);
+
+        let mut fg_rows = 0;
+        for r in &rows {
+            if r.stats.orec_conflicts.is_empty() {
+                assert_eq!(r.stats.orec_conflict_aborts, 0, "{}", r.label);
+                continue;
+            }
+            fg_rows += 1;
+            assert_eq!(
+                r.stats.orec_conflicts.iter().sum::<u64>(),
+                r.stats.orec_conflict_aborts,
+                "{}: slot sums must equal the aggregate",
+                r.label
+            );
+        }
+        assert!(fg_rows >= 4, "FG-TLE variants + adaptive carry heatmaps");
+        print_heatmap_report(&rows);
+
+        let doc = diag_trace_to_json(&rows);
+        let parsed = parse_json(&doc.to_string_pretty()).expect("trace JSON parses");
+        let n = validate_chrome(&parsed).expect("valid trace_event document");
+        // At least the 13 process-name metadata events are always there;
+        // with the `trace` feature on, the spans come on top.
+        assert!(n >= rows.len(), "expected >= {} events, got {n}", rows.len());
+        let has_spans = rows.iter().any(|r| !r.trace.is_empty());
+        assert_eq!(
+            has_spans,
+            rtle_obs::Tracer::new(1, 1).enabled(),
+            "spans present exactly when the trace feature is compiled in"
         );
     }
 }

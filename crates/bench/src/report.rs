@@ -20,6 +20,11 @@ pub struct BenchArgs {
     pub quick: bool,
     /// `--json <path>`: where to write the structured report.
     pub json: Option<PathBuf>,
+    /// `--trace <path>`: where to write a Chrome `trace_event` document
+    /// (Perfetto-loadable) for binaries that collect causal traces.
+    pub trace: Option<PathBuf>,
+    /// `--heatmap` present: print the per-orec conflict hot-spot report.
+    pub heatmap: bool,
     /// Remaining positional arguments, in order.
     pub rest: Vec<String>,
 }
@@ -44,6 +49,14 @@ impl BenchArgs {
                     });
                     out.json = Some(PathBuf::from(p));
                 }
+                "--trace" => {
+                    let p = it.next().unwrap_or_else(|| {
+                        eprintln!("--trace requires a path argument");
+                        std::process::exit(2);
+                    });
+                    out.trace = Some(PathBuf::from(p));
+                }
+                "--heatmap" => out.heatmap = true,
                 _ => out.rest.push(a),
             }
         }
@@ -193,13 +206,15 @@ mod tests {
     #[test]
     fn args_parse_flags_and_positionals() {
         let a = BenchArgs::parse_args(
-            ["--quick", "--json", "/tmp/x.json", "12"]
+            ["--quick", "--json", "/tmp/x.json", "--trace", "/tmp/t.json", "--heatmap", "12"]
                 .map(String::from)
                 .into_iter(),
         );
         assert!(a.quick);
         assert_eq!(a.scale(), Scale::Quick);
         assert_eq!(a.json.as_deref(), Some(Path::new("/tmp/x.json")));
+        assert_eq!(a.trace.as_deref(), Some(Path::new("/tmp/t.json")));
+        assert!(a.heatmap);
         assert_eq!(a.rest, vec!["12".to_string()]);
         assert_eq!(BenchArgs::parse_args(std::iter::empty()).scale(), Scale::Full);
     }

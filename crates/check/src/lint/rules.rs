@@ -200,6 +200,40 @@ pub const ORDERING_RULES: &[OrderingRule] = &[
         allowed: &["SeqCst"],
         why: "the store-load fence after an orec stamp must be full-strength (§4)",
     },
+    // Conflict-attribution heatmap (plain, non-transactional atomics).
+    // Relaxed is fine: the counters are advisory diagnostics with no
+    // synchronization role — no reader makes a protocol decision that
+    // requires happens-before with the increment, and exactness of the
+    // sum invariant needs only per-counter atomicity, which every
+    // ordering provides.
+    OrderingRule {
+        file_suffix: "core/src/orec.rs",
+        receiver: "conflicts",
+        op: AtomicOp::FetchAdd,
+        allowed: &["Relaxed"],
+        why: "heatmap conflict counters: advisory attribution, no synchronization role",
+    },
+    OrderingRule {
+        file_suffix: "core/src/orec.rs",
+        receiver: "stamps",
+        op: AtomicOp::FetchAdd,
+        allowed: &["Relaxed"],
+        why: "heatmap holder-acquisition counters: advisory, no synchronization role",
+    },
+    OrderingRule {
+        file_suffix: "core/src/orec.rs",
+        receiver: "conflict_epoch",
+        op: AtomicOp::Store,
+        allowed: &["Relaxed"],
+        why: "last-conflict epoch tag: advisory heatmap metadata, no synchronization role",
+    },
+    OrderingRule {
+        file_suffix: "core/src/orec.rs",
+        receiver: "*",
+        op: AtomicOp::Load,
+        allowed: &["Relaxed"],
+        why: "heatmap snapshot loads: advisory counter reads, no synchronization role",
+    },
 ];
 
 /// Hot-path modules where `unwrap`/`panic!` are banned outside tests.

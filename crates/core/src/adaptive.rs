@@ -73,7 +73,7 @@ impl AdaptiveState {
         let sa = stats.slow_aborts_now();
         let dsc = sc - self.last_slow_commits.swap(sc, Ordering::Relaxed);
         let dsa = sa - self.last_slow_aborts.swap(sa, Ordering::Relaxed);
-        let trace = |action: AdaptAction, before: usize, after: usize| {
+        let trace = |action: AdaptAction, before: usize, after: usize, hot: Option<(u64, u64)>| {
             if let Some(rec) = recorder {
                 rec.record_decision(AdaptDecision {
                     action,
@@ -81,6 +81,7 @@ impl AdaptiveState {
                     orecs_after: after as u64,
                     slow_commits: dsc,
                     slow_aborts: dsa,
+                    hot_slot: hot,
                 });
             }
         };
@@ -98,7 +99,7 @@ impl AdaptiveState {
                 orecs.resize_active(restored);
                 fg_enabled.write(true);
                 self.idle_windows.store(0, Ordering::Relaxed);
-                trace(AdaptAction::Reenable, before, restored);
+                trace(AdaptAction::Reenable, before, restored, None);
             }
             return;
         }
@@ -112,19 +113,24 @@ impl AdaptiveState {
             if active > 1 {
                 let target = (active / 2).max(1);
                 orecs.resize_active(target);
-                trace(AdaptAction::Shrink, active, target);
+                trace(AdaptAction::Shrink, active, target, None);
             } else if idle >= 2 {
                 fg_enabled.write(false);
                 self.disabled_windows.store(0, Ordering::Relaxed);
-                trace(AdaptAction::Collapse, active, active);
+                trace(AdaptAction::Collapse, active, active, None);
             }
         } else {
             self.idle_windows.store(0, Ordering::Relaxed);
             if dsa > GROW_ABORT_FACTOR * dsc.max(1) && active < orecs.capacity() {
-                // Slow path keeps aborting: most likely orec aliasing.
+                // Slow path keeps aborting: most likely orec aliasing. The
+                // conflict heatmap names the hottest slot so the decision
+                // trace shows *where* the aliasing concentrated.
                 let target = (active * 2).min(orecs.capacity());
                 orecs.resize_active(target);
-                trace(AdaptAction::Grow, active, target);
+                let hot = orecs
+                    .hottest_conflict_slot()
+                    .map(|(slot, n)| (slot as u64, n));
+                trace(AdaptAction::Grow, active, target, hot);
             }
         }
     }
@@ -270,9 +276,11 @@ mod tests {
         }
         step(1);
         assert!(fg.read_plain());
-        // Abort pressure grows the range.
+        // Abort pressure grows the range; the aborts concentrate on one
+        // orec slot, which the heatmap attributes.
         for _ in 0..100 {
             stats.record_abort(Path::SlowHtm, AbortCode::Explicit(4));
+            orecs.note_conflict(3, 1);
         }
         step(1);
 
@@ -293,5 +301,7 @@ mod tests {
         assert!(d[3].slow_aborts >= 5, "demand signal captured");
         assert_eq!((d[4].orecs_before, d[4].orecs_after), (4, 8));
         assert!(d[4].slow_aborts >= 100);
+        assert_eq!(d[4].hot_slot, Some((3, 100)), "grow cites the hot slot");
+        assert!(d[..4].iter().all(|d| d.hot_slot.is_none()));
     }
 }

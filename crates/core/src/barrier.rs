@@ -18,6 +18,7 @@
 use std::cell::Cell;
 
 use rtle_htm::{TxCell, TxWord};
+use rtle_obs::{TraceKind, Tracer};
 
 use crate::abort_codes;
 use crate::orec::{OrecKind, OrecTable};
@@ -59,6 +60,11 @@ pub struct Ctx<'a> {
     /// Under lock, RW-TLE: whether `write_flag` has been set already (the
     /// flag needs setting only once per critical section, §3).
     wrote: Cell<bool>,
+    /// Under lock, when the operation is sampled: the causal tracer and
+    /// this thread's trace id, so protocol instants (write-flag raise) land
+    /// on the timeline. `None` on the speculative paths — an instant
+    /// recorded inside a transaction that later aborts would be a lie.
+    trace: Option<(&'a Tracer, u64)>,
 }
 
 impl<'a> Ctx<'a> {
@@ -74,6 +80,7 @@ impl<'a> Ctx<'a> {
             uniq_r: Cell::new(0),
             uniq_w: Cell::new(0),
             wrote: Cell::new(false),
+            trace: None,
         }
     }
 
@@ -95,6 +102,7 @@ impl<'a> Ctx<'a> {
             uniq_r: Cell::new(0),
             uniq_w: Cell::new(0),
             wrote: Cell::new(false),
+            trace: None,
         }
     }
 
@@ -104,6 +112,7 @@ impl<'a> Ctx<'a> {
         orecs: Option<&'a OrecTable>,
         epoch_now: u64,
         active_n: usize,
+        trace: Option<(&'a Tracer, u64)>,
     ) -> Self {
         Ctx {
             mode: ExecMode::UnderLock,
@@ -116,6 +125,7 @@ impl<'a> Ctx<'a> {
             uniq_r: Cell::new(0),
             uniq_w: Cell::new(0),
             wrote: Cell::new(false),
+            trace,
         }
     }
 
@@ -145,7 +155,13 @@ impl<'a> Ctx<'a> {
                     // Figure 3, read_barrier, HTM side: abort if the write
                     // orec is owned. The transactional orec read doubles as
                     // a subscription (replacing the paper's fence argument).
-                    if orecs.read_would_conflict(cell.addr(), self.active_n, self.local_seq) {
+                    if let Some((slot, stamp)) =
+                        orecs.read_conflict_slot(cell.addr(), self.active_n, self.local_seq)
+                    {
+                        // Attribute, then abort: the abort unwinds at once,
+                        // so every OREC_CONFLICT abort is attributed to
+                        // exactly one slot (the heatmap invariant).
+                        orecs.note_conflict(slot, stamp);
                         rtle_htm::abort(abort_codes::OREC_CONFLICT);
                     }
                 }
@@ -187,7 +203,10 @@ impl<'a> Ctx<'a> {
                         ElisionPolicy::FgTle { .. } | ElisionPolicy::AdaptiveFgTle { .. },
                         Some(orecs),
                     ) => {
-                        if orecs.write_would_conflict(cell.addr(), self.active_n, self.local_seq) {
+                        if let Some((slot, stamp)) =
+                            orecs.write_conflict_slot(cell.addr(), self.active_n, self.local_seq)
+                        {
+                            orecs.note_conflict(slot, stamp);
                             rtle_htm::abort(abort_codes::OREC_CONFLICT);
                         }
                     }
@@ -206,6 +225,9 @@ impl<'a> Ctx<'a> {
                         if !self.wrote.get() => {
                             self.write_flag.write(true);
                             self.wrote.set(true);
+                            if let Some((tracer, tid)) = self.trace {
+                                tracer.instant_now(tid, TraceKind::WriteFlagSet, 0);
+                            }
                         }
                     (
                         ElisionPolicy::FgTle { .. } | ElisionPolicy::AdaptiveFgTle { .. },
@@ -265,7 +287,7 @@ mod tests {
     #[test]
     fn under_lock_rwtle_sets_flag_once() {
         let f = flag();
-        let ctx = Ctx::under_lock(ElisionPolicy::RwTle, &f, None, 1, 0);
+        let ctx = Ctx::under_lock(ElisionPolicy::RwTle, &f, None, 1, 0, None);
         assert!(!ctx.is_speculative());
         let c = TxCell::new(0u64);
         assert!(!f.read_plain());
@@ -279,7 +301,7 @@ mod tests {
     fn under_lock_fgtle_stamps_and_uniq_shortcut() {
         let f = flag();
         let orecs = OrecTable::new(2);
-        let ctx = Ctx::under_lock(ElisionPolicy::FgTle { orecs: 2 }, &f, Some(&orecs), 1, 2);
+        let ctx = Ctx::under_lock(ElisionPolicy::FgTle { orecs: 2 }, &f, Some(&orecs), 1, 2, None);
         let cells: Vec<Box<TxCell<u64>>> = (0..32).map(|_| Box::new(TxCell::new(0))).collect();
         for c in &cells {
             ctx.write(c, 7);
@@ -346,6 +368,43 @@ mod tests {
             Err(rtle_htm::AbortCode::Explicit(abort_codes::RW_SLOW_WRITE))
         );
         assert_eq!(c.read_plain(), 0);
+    }
+
+    #[test]
+    fn slow_path_conflicts_are_attributed_to_their_slot() {
+        let f = flag();
+        let orecs = OrecTable::new(1); // every address aliases to slot 0
+        let c = TxCell::new(0u64);
+        orecs.stamp(OrecKind::Write, 0x1234, 1);
+        for _ in 0..3 {
+            let r = rtle_htm::swhtm::try_txn(|| {
+                let ctx = Ctx::slow(ElisionPolicy::FgTle { orecs: 1 }, &f, Some(&orecs), 1, 1);
+                ctx.read(&c)
+            });
+            assert!(r.is_err());
+        }
+        let h = orecs.heatmap();
+        assert_eq!(h.total_conflicts(), 3, "one attribution per self-abort");
+        assert_eq!(h.conflicts[0], 3);
+        assert_eq!(h.conflict_epoch[0], 1, "the owning stamp is recorded");
+    }
+
+    #[test]
+    fn write_flag_raise_is_traced_when_enabled() {
+        let f = flag();
+        let tracer = Tracer::new(1, 16);
+        let ctx = Ctx::under_lock(ElisionPolicy::RwTle, &f, None, 1, 0, Some((&tracer, 5)));
+        let c = TxCell::new(0u64);
+        ctx.write(&c, 1);
+        ctx.write(&c, 2);
+        if tracer.enabled() {
+            let r = tracer.drain();
+            assert_eq!(r.len(), 1, "the flag instant is recorded once");
+            assert_eq!(r[0].kind, TraceKind::WriteFlagSet);
+            assert_eq!(r[0].tid, 5);
+        } else {
+            assert!(tracer.drain().is_empty());
+        }
     }
 
     #[test]

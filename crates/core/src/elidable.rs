@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rtle_htm::{AbortCode, HtmBackend, SwHtmBackend, TxCell};
-use rtle_obs::{AttemptEvent, Outcome, PathKind, Recorder};
+use rtle_obs::{AttemptEvent, Outcome, PathKind, Recorder, TraceKind};
 
 use crate::abort_codes;
 use crate::adaptive::AdaptiveState;
@@ -96,13 +96,33 @@ struct Rec<'a> {
 impl Rec<'_> {
     #[inline]
     fn attempt(&self, path: PathKind, outcome: Outcome, attempt: u32, started: Instant) {
+        let latency = started.elapsed().as_nanos() as u64;
+        // Mirror the attempt onto the causal-trace timeline: consecutive
+        // fast/slow/lock spans on the same tid *are* the path-transition
+        // history. `span_ending_now` is a no-op (and the mapping dead code)
+        // when the `trace` feature is off.
+        let tracer = self.recorder.tracer();
+        if tracer.enabled() {
+            let kind = match (path, outcome.is_commit()) {
+                (PathKind::FastHtm, true) => TraceKind::FastCommit,
+                (PathKind::FastHtm, false) => TraceKind::FastAbort,
+                (PathKind::SlowHtm, true) => TraceKind::SlowCommit,
+                (PathKind::SlowHtm, false) => TraceKind::SlowAbort,
+                (PathKind::Lock, _) => TraceKind::LockHeld,
+            };
+            let arg = match outcome {
+                Outcome::AbortExplicit(c) => c as u64,
+                _ => 0,
+            };
+            tracer.span_ending_now(self.thread_key, kind, latency, arg);
+        }
         self.recorder.record_attempt(
             self.thread_key,
             AttemptEvent {
                 path,
                 outcome,
                 attempt: attempt.min(u8::MAX as u32) as u8,
-                latency: started.elapsed().as_nanos() as u64,
+                latency,
             },
         );
     }
@@ -187,6 +207,13 @@ impl<B: HtmBackend> ElidableLock<B> {
     /// The orec table, if the policy has one (diagnostics).
     pub fn orec_table(&self) -> Option<&OrecTable> {
         self.orecs.as_ref()
+    }
+
+    /// Snapshot of the per-orec conflict-attribution heatmap (`None` for
+    /// policies without orecs). Its [`crate::orec::OrecHeatmap::total_conflicts`]
+    /// equals this lock's aggregate `OREC_CONFLICT` self-abort counter.
+    pub fn orec_heatmap(&self) -> Option<crate::orec::OrecHeatmap> {
+        self.orecs.as_ref().map(OrecTable::heatmap)
     }
 
     /// Adaptive FG-TLE diagnostics: whether the instrumented slow path is
@@ -385,7 +412,8 @@ impl<B: HtmBackend> ElidableLock<B> {
         self.stats.record_commit(Path::UnderLock);
         let t0 = Instant::now();
 
-        let (ctx, fg_on) = match self.policy {
+        let trace_ctx = rec.map(|rc| (rc.recorder.tracer(), rc.thread_key));
+        let (ctx, fg_on, holder_epoch) = match self.policy {
             ElisionPolicy::FgTle { .. } | ElisionPolicy::AdaptiveFgTle { .. } => {
                 let orecs = self.orecs.as_ref().expect("FG policy has orecs");
                 if let Some(ad) = &self.adaptive {
@@ -404,20 +432,30 @@ impl<B: HtmBackend> ElidableLock<B> {
                     let epoch_now = self.epoch.begin_locked_section();
                     let n = orecs.active_plain();
                     (
-                        Ctx::under_lock(self.policy, &self.write_flag, Some(orecs), epoch_now, n),
+                        Ctx::under_lock(
+                            self.policy,
+                            &self.write_flag,
+                            Some(orecs),
+                            epoch_now,
+                            n,
+                            trace_ctx,
+                        ),
                         true,
+                        epoch_now,
                     )
                 } else {
                     // Collapsed to plain TLE: uninstrumented under lock.
                     (
-                        Ctx::under_lock(self.policy, &self.write_flag, None, 0, 0),
+                        Ctx::under_lock(self.policy, &self.write_flag, None, 0, 0, trace_ctx),
                         false,
+                        0,
                     )
                 }
             }
             _ => (
-                Ctx::under_lock(self.policy, &self.write_flag, None, 0, 0),
+                Ctx::under_lock(self.policy, &self.write_flag, None, 0, 0, trace_ctx),
                 false,
+                0,
             ),
         };
 
@@ -433,6 +471,9 @@ impl<B: HtmBackend> ElidableLock<B> {
                 // Pre-release epoch bump: releases all orecs at once
                 // without aborting slow-path transactions (§4.2).
                 self.epoch.end_locked_section();
+                if let Some((tracer, tid)) = trace_ctx {
+                    tracer.instant_now(tid, TraceKind::EpochBump, holder_epoch);
+                }
             }
             _ => {}
         }
@@ -789,5 +830,45 @@ mod tests {
         let s = format!("{lock:?}");
         assert!(s.contains("RW-TLE"));
         assert!(s.contains("swhtm"));
+    }
+
+    /// Heatmap invariant: every `OREC_CONFLICT` self-abort is attributed to
+    /// exactly one orec slot, so the per-slot sums equal the aggregate
+    /// counter even under multi-threaded contention.
+    #[test]
+    fn heatmap_conflicts_sum_to_aggregate_abort_counter() {
+        const THREADS: usize = 8;
+        const OPS: usize = 400;
+        let lock = Arc::new(ElidableLock::new(ElisionPolicy::FgTle { orecs: 4 }));
+        // Many cells hashing over few orecs: slow-path attempts regularly
+        // collide with the holder's acquired orecs.
+        let cells: Arc<Vec<TxCell<u64>>> = Arc::new((0..64).map(|_| TxCell::new(0)).collect());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let (lock, cells) = (Arc::clone(&lock), Arc::clone(&cells));
+                std::thread::spawn(move || {
+                    for i in 0..OPS {
+                        lock.execute(|ctx| {
+                            let a = &cells[(t * 31 + i * 7) % cells.len()];
+                            let b = &cells[(t * 13 + i * 3) % cells.len()];
+                            let v = ctx.read(a);
+                            ctx.write(b, v + 1);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let heat = lock.orec_heatmap().expect("FG-TLE has orecs");
+        let snap = lock.stats().snapshot();
+        assert_eq!(
+            heat.total_conflicts(),
+            snap.aborts_by_code[abort_codes::OREC_CONFLICT as usize],
+            "per-slot conflict sums match the aggregate self-abort counter"
+        );
+        assert_eq!(heat.conflicts.iter().sum::<u64>(), heat.total_conflicts());
     }
 }

@@ -15,10 +15,11 @@
 //! active size inside their transaction, so a resize dooms them instead of
 //! letting them index with a stale size.
 
-use std::sync::atomic::{fence, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 use rtle_htm::hash::fast_hash;
 use rtle_htm::TxCell;
+use rtle_obs::Json;
 
 use crate::epoch::SeqEpoch;
 
@@ -39,6 +40,19 @@ pub struct OrecTable {
     /// Number of orecs currently in use (≤ capacity). Read transactionally
     /// by the slow path; written only by the lock holder.
     active: TxCell<u64>,
+    /// Conflict-attribution heatmap, capacity-indexed: how many slow-path
+    /// self-aborts each slot caused. Plain (non-transactional) atomics on
+    /// purpose — in the software HTM emulation they survive the explicit
+    /// abort that immediately follows the increment, keeping the
+    /// per-slot/aggregate invariant exact. (On real RTM the increment
+    /// would roll back with the transaction; attribution there would need
+    /// a post-abort re-check, noted in DESIGN.md §8.)
+    conflicts: Box<[AtomicU64]>,
+    /// The conflicting orec stamp (holder epoch) observed at each slot's
+    /// most recent attributed conflict.
+    conflict_epoch: Box<[AtomicU64]>,
+    /// Holder-side acquisitions (stamp stores actually performed) per slot.
+    stamps: Box<[AtomicU64]>,
 }
 
 impl OrecTable {
@@ -49,6 +63,9 @@ impl OrecTable {
             r_orecs: (0..capacity).map(|_| TxCell::new(0)).collect(),
             w_orecs: (0..capacity).map(|_| TxCell::new(0)).collect(),
             active: TxCell::new(capacity as u64),
+            conflicts: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            conflict_epoch: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            stamps: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -100,7 +117,8 @@ impl OrecTable {
     #[inline]
     pub fn stamp(&self, kind: OrecKind, addr: usize, epoch: u64) -> bool {
         let n = self.active_plain();
-        let orec = &self.array(kind)[Self::index(addr, n)];
+        let i = Self::index(addr, n);
+        let orec = &self.array(kind)[i];
         // "we only store a value in the orec if that value is greater than
         // the value already stored there" — avoids both the duplicate store
         // and its fence (§4.2).
@@ -116,6 +134,7 @@ impl OrecTable {
         // the store above is plain, so the protocol-mandated fence stays
         // (rtle-check's orec-fence lint rule pins it here).
         fence(Ordering::SeqCst);
+        self.stamps[i].fetch_add(1, Ordering::Relaxed);
         true
     }
 
@@ -125,17 +144,82 @@ impl OrecTable {
     /// aborts this transaction.
     #[inline]
     pub fn read_would_conflict(&self, addr: usize, n: usize, local_seq: u64) -> bool {
-        let w = self.w_orecs[Self::index(addr, n)].read();
-        SeqEpoch::owned(w, local_seq)
+        self.read_conflict_slot(addr, n, local_seq).is_some()
+    }
+
+    /// Like [`Self::read_would_conflict`], but on conflict returns the
+    /// slot index and the owning stamp, so the caller can attribute the
+    /// self-abort before raising it.
+    #[inline]
+    pub fn read_conflict_slot(&self, addr: usize, n: usize, local_seq: u64) -> Option<(usize, u64)> {
+        let i = Self::index(addr, n);
+        let w = self.w_orecs[i].read();
+        SeqEpoch::owned(w, local_seq).then_some((i, w))
     }
 
     /// Slow-path write barrier check (Figure 3, lines 16–20): inside a
     /// hardware transaction, is the read *or* write orec for `addr` owned?
     #[inline]
     pub fn write_would_conflict(&self, addr: usize, n: usize, local_seq: u64) -> bool {
+        self.write_conflict_slot(addr, n, local_seq).is_some()
+    }
+
+    /// Like [`Self::write_would_conflict`], but on conflict returns the
+    /// slot index and the owning stamp (the read-orec stamp wins when both
+    /// arrays own the slot).
+    #[inline]
+    pub fn write_conflict_slot(&self, addr: usize, n: usize, local_seq: u64) -> Option<(usize, u64)> {
         let i = Self::index(addr, n);
-        SeqEpoch::owned(self.r_orecs[i].read(), local_seq)
-            || SeqEpoch::owned(self.w_orecs[i].read(), local_seq)
+        let r = self.r_orecs[i].read();
+        if SeqEpoch::owned(r, local_seq) {
+            return Some((i, r));
+        }
+        let w = self.w_orecs[i].read();
+        SeqEpoch::owned(w, local_seq).then_some((i, w))
+    }
+
+    /// Attributes one slow-path self-abort to `slot`, recording the
+    /// conflicting stamp. Called immediately before the explicit
+    /// [`crate::abort_codes::OREC_CONFLICT`] abort, so each such abort is
+    /// attributed exactly once and the per-slot counts sum to the
+    /// aggregate counter.
+    #[inline]
+    pub fn note_conflict(&self, slot: usize, stamp: u64) {
+        self.conflicts[slot].fetch_add(1, Ordering::Relaxed);
+        self.conflict_epoch[slot].store(stamp, Ordering::Relaxed);
+    }
+
+    /// The slot with the most attributed conflicts so far, with its
+    /// count. `None` until a conflict has been attributed. Cumulative —
+    /// the adaptive policy cites it as evidence, it is not a window rate.
+    pub fn hottest_conflict_slot(&self) -> Option<(usize, u64)> {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, c) in self.conflicts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            let better = match best {
+                None => n > 0,
+                Some((_, bn)) => n > bn,
+            };
+            if better {
+                best = Some((i, n));
+            }
+        }
+        best
+    }
+
+    /// Point-in-time copy of the conflict-attribution arrays.
+    pub fn heatmap(&self) -> OrecHeatmap {
+        OrecHeatmap {
+            capacity: self.capacity(),
+            active: self.active_plain(),
+            conflicts: self.conflicts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            stamps: self.stamps.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            conflict_epoch: self
+                .conflict_epoch
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
     }
 
     /// How many of the active orecs carry stamps at least `epoch`
@@ -153,6 +237,97 @@ impl OrecTable {
             OrecKind::Read => &self.r_orecs,
             OrecKind::Write => &self.w_orecs,
         }
+    }
+}
+
+/// A snapshot of an [`OrecTable`]'s conflict-attribution heatmap: which
+/// slots caused slow-path self-aborts ([`OrecTable::note_conflict`]), how
+/// often the holder acquired each slot, and the stamp each conflict saw.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OrecHeatmap {
+    /// Allocated orecs at snapshot time.
+    pub capacity: usize,
+    /// Active orecs at snapshot time.
+    pub active: usize,
+    /// Per-slot attributed self-aborts (capacity-length).
+    pub conflicts: Vec<u64>,
+    /// Per-slot holder acquisitions (capacity-length).
+    pub stamps: Vec<u64>,
+    /// Per-slot stamp observed at the latest conflict (capacity-length;
+    /// 0 when the slot never conflicted).
+    pub conflict_epoch: Vec<u64>,
+}
+
+impl OrecHeatmap {
+    /// Sum of per-slot conflict counts. Equals the lock's aggregate
+    /// `OREC_CONFLICT` self-abort counter (the heatmap invariant —
+    /// tested in `elidable.rs`).
+    pub fn total_conflicts(&self) -> u64 {
+        self.conflicts.iter().sum()
+    }
+
+    /// Sum of per-slot holder acquisitions.
+    pub fn total_stamps(&self) -> u64 {
+        self.stamps.iter().sum()
+    }
+
+    /// The `k` hottest slots by conflict count (descending; slots with
+    /// zero conflicts are omitted).
+    pub fn hottest(&self, k: usize) -> Vec<(usize, u64)> {
+        let mut hot: Vec<(usize, u64)> = self
+            .conflicts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect();
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hot.truncate(k);
+        hot
+    }
+
+    /// Sparse JSON form: only slots with any activity are listed.
+    pub fn to_json(&self) -> Json {
+        let slots = (0..self.capacity)
+            .filter(|&i| self.conflicts[i] > 0 || self.stamps[i] > 0)
+            .map(|i| {
+                Json::obj([
+                    ("slot", Json::UInt(i as u64)),
+                    ("conflicts", Json::UInt(self.conflicts[i])),
+                    ("stamps", Json::UInt(self.stamps[i])),
+                    ("last_epoch", Json::UInt(self.conflict_epoch[i])),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("capacity", Json::UInt(self.capacity as u64)),
+            ("active", Json::UInt(self.active as u64)),
+            ("total_conflicts", Json::UInt(self.total_conflicts())),
+            ("total_stamps", Json::UInt(self.total_stamps())),
+            ("slots", Json::Arr(slots)),
+        ])
+    }
+
+    /// Rebuilds a heatmap from [`Self::to_json`] output.
+    pub fn from_json(j: &Json) -> Option<OrecHeatmap> {
+        let capacity = j.get("capacity")?.as_u64()? as usize;
+        let mut h = OrecHeatmap {
+            capacity,
+            active: j.get("active")?.as_u64()? as usize,
+            conflicts: vec![0; capacity],
+            stamps: vec![0; capacity],
+            conflict_epoch: vec![0; capacity],
+        };
+        for s in j.get("slots")?.as_arr()? {
+            let i = s.get("slot")?.as_u64()? as usize;
+            if i >= capacity {
+                return None;
+            }
+            h.conflicts[i] = s.get("conflicts")?.as_u64()?;
+            h.stamps[i] = s.get("stamps")?.as_u64()?;
+            h.conflict_epoch[i] = s.get("last_epoch")?.as_u64()?;
+        }
+        Some(h)
     }
 }
 
@@ -235,5 +410,65 @@ mod tests {
     #[should_panic]
     fn zero_capacity_rejected() {
         let _ = OrecTable::new(0);
+    }
+
+    #[test]
+    fn conflict_slots_match_bool_checks_and_carry_stamps() {
+        let t = OrecTable::new(16);
+        let addr = 0xbeef_usize;
+        let n = t.active_plain();
+        t.stamp(OrecKind::Write, addr, 3);
+        let (slot, stamp) = t.read_conflict_slot(addr, n, 3).expect("conflict");
+        assert_eq!(slot, OrecTable::index(addr, n));
+        assert_eq!(stamp, 3, "the owning stamp is reported");
+        assert!(t.read_would_conflict(addr, n, 3));
+        assert!(t.read_conflict_slot(addr, n, 4).is_none(), "released");
+        // Read stamps surface through the write check only.
+        let addr2 = 0x1234_usize;
+        t.stamp(OrecKind::Read, addr2, 3);
+        assert!(
+            t.read_conflict_slot(addr2, n, 3).is_none()
+                || OrecTable::index(addr2, n) == OrecTable::index(addr, n)
+        );
+        assert!(t.write_conflict_slot(addr2, n, 3).is_some());
+    }
+
+    #[test]
+    fn heatmap_attribution_and_hottest() {
+        let t = OrecTable::new(8);
+        assert_eq!(t.hottest_conflict_slot(), None);
+        t.note_conflict(2, 5);
+        t.note_conflict(2, 7);
+        t.note_conflict(6, 7);
+        assert_eq!(t.hottest_conflict_slot(), Some((2, 2)));
+        let h = t.heatmap();
+        assert_eq!(h.total_conflicts(), 3);
+        assert_eq!(h.conflicts[2], 2);
+        assert_eq!(h.conflict_epoch[2], 7, "latest conflicting stamp");
+        assert_eq!(h.hottest(10), vec![(2, 2), (6, 1)]);
+    }
+
+    #[test]
+    fn heatmap_counts_holder_stamps_once_per_epoch() {
+        let t = OrecTable::new(8);
+        t.stamp(OrecKind::Write, 0x10, 1);
+        t.stamp(OrecKind::Write, 0x10, 1); // elided duplicate: no store
+        t.stamp(OrecKind::Write, 0x10, 3);
+        let h = t.heatmap();
+        assert_eq!(h.total_stamps(), 2, "only performed stores are counted");
+    }
+
+    #[test]
+    fn heatmap_json_round_trips_sparsely() {
+        let t = OrecTable::with_active(32, 8);
+        t.note_conflict(1, 9);
+        t.stamp(OrecKind::Read, 0x40, 9);
+        let h = t.heatmap();
+        let j = h.to_json();
+        let back = OrecHeatmap::from_json(&j).expect("heatmap parses");
+        assert_eq!(back, h);
+        let slots = j.get("slots").and_then(Json::as_arr).unwrap();
+        assert!(slots.len() <= 2, "sparse: only active slots listed");
+        assert_eq!(j.get("active").and_then(Json::as_u64), Some(8));
     }
 }

@@ -250,18 +250,29 @@ pub struct AdaptDecision {
     pub slow_commits: u64,
     /// Slow-path aborts observed in the decision window.
     pub slow_aborts: u64,
+    /// The hottest conflicting orec slot at decision time, as
+    /// `(slot index, cumulative conflicts attributed to it)` — the
+    /// per-orec evidence behind a [`AdaptAction::Grow`]. `None` when no
+    /// conflicts were attributed or the policy had no heatmap.
+    pub hot_slot: Option<(u64, u64)>,
 }
 
 impl AdaptDecision {
-    /// JSON form for exports.
+    /// JSON form for exports. `hot_slot` is emitted only when present,
+    /// keeping pre-heatmap documents byte-identical.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("action", Json::Str(self.action.label().into())),
             ("orecs_before", Json::UInt(self.orecs_before)),
             ("orecs_after", Json::UInt(self.orecs_after)),
             ("slow_commits", Json::UInt(self.slow_commits)),
             ("slow_aborts", Json::UInt(self.slow_aborts)),
-        ])
+        ];
+        if let Some((slot, conflicts)) = self.hot_slot {
+            pairs.push(("hot_slot", Json::UInt(slot)));
+            pairs.push(("hot_slot_conflicts", Json::UInt(conflicts)));
+        }
+        Json::obj(pairs)
     }
 }
 

@@ -20,6 +20,10 @@
 //! * **Decision tracing** ([`AdaptDecision`]) — each adaptive FG-TLE
 //!   resize/collapse/re-enable with the slow-commit/abort window signal
 //!   that triggered it.
+//! * **Causal tracing** ([`Tracer`], gated behind the `trace` feature) —
+//!   per-thread span buffers for critical sections, path transitions,
+//!   write-flag sets, epoch bumps and adaptive decisions, exported as
+//!   Chrome `trace_event` JSON loadable in Perfetto.
 //!
 //! Recording is opt-in: the lock runtime holds an `Option<Arc<Recorder>>`
 //! and pays only an `Option` null-check when none is installed, plus a
@@ -35,6 +39,7 @@ pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod ring;
+pub mod trace;
 
 pub use event::{AdaptAction, AdaptDecision, AttemptEvent, Outcome, PathKind};
 pub use hist::{HistSnapshot, Histogram};
@@ -42,3 +47,4 @@ pub use json::{parse as parse_json, Json};
 pub use recorder::{
     JsonSink, MemorySink, ObsConfig, ObsSnapshot, Recorder, Sink, TextSink, SCHEMA_VERSION,
 };
+pub use trace::{TraceKind, TraceRecord, Tracer};

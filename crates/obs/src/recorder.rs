@@ -18,6 +18,7 @@ use crate::event::{AdaptDecision, AdaptAction, AttemptEvent, Outcome, PathKind};
 use crate::hist::{HistSnapshot, Histogram};
 use crate::json::Json;
 use crate::ring::EventRing;
+use crate::trace::{TraceKind, Tracer};
 
 /// Version stamped into every exported snapshot. Bump on any
 /// backwards-incompatible change to the JSON layout.
@@ -38,6 +39,12 @@ pub struct ObsConfig {
     /// real runtime, `"cycles"` for the simulator. Purely descriptive —
     /// stamped into snapshots so downstream tooling never mixes units.
     pub latency_unit: &'static str,
+    /// Trace-ring stripes (rounded up to a power of two). Ignored when
+    /// the `trace` feature is off.
+    pub trace_stripes: usize,
+    /// Trace slots per stripe (rounded up to a power of two). Ignored
+    /// when the `trace` feature is off.
+    pub trace_capacity: usize,
 }
 
 impl Default for ObsConfig {
@@ -47,6 +54,8 @@ impl Default for ObsConfig {
             ring_capacity: 1024,
             stripes: 8,
             latency_unit: "ns",
+            trace_stripes: 8,
+            trace_capacity: 4096,
         }
     }
 }
@@ -79,6 +88,7 @@ pub struct Recorder {
     aborts: [AtomicU64; OUTCOMES],
     explicit_codes: [AtomicU64; EXPLICIT_CODES],
     decisions: Mutex<Vec<AdaptDecision>>,
+    tracer: Tracer,
 }
 
 impl Recorder {
@@ -94,8 +104,15 @@ impl Recorder {
             aborts: Default::default(),
             explicit_codes: Default::default(),
             decisions: Mutex::new(Vec::new()),
+            tracer: Tracer::new(cfg.trace_stripes, cfg.trace_capacity),
             cfg,
         }
+    }
+
+    /// The recorder's causal tracer (inert unless the `trace` feature is
+    /// on — see [`crate::trace`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The recorder's configuration.
@@ -138,8 +155,25 @@ impl Recorder {
         self.lock_hold.record(duration);
     }
 
-    /// Appends an adaptive-policy decision to the trace.
+    /// Appends an adaptive-policy decision to the trace, stamped with the
+    /// tracer's current clock.
     pub fn record_decision(&self, d: AdaptDecision) {
+        let ts = self.tracer.now();
+        self.record_decision_at(d, ts);
+    }
+
+    /// Appends an adaptive-policy decision with an explicit timestamp in
+    /// the recorder's latency unit (the simulator passes its sim clock),
+    /// and mirrors it onto the causal-trace timeline as a process-scoped
+    /// instant (`arg` = the post-decision orec count).
+    pub fn record_decision_at(&self, d: AdaptDecision, ts: u64) {
+        let kind = match d.action {
+            AdaptAction::Shrink => TraceKind::AdaptShrink,
+            AdaptAction::Grow => TraceKind::AdaptGrow,
+            AdaptAction::Collapse => TraceKind::AdaptCollapse,
+            AdaptAction::Reenable => TraceKind::AdaptReenable,
+        };
+        self.tracer.instant_at(0, kind, ts, d.orecs_after);
         self.decisions.lock().unwrap().push(d);
     }
 
@@ -329,12 +363,17 @@ impl ObsSnapshot {
                 "reenable" => AdaptAction::Reenable,
                 _ => return None,
             };
+            let hot_slot = match (j.get("hot_slot"), j.get("hot_slot_conflicts")) {
+                (Some(s), Some(c)) => Some((s.as_u64()?, c.as_u64()?)),
+                _ => None,
+            };
             Some(AdaptDecision {
                 action,
                 orecs_before: j.get("orecs_before")?.as_u64()?,
                 orecs_after: j.get("orecs_after")?.as_u64()?,
                 slow_commits: j.get("slow_commits")?.as_u64()?,
                 slow_aborts: j.get("slow_aborts")?.as_u64()?,
+                hot_slot,
             })
         }
         fn attempt(j: &Json) -> Option<AttemptEvent> {
@@ -449,9 +488,13 @@ impl ObsSnapshot {
         if !self.decisions.is_empty() {
             let _ = writeln!(out, "  adaptive decisions ({}):", self.decisions.len());
             for d in &self.decisions {
+                let hot = match d.hot_slot {
+                    Some((slot, n)) => format!("  hot slot {slot} ({n} conflicts)"),
+                    None => String::new(),
+                };
                 let _ = writeln!(
                     out,
-                    "    {:<9} orecs {} -> {}  (window: {} slow commits, {} slow aborts)",
+                    "    {:<9} orecs {} -> {}  (window: {} slow commits, {} slow aborts){hot}",
                     d.action.label(),
                     d.orecs_before,
                     d.orecs_after,
@@ -611,6 +654,7 @@ mod tests {
             orecs_after: 128,
             slow_commits: 2,
             slow_aborts: 11,
+            hot_slot: Some((17, 9)),
         });
         let snap = r.snapshot();
 
@@ -644,6 +688,7 @@ mod tests {
             orecs_after: 1,
             slow_commits: 0,
             slow_aborts: 0,
+            hot_slot: None,
         });
         let snap = r.snapshot();
 

@@ -45,7 +45,7 @@ use std::sync::Arc;
 
 use rtle_core::abort_codes;
 use rtle_htm::hash::fast_hash;
-use rtle_obs::{AdaptAction, AdaptDecision, AttemptEvent, Outcome, PathKind, Recorder};
+use rtle_obs::{AdaptAction, AdaptDecision, AttemptEvent, Outcome, PathKind, Recorder, TraceKind};
 
 use crate::cost::CostModel;
 use crate::method::SimMethod;
@@ -261,6 +261,8 @@ impl AdaptState {
                 orecs_after,
                 slow_commits: dsc,
                 slow_aborts: dsa,
+                // Filled by the engine from its heatmap before recording.
+                hot_slot: None,
             })
         };
 
@@ -361,6 +363,15 @@ impl<W: Workload> Engine<W> {
             }
             _ => AdaptState::default(),
         };
+        let heat_capacity = match method {
+            SimMethod::FgTle { orecs } => orecs,
+            SimMethod::AdaptiveFgTle { max_orecs, .. } => max_orecs,
+            _ => 0,
+        };
+        let stats = SimStats {
+            orec_conflicts: vec![0; heat_capacity],
+            ..Default::default()
+        };
         Engine {
             method,
             threads,
@@ -383,7 +394,7 @@ impl<W: Workload> Engine<W> {
             clock_free_at: 0,
             sw_running: 0,
             adapt,
-            stats: SimStats::default(),
+            stats,
             last_completion: 0,
             recorder: None,
         }
@@ -400,9 +411,29 @@ impl<W: Workload> Engine<W> {
     }
 
     /// Records one attempt resolution (latency `t1 - t0` cycles) when a
-    /// recorder is installed.
+    /// recorder is installed. HTM attempts also land in the causal trace
+    /// as spans stamped in simulator cycles; pessimistic executions emit
+    /// their `LockHeld` span in [`Self::schedule_lock_execution`] instead
+    /// (the holding window, not the full acquire-to-release latency).
     fn obs_attempt(&self, t: usize, path: PathKind, outcome: Outcome, t0: u64, t1: u64) {
         if let Some(rec) = &self.recorder {
+            let tracer = rec.tracer();
+            if tracer.enabled() {
+                let kind = match (path, outcome.is_commit()) {
+                    (PathKind::FastHtm, true) => Some(TraceKind::FastCommit),
+                    (PathKind::FastHtm, false) => Some(TraceKind::FastAbort),
+                    (PathKind::SlowHtm, true) => Some(TraceKind::SlowCommit),
+                    (PathKind::SlowHtm, false) => Some(TraceKind::SlowAbort),
+                    (PathKind::Lock, _) => None,
+                };
+                if let Some(kind) = kind {
+                    let arg = match outcome {
+                        Outcome::AbortExplicit(c) => c as u64,
+                        _ => 0,
+                    };
+                    tracer.span_at(t as u64, kind, t0, t1.saturating_sub(t0), arg);
+                }
+            }
             let attempt = ATTEMPTS - self.ts[t].attempts_left;
             rec.record_attempt(
                 t as u64,
@@ -413,6 +444,27 @@ impl<W: Workload> Engine<W> {
                     latency: t1.saturating_sub(t0),
                 },
             );
+        }
+    }
+
+    /// Attributes one slow-path conflict abort to an orec slot (mirrors
+    /// `OrecTable::note_conflict`).
+    fn note_orec_conflict(&mut self, slot: u64) {
+        if let Some(c) = self.stats.orec_conflicts.get_mut(slot as usize) {
+            *c += 1;
+            self.stats.orec_conflict_aborts += 1;
+        }
+    }
+
+    /// The orec slot a line-space id belongs to, if it is an orec line
+    /// (read- and write-orec ranges both map back to their slot index).
+    fn orec_slot_of_line(&self, line: u64) -> Option<u64> {
+        let cap = self.orec_capacity();
+        let base = self.orec_base();
+        if cap > 0 && line >= base && line < base + 2 * cap {
+            Some((line - base) % cap)
+        } else {
+            None
         }
     }
 
@@ -585,7 +637,7 @@ impl<W: Workload> Engine<W> {
             RunMode::FixedDuration(d) => d,
             RunMode::FixedWork => self.last_completion,
         };
-        self.stats
+        std::mem::take(&mut self.stats)
     }
 
     // ---- decisions -----------------------------------------------------------
@@ -874,19 +926,23 @@ impl<W: Workload> Engine<W> {
         // start and before `start` is owned now — the paper's explicit
         // `htm_abort()` in the barrier. One abort charged, then wait for
         // the release (retrying against the same holder would re-abort).
-        let mut owned_at_start = false;
+        let mut owned_slot: Option<u64> = None;
         for a in &spec.trace {
             let w = self.w_orec_line(a.line);
             if self.last_write_of(w) >= cs_start {
-                owned_at_start = true;
+                owned_slot = self.orec_slot_of_line(w);
                 break;
             }
-            if a.write && self.last_write_of(self.r_orec_line(a.line)) >= cs_start {
-                owned_at_start = true;
+            let r = self.r_orec_line(a.line);
+            if a.write && self.last_write_of(r) >= cs_start {
+                owned_slot = self.orec_slot_of_line(r);
                 break;
             }
         }
-        if owned_at_start {
+        if let Some(slot) = owned_slot {
+            // Attribute-then-abort, like the runtime barrier: the heatmap
+            // names the slot whose ownership killed this attempt.
+            self.note_orec_conflict(slot);
             self.stats.aborts += 1;
             self.stats.aborts_eager_owned += 1;
             self.obs_attempt(
@@ -1112,11 +1168,14 @@ impl<W: Workload> Engine<W> {
         let t1 = self.now;
 
         let mut conflict = attempt.forced_abort;
+        let mut conflict_line = None;
         if !conflict {
-            conflict = attempt
+            conflict_line = attempt
                 .watches
                 .iter()
-                .any(|w| self.last_write_of(w.line) >= w.from);
+                .find(|w| self.last_write_of(w.line) >= w.from)
+                .map(|w| w.line);
+            conflict = conflict_line.is_some();
         }
         // Lazy subscription: the lock must be free at commit time (§5).
         let mut lazy_held = false;
@@ -1169,6 +1228,12 @@ impl<W: Workload> Engine<W> {
             }
             if attempt.path == Path::SlowHtm {
                 self.adapt.slow_aborts += 1;
+                // A slow-path validation failure on an orec line means the
+                // holder stamped it during our window: attribute the abort
+                // to that slot, like the runtime's subscription aborts.
+                if let Some(slot) = conflict_line.and_then(|l| self.orec_slot_of_line(l)) {
+                    self.note_orec_conflict(slot);
+                }
             }
             if attempt.path == Path::FastHtm {
                 self.ts[t].attempts_left = self.ts[t].attempts_left.saturating_sub(1);
@@ -1259,10 +1324,20 @@ impl<W: Workload> Engine<W> {
         // holding the lock (§4.2.1); the store to the active-size line
         // dooms in-flight slow attempts that subscribed to it.
         if matches!(self.method, SimMethod::AdaptiveFgTle { .. }) {
-            if let Some(d) = self.adapt.on_lock_acquired(self.stats.slow_commits) {
+            if let Some(mut d) = self.adapt.on_lock_acquired(self.stats.slow_commits) {
                 self.write_line_at(self.active_size_line(), s);
+                if d.action == AdaptAction::Grow {
+                    // Cite the hottest heatmap slot, like the runtime.
+                    d.hot_slot = self
+                        .stats
+                        .hottest_orec_slots(1)
+                        .first()
+                        .map(|&(slot, n)| (slot as u64, n));
+                }
                 if let Some(rec) = &self.recorder {
-                    rec.record_decision(d);
+                    // Cycle-stamped so the decision instant lines up with
+                    // the surrounding spans in the exported trace.
+                    rec.record_decision_at(d, s);
                 }
             }
         }
@@ -1348,6 +1423,21 @@ impl<W: Workload> Engine<W> {
         self.stats.cycles_locked += e - s;
         if let Some(rec) = &self.recorder {
             rec.record_lock_hold(e - s);
+            let tracer = rec.tracer();
+            if tracer.enabled() {
+                // The holding window [s, e], not acquire-to-release: this
+                // is the span slow-path commits visibly overlap with.
+                tracer.span_at(t as u64, TraceKind::LockHeld, s, e - s, 0);
+                if matches!(self.method, SimMethod::RwTle) {
+                    if let Some(fw) = first_write {
+                        tracer.instant_at(t as u64, TraceKind::WriteFlagSet, fw, 0);
+                    }
+                }
+                if fg_instrumented {
+                    // Pre-release epoch bump (§4.2) at the CS end.
+                    tracer.instant_at(t as u64, TraceKind::EpochBump, e, 0);
+                }
+            }
         }
         self.obs_attempt(t, PathKind::Lock, Outcome::Commit, start, e + c.lock_release);
         self.complete_op(t, e + c.lock_release);
@@ -1792,5 +1882,97 @@ mod tests {
             s.slow_commits > 0,
             "refined TLE must commit on the slow path: {s:?}"
         );
+    }
+
+    /// Slot-level conflict attribution mirrors the runtime heatmap: every
+    /// attributed abort lands in exactly one slot, and the engine's causal
+    /// trace (when compiled in) carries cycle-stamped lock-holder spans.
+    #[test]
+    fn fg_heatmap_attributes_slow_aborts_and_traces() {
+        use rtle_obs::ObsConfig;
+        // Fully shared footprint over 2 orecs: slow-path attempts keep
+        // colliding with the holder's stamped orecs.
+        struct Shared {
+            remaining: Vec<u64>,
+        }
+        impl Workload for Shared {
+            fn next_op(&mut self, thread: usize) -> OpSpec {
+                OpSpec {
+                    trace: vec![
+                        Access {
+                            line: 0,
+                            write: false,
+                        },
+                        Access {
+                            line: 1,
+                            write: true,
+                        },
+                    ],
+                    setup_cycles: 20,
+                    htm_hostile: thread == 0, // thread 0 always locks
+                    ..Default::default()
+                }
+            }
+            fn next_op_again(&mut self, thread: usize) -> OpSpec {
+                self.next_op(thread)
+            }
+            fn commit(&mut self, thread: usize) {
+                self.remaining[thread] -= 1;
+            }
+            fn remaining(&self, thread: usize) -> Option<u64> {
+                Some(self.remaining[thread])
+            }
+        }
+        let rec = Arc::new(Recorder::new(ObsConfig {
+            latency_unit: "cycles",
+            ..ObsConfig::default()
+        }));
+        let s = Engine::new(
+            SimMethod::FgTle { orecs: 2 },
+            4,
+            CostModel::default(),
+            RunMode::FixedWork,
+            Shared {
+                remaining: vec![200; 4],
+            },
+        )
+        .with_recorder(Arc::clone(&rec))
+        .run();
+
+        assert_eq!(s.ops, 800);
+        assert_eq!(s.orec_conflicts.len(), 2, "capacity-length heatmap");
+        assert_eq!(
+            s.orec_conflict_aborts,
+            s.orec_conflicts.iter().sum::<u64>(),
+            "attribution invariant: {s:?}"
+        );
+        assert!(
+            s.orec_conflict_aborts > 0,
+            "shared writes over 2 orecs must attribute conflicts: {s:?}"
+        );
+        let hot = s.hottest_orec_slots(8);
+        assert!(!hot.is_empty());
+        assert!(hot.windows(2).all(|w| w[0].1 >= w[1].1), "descending");
+
+        let records = rec.tracer().drain();
+        if rec.tracer().enabled() {
+            let lock_spans = records
+                .iter()
+                .filter(|r| r.kind == rtle_obs::TraceKind::LockHeld)
+                .count() as u64;
+            assert!(lock_spans > 0, "holder spans in the causal trace");
+            assert!(
+                records
+                    .iter()
+                    .any(|r| r.kind == rtle_obs::TraceKind::SlowCommit),
+                "slow-path commits traced"
+            );
+            assert!(
+                records.windows(2).all(|w| w[0].ts <= w[1].ts),
+                "drain is time-ordered"
+            );
+        } else {
+            assert!(records.is_empty(), "trace off: recording is a no-op");
+        }
     }
 }

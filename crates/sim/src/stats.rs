@@ -5,7 +5,7 @@ use rtle_obs::Json;
 use crate::cost::MachineProfile;
 
 /// Counters accumulated over one simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Completed critical sections (any path).
     pub ops: u64,
@@ -47,6 +47,13 @@ pub struct SimStats {
     pub cycles_in_sw: u64,
     /// Simulated wall time of the run, in cycles.
     pub sim_cycles: u64,
+    /// Per-orec-slot attributed slow-path conflict aborts (capacity-length
+    /// for FG methods, empty otherwise) — the simulator's mirror of
+    /// `rtle_core::OrecHeatmap`.
+    pub orec_conflicts: Vec<u64>,
+    /// Total slot-attributed conflict aborts. Invariant: equals the sum of
+    /// `orec_conflicts` (every attributed abort lands in exactly one slot).
+    pub orec_conflict_aborts: u64,
 }
 
 impl SimStats {
@@ -131,10 +138,25 @@ impl SimStats {
         }
     }
 
+    /// The `k` hottest orec slots (descending by attributed conflicts;
+    /// zero-conflict slots omitted; slot index breaks ties ascending).
+    pub fn hottest_orec_slots(&self, k: usize) -> Vec<(usize, u64)> {
+        let mut hot: Vec<(usize, u64)> = self
+            .orec_conflicts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect();
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hot.truncate(k);
+        hot
+    }
+
     /// JSON form: every raw counter, keyed by its field name (units are
     /// simulator cycles).
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("ops", Json::UInt(self.ops)),
             ("fast_commits", Json::UInt(self.fast_commits)),
             ("slow_commits", Json::UInt(self.slow_commits)),
@@ -154,7 +176,29 @@ impl SimStats {
             ("cycles_locked", Json::UInt(self.cycles_locked)),
             ("cycles_in_sw", Json::UInt(self.cycles_in_sw)),
             ("sim_cycles", Json::UInt(self.sim_cycles)),
-        ])
+            ("orec_conflict_aborts", Json::UInt(self.orec_conflict_aborts)),
+        ];
+        if self.orec_conflict_aborts > 0 {
+            // Sparse heatmap: hot slots only, hottest first.
+            let slots: Vec<Json> = self
+                .hottest_orec_slots(self.orec_conflicts.len())
+                .into_iter()
+                .map(|(slot, n)| {
+                    Json::obj([
+                        ("slot", Json::UInt(slot as u64)),
+                        ("conflicts", Json::UInt(n)),
+                    ])
+                })
+                .collect();
+            pairs.push((
+                "orec_heatmap",
+                Json::obj([
+                    ("capacity", Json::UInt(self.orec_conflicts.len() as u64)),
+                    ("slots", Json::Arr(slots)),
+                ]),
+            ));
+        }
+        Json::obj(pairs)
     }
 }
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Perf-baseline regression report: measures the `bench` suite now and
+# diffs it against the newest BENCH_<n>.json checked in at the repo root,
+# using the harness's noise-tolerant thresholds (ratio x1.8 AND +15ns
+# absolute, see crates/bench/src/baseline.rs).
+#
+#   scripts/bench_compare.sh              # report-only: always exits 0
+#   scripts/bench_compare.sh --strict     # exit 1 on a regression verdict
+#
+# To (re)seed a baseline after an intentional perf change:
+#   cargo run -p rtle-bench --release --bin bench -- run --out BENCH_<n+1>.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:---report-only}"
+
+baseline="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
+if [[ -z "$baseline" ]]; then
+    echo "bench_compare: no BENCH_<n>.json baseline at the repo root; nothing to compare"
+    exit 0
+fi
+echo "bench_compare: baseline $baseline"
+
+new="$(mktemp -d)/bench_new.json"
+cargo run -p rtle-bench --release --bin bench -- run --out "$new" >/dev/null
+
+if [[ "$mode" == "--strict" ]]; then
+    cargo run -p rtle-bench --release --bin bench -- compare "$baseline" "$new"
+else
+    cargo run -p rtle-bench --release --bin bench -- compare "$baseline" "$new" --report-only
+fi

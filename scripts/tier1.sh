@@ -16,27 +16,47 @@ cargo clippy --all-targets -q -- -D warnings
 echo "== rtle-check (lint + interleaving model) =="
 cargo run -p rtle-check --release
 
-echo "== diag --json smoke =="
-out="$(mktemp -d)/diag.json"
-cargo run -p rtle-bench --release --bin diag -- 8 --quick --json "$out" >/dev/null
-# Validate the document parses and carries the expected schema version,
-# using the same parser the library ships.
+echo "== trace-off overhead gate =="
+# The causal-tracing feature must be a true no-op when compiled out: the
+# overhead suite's trace-off test only exists in this configuration.
+cargo test -p rtle-bench --release --no-default-features --test overhead -q
+
+echo "== diag --json/--trace smoke =="
+tmp="$(mktemp -d)"
+out="$tmp/diag.json"
+trace_out="$tmp/diag.trace.json"
+cargo run -p rtle-bench --release --bin diag -- 8 --quick --json "$out" --trace "$trace_out" --heatmap >/dev/null
+# Validate both documents parse and carry the expected structure (schema
+# version; Chrome trace_event shape), using the same parser and validator
+# the library ships.
 cat > /tmp/tier1_smoke.rs <<'RS'
 fn main() {
-    let path = std::env::args().nth(1).unwrap();
-    let text = std::fs::read_to_string(&path).expect("read diag json");
+    let mut args = std::env::args().skip(1);
+    let diag_path = args.next().unwrap();
+    let trace_path = args.next().unwrap();
+
+    let text = std::fs::read_to_string(&diag_path).expect("read diag json");
     let j = rtle_obs::parse_json(&text).expect("diag json must parse");
     let v = j.get("schema_version").and_then(rtle_obs::Json::as_u64);
     assert_eq!(v, Some(rtle_obs::SCHEMA_VERSION), "schema version mismatch");
     let methods = j.get("methods").and_then(rtle_obs::Json::as_arr).expect("methods");
     assert!(!methods.is_empty(), "no methods in diag output");
     println!("ok: {} methods, schema v{}", methods.len(), v.unwrap());
+
+    let text = std::fs::read_to_string(&trace_path).expect("read trace json");
+    let t = rtle_obs::parse_json(&text).expect("trace json must parse");
+    let n = rtle_obs::trace::validate_chrome(&t).expect("Chrome trace_event shape");
+    assert!(n >= methods.len(), "at least one event per method process");
+    println!("ok: trace with {n} events");
 }
 RS
-obs_rlib="$(ls target/release/deps/librtle_obs-*.rlib | head -1)"
+obs_rlib="$(ls -t target/release/deps/librtle_obs-*.rlib | head -1)"
 rustc --edition 2021 -O --extern rtle_obs="$obs_rlib" \
     -L dependency=target/release/deps \
     -o /tmp/tier1_smoke /tmp/tier1_smoke.rs
-/tmp/tier1_smoke "$out"
+/tmp/tier1_smoke "$out" "$trace_out"
+
+echo "== perf baseline (non-fatal report) =="
+scripts/bench_compare.sh --report-only || echo "bench_compare: report failed (non-fatal)"
 
 echo "tier1: all green"
