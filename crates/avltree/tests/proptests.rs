@@ -1,33 +1,20 @@
 //! Randomized differential testing of the AVL set against `BTreeSet`,
-//! driven by a seeded [`SplitMix64`] stream (dependency-free stand-in for
-//! a property-testing harness; failures reproduce from the fixed seeds).
+//! driven by the shared [`rtle_fuzz::ops`] generator family (seeded
+//! [`SplitMix64`] streams; failures reproduce from the fixed seeds).
+//!
+//! The generators live in `rtle-fuzz` so the proptests, the chaos runner,
+//! and the mixed-policy agreement test all draw from one audited source.
+//! Unlike this file's original local generators, `gen_ops` can never
+//! produce an empty op vector or an all-`Contains` one: every case
+//! actually mutates the tree.
 
 use std::collections::BTreeSet;
 
 use rtle_avltree::AvlSet;
 use rtle_core::{ElidableLock, ElisionPolicy};
+use rtle_fuzz::ops::{self, SetOp};
 use rtle_htm::prng::SplitMix64;
 use rtle_htm::PlainAccess;
-
-#[derive(Debug, Clone)]
-enum Op {
-    Insert(u64),
-    Remove(u64),
-    Contains(u64),
-}
-
-fn gen_op(rng: &mut SplitMix64, range: u64) -> Op {
-    let k = rng.below(range);
-    match rng.below(3) {
-        0 => Op::Insert(k),
-        1 => Op::Remove(k),
-        _ => Op::Contains(k),
-    }
-}
-
-fn gen_ops(rng: &mut SplitMix64, range: u64, max_len: u64) -> Vec<Op> {
-    (0..rng.below(max_len)).map(|_| gen_op(rng, range)).collect()
-}
 
 /// Plain (sequential) execution matches BTreeSet exactly, and the AVL
 /// structural invariants hold after every operation sequence.
@@ -35,16 +22,50 @@ fn gen_ops(rng: &mut SplitMix64, range: u64, max_len: u64) -> Vec<Op> {
 fn sequential_matches_btreeset() {
     let mut rng = SplitMix64::new(0x51e9_a411);
     for case in 0..128 {
-        let ops = gen_ops(&mut rng, 64, 200);
+        let ops = ops::gen_ops(&mut rng, 64, 1, 200);
+        assert!(ops.iter().any(|op| op.is_mutation()));
         let set = AvlSet::with_key_range(64);
         let mut model = BTreeSet::new();
         let a = PlainAccess;
-        for op in &ops {
-            match op {
-                Op::Insert(k) => assert_eq!(set.insert(&a, *k), model.insert(*k)),
-                Op::Remove(k) => assert_eq!(set.remove(&a, *k), model.remove(k)),
-                Op::Contains(k) => assert_eq!(set.contains(&a, *k), model.contains(k)),
-            }
+        for op in ops {
+            assert_eq!(ops::apply_avl(&set, &a, op), ops::apply_model(op, &mut model));
+        }
+        assert!(set.check_invariants_plain().is_ok(), "case {case}");
+        assert_eq!(set.keys_plain(), model.iter().copied().collect::<Vec<_>>());
+    }
+}
+
+/// Duplicate-key churn over a tiny hot set: the already-present /
+/// already-absent branches and repeated rebalances around the same keys.
+#[test]
+fn churn_matches_btreeset() {
+    let mut rng = SplitMix64::new(0x51e9_a415);
+    for case in 0..64 {
+        let hot = 1 + rng.below(6);
+        let ops = ops::gen_ops_churn(&mut rng, hot, 400);
+        let set = AvlSet::with_key_range(64);
+        let mut model = BTreeSet::new();
+        let a = PlainAccess;
+        for op in ops {
+            assert_eq!(ops::apply_avl(&set, &a, op), ops::apply_model(op, &mut model));
+        }
+        assert!(set.check_invariants_plain().is_ok(), "case {case} (hot {hot})");
+        assert_eq!(set.keys_plain(), model.iter().copied().collect::<Vec<_>>());
+    }
+}
+
+/// Skewed key draws (monotone-ish runs forcing rotation chains) stay
+/// correct and balanced.
+#[test]
+fn skewed_matches_btreeset() {
+    let mut rng = SplitMix64::new(0x51e9_a416);
+    for case in 0..64 {
+        let ops = ops::gen_ops_skewed(&mut rng, 512, 500);
+        let set = AvlSet::with_key_range(512);
+        let mut model = BTreeSet::new();
+        let a = PlainAccess;
+        for op in ops {
+            assert_eq!(ops::apply_avl(&set, &a, op), ops::apply_model(op, &mut model));
         }
         assert!(set.check_invariants_plain().is_ok(), "case {case}");
         assert_eq!(set.keys_plain(), model.iter().copied().collect::<Vec<_>>());
@@ -58,31 +79,17 @@ fn sequential_matches_btreeset() {
 fn elided_execution_equals_plain() {
     let mut rng = SplitMix64::new(0x51e9_a412);
     for case in 0..48 {
-        let ops = gen_ops(&mut rng, 64, 120);
+        let ops = ops::gen_ops(&mut rng, 64, 1, 120);
         let orecs = [1usize, 16, 256][(case % 3) as usize];
         let plain_set = AvlSet::with_key_range(64);
         let elided_set = AvlSet::with_key_range(64);
         let lock = ElidableLock::new(ElisionPolicy::FgTle { orecs });
         let a = PlainAccess;
 
-        for op in &ops {
-            match op {
-                Op::Insert(k) => {
-                    let expected = plain_set.insert(&a, *k);
-                    let got = lock.execute(|ctx| elided_set.insert(ctx, *k));
-                    assert_eq!(got, expected);
-                }
-                Op::Remove(k) => {
-                    let expected = plain_set.remove(&a, *k);
-                    let got = lock.execute(|ctx| elided_set.remove(ctx, *k));
-                    assert_eq!(got, expected);
-                }
-                Op::Contains(k) => {
-                    let expected = plain_set.contains(&a, *k);
-                    let got = lock.execute(|ctx| elided_set.contains(ctx, *k));
-                    assert_eq!(got, expected);
-                }
-            }
+        for op in ops {
+            let expected = ops::apply_avl(&plain_set, &a, op);
+            let got = lock.execute(|ctx| ops::apply_avl(&elided_set, ctx, op));
+            assert_eq!(got, expected, "case {case} {op:?}");
         }
         assert_eq!(plain_set.keys_plain(), elided_set.keys_plain());
         assert!(elided_set.check_invariants_plain().is_ok(), "case {case}");
@@ -90,20 +97,34 @@ fn elided_execution_equals_plain() {
 }
 
 /// Tree height stays within the AVL bound 1.44·log2(n+2) for any
-/// insertion order.
+/// insertion order — including the skewed generator's rotation-chain
+/// workloads.
 #[test]
 fn height_within_avl_bound() {
     let mut rng = SplitMix64::new(0x51e9_a413);
-    for _case in 0..64 {
-        let mut keys = BTreeSet::new();
-        let n_keys = 1 + rng.below(299);
-        while (keys.len() as u64) < n_keys {
-            keys.insert(rng.below(2048));
-        }
+    for case in 0..64 {
         let set = AvlSet::with_key_range(2048);
         let a = PlainAccess;
-        for k in &keys {
-            set.insert(&a, *k);
+        let mut keys = BTreeSet::new();
+        if case % 2 == 0 {
+            let n_keys = 1 + rng.below(299);
+            while (keys.len() as u64) < n_keys {
+                keys.insert(rng.below(2048));
+            }
+            for k in &keys {
+                set.insert(&a, *k);
+            }
+        } else {
+            for op in ops::gen_ops_skewed(&mut rng, 2048, 300) {
+                if let SetOp::Insert(k) = op {
+                    set.insert(&a, k);
+                    keys.insert(k);
+                }
+            }
+            if keys.is_empty() {
+                set.insert(&a, 0);
+                keys.insert(0);
+            }
         }
         assert!(set.check_invariants_plain().is_ok());
         for k in &keys {

@@ -70,40 +70,67 @@ fn record(report: &mut Report, kind: &'static str, detail: String, schedule: &[u
     }
 }
 
-fn check_terminal(cfg: &Config, state: &State, schedule: &[u8], report: &mut Report) {
-    report.terminals += 1;
-    if let Some(why) = state.terminal_invariant_violation() {
-        record(report, "bad-terminal", why, schedule);
-        return;
-    }
+/// Judgement of one terminal state: the violation (if any) plus which
+/// commit paths the history exercised. Shared between the exhaustive DFS
+/// here and the randomized PCT scheduler in `rtle-fuzz`, so both report
+/// failures through the same oracle and in the same vocabulary.
+#[derive(Debug, Clone)]
+pub struct TerminalVerdict {
+    /// `Some((kind, detail))` when the state violates an invariant or the
+    /// history is not serializable; `None` when the terminal is clean.
+    pub violation: Option<(&'static str, String)>,
+    /// History contains a fast-path commit.
+    pub fast: bool,
+    /// History contains a slow-path commit.
+    pub slow: bool,
+    /// History contains an under-lock commit.
+    pub lock: bool,
+}
+
+/// Judges one terminal state of `cfg`: structural invariants first, then
+/// the serializability oracle over the committed history.
+pub fn judge_terminal(cfg: &Config, state: &State) -> TerminalVerdict {
     let entries: Vec<_> = state.committed().iter().flatten().collect();
-    let mut fast = false;
-    let mut slow = false;
-    let mut lock = false;
+    let mut v = TerminalVerdict {
+        violation: None,
+        fast: false,
+        slow: false,
+        lock: false,
+    };
     for e in &entries {
         match e.path {
-            super::oracle::CommitPath::Fast => fast = true,
-            super::oracle::CommitPath::Slow => slow = true,
-            super::oracle::CommitPath::Lock => lock = true,
+            super::oracle::CommitPath::Fast => v.fast = true,
+            super::oracle::CommitPath::Slow => v.slow = true,
+            super::oracle::CommitPath::Lock => v.lock = true,
         }
     }
-    report.fast_commit_terminals += fast as u64;
-    report.slow_commit_terminals += slow as u64;
-    report.lock_commit_terminals += lock as u64;
-
+    if let Some(why) = state.terminal_invariant_violation() {
+        v.violation = Some(("bad-terminal", why));
+        return v;
+    }
     let init = vec![0u64; cfg.nloc as usize];
     if find_serial_witness(&init, state.data(), &entries).is_none() {
         let hist: Vec<String> = entries.iter().map(|e| e.to_string()).collect();
-        record(
-            report,
+        v.violation = Some((
             "non-serializable",
             format!(
                 "history [{}] with final memory {:?} matches no serial order",
                 hist.join(", "),
                 state.data()
             ),
-            schedule,
-        );
+        ));
+    }
+    v
+}
+
+fn check_terminal(cfg: &Config, state: &State, schedule: &[u8], report: &mut Report) {
+    report.terminals += 1;
+    let verdict = judge_terminal(cfg, state);
+    report.fast_commit_terminals += verdict.fast as u64;
+    report.slow_commit_terminals += verdict.slow as u64;
+    report.lock_commit_terminals += verdict.lock as u64;
+    if let Some((kind, detail)) = verdict.violation {
+        record(report, kind, detail, schedule);
     }
 }
 

@@ -28,7 +28,7 @@ pub mod machine;
 pub mod oracle;
 pub mod suite;
 
-pub use explore::{explore, Report, ViolationReport};
+pub use explore::{explore, judge_terminal, Report, TerminalVerdict, ViolationReport};
 pub use machine::{Config, Op, Policy, State, Subscription, ThreadSpec, Val};
 pub use oracle::{find_serial_witness, CommitPath, Committed, HOp};
 pub use suite::{mutant_config, standard_suite};

@@ -1,0 +1,89 @@
+//! The built-in regression corpus: seeds whose behaviour is pinned.
+//!
+//! Every entry is a deterministic contract — `fuzz corpus` replays each
+//! one and fails loudly if the fuzzer's behaviour on that seed drifts
+//! (oracle regression, scheduler change, shrinker change). The
+//! lazy-subscription mutant entries double as the fuzzer's *fitness
+//! test*: a fuzzer that can no longer find the seeded bug within its
+//! budget is broken, whatever else it reports.
+
+use rtle_check::model::mutant_config;
+
+use crate::schedule::{hunt, HuntReport};
+
+/// The documented default seed (see EXPERIMENTS.md): `fuzz run --seed
+/// 0xf422` must catch the mutant, and `fuzz replay 0xf422` must print the
+/// identical witness.
+pub const DOC_SEED: u64 = 0xf422;
+
+/// Default iteration budget for the mutant fitness hunt.
+pub const MUTANT_BUDGET: u64 = 256;
+
+/// One pinned corpus entry.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusEntry {
+    /// Hunt seed.
+    pub seed: u64,
+    /// Iteration budget.
+    pub budget: u64,
+    /// Expected violation kind (`""` = must stay clean — unused so far).
+    pub expect_kind: &'static str,
+    /// What this entry regression-tests.
+    pub note: &'static str,
+}
+
+/// The pinned entries. All run against the lazy-unsafe mutant; distinct
+/// seeds cover distinct schedule families.
+pub const ENTRIES: &[CorpusEntry] = &[
+    CorpusEntry {
+        seed: DOC_SEED,
+        budget: MUTANT_BUDGET,
+        expect_kind: "non-serializable",
+        note: "documented seed: the EXPERIMENTS.md lazy-subscription catch",
+    },
+    CorpusEntry {
+        seed: 0x0001,
+        budget: MUTANT_BUDGET,
+        expect_kind: "non-serializable",
+        note: "smallest seed, independent schedule family",
+    },
+    CorpusEntry {
+        seed: 0xdead_beef,
+        budget: MUTANT_BUDGET,
+        expect_kind: "non-serializable",
+        note: "third independent seed",
+    },
+];
+
+/// Runs the mutant fitness hunt for `seed`/`budget`.
+pub fn mutant_hunt(seed: u64, budget: u64) -> HuntReport {
+    hunt(&mutant_config(), seed, budget)
+}
+
+/// Replays one corpus entry; `Ok(witness)` if the expectation held.
+pub fn replay_entry(e: &CorpusEntry) -> Result<String, String> {
+    let report = mutant_hunt(e.seed, e.budget);
+    match report.failure {
+        Some(f) if f.kind == e.expect_kind => Ok(f.witness()),
+        Some(f) => Err(format!(
+            "seed {:#x}: expected kind {:?}, found {:?}",
+            e.seed, e.expect_kind, f.kind
+        )),
+        None => Err(format!(
+            "seed {:#x}: expected {:?} within {} iterations, found nothing",
+            e.seed, e.expect_kind, e.budget
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_corpus_entry_holds() {
+        for e in ENTRIES {
+            replay_entry(e).unwrap_or_else(|err| panic!("corpus drift: {err} ({})", e.note));
+        }
+    }
+}

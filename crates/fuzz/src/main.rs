@@ -1,0 +1,265 @@
+//! `fuzz` — the rtle-fuzz CLI.
+//!
+//! ```text
+//! fuzz run    [--seed S] [--iters N] [--configs N] [--budget N] [--quick]
+//!             [--no-chaos] [--json PATH]
+//! fuzz replay <seed> [--budget N]
+//! fuzz corpus
+//! ```
+//!
+//! * `run` — the full campaign: (1) mutant fitness (the seeded
+//!   lazy-subscription mutant must be caught within the budget), (2) a
+//!   sweep of the standard suite plus random safe 4–8-thread
+//!   configurations (must stay clean), (3) a chaos run over the real
+//!   runtime (must show zero oracle divergence). Exit code 0 iff all
+//!   three hold. `--quick` is the deterministic, time-budgeted tier-1
+//!   profile.
+//! * `replay <seed>` — re-runs the mutant hunt for `seed` and prints the
+//!   identical witness block `run` printed (one-line reproduction).
+//! * `corpus` — replays every pinned corpus seed and verifies it.
+
+use std::process::ExitCode;
+
+use rtle_check::model::standard_suite;
+use rtle_fuzz::chaos::{run_chaos, ChaosPlan};
+use rtle_fuzz::corpus::{self, DOC_SEED, MUTANT_BUDGET};
+use rtle_fuzz::report::campaign_json;
+use rtle_fuzz::schedule::{hunt, random_safe_config, HuntReport};
+use rtle_htm::prng::SplitMix64;
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+struct RunArgs {
+    seed: u64,
+    iters: u64,
+    configs: u64,
+    budget: u64,
+    chaos: bool,
+    quick: bool,
+    json: Option<String>,
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("fuzz: {err}");
+    eprintln!("usage: fuzz run [--seed S] [--iters N] [--configs N] [--budget N] [--quick] [--no-chaos] [--json PATH]");
+    eprintln!("       fuzz replay <seed> [--budget N]");
+    eprintln!("       fuzz corpus");
+    ExitCode::from(2)
+}
+
+fn print_hunt(r: &HuntReport) {
+    println!(
+        "fuzz: {:<24} {:>5} iters (paths f/s/l: {}/{}/{}) -> {}",
+        r.config,
+        r.iterations,
+        r.fast_terminals,
+        r.slow_terminals,
+        r.lock_terminals,
+        if r.clean() { "OK" } else { "FAILURE" }
+    );
+}
+
+fn cmd_run(a: RunArgs) -> ExitCode {
+    let mut ok = true;
+
+    // 1. Mutant fitness: the fuzzer must re-find the seeded bug.
+    let mutant = corpus::mutant_hunt(a.seed, a.budget);
+    match &mutant.failure {
+        Some(f) => {
+            println!(
+                "fuzz: mutant fitness: CAUGHT at iteration {} (budget {})",
+                f.iteration, a.budget
+            );
+            println!("{}", f.witness());
+        }
+        None => {
+            println!(
+                "fuzz: mutant fitness: MISSED within {} iterations — fuzzer regression!",
+                a.budget
+            );
+            ok = false;
+        }
+    }
+
+    // 2. Safe sweep: standard suite + random 4–8-thread configs.
+    let mut hunts = Vec::new();
+    for cfg in standard_suite() {
+        let r = hunt(&cfg, a.seed, a.iters);
+        print_hunt(&r);
+        if let Some(f) = &r.failure {
+            println!("{}", f.witness());
+            ok = false;
+        }
+        hunts.push(r);
+    }
+    let mut cfg_rng = SplitMix64::new(a.seed ^ 0xc0f1_65ee_d000_0001);
+    for idx in 0..a.configs {
+        let cfg = random_safe_config(&mut cfg_rng, idx);
+        let r = hunt(&cfg, a.seed.wrapping_add(idx), a.iters);
+        print_hunt(&r);
+        if let Some(f) = &r.failure {
+            println!("{}", f.witness());
+            ok = false;
+        }
+        hunts.push(r);
+    }
+
+    // 3. Chaos over the real runtime.
+    let chaos = a.chaos.then(|| {
+        let plan = if a.quick {
+            ChaosPlan::quick(true)
+        } else {
+            ChaosPlan::storm8()
+        };
+        let r = run_chaos(&plan, a.seed);
+        println!(
+            "fuzz: chaos ({} workers, {} ops): commits f/s/l {}/{}/{}, {} aborts -> {}",
+            plan.workers,
+            r.ops,
+            r.fast_commits,
+            r.slow_commits,
+            r.lock_acquisitions,
+            r.aborts,
+            if r.clean() { "OK" } else { "DIVERGENCE" }
+        );
+        for d in r.divergences.iter().take(5) {
+            println!("fuzz:   {d}");
+        }
+        r
+    });
+    if let Some(c) = &chaos {
+        ok &= c.clean();
+    }
+
+    if let Some(path) = &a.json {
+        let doc = campaign_json(a.seed, &mutant, &hunts, chaos.as_ref());
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("fuzz: cannot write {path}: {e}");
+            ok = false;
+        } else {
+            println!("fuzz: stats written to {path}");
+        }
+    }
+
+    println!("fuzz: {}", if ok { "all green" } else { "FAILED" });
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_replay(seed: u64, budget: u64) -> ExitCode {
+    let report = corpus::mutant_hunt(seed, budget);
+    match report.failure {
+        Some(f) => {
+            println!(
+                "fuzz: mutant fitness: CAUGHT at iteration {} (budget {})",
+                f.iteration, budget
+            );
+            println!("{}", f.witness());
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("fuzz: seed {seed:#x} finds nothing within {budget} iterations");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_corpus() -> ExitCode {
+    let mut ok = true;
+    for e in corpus::ENTRIES {
+        match corpus::replay_entry(e) {
+            Ok(_) => println!("fuzz: corpus {:#010x} OK — {}", e.seed, e.note),
+            Err(err) => {
+                println!("fuzz: corpus {:#010x} FAILED — {err}", e.seed);
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage("missing subcommand");
+    };
+    match cmd.as_str() {
+        "run" => {
+            let mut a = RunArgs {
+                seed: DOC_SEED,
+                iters: 192,
+                configs: 8,
+                budget: MUTANT_BUDGET,
+                chaos: true,
+                quick: false,
+                json: None,
+            };
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--quick" => {
+                        a.quick = true;
+                        a.iters = 64;
+                        a.configs = 4;
+                    }
+                    "--no-chaos" => a.chaos = false,
+                    "--seed" | "--iters" | "--configs" | "--budget" | "--json" => {
+                        let Some(v) = it.next() else {
+                            return usage(&format!("{flag} needs a value"));
+                        };
+                        match flag.as_str() {
+                            "--json" => a.json = Some(v.clone()),
+                            _ => {
+                                let Some(n) = parse_u64(v) else {
+                                    return usage(&format!("bad number {v:?}"));
+                                };
+                                match flag.as_str() {
+                                    "--seed" => a.seed = n,
+                                    "--iters" => a.iters = n.max(1),
+                                    "--configs" => a.configs = n,
+                                    _ => a.budget = n.max(1),
+                                }
+                            }
+                        }
+                    }
+                    other => return usage(&format!("unknown flag {other:?}")),
+                }
+            }
+            cmd_run(a)
+        }
+        "replay" => {
+            let Some(seed) = args.get(1).and_then(|s| parse_u64(s)) else {
+                return usage("replay needs a seed");
+            };
+            let mut budget = MUTANT_BUDGET;
+            let mut it = args[2..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--budget" => {
+                        let Some(n) = it.next().and_then(|v| parse_u64(v)) else {
+                            return usage("--budget needs a number");
+                        };
+                        budget = n.max(1);
+                    }
+                    other => return usage(&format!("unknown flag {other:?}")),
+                }
+            }
+            cmd_replay(seed, budget)
+        }
+        "corpus" => cmd_corpus(),
+        other => usage(&format!("unknown subcommand {other:?}")),
+    }
+}

@@ -1,0 +1,187 @@
+//! Shared operation-stream generators for differential set testing.
+//!
+//! Promoted from `crates/avltree/tests/proptests.rs` so every consumer
+//! (the AVL proptests, the chaos runner, the mixed-policy agreement test)
+//! draws from one audited generator family. The generators fix the seed
+//! bug the original had: `rng.below(max_len)` could return 0, silently
+//! producing empty op vectors that tested nothing. [`gen_ops`] enforces a
+//! minimum length and guarantees at least one *mutation* op (insert or
+//! remove) per case.
+
+use std::collections::BTreeSet;
+
+use rtle_avltree::AvlSet;
+use rtle_htm::prng::SplitMix64;
+use rtle_htm::TxAccess;
+
+/// One set operation over `u64` keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// Insert the key; expected result = "was absent".
+    Insert(u64),
+    /// Remove the key; expected result = "was present".
+    Remove(u64),
+    /// Membership probe; expected result = "is present".
+    Contains(u64),
+}
+
+impl SetOp {
+    /// The key the operation targets.
+    pub fn key(self) -> u64 {
+        match self {
+            SetOp::Insert(k) | SetOp::Remove(k) | SetOp::Contains(k) => k,
+        }
+    }
+
+    /// Whether the operation can change the set (insert/remove).
+    pub fn is_mutation(self) -> bool {
+        !matches!(self, SetOp::Contains(_))
+    }
+
+    /// The same operation with its key shifted by `base` (partitioned
+    /// chaos workers run relative streams over disjoint sub-ranges).
+    pub fn offset(self, base: u64) -> SetOp {
+        match self {
+            SetOp::Insert(k) => SetOp::Insert(base + k),
+            SetOp::Remove(k) => SetOp::Remove(base + k),
+            SetOp::Contains(k) => SetOp::Contains(base + k),
+        }
+    }
+}
+
+/// One uniformly random operation over keys in `[0, range)`.
+pub fn gen_op(rng: &mut SplitMix64, range: u64) -> SetOp {
+    let k = rng.below(range);
+    match rng.below(3) {
+        0 => SetOp::Insert(k),
+        1 => SetOp::Remove(k),
+        _ => SetOp::Contains(k),
+    }
+}
+
+/// A uniform op vector of length in `[min_len.max(1), max_len]` with at
+/// least one mutation op — an empty or all-`Contains` case exercises
+/// nothing and is never produced.
+pub fn gen_ops(rng: &mut SplitMix64, range: u64, min_len: u64, max_len: u64) -> Vec<SetOp> {
+    let min_len = min_len.max(1);
+    assert!(min_len <= max_len, "min_len {min_len} > max_len {max_len}");
+    let len = rng.range_inclusive(min_len, max_len);
+    let mut ops: Vec<SetOp> = (0..len).map(|_| gen_op(rng, range)).collect();
+    if !ops.iter().any(|op| op.is_mutation()) {
+        let at = rng.below(ops.len() as u64) as usize;
+        ops[at] = SetOp::Insert(ops[at].key());
+    }
+    ops
+}
+
+/// Duplicate-key churn: long insert/remove sequences over a tiny hot key
+/// set (`hot_keys` distinct keys), hammering the already-present /
+/// already-absent branches and repeated rebalances around the same slots.
+pub fn gen_ops_churn(rng: &mut SplitMix64, hot_keys: u64, len: u64) -> Vec<SetOp> {
+    let hot = hot_keys.max(1);
+    let len = len.max(1);
+    let mut ops = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        let k = rng.below(hot);
+        // 45% insert / 45% remove / 10% contains: mutation-heavy churn.
+        ops.push(match rng.below(20) {
+            0..=8 => SetOp::Insert(k),
+            9..=17 => SetOp::Remove(k),
+            _ => SetOp::Contains(k),
+        });
+    }
+    if !ops.iter().any(|op| op.is_mutation()) {
+        ops[0] = SetOp::Insert(ops[0].key());
+    }
+    ops
+}
+
+/// Adversarially skewed key draws over `[0, range)`: 80% land in the
+/// bottom sixteenth (monotone-ish runs that force rotation chains), 10%
+/// hug the top end, 10% are uniform.
+pub fn gen_ops_skewed(rng: &mut SplitMix64, range: u64, len: u64) -> Vec<SetOp> {
+    let len = len.max(1);
+    let hot = (range / 16).max(1);
+    let mut ops = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        let k = match rng.below(10) {
+            0..=7 => rng.below(hot),
+            8 => range - 1 - rng.below(hot.min(range)),
+            _ => rng.below(range),
+        };
+        ops.push(match rng.below(3) {
+            0 => SetOp::Insert(k),
+            1 => SetOp::Remove(k),
+            _ => SetOp::Contains(k),
+        });
+    }
+    if !ops.iter().any(|op| op.is_mutation()) {
+        ops[0] = SetOp::Insert(ops[0].key());
+    }
+    ops
+}
+
+/// Applies `op` to the reference model, returning the oracle result.
+pub fn apply_model(op: SetOp, model: &mut BTreeSet<u64>) -> bool {
+    match op {
+        SetOp::Insert(k) => model.insert(k),
+        SetOp::Remove(k) => model.remove(&k),
+        SetOp::Contains(k) => model.contains(&k),
+    }
+}
+
+/// Applies `op` to an [`AvlSet`] through any [`TxAccess`] (plain, HTM
+/// fast path, instrumented slow path, under lock).
+pub fn apply_avl<A: TxAccess + ?Sized>(set: &AvlSet, a: &A, op: SetOp) -> bool {
+    match op {
+        SetOp::Insert(k) => set.insert(a, k),
+        SetOp::Remove(k) => set.remove(a, k),
+        SetOp::Contains(k) => set.contains(a, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_ops_never_empty_and_always_mutates() {
+        let mut rng = SplitMix64::new(0xfa11_0001);
+        for _ in 0..512 {
+            // min_len 0 is clamped to 1 — the original proptests bug.
+            let ops = gen_ops(&mut rng, 8, 0, 3);
+            assert!(!ops.is_empty());
+            assert!(ops.iter().any(|op| op.is_mutation()), "{ops:?}");
+        }
+    }
+
+    #[test]
+    fn churn_stays_on_hot_keys() {
+        let mut rng = SplitMix64::new(0xfa11_0002);
+        let ops = gen_ops_churn(&mut rng, 4, 300);
+        assert_eq!(ops.len(), 300);
+        assert!(ops.iter().all(|op| op.key() < 4));
+        assert!(ops.iter().filter(|op| op.is_mutation()).count() > 200);
+    }
+
+    #[test]
+    fn skewed_keys_in_range_and_skewed() {
+        let mut rng = SplitMix64::new(0xfa11_0003);
+        let ops = gen_ops_skewed(&mut rng, 1024, 1000);
+        assert!(ops.iter().all(|op| op.key() < 1024));
+        let bottom = ops.iter().filter(|op| op.key() < 64).count();
+        assert!(bottom > 600, "skew lost: only {bottom}/1000 in bottom 1/16");
+    }
+
+    #[test]
+    fn model_and_avl_agree_sequentially() {
+        let mut rng = SplitMix64::new(0xfa11_0004);
+        let set = AvlSet::with_key_range(32);
+        let mut model = BTreeSet::new();
+        let a = rtle_htm::PlainAccess;
+        for op in gen_ops(&mut rng, 32, 200, 400) {
+            assert_eq!(apply_avl(&set, &a, op), apply_model(op, &mut model));
+        }
+        assert_eq!(set.keys_plain(), model.iter().copied().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,108 @@
+//! JSON export of fuzz campaign results, via `rtle-obs`'s writer.
+//!
+//! The document is self-describing (`tool`, `fuzz_schema_version`) and
+//! deterministic for a given campaign, so CI can archive and diff runs.
+
+use rtle_obs::Json;
+
+use crate::chaos::ChaosReport;
+use crate::schedule::HuntReport;
+
+/// Schema version of the fuzz JSON document (bumped on layout changes).
+pub const FUZZ_SCHEMA_VERSION: u64 = 1;
+
+/// One hunt report as JSON.
+pub fn hunt_json(r: &HuntReport) -> Json {
+    let mut pairs = vec![
+        ("config", Json::Str(r.config.clone())),
+        ("iterations", Json::UInt(r.iterations)),
+        ("fast_terminals", Json::UInt(r.fast_terminals)),
+        ("slow_terminals", Json::UInt(r.slow_terminals)),
+        ("lock_terminals", Json::UInt(r.lock_terminals)),
+        ("clean", Json::Bool(r.clean())),
+    ];
+    if let Some(f) = &r.failure {
+        pairs.push((
+            "failure",
+            Json::obj([
+                ("kind", Json::Str(f.kind.into())),
+                ("iteration", Json::UInt(f.iteration)),
+                ("seed", Json::UInt(f.seed)),
+                ("schedule_len", Json::UInt(f.schedule.len() as u64)),
+                ("original_len", Json::UInt(f.original_len as u64)),
+                ("detail", Json::Str(f.detail.clone())),
+                (
+                    "schedule",
+                    Json::Arr(f.schedule.iter().map(|&t| Json::UInt(t as u64)).collect()),
+                ),
+            ]),
+        ));
+    }
+    Json::obj(pairs)
+}
+
+/// One chaos report as JSON.
+pub fn chaos_json(r: &ChaosReport) -> Json {
+    Json::obj([
+        ("clean", Json::Bool(r.clean())),
+        ("final_state_ok", Json::Bool(r.final_state_ok)),
+        ("ops", Json::UInt(r.ops)),
+        ("fast_commits", Json::UInt(r.fast_commits)),
+        ("slow_commits", Json::UInt(r.slow_commits)),
+        ("lock_acquisitions", Json::UInt(r.lock_acquisitions)),
+        ("aborts", Json::UInt(r.aborts)),
+        (
+            "divergences",
+            Json::Arr(r.divergences.iter().map(|d| Json::Str(d.clone())).collect()),
+        ),
+    ])
+}
+
+/// The full campaign document.
+pub fn campaign_json(
+    seed: u64,
+    mutant: &HuntReport,
+    hunts: &[HuntReport],
+    chaos: Option<&ChaosReport>,
+) -> Json {
+    let mut pairs = vec![
+        ("tool", Json::Str("rtle-fuzz".into())),
+        ("fuzz_schema_version", Json::UInt(FUZZ_SCHEMA_VERSION)),
+        ("seed", Json::UInt(seed)),
+        ("mutant_fitness", hunt_json(mutant)),
+        ("hunts", Json::Arr(hunts.iter().map(hunt_json).collect())),
+    ];
+    if let Some(c) = chaos {
+        pairs.push(("chaos", chaos_json(c)));
+    }
+    Json::obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    #[test]
+    fn campaign_json_round_trips() {
+        let mutant = corpus::mutant_hunt(corpus::DOC_SEED, corpus::MUTANT_BUDGET);
+        let doc = campaign_json(corpus::DOC_SEED, &mutant, &[], None);
+        let text = doc.to_string();
+        let parsed = rtle_obs::parse_json(&text).expect("fuzz json parses");
+        assert_eq!(
+            parsed.get("fuzz_schema_version").and_then(Json::as_u64),
+            Some(FUZZ_SCHEMA_VERSION)
+        );
+        assert_eq!(
+            parsed
+                .get("mutant_fitness")
+                .and_then(|m| m.get("clean"))
+                .and_then(|c| match c {
+                    Json::Bool(b) => Some(*b),
+                    _ => None,
+                }),
+            Some(false),
+            "mutant hunt must have found the seeded bug"
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! Driving the `rtle-check` protocol machines under randomized schedules.
+//!
+//! Where `rtle-check`'s exhaustive DFS proves small configurations correct
+//! over *every* interleaving (2–3 threads, tiny footprints), this module
+//! samples *long, asymmetric* interleavings the DFS cannot reach: 4–8
+//! threads, bigger programs, PCT priority schedules. Every terminal state
+//! is judged by the same [`rtle_check::model::judge_terminal`] oracle the
+//! explorer uses, so a fuzzer finding and an explorer finding speak the
+//! same language — and every finding carries the schedule that produced
+//! it, replayable and shrinkable.
+
+use rtle_check::model::{judge_terminal, Config, Op, Policy, State, Subscription, ThreadSpec, Val};
+use rtle_htm::prng::SplitMix64;
+
+use crate::pct::Pct;
+use crate::shrink::shrink_schedule;
+
+/// Hard cap on steps per run; a run exceeding it is reported as `stuck`
+/// (the machines' bounded retry budgets make this unreachable unless the
+/// model itself regresses).
+pub const MAX_STEPS: u64 = 1_000_000;
+
+/// One randomized run: the schedule taken and the state it ended in.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Thread choices in step order.
+    pub schedule: Vec<u8>,
+    /// The (terminal, unless `stuck`) state reached.
+    pub state: State,
+}
+
+/// Runs `cfg` once under a PCT schedule drawn from `rng`.
+pub fn run_pct(cfg: &Config, rng: &mut SplitMix64, depth: u32, horizon: u64) -> RunOutcome {
+    let mut pct = Pct::new(rng, cfg.threads.len(), depth, horizon);
+    let mut state = State::initial(cfg);
+    let mut schedule = Vec::new();
+    let mut step = 0u64;
+    while !state.terminal() && step < MAX_STEPS {
+        let enabled: Vec<usize> = (0..cfg.threads.len())
+            .filter(|&t| state.enabled(cfg, t))
+            .collect();
+        if enabled.is_empty() {
+            break; // stuck; judge_terminal reports the missing commits
+        }
+        let t = pct.pick(step, &enabled);
+        state.step(cfg, t);
+        schedule.push(t as u8);
+        step += 1;
+    }
+    RunOutcome { schedule, state }
+}
+
+/// Deterministically replays `schedule` against a fresh initial state.
+///
+/// Entries naming a disabled (or out-of-range) thread are skipped — that
+/// is what makes *shrunk* schedules, whose entries were recorded in a
+/// different context, replayable. After the schedule is exhausted the run
+/// is completed deterministically (lowest-id enabled thread first), so a
+/// replay always reaches a terminal state.
+pub fn replay(cfg: &Config, schedule: &[u8]) -> State {
+    let mut state = State::initial(cfg);
+    for &t in schedule {
+        let t = t as usize;
+        if t < cfg.threads.len() && state.enabled(cfg, t) {
+            state.step(cfg, t);
+        }
+    }
+    let mut guard = 0u64;
+    while !state.terminal() && guard < MAX_STEPS {
+        match (0..cfg.threads.len()).find(|&t| state.enabled(cfg, t)) {
+            Some(t) => state.step(cfg, t),
+            None => break,
+        }
+        guard += 1;
+    }
+    state
+}
+
+/// One fuzzer finding: the configuration, the seed and iteration that
+/// produced it, the (shrunk) schedule, and the oracle's complaint.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Configuration name.
+    pub config: String,
+    /// The hunt seed (replays the whole hunt).
+    pub seed: u64,
+    /// Iteration within the hunt at which the failure surfaced.
+    pub iteration: u64,
+    /// Violation class from the oracle (`non-serializable`, `bad-terminal`).
+    pub kind: &'static str,
+    /// Human-readable oracle detail, recomputed on the shrunk schedule.
+    pub detail: String,
+    /// Shrunk schedule (replayable via [`replay`]).
+    pub schedule: Vec<u8>,
+    /// Schedule length before shrinking, for shrink-quality reporting.
+    pub original_len: usize,
+}
+
+impl Failure {
+    /// The canonical witness block. Byte-for-byte identical for the same
+    /// (config, seed, budget) — the contract `fuzz replay <seed>` and the
+    /// seed-replay determinism test rely on.
+    pub fn witness(&self) -> String {
+        format!(
+            "config: {}\nseed: {:#x}\niteration: {}\nkind: {}\nschedule ({} steps, shrunk from {}): {:?}\ndetail: {}",
+            self.config,
+            self.seed,
+            self.iteration,
+            self.kind,
+            self.schedule.len(),
+            self.original_len,
+            self.schedule,
+            self.detail,
+        )
+    }
+}
+
+/// Aggregate result of fuzzing one configuration.
+#[derive(Debug, Clone)]
+pub struct HuntReport {
+    /// Configuration name.
+    pub config: String,
+    /// Iterations actually run (stops early on the first failure).
+    pub iterations: u64,
+    /// Runs whose history contained a fast-path commit.
+    pub fast_terminals: u64,
+    /// Runs whose history contained a slow-path commit.
+    pub slow_terminals: u64,
+    /// Runs whose history contained an under-lock commit.
+    pub lock_terminals: u64,
+    /// The first failure found, shrunk, if any.
+    pub failure: Option<Failure>,
+}
+
+impl HuntReport {
+    /// True iff no violation was found.
+    pub fn clean(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Fuzzes `cfg` for up to `max_iters` PCT runs from `seed`, stopping at
+/// the first oracle violation (which is then greedily shrunk).
+pub fn hunt(cfg: &Config, seed: u64, max_iters: u64) -> HuntReport {
+    cfg.validate();
+    let mut rng = SplitMix64::new(seed);
+    // Change-point horizon. PCT's guarantee is 1/(n·k^(d-1)) with `k` the
+    // *actual* execution length — overshooting k wastes change points past
+    // the end of the run, collapsing the catch rate quadratically for
+    // depth-3 bugs. Start with a crude static estimate, then track the
+    // observed schedule length run over run (still a pure function of the
+    // seed).
+    let mut horizon: u64 = cfg
+        .threads
+        .iter()
+        .map(|t| t.ops.len() as u64 + 4)
+        .sum::<u64>()
+        .max(8);
+    let mut report = HuntReport {
+        config: cfg.name.clone(),
+        iterations: 0,
+        fast_terminals: 0,
+        slow_terminals: 0,
+        lock_terminals: 0,
+        failure: None,
+    };
+    for it in 0..max_iters {
+        report.iterations = it + 1;
+        // Depth 2–4: most protocol bugs (zombie reads, missed
+        // subscriptions) need one or two forced preemptions.
+        let depth = 2 + rng.below(3) as u32;
+        let run = run_pct(cfg, &mut rng, depth, horizon);
+        horizon = (run.schedule.len() as u64).max(4);
+        let verdict = judge_terminal(cfg, &run.state);
+        report.fast_terminals += verdict.fast as u64;
+        report.slow_terminals += verdict.slow as u64;
+        report.lock_terminals += verdict.lock as u64;
+        if let Some((kind, _)) = verdict.violation {
+            let shrunk = shrink_schedule(cfg, &run.schedule, kind, |c, s| {
+                let st = replay(c, s);
+                matches!(judge_terminal(c, &st).violation, Some((k, _)) if k == kind)
+            });
+            let final_state = replay(cfg, &shrunk);
+            let detail = judge_terminal(cfg, &final_state)
+                .violation
+                .map(|(_, d)| d)
+                .unwrap_or_else(|| "shrunk schedule no longer fails (shrinker bug)".into());
+            report.failure = Some(Failure {
+                config: cfg.name.clone(),
+                seed,
+                iteration: it,
+                kind,
+                detail,
+                schedule: shrunk,
+                original_len: run.schedule.len(),
+            });
+            return report;
+        }
+    }
+    report
+}
+
+/// A random *safe* configuration at 4–8 threads: any violation the oracle
+/// reports against one of these is a genuine protocol/model bug, never an
+/// expected mutant. Pure function of the rng stream.
+pub fn random_safe_config(rng: &mut SplitMix64, idx: u64) -> Config {
+    let nthreads = rng.range_inclusive(4, 8) as usize;
+    let nloc = rng.range_inclusive(2, 4) as u8;
+    let policy = match rng.below(3) {
+        0 => Policy::Tle,
+        1 => Policy::RwTle,
+        _ => Policy::FgTle {
+            orecs: rng.range_inclusive(1, 3) as u8,
+        },
+    };
+    let sub = if rng.bool() {
+        Subscription::Eager
+    } else {
+        Subscription::LazySafe
+    };
+    let mut threads = Vec::with_capacity(nthreads);
+    for _ in 0..nthreads {
+        let hostile = rng.below(4) == 0;
+        let nops = rng.range_inclusive(1, 3) as usize;
+        let mut ops = Vec::with_capacity(nops);
+        let mut readable: Option<u8> = None;
+        for _ in 0..nops {
+            let loc = rng.below(nloc as u64) as u8;
+            if rng.bool() {
+                readable = Some(loc);
+                ops.push(Op::Read(loc));
+            } else {
+                let val = match readable {
+                    Some(l) if rng.bool() => Val::LastReadPlus(l, 1 + rng.below(3)),
+                    _ => Val::Const(1 + rng.below(7)),
+                };
+                ops.push(Op::Write(loc, val));
+            }
+        }
+        threads.push(ThreadSpec { ops, hostile });
+    }
+    let has_slow = !matches!(policy, Policy::Tle);
+    Config {
+        name: format!("fuzz-rand-{idx}"),
+        policy,
+        sub,
+        threads,
+        nloc,
+        max_fast_attempts: rng.range_inclusive(1, 2) as u8,
+        max_slow_attempts: if has_slow {
+            rng.range_inclusive(1, 2) as u8
+        } else {
+            0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtle_check::model::standard_suite;
+
+    #[test]
+    fn recorded_schedule_replays_to_identical_state() {
+        let cfg = &standard_suite()[0];
+        let mut rng = SplitMix64::new(0xdead_beef);
+        for _ in 0..32 {
+            let run = run_pct(cfg, &mut rng, 3, 64);
+            assert!(run.state.terminal());
+            let replayed = replay(cfg, &run.schedule);
+            assert_eq!(replayed, run.state, "replay must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn random_safe_configs_validate_and_terminate() {
+        let mut rng = SplitMix64::new(0x0420_0001);
+        for idx in 0..16 {
+            let cfg = random_safe_config(&mut rng, idx);
+            cfg.validate();
+            assert!(cfg.threads.len() >= 4 && cfg.threads.len() <= 8);
+            let run = run_pct(&cfg, &mut rng, 3, 256);
+            assert!(run.state.terminal(), "{}: run did not terminate", cfg.name);
+        }
+    }
+
+    #[test]
+    fn hunt_is_deterministic_in_seed() {
+        let cfg = rtle_check::model::mutant_config();
+        let a = hunt(&cfg, 0x5eed, 128);
+        let b = hunt(&cfg, 0x5eed, 128);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(
+            a.failure.map(|f| f.witness()),
+            b.failure.map(|f| f.witness())
+        );
+    }
+}

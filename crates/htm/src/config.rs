@@ -30,6 +30,10 @@ static READ_CAPACITY: AtomicU32 = AtomicU32::new(DEFAULT_READ_CAPACITY);
 /// Spurious abort injection: a transaction aborts spuriously with
 /// probability 1 / `SPURIOUS_ONE_IN` at begin-time. 0 disables injection.
 static SPURIOUS_ONE_IN: AtomicU64 = AtomicU64::new(0);
+/// Injected begin-time conflict aborts (chaos testing), same scheme.
+static CONFLICT_ONE_IN: AtomicU64 = AtomicU64::new(0);
+/// Injected begin-time capacity aborts (chaos testing), same scheme.
+static CAPACITY_ONE_IN: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot of the emulated-HTM configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +46,16 @@ pub struct HtmConfig {
     pub read_capacity: u32,
     /// If non-zero, inject one spurious abort per this many transactions.
     pub spurious_one_in: u64,
+    /// If non-zero, inject one [`crate::AbortCode::Conflict`] abort per
+    /// this many transactions at begin-time. Models pathological cache
+    /// interference (prefetchers, SMT siblings) that real HTM reports as
+    /// data conflicts without any true data race; `rtle-fuzz` uses it for
+    /// abort-storm chaos runs.
+    pub conflict_one_in: u64,
+    /// If non-zero, inject one [`crate::AbortCode::Capacity`] abort per
+    /// this many transactions at begin-time — capacity pressure without
+    /// having to build giant footprints.
+    pub capacity_one_in: u64,
 }
 
 impl Default for HtmConfig {
@@ -50,6 +64,8 @@ impl Default for HtmConfig {
             write_capacity: DEFAULT_WRITE_CAPACITY,
             read_capacity: DEFAULT_READ_CAPACITY,
             spurious_one_in: 0,
+            conflict_one_in: 0,
+            capacity_one_in: 0,
         }
     }
 }
@@ -61,6 +77,8 @@ impl HtmConfig {
             write_capacity: WRITE_CAPACITY.load(Ordering::Relaxed),
             read_capacity: READ_CAPACITY.load(Ordering::Relaxed),
             spurious_one_in: SPURIOUS_ONE_IN.load(Ordering::Relaxed),
+            conflict_one_in: CONFLICT_ONE_IN.load(Ordering::Relaxed),
+            capacity_one_in: CAPACITY_ONE_IN.load(Ordering::Relaxed),
         }
     }
 
@@ -71,6 +89,8 @@ impl HtmConfig {
         WRITE_CAPACITY.store(self.write_capacity, Ordering::Relaxed);
         READ_CAPACITY.store(self.read_capacity, Ordering::Relaxed);
         SPURIOUS_ONE_IN.store(self.spurious_one_in, Ordering::Relaxed);
+        CONFLICT_ONE_IN.store(self.conflict_one_in, Ordering::Relaxed);
+        CAPACITY_ONE_IN.store(self.capacity_one_in, Ordering::Relaxed);
     }
 
     /// Runs `f` with `self` installed, then restores the previous
@@ -105,6 +125,16 @@ pub(crate) fn spurious_one_in() -> u64 {
     SPURIOUS_ONE_IN.load(Ordering::Relaxed)
 }
 
+#[inline]
+pub(crate) fn conflict_one_in() -> u64 {
+    CONFLICT_ONE_IN.load(Ordering::Relaxed)
+}
+
+#[inline]
+pub(crate) fn capacity_one_in() -> u64 {
+    CAPACITY_ONE_IN.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +145,8 @@ mod tests {
         assert_eq!(c.write_capacity, DEFAULT_WRITE_CAPACITY);
         assert_eq!(c.read_capacity, DEFAULT_READ_CAPACITY);
         assert_eq!(c.spurious_one_in, 0);
+        assert_eq!(c.conflict_one_in, 0);
+        assert_eq!(c.capacity_one_in, 0);
     }
 
     #[test]
@@ -129,6 +161,8 @@ mod tests {
             write_capacity: 8,
             read_capacity: 16,
             spurious_one_in: 5,
+            conflict_one_in: 7,
+            capacity_one_in: 9,
         };
         cfg.with_installed(|| {
             assert_eq!(HtmConfig::current(), cfg);

@@ -70,10 +70,9 @@ pub fn try_txn<R>(f: impl FnOnce() -> R) -> Result<R, AbortCode> {
     }
 
     stats::record_start();
-    let cfg_spurious = config::spurious_one_in();
-    if cfg_spurious != 0 && spurious_tick(cfg_spurious) {
-        stats::record_abort(AbortCode::Spurious);
-        return Err(AbortCode::Spurious);
+    if let Some(code) = injected_abort() {
+        stats::record_abort(code);
+        return Err(code);
     }
 
     let rv = stripe::clock();
@@ -241,20 +240,41 @@ pub(crate) fn write_barrier(cell: &AtomicU64, value: u64) {
     }
 }
 
-/// Spurious-abort ticker: cheap per-thread counter, aborts every Nth begin.
-fn spurious_tick(one_in: u64) -> bool {
-    thread_local! {
-        static TICK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+/// Begin-time abort injection (chaos hooks): spurious, conflict and
+/// capacity each tick an independent per-thread counter and fire every Nth
+/// begin. Checked in that order, so overlapping rates report the
+/// highest-priority code deterministically.
+fn injected_abort() -> Option<AbortCode> {
+    let spurious = config::spurious_one_in();
+    if spurious != 0 && tick(0, spurious) {
+        return Some(AbortCode::Spurious);
     }
-    TICK.with(|t| {
-        let n = t.get() + 1;
-        if n >= one_in {
-            t.set(0);
-            true
-        } else {
-            t.set(n);
-            false
+    let conflict = config::conflict_one_in();
+    if conflict != 0 && tick(1, conflict) {
+        return Some(AbortCode::Conflict);
+    }
+    let capacity = config::capacity_one_in();
+    if capacity != 0 && tick(2, capacity) {
+        return Some(AbortCode::Capacity);
+    }
+    None
+}
+
+/// Per-thread injection ticker `which` (0=spurious, 1=conflict,
+/// 2=capacity): returns true every `one_in`-th call.
+fn tick(which: usize, one_in: u64) -> bool {
+    thread_local! {
+        static TICKS: std::cell::Cell<[u64; 3]> = const { std::cell::Cell::new([0; 3]) };
+    }
+    TICKS.with(|t| {
+        let mut arr = t.get();
+        arr[which] += 1;
+        let fire = arr[which] >= one_in;
+        if fire {
+            arr[which] = 0;
         }
+        t.set(arr);
+        fire
     })
 }
 
@@ -359,6 +379,7 @@ mod tests {
             write_capacity: 4,
             read_capacity: 1024,
             spurious_one_in: 0,
+            ..crate::HtmConfig::default()
         };
         cfg.with_installed(|| {
             // Heap-allocate widely spaced cells: distinct lines.
@@ -380,6 +401,7 @@ mod tests {
             write_capacity: 1024,
             read_capacity: 4,
             spurious_one_in: 0,
+            ..crate::HtmConfig::default()
         };
         cfg.with_installed(|| {
             let cells: Vec<Box<TxCell<u64>>> =
@@ -398,6 +420,40 @@ mod tests {
         cfg.with_installed(|| {
             let r: Result<(), AbortCode> = try_txn(|| ());
             assert_eq!(r, Err(AbortCode::Spurious));
+        });
+    }
+
+    #[test]
+    fn conflict_and_capacity_injection_fire() {
+        let cfg = crate::HtmConfig {
+            conflict_one_in: 1,
+            ..Default::default()
+        };
+        cfg.with_installed(|| {
+            let r: Result<(), AbortCode> = try_txn(|| ());
+            assert_eq!(r, Err(AbortCode::Conflict));
+        });
+        let cfg = crate::HtmConfig {
+            capacity_one_in: 1,
+            ..Default::default()
+        };
+        cfg.with_installed(|| {
+            let r: Result<(), AbortCode> = try_txn(|| ());
+            assert_eq!(r, Err(AbortCode::Capacity));
+        });
+    }
+
+    #[test]
+    fn injection_rate_one_in_two_fires_every_other_begin() {
+        let cfg = crate::HtmConfig {
+            spurious_one_in: 2,
+            ..Default::default()
+        };
+        cfg.with_installed(|| {
+            let outcomes: Vec<bool> = (0..6)
+                .map(|_| try_txn(|| ()).is_err())
+                .collect();
+            assert_eq!(outcomes.iter().filter(|&&e| e).count(), 3, "{outcomes:?}");
         });
     }
 

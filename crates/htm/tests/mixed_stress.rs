@@ -136,6 +136,7 @@ fn capacity_under_concurrency() {
             write_capacity: 4,
             read_capacity: 1 << 20,
             spurious_one_in: 0,
+            ..HtmConfig::default()
         };
         cfg.with_installed(|| {
             for _ in 0..200 {

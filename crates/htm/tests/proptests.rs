@@ -123,6 +123,7 @@ fn write_capacity_respected() {
             write_capacity: cap,
             read_capacity: 1 << 20,
             spurious_one_in: 0,
+            ..HtmConfig::default()
         };
         let outcome = cfg.with_installed(|| {
             let cells: Vec<Box<TxCell<u64>>> =
@@ -153,6 +154,7 @@ fn explicit_abort_before_capacity() {
         write_capacity: 1,
         read_capacity: 1 << 20,
         spurious_one_in: 0,
+        ..HtmConfig::default()
     };
     let r = cfg.with_installed(|| {
         let c = TxCell::new(0u64);

@@ -173,6 +173,7 @@ mod tests {
             read_capacity: 64,
             write_capacity: 64,
             spurious_one_in: 0,
+            ..HtmConfig::default()
         };
         let r = cfg.with_installed(|| swhtm::try_txn(|| s.contains(&swhtm_access(), 255)));
         assert_eq!(r, Err(AbortCode::Capacity));

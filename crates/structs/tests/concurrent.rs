@@ -118,6 +118,7 @@ fn list_under_policies_with_capacity_pressure() {
         read_capacity: 128,
         write_capacity: 128,
         spurious_one_in: 0,
+        ..rtle_htm::HtmConfig::default()
     };
     cfg.with_installed(|| {
         for policy in [ElisionPolicy::Tle, ElisionPolicy::FgTle { orecs: 256 }] {

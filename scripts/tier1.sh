@@ -6,6 +6,7 @@ cd "$(dirname "$0")/.."
 
 echo "== build (release) =="
 cargo build --workspace --release
+cargo build --workspace --examples
 
 echo "== tests =="
 cargo test --workspace --release -q
@@ -55,6 +56,14 @@ rustc --edition 2021 -O --extern rtle_obs="$obs_rlib" \
     -L dependency=target/release/deps \
     -o /tmp/tier1_smoke /tmp/tier1_smoke.rs
 /tmp/tier1_smoke "$out" "$trace_out"
+
+echo "== fuzz (seeded quick campaign + mutant fitness) =="
+# Fixed seed: the campaign is deterministic on the model side (PCT hunts,
+# mutant fitness) and oracle-checked on the chaos side. Exit code gates:
+# a missed mutant, any model violation, or any chaos divergence fails.
+fuzz_json="$tmp/fuzz.json"
+cargo run -p rtle-fuzz --release --bin fuzz -- run --quick --seed 0xf422 --json "$fuzz_json" >/dev/null
+grep -q '"tool":"rtle-fuzz"' "$fuzz_json" || { echo "fuzz json missing"; exit 1; }
 
 echo "== perf baseline (non-fatal report) =="
 scripts/bench_compare.sh --report-only || echo "bench_compare: report failed (non-fatal)"

@@ -29,6 +29,7 @@
 pub use rtle_avltree as avltree;
 pub use rtle_cctsa as cctsa;
 pub use rtle_core as core;
+pub use rtle_fuzz as fuzz;
 pub use rtle_htm as htm;
 pub use rtle_hytm as hytm;
 pub use rtle_sim as sim;
