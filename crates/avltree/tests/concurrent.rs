@@ -87,7 +87,7 @@ fn avl_under_elision_policies() {
         },
     ] {
         let set = AvlSet::with_key_range(KEY_RANGE);
-        let lock = ElidableLock::new(policy);
+        let lock = ElidableLock::builder().policy(policy).build();
         let balance = workload(|op, key| lock.execute(|ctx| apply(&set, ctx, op, key)));
         check(&set, balance, &policy.label());
         assert_eq!(
@@ -106,7 +106,10 @@ fn avl_under_lazy_subscription_fg() {
         ..Default::default()
     };
     let set = AvlSet::with_key_range(KEY_RANGE);
-    let lock = ElidableLock::with_retry(ElisionPolicy::FgTle { orecs: 256 }, retry);
+    let lock = ElidableLock::builder()
+        .policy(ElisionPolicy::FgTle { orecs: 256 })
+        .retry(retry)
+        .build();
     let balance = workload(|op, key| lock.execute(|ctx| apply(&set, ctx, op, key)));
     check(&set, balance, "FG-TLE(256)+lazy");
 }
@@ -133,7 +136,7 @@ fn avl_under_rhnorec() {
 fn avl_htm_hostile_updater_with_finders() {
     // The Figure 12 corner case, as a correctness test: one thread whose
     // updates always abort HTM (forcing the lock), others doing finds.
-    let lock = Arc::new(ElidableLock::new(ElisionPolicy::FgTle { orecs: 4096 }));
+    let lock = Arc::new(ElidableLock::builder().policy(ElisionPolicy::FgTle { orecs: 4096 }).build());
     let set = Arc::new(AvlSet::with_key_range(KEY_RANGE));
 
     // Pre-fill half the range.

@@ -83,7 +83,7 @@ fn elided_execution_equals_plain() {
         let orecs = [1usize, 16, 256][(case % 3) as usize];
         let plain_set = AvlSet::with_key_range(64);
         let elided_set = AvlSet::with_key_range(64);
-        let lock = ElidableLock::new(ElisionPolicy::FgTle { orecs });
+        let lock = ElidableLock::builder().policy(ElisionPolicy::FgTle { orecs }).build();
         let a = PlainAccess;
 
         for op in ops {

@@ -37,7 +37,7 @@ fn bench_avl() {
         ElisionPolicy::RwTle,
         ElisionPolicy::FgTle { orecs: 1024 },
     ] {
-        let lock = ElidableLock::new(policy);
+        let lock = ElidableLock::builder().policy(policy).build();
         bench(&format!("avl/contains_{}", policy.label()), || {
             key = (key * 1103515245 + 12345) % 8192;
             lock.execute(|ctx: &Ctx| set.contains(ctx, key));

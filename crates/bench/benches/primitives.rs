@@ -86,7 +86,7 @@ fn bench_elision_policies() {
         ElisionPolicy::FgTle { orecs: 16 },
         ElisionPolicy::FgTle { orecs: 8192 },
     ] {
-        let lock = ElidableLock::new(policy);
+        let lock = ElidableLock::builder().policy(policy).build();
         let cell = TxCell::new(0u64);
         bench(&format!("elidable_lock_1thr/{}", policy.label()), || {
             lock.execute(|ctx: &Ctx| {

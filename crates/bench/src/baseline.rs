@@ -69,32 +69,38 @@ pub fn run_baseline() -> Vec<BenchResult> {
 
     push(
         "tle_uncontended_rmw",
-        rmw_ns(&ElidableLock::new(ElisionPolicy::Tle)),
+        rmw_ns(&ElidableLock::builder().policy(ElisionPolicy::Tle).build()),
     );
     push(
         "rwtle_uncontended_read",
-        read_ns(&ElidableLock::new(ElisionPolicy::RwTle)),
+        read_ns(&ElidableLock::builder().policy(ElisionPolicy::RwTle).build()),
     );
     push(
         "fgtle64_uncontended_rmw",
-        rmw_ns(&ElidableLock::new(ElisionPolicy::FgTle { orecs: 64 })),
+        rmw_ns(&ElidableLock::builder().policy(ElisionPolicy::FgTle { orecs: 64 }).build()),
     );
     push(
         "adaptive_uncontended_rmw",
-        rmw_ns(&ElidableLock::new(ElisionPolicy::AdaptiveFgTle {
-            initial_orecs: 16,
-            max_orecs: 1024,
-        })),
+        rmw_ns(
+            &ElidableLock::builder()
+                .policy(ElisionPolicy::AdaptiveFgTle {
+                    initial_orecs: 16,
+                    max_orecs: 1024,
+                })
+                .build(),
+        ),
     );
     push(
         "lockonly_rmw",
-        rmw_ns(&ElidableLock::new(ElisionPolicy::LockOnly)),
+        rmw_ns(&ElidableLock::builder().policy(ElisionPolicy::LockOnly).build()),
     );
     push(
         "tle_sampled_recorder_rmw",
         rmw_ns(
-            &ElidableLock::new(ElisionPolicy::Tle)
-                .with_recorder(Arc::new(Recorder::new(ObsConfig::default()))),
+            &ElidableLock::builder()
+                .policy(ElisionPolicy::Tle)
+                .recorder(Arc::new(Recorder::new(ObsConfig::default())))
+                .build(),
         ),
     );
     {
@@ -111,7 +117,7 @@ pub fn run_baseline() -> Vec<BenchResult> {
         );
     }
     push("orec_heatmap_snapshot", {
-        let lock = ElidableLock::new(ElisionPolicy::FgTle { orecs: 64 });
+        let lock = ElidableLock::builder().policy(ElisionPolicy::FgTle { orecs: 64 }).build();
         let cell = TxCell::new(0u64);
         lock.execute(|ctx: &Ctx| {
             let v = ctx.read(&cell);

@@ -27,11 +27,13 @@ fn disabled_recording_adds_no_measurable_overhead() {
     let mut bare = f64::INFINITY;
     let mut with_rec = f64::INFINITY;
     for _ in 0..3 {
-        let lock = ElidableLock::new(ElisionPolicy::Tle);
+        let lock = ElidableLock::builder().policy(ElisionPolicy::Tle).build();
         bare = bare.min(rmw_ns(&lock));
 
-        let lock = ElidableLock::new(ElisionPolicy::Tle)
-            .with_recorder(Arc::new(Recorder::new(ObsConfig::default())));
+        let lock = ElidableLock::builder()
+            .policy(ElisionPolicy::Tle)
+            .recorder(Arc::new(Recorder::new(ObsConfig::default())))
+            .build();
         with_rec = with_rec.min(rmw_ns(&lock));
     }
     // The sampled recorder path (1 event per 64 ops by default) must stay
@@ -77,7 +79,10 @@ fn trace_off_compiles_to_noops_on_the_fast_path() {
     // An instrumented lock with a recorder still records *nothing* to the
     // trace stream when the feature is off.
     let rec = Arc::new(Recorder::new(ObsConfig::default()));
-    let lock = ElidableLock::new(ElisionPolicy::FgTle { orecs: 4 }).with_recorder(Arc::clone(&rec));
+    let lock = ElidableLock::builder()
+        .policy(ElisionPolicy::FgTle { orecs: 4 })
+        .recorder(Arc::clone(&rec))
+        .build();
     let cell = TxCell::new(0u64);
     for _ in 0..256 {
         lock.execute(|ctx: &Ctx| {

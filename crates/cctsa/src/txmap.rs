@@ -366,7 +366,7 @@ mod tests {
         use rtle_core::{ElidableLock, ElisionPolicy};
         use std::sync::Arc;
         let m = Arc::new(KmerMap::with_capacity(4096));
-        let lock = Arc::new(ElidableLock::new(ElisionPolicy::FgTle { orecs: 256 }));
+        let lock = Arc::new(ElidableLock::builder().policy(ElisionPolicy::FgTle { orecs: 256 }).build());
         std::thread::scope(|s| {
             for t in 0..4u64 {
                 let (m, lock) = (Arc::clone(&m), Arc::clone(&lock));

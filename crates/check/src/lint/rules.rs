@@ -234,14 +234,48 @@ pub const ORDERING_RULES: &[OrderingRule] = &[
         allowed: &["Relaxed"],
         why: "heatmap snapshot loads: advisory counter reads, no synchronization role",
     },
+    // ---- rtle-shard -----------------------------------------------------
+    // The sharded map adds exactly one atomic of its own: the per-shard
+    // `routed` load counter. It is advisory (imbalance metrics only) and
+    // plays no part in the cross-shard locking protocol — mutual exclusion
+    // and ordering come entirely from each shard's ElidableLock, acquired
+    // in ascending shard-index order (deadlock freedom by total order; see
+    // DESIGN.md §10).
+    OrderingRule {
+        file_suffix: "shard/src/sharded.rs",
+        receiver: "routed",
+        op: AtomicOp::FetchAdd,
+        allowed: &["Relaxed"],
+        why: "per-shard routing counter: advisory load metric, no synchronization role",
+    },
+    OrderingRule {
+        file_suffix: "shard/src/batch.rs",
+        receiver: "routed",
+        op: AtomicOp::FetchAdd,
+        allowed: &["Relaxed"],
+        why: "per-shard routing counter (batch entry point): advisory, no synchronization role",
+    },
+    OrderingRule {
+        file_suffix: "shard/src/obs.rs",
+        receiver: "routed",
+        op: AtomicOp::Load,
+        allowed: &["Relaxed"],
+        why: "routing-counter snapshot read: advisory imbalance metric, no synchronization role",
+    },
 ];
 
 /// Hot-path modules where `unwrap`/`panic!` are banned outside tests.
-pub const HOT_PATH_FILES: &[&str] = &["core/src/elidable.rs", "core/src/orec.rs", "htm/src/swhtm.rs"];
+pub const HOT_PATH_FILES: &[&str] = &[
+    "core/src/elidable.rs",
+    "core/src/orec.rs",
+    "htm/src/swhtm.rs",
+    "shard/src/map.rs",
+    "shard/src/sharded.rs",
+];
 
 /// Files whose atomic-ordering uses must be covered by the table (or
 /// annotated).
-pub const ORDERING_SCOPE: &[&str] = &["crates/core/src/", "crates/htm/src/"];
+pub const ORDERING_SCOPE: &[&str] = &["crates/core/src/", "crates/htm/src/", "crates/shard/src/"];
 
 /// One ordering usage found in a statement.
 #[derive(Debug)]

@@ -31,7 +31,7 @@
 //! use rtle_core::{Ctx, ElidableLock, ElisionPolicy};
 //! use rtle_htm::TxCell;
 //!
-//! let lock = ElidableLock::new(ElisionPolicy::FgTle { orecs: 64 });
+//! let lock = ElidableLock::builder().policy(ElisionPolicy::FgTle { orecs: 64 }).build();
 //! let counter = TxCell::new(0u64);
 //! for _ in 0..10 {
 //!     lock.execute(|ctx: &Ctx| {
@@ -52,7 +52,7 @@ pub mod policy;
 pub mod stats;
 
 pub use barrier::{Ctx, ExecMode};
-pub use elidable::ElidableLock;
+pub use elidable::{ElidableLock, ElidableLockBuilder, LockedSection};
 pub use lock::{TatasLock, TicketLock};
 pub use orec::OrecTable;
 pub use policy::{ElisionPolicy, RetryPolicy};
@@ -64,8 +64,8 @@ pub use rtle_htm::hash::{fast_hash, wang_mix64};
 pub use rtle_htm::{AbortCode, HtmBackend, SwHtmBackend, TxCell, TxWord};
 
 /// Re-export of the observability crate so callers can install a
-/// [`rtle_obs::Recorder`] via [`ElidableLock::with_recorder`] without a
-/// separate dependency.
+/// [`rtle_obs::Recorder`] via [`elidable::ElidableLockBuilder::recorder`]
+/// without a separate dependency.
 pub use rtle_obs as obs;
 
 /// Explicit HTM abort codes used by the elision runtimes. Surfaced so tests

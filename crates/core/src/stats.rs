@@ -183,6 +183,30 @@ impl StatsSnapshot {
         }
     }
 
+    /// Field-wise sum of two snapshots — the aggregation sharded
+    /// containers use to present one lock-shaped view over many locks.
+    /// Saturating, like every other snapshot combinator.
+    pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            ops: self.ops.saturating_add(other.ops),
+            fast_commits: self.fast_commits.saturating_add(other.fast_commits),
+            slow_commits: self.slow_commits.saturating_add(other.slow_commits),
+            lock_acquisitions: self.lock_acquisitions.saturating_add(other.lock_acquisitions),
+            fast_aborts: self.fast_aborts.saturating_add(other.fast_aborts),
+            slow_aborts: self.slow_aborts.saturating_add(other.slow_aborts),
+            aborts_conflict: self.aborts_conflict.saturating_add(other.aborts_conflict),
+            aborts_capacity: self.aborts_capacity.saturating_add(other.aborts_capacity),
+            aborts_explicit: self.aborts_explicit.saturating_add(other.aborts_explicit),
+            aborts_unsupported: self.aborts_unsupported.saturating_add(other.aborts_unsupported),
+            aborts_other: self.aborts_other.saturating_add(other.aborts_other),
+            aborts_by_code: std::array::from_fn(|i| {
+                self.aborts_by_code[i].saturating_add(other.aborts_by_code[i])
+            }),
+            lock_path_aborts: self.lock_path_aborts.saturating_add(other.lock_path_aborts),
+            time_locked: self.time_locked.saturating_add(other.time_locked),
+        }
+    }
+
     /// Counter deltas relative to `earlier`.
     ///
     /// All subtractions saturate: the counters race under `Relaxed`

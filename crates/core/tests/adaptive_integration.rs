@@ -12,10 +12,12 @@ use rtle_core::{ElidableLock, ElisionPolicy, TxCell};
 /// eventually collapse to plain TLE.
 #[test]
 fn adaptive_collapses_when_slow_path_is_useless() {
-    let lock = ElidableLock::new(ElisionPolicy::AdaptiveFgTle {
-        initial_orecs: 256,
-        max_orecs: 1024,
-    });
+    let lock = ElidableLock::builder()
+        .policy(ElisionPolicy::AdaptiveFgTle {
+            initial_orecs: 256,
+            max_orecs: 1024,
+        })
+        .build();
     let cell = TxCell::new(0u64);
     assert_eq!(lock.slow_path_enabled(), Some(true));
     let initial_active = lock.orec_table().unwrap().active_plain();
@@ -43,10 +45,14 @@ fn adaptive_collapses_when_slow_path_is_useless() {
 /// policy must keep the slow path enabled.
 #[test]
 fn adaptive_keeps_slow_path_when_it_pays() {
-    let lock = Arc::new(ElidableLock::new(ElisionPolicy::AdaptiveFgTle {
-        initial_orecs: 256,
-        max_orecs: 1024,
-    }));
+    let lock = Arc::new(
+        ElidableLock::builder()
+            .policy(ElisionPolicy::AdaptiveFgTle {
+                initial_orecs: 256,
+                max_orecs: 1024,
+            })
+            .build(),
+    );
     let hot = Arc::new(TxCell::new(0u64));
     // One private cell per concurrent thread: truly disjoint footprints
     // (threads sharing a cell conflict with each other through the orecs
@@ -121,10 +127,14 @@ fn adaptive_keeps_slow_path_when_it_pays() {
 /// stays correct across them (counter total is exact).
 #[test]
 fn adaptive_resizes_preserve_correctness() {
-    let lock = Arc::new(ElidableLock::new(ElisionPolicy::AdaptiveFgTle {
-        initial_orecs: 4,
-        max_orecs: 4096,
-    }));
+    let lock = Arc::new(
+        ElidableLock::builder()
+            .policy(ElisionPolicy::AdaptiveFgTle {
+                initial_orecs: 4,
+                max_orecs: 4096,
+            })
+            .build(),
+    );
     let cells: Arc<Vec<TxCell<u64>>> = Arc::new((0..64).map(|_| TxCell::new(0)).collect());
 
     std::thread::scope(|scope| {

@@ -18,10 +18,12 @@ fn run_victim(cap: Option<u32>) -> (rtle_core::StatsSnapshot, Duration) {
         max_slow_attempts: cap,
         ..Default::default()
     };
-    let lock = Arc::new(ElidableLock::with_retry(
-        ElisionPolicy::FgTle { orecs: 64 },
-        retry,
-    ));
+    let lock = Arc::new(
+        ElidableLock::builder()
+            .policy(ElisionPolicy::FgTle { orecs: 64 })
+            .retry(retry)
+            .build(),
+    );
     let shared = Arc::new(TxCell::new(0u64));
     let holder_in = Arc::new(AtomicBool::new(false));
     let victim_done = Arc::new(AtomicBool::new(false));

@@ -10,7 +10,12 @@ use rtle_core::{Ctx, ElidableLock, ElisionPolicy, TxCell};
 
 fn recorded_lock(policy: ElisionPolicy) -> (Arc<ElidableLock>, Arc<Recorder>) {
     let rec = Arc::new(Recorder::new(ObsConfig::default()));
-    let lock = Arc::new(ElidableLock::new(policy).with_recorder(Arc::clone(&rec)));
+    let lock = Arc::new(
+        ElidableLock::builder()
+            .policy(policy)
+            .recorder(Arc::clone(&rec))
+            .build(),
+    );
     (lock, rec)
 }
 
@@ -59,7 +64,10 @@ fn sampling_thins_recording_but_not_stats() {
         sample_shift: 3, // 1 in 8
         ..ObsConfig::default()
     }));
-    let lock = ElidableLock::new(ElisionPolicy::Tle).with_recorder(Arc::clone(&rec));
+    let lock = ElidableLock::builder()
+        .policy(ElisionPolicy::Tle)
+        .recorder(Arc::clone(&rec))
+        .build();
     let c = TxCell::new(0u64);
     for _ in 0..800 {
         lock.execute(|ctx: &Ctx| {

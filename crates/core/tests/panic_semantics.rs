@@ -10,7 +10,7 @@ use rtle_core::{Ctx, ElidableLock, ElisionPolicy, TxCell};
 
 #[test]
 fn panic_on_fast_path_rolls_back_and_propagates() {
-    let lock = ElidableLock::new(ElisionPolicy::FgTle { orecs: 64 });
+    let lock = ElidableLock::builder().policy(ElisionPolicy::FgTle { orecs: 64 }).build();
     let cell = TxCell::new(0u64);
 
     let r = catch_unwind(AssertUnwindSafe(|| {
@@ -36,7 +36,7 @@ fn panic_on_fast_path_rolls_back_and_propagates() {
 
 #[test]
 fn panic_under_lock_leaves_lock_held() {
-    let lock = Arc::new(ElidableLock::new(ElisionPolicy::Tle));
+    let lock = Arc::new(ElidableLock::builder().policy(ElisionPolicy::Tle).build());
     let cell = Arc::new(TxCell::new(0u64));
 
     let r = catch_unwind(AssertUnwindSafe(|| {

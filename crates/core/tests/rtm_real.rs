@@ -50,11 +50,12 @@ fn elidable_lock_counter_on_real_htm() {
         ElisionPolicy::RwTle,
         ElisionPolicy::FgTle { orecs: 64 },
     ] {
-        let lock = Arc::new(ElidableLock::with_backend(
-            RtmBackend,
-            policy,
-            RetryPolicy::default(),
-        ));
+        let lock = Arc::new(
+            ElidableLock::builder()
+                .backend(RtmBackend)
+                .policy(policy)
+                .build(),
+        );
         let cell = Arc::new(TxCell::new(0u64));
         std::thread::scope(|scope| {
             for _ in 0..4 {
@@ -88,11 +89,12 @@ fn real_htm_subscription_respects_lock() {
     // CS that sometimes executes an HTM-hostile operation (a syscall-ish
     // slow path via a volatile TLS write storm is unreliable; use the
     // explicit hostile helper which xaborts under the rtm feature).
-    let lock = Arc::new(ElidableLock::with_backend(
-        RtmBackend,
-        ElisionPolicy::FgTle { orecs: 256 },
-        RetryPolicy::default(),
-    ));
+    let lock = Arc::new(
+        ElidableLock::builder()
+            .backend(RtmBackend)
+            .policy(ElisionPolicy::FgTle { orecs: 256 })
+            .build(),
+    );
     let a = Arc::new(TxCell::new(0u64));
     let b = Arc::new(TxCell::new(0u64));
     std::thread::scope(|scope| {

@@ -134,7 +134,7 @@ pub fn run_chaos(plan: &ChaosPlan, seed: u64) -> ChaosReport {
     assert!(plan.workers >= 1);
     let range = plan.workers as u64 * plan.keys_per_worker;
     let set = Arc::new(AvlSet::with_key_range(range));
-    let lock = Arc::new(ElidableLock::new(plan.policy));
+    let lock = Arc::new(ElidableLock::builder().policy(plan.policy).build());
 
     plan.htm.with_installed(|| {
         let stop = Arc::new(AtomicBool::new(false));

@@ -1,0 +1,249 @@
+//! The per-shard store: a fixed-capacity open-addressing transactional
+//! map from `u64` keys to [`TxWord`] values.
+//!
+//! Same shape as `rtle_structs::TxHashSet` (linear probing, tombstoned
+//! deletion, no rehashing) with a value cell colocated in the key's
+//! cache-line-padded slot — one conflict line per entry, so FG-TLE orec
+//! traffic and HTM read/write sets stay per-entry, never per-table.
+
+use rtle_htm::hash::wang_mix64;
+use rtle_htm::{PlainAccess, TxAccess, TxCell, TxWord};
+
+/// Slot encoding for the key word: 0 = never used, 1 = tombstone,
+/// key + 2 = occupied.
+const EMPTY: u64 = 0;
+const TOMBSTONE: u64 = 1;
+
+/// One slot: key word and value, sharing one 64-byte conflict line.
+#[repr(align(64))]
+#[derive(Debug)]
+struct Slot<V: TxWord> {
+    key: TxCell<u64>,
+    val: TxCell<V>,
+}
+
+/// A fixed-capacity transactional `u64 → V` map with linear-probing open
+/// addressing. Deletions leave tombstones (probe chains stay intact); the
+/// structure never rehashes, so size it at ≥ 2× the expected live keys
+/// plus churn. All operations are generic over [`TxAccess`], so the same
+/// code runs uninstrumented on the HTM fast path, instrumented on the
+/// slow path, and instrumented under the lock.
+#[derive(Debug)]
+pub struct TxMap<V: TxWord> {
+    slots: Box<[Slot<V>]>,
+    mask: u64,
+    max_key: u64,
+}
+
+impl<V: TxWord + Default> TxMap<V> {
+    /// Allocates a map with at least `capacity` slots (rounded up to a
+    /// power of two). Keys up to `u64::MAX - 2` are supported.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(8);
+        TxMap {
+            slots: (0..cap)
+                .map(|_| Slot {
+                    key: TxCell::new(EMPTY),
+                    val: TxCell::new(V::default()),
+                })
+                .collect(),
+            mask: cap as u64 - 1,
+            max_key: u64::MAX - 2,
+        }
+    }
+}
+
+impl<V: TxWord> TxMap<V> {
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn encode(&self, key: u64) -> u64 {
+        assert!(key <= self.max_key, "key too large");
+        key + 2
+    }
+
+    /// Looks `key` up; `None` when absent. Reads the probe chain only.
+    pub fn get<A: TxAccess + ?Sized>(&self, a: &A, key: u64) -> Option<V> {
+        let stored = self.encode(key);
+        let mut i = wang_mix64(key) & self.mask;
+        for _ in 0..self.slots.len() {
+            let w = a.load(&self.slots[i as usize].key);
+            if w == stored {
+                return Some(a.load(&self.slots[i as usize].val));
+            }
+            if w == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Membership probe without reading the value cell.
+    pub fn contains<A: TxAccess + ?Sized>(&self, a: &A, key: u64) -> bool {
+        let stored = self.encode(key);
+        let mut i = wang_mix64(key) & self.mask;
+        for _ in 0..self.slots.len() {
+            let w = a.load(&self.slots[i as usize].key);
+            if w == stored {
+                return true;
+            }
+            if w == EMPTY {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+        false
+    }
+
+    /// Inserts or updates `key`; returns the previous value, if any.
+    pub fn insert<A: TxAccess + ?Sized>(&self, a: &A, key: u64, value: V) -> Option<V> {
+        let stored = self.encode(key);
+        let mut i = wang_mix64(key) & self.mask;
+        let mut first_tombstone: Option<u64> = None;
+        for _ in 0..self.slots.len() {
+            let slot = &self.slots[i as usize];
+            let w = a.load(&slot.key);
+            if w == stored {
+                let prev = a.load(&slot.val);
+                a.store(&slot.val, value);
+                return Some(prev);
+            }
+            if w == TOMBSTONE && first_tombstone.is_none() {
+                first_tombstone = Some(i);
+            }
+            if w == EMPTY {
+                let target = &self.slots[first_tombstone.unwrap_or(i) as usize];
+                a.store(&target.val, value);
+                a.store(&target.key, stored);
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+        // No EMPTY found: reuse a tombstone if the probe saw one.
+        let t = first_tombstone.expect("TxMap full: size it at >= 2x the expected keys");
+        let target = &self.slots[t as usize];
+        a.store(&target.val, value);
+        a.store(&target.key, stored);
+        None
+    }
+
+    /// Removes `key`; returns the removed value, `None` if absent.
+    pub fn remove<A: TxAccess + ?Sized>(&self, a: &A, key: u64) -> Option<V> {
+        let stored = self.encode(key);
+        let mut i = wang_mix64(key) & self.mask;
+        for _ in 0..self.slots.len() {
+            let slot = &self.slots[i as usize];
+            let w = a.load(&slot.key);
+            if w == stored {
+                let prev = a.load(&slot.val);
+                a.store(&slot.key, TOMBSTONE);
+                return Some(prev);
+            }
+            if w == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Live entry count. O(capacity); quiescent use only.
+    pub fn len_plain(&self) -> usize {
+        let a = PlainAccess;
+        self.slots.iter().filter(|s| a.load(&s.key) >= 2).count()
+    }
+
+    /// All `(key, value)` entries, unordered. Quiescent use only.
+    pub fn entries_plain(&self) -> Vec<(u64, V)> {
+        let a = PlainAccess;
+        self.slots
+            .iter()
+            .filter_map(|s| {
+                let w = a.load(&s.key);
+                if w >= 2 {
+                    Some((w - 2, a.load(&s.val)))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_map_semantics() {
+        let m: TxMap<u64> = TxMap::with_capacity(64);
+        let a = PlainAccess;
+        assert_eq!(m.get(&a, 7), None);
+        assert_eq!(m.insert(&a, 7, 70), None);
+        assert_eq!(m.insert(&a, 7, 71), Some(70), "update returns previous");
+        assert_eq!(m.get(&a, 7), Some(71));
+        assert!(m.contains(&a, 7));
+        assert_eq!(m.remove(&a, 7), Some(71));
+        assert_eq!(m.remove(&a, 7), None);
+        assert_eq!(m.get(&a, 7), None);
+        assert_eq!(m.len_plain(), 0);
+    }
+
+    #[test]
+    fn sentinel_keys_zero_and_one_work() {
+        let m: TxMap<u64> = TxMap::with_capacity(16);
+        let a = PlainAccess;
+        assert_eq!(m.insert(&a, 0, 100), None);
+        assert_eq!(m.insert(&a, 1, 101), None);
+        assert_eq!(m.get(&a, 0), Some(100));
+        assert_eq!(m.get(&a, 1), Some(101));
+    }
+
+    #[test]
+    fn tombstones_keep_probe_chains_intact() {
+        let m: TxMap<u64> = TxMap::with_capacity(8); // force collisions
+        let a = PlainAccess;
+        for k in 0..5 {
+            assert_eq!(m.insert(&a, k, k * 10), None);
+        }
+        assert_eq!(m.remove(&a, 2), Some(20));
+        for k in [0u64, 1, 3, 4] {
+            assert_eq!(m.get(&a, k), Some(k * 10), "key {k} lost after tombstoning");
+        }
+        // Reinsertion reuses the tombstone.
+        assert_eq!(m.insert(&a, 2, 22), None);
+        assert_eq!(m.len_plain(), 5);
+        let mut entries = m.entries_plain();
+        entries.sort_unstable();
+        assert_eq!(entries[2], (2, 22));
+    }
+
+    #[test]
+    fn slots_are_line_padded() {
+        assert_eq!(std::mem::size_of::<Slot<u64>>(), 64);
+        assert_eq!(std::mem::size_of::<Slot<bool>>(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "TxMap full")]
+    fn full_map_panics() {
+        let m: TxMap<u64> = TxMap::with_capacity(8);
+        let a = PlainAccess;
+        for k in 0..9 {
+            m.insert(&a, k, 0);
+        }
+    }
+
+    #[test]
+    fn non_u64_values_work() {
+        let m: TxMap<bool> = TxMap::with_capacity(16);
+        let a = PlainAccess;
+        assert_eq!(m.insert(&a, 3, true), None);
+        assert_eq!(m.get(&a, 3), Some(true));
+        assert_eq!(m.insert(&a, 3, false), Some(true));
+    }
+}

@@ -1,0 +1,217 @@
+//! Merged observability for [`ShardedTxMap`]: per-shard stats snapshots
+//! aggregated into one lock-shaped view, per-shard load/abort imbalance
+//! metrics fed by routing counters and the orec conflict heatmap, and a
+//! single JSON export (`kind: "shard-stats"`) that downstream tooling
+//! consumes the same way it consumes single-lock snapshots.
+
+use std::sync::atomic::Ordering;
+
+use rtle_core::StatsSnapshot;
+use rtle_htm::{HtmBackend, TxWord};
+use rtle_obs::{Json, SCHEMA_VERSION};
+
+use crate::sharded::ShardedTxMap;
+
+/// Aggregated view of one [`ShardedTxMap`]'s shards at a point in time.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// One stats snapshot per shard, in shard-index order.
+    pub per_shard: Vec<StatsSnapshot>,
+    /// Field-wise sum of `per_shard` — the single-lock-shaped aggregate.
+    pub merged: StatsSnapshot,
+    /// Operations routed to each shard (single-key + batch + cross-shard
+    /// legs), in shard-index order.
+    pub routed: Vec<u64>,
+    /// Orec-heatmap conflict totals per shard (0 for policies without
+    /// orecs) — the "which shard's footprint is actually contended"
+    /// signal, as opposed to `routed`'s "which shard is merely busy".
+    pub heat_conflicts: Vec<u64>,
+}
+
+/// `max / mean` of a counter vector: 1.0 = perfectly balanced,
+/// `shards as f64` = everything on one shard, 0.0 when all zero.
+fn imbalance(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mean = total as f64 / counts.len() as f64;
+    let max = *counts.iter().max().expect("non-empty") as f64;
+    max / mean
+}
+
+impl ShardReport {
+    /// Routing imbalance: `max(routed) / mean(routed)`. Near 1.0 means
+    /// the Wang mix is spreading the key space evenly; a hot-key workload
+    /// shows up here first.
+    pub fn load_imbalance(&self) -> f64 {
+        imbalance(&self.routed)
+    }
+
+    /// Abort imbalance: `max / mean` of per-shard total HTM aborts.
+    /// Routing can be balanced while conflicts concentrate (e.g. all
+    /// writers hash-adjacent in one shard); this metric catches that.
+    pub fn abort_imbalance(&self) -> f64 {
+        let aborts: Vec<u64> = self
+            .per_shard
+            .iter()
+            .map(|s| s.fast_aborts.saturating_add(s.slow_aborts))
+            .collect();
+        imbalance(&aborts)
+    }
+
+    /// The JSON export document (`kind: "shard-stats"`). Layout mirrors
+    /// the perf-baseline documents: a `kind` discriminator and
+    /// `schema_version` at top level, aggregate metrics flat, per-shard
+    /// detail in an array.
+    pub fn to_json(&self) -> Json {
+        let shards: Vec<Json> = self
+            .per_shard
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Json::obj([
+                    ("shard", Json::UInt(i as u64)),
+                    ("ops", Json::UInt(s.ops)),
+                    ("fast_commits", Json::UInt(s.fast_commits)),
+                    ("slow_commits", Json::UInt(s.slow_commits)),
+                    ("lock_acquisitions", Json::UInt(s.lock_acquisitions)),
+                    ("fast_aborts", Json::UInt(s.fast_aborts)),
+                    ("slow_aborts", Json::UInt(s.slow_aborts)),
+                    ("routed", Json::UInt(self.routed[i])),
+                    ("heat_conflicts", Json::UInt(self.heat_conflicts[i])),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("kind", Json::Str("shard-stats".into())),
+            ("schema_version", Json::UInt(SCHEMA_VERSION)),
+            ("shards", Json::UInt(self.per_shard.len() as u64)),
+            ("ops", Json::UInt(self.merged.ops)),
+            ("fast_commits", Json::UInt(self.merged.fast_commits)),
+            ("slow_commits", Json::UInt(self.merged.slow_commits)),
+            ("lock_acquisitions", Json::UInt(self.merged.lock_acquisitions)),
+            ("fast_aborts", Json::UInt(self.merged.fast_aborts)),
+            ("slow_aborts", Json::UInt(self.merged.slow_aborts)),
+            ("lock_fallback_rate", Json::Num(self.merged.lock_fallback_rate())),
+            ("load_imbalance", Json::Num(self.load_imbalance())),
+            ("abort_imbalance", Json::Num(self.abort_imbalance())),
+            ("per_shard", Json::Arr(shards)),
+        ])
+    }
+}
+
+impl<V: TxWord, B: HtmBackend> ShardedTxMap<V, B> {
+    /// Per-shard stats snapshots, in shard-index order.
+    pub fn shard_stats(&self) -> Vec<StatsSnapshot> {
+        self.shards.iter().map(|s| s.lock.stats().snapshot()).collect()
+    }
+
+    /// All shards' counters summed into one lock-shaped snapshot.
+    pub fn merged_stats(&self) -> StatsSnapshot {
+        self.shard_stats()
+            .iter()
+            .fold(StatsSnapshot::default(), |acc, s| acc.merge(s))
+    }
+
+    /// Operations routed per shard, in shard-index order.
+    pub fn routed_counts(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            // ordering: advisory load counter (see `Shard::routed`).
+            .map(|s| s.routed.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// One consistent-enough report over all shards.
+    pub fn report(&self) -> ShardReport {
+        let per_shard = self.shard_stats();
+        let merged = per_shard
+            .iter()
+            .fold(StatsSnapshot::default(), |acc, s| acc.merge(s));
+        ShardReport {
+            heat_conflicts: self
+                .shards
+                .iter()
+                .map(|s| {
+                    s.lock
+                        .orec_heatmap()
+                        .map_or(0, |h| h.total_conflicts())
+                })
+                .collect(),
+            routed: self.routed_counts(),
+            per_shard,
+            merged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtle_obs::parse_json;
+
+    #[test]
+    fn merged_stats_sum_per_shard() {
+        let m: ShardedTxMap = ShardedTxMap::new(4, 128);
+        for k in 0..300u64 {
+            m.insert(k, k);
+        }
+        let per = m.shard_stats();
+        let merged = m.merged_stats();
+        assert_eq!(per.len(), 4);
+        assert_eq!(merged.ops, per.iter().map(|s| s.ops).sum::<u64>());
+        assert_eq!(merged.ops, 300, "one critical section per insert");
+        let commits = merged.fast_commits + merged.slow_commits + merged.lock_acquisitions;
+        assert_eq!(commits, 300, "every op committed on exactly one path");
+    }
+
+    #[test]
+    fn routed_counts_track_all_entry_points() {
+        let m: ShardedTxMap = ShardedTxMap::new(4, 128);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        m.get(1);
+        m.transfer(1, 2, 5).unwrap();
+        let routed: u64 = m.routed_counts().iter().sum();
+        // 3 single-key ops + transfer (1 same-shard or 2 cross-shard legs).
+        assert!((4..=5).contains(&routed), "routed = {routed}");
+    }
+
+    #[test]
+    fn imbalance_metrics_behave() {
+        assert_eq!(imbalance(&[0, 0, 0]), 0.0);
+        assert!((imbalance(&[5, 5, 5, 5]) - 1.0).abs() < 1e-12);
+        assert!((imbalance(&[8, 0, 0, 0]) - 4.0).abs() < 1e-12, "all-on-one = shard count");
+    }
+
+    #[test]
+    fn json_export_round_trips_and_has_the_contract_fields() {
+        let m: ShardedTxMap = ShardedTxMap::new(8, 128);
+        for k in 0..200u64 {
+            m.insert(k, k);
+        }
+        let doc = m.report().to_json();
+        let text = doc.to_string_pretty();
+        let back = parse_json(&text).expect("export must parse with our own parser");
+        assert_eq!(back.get("kind").and_then(Json::as_str), Some("shard-stats"));
+        assert_eq!(
+            back.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(back.get("shards").and_then(Json::as_u64), Some(8));
+        assert_eq!(back.get("ops").and_then(Json::as_u64), Some(200));
+        let per = match back.get("per_shard") {
+            Some(Json::Arr(v)) => v,
+            other => panic!("per_shard must be an array, got {other:?}"),
+        };
+        assert_eq!(per.len(), 8);
+        let routed_sum: u64 = per
+            .iter()
+            .map(|s| s.get("routed").and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(routed_sum, 200);
+        assert!(back.get("load_imbalance").is_some());
+        assert!(back.get("abort_imbalance").is_some());
+    }
+}

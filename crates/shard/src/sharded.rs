@@ -1,0 +1,559 @@
+//! [`ShardedTxMap`]: the sharded transactional map.
+//!
+//! # Routing
+//!
+//! Keys route to shards by the *high* bits of the Thomas Wang mix
+//! (`wang_mix64(key) >> (64 - shard_bits)`), while each shard's [`TxMap`]
+//! indexes its probe chains with the *low* bits of the same mix. Using
+//! disjoint bit ranges keeps the two hash layers independent: conditioning
+//! on "key landed in shard s" does not bias the in-shard slot
+//! distribution (reusing the low bits for both would collapse each
+//! shard's table onto a 1/`shards` stride of its slots).
+//!
+//! # Concurrency
+//!
+//! Each shard owns a full [`ElidableLock`] — its own lock word, orec
+//! table, epoch, and adaptive policy — so the paper's refined-TLE
+//! concurrency story applies *per shard*: a lock holder in shard 3
+//! serializes nothing in shard 5, and even within shard 3 the
+//! instrumented slow path keeps committing non-conflicting operations
+//! alongside the holder (§3/§4).
+//!
+//! # Cross-shard transactions and deadlock freedom
+//!
+//! Multi-key operations that span shards ([`ShardedTxMap::multi_get`],
+//! [`ShardedTxMap::transfer`], [`ShardedTxMap::compare_and_swap_pair`])
+//! acquire every involved shard's lock **pessimistically, in ascending
+//! shard-index order**, via [`ElidableLock::lock_section`]. Deadlock
+//! freedom is the classical total-order argument: a thread only ever
+//! blocks on a shard index strictly greater than every index it already
+//! holds, so any wait-for cycle would need an index descent — impossible.
+//! Taking the instrumented lock-holder path (rather than attempting a
+//! multi-lock hardware transaction) is deliberate: best-effort HTM gives
+//! no progress guarantee, and obstruction-free multi-lock commit would
+//! re-introduce unbounded mutual aborts; the ordered pessimistic spine
+//! always completes in one attempt (§4.1's property), while single-shard
+//! traffic on the same shards keeps speculating concurrently on the
+//! instrumented slow path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rtle_core::{ElidableLock, ElidableLockBuilder, ElisionPolicy, LockedSection};
+use rtle_htm::hash::wang_mix64;
+use rtle_htm::{HtmBackend, SwHtmBackend, TxWord};
+
+use crate::map::TxMap;
+
+/// Default orecs per shard for [`ShardedTxMap::new`]: small, because each
+/// shard's conflict domain is already 1/`shards` of the key space —
+/// PAPERS.md's "progressive TM" point that small per-domain conflict
+/// tables beat one big one.
+pub const DEFAULT_ORECS_PER_SHARD: usize = 128;
+
+pub(crate) struct Shard<V: TxWord, B: HtmBackend> {
+    pub(crate) lock: ElidableLock<B>,
+    pub(crate) map: TxMap<V>,
+    /// Operations routed to this shard (single-key, batched, and
+    /// cross-shard legs all count). Relaxed: advisory load metric with no
+    /// synchronization role; see the shard row of the rtle-check ordering
+    /// table.
+    pub(crate) routed: AtomicU64,
+}
+
+/// A transactional `u64 → V` map partitioned over `shards` independent
+/// [`ElidableLock`]-protected [`TxMap`]s. See the module docs for the
+/// routing, concurrency, and deadlock-freedom design.
+pub struct ShardedTxMap<V: TxWord = u64, B: HtmBackend = SwHtmBackend> {
+    pub(crate) shards: Box<[Shard<V, B>]>,
+    /// `64 - log2(shards)`; shard index = `wang_mix64(key) >> shift`.
+    shift: u32,
+}
+
+/// Outcome of [`ShardedTxMap::transfer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferError {
+    /// The debited account does not exist.
+    MissingFrom,
+    /// The credited account does not exist.
+    MissingTo,
+    /// The debited account's balance is below the transfer amount.
+    Insufficient {
+        /// Balance found at transfer time.
+        balance: u64,
+    },
+    /// The credit would overflow the destination balance.
+    Overflow,
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferError::MissingFrom => write!(f, "debited account missing"),
+            TransferError::MissingTo => write!(f, "credited account missing"),
+            TransferError::Insufficient { balance } => {
+                write!(f, "insufficient balance {balance}")
+            }
+            TransferError::Overflow => write!(f, "credit overflows destination"),
+        }
+    }
+}
+
+impl ShardedTxMap<u64, SwHtmBackend> {
+    /// A map with `shards` shards (power of two) of `capacity_per_shard`
+    /// slots each, every shard running FG-TLE with
+    /// [`DEFAULT_ORECS_PER_SHARD`] orecs. Use [`ShardedTxMap::with_builder`]
+    /// for full control.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        Self::with_builder(
+            shards,
+            capacity_per_shard,
+            ElidableLock::builder().policy(ElisionPolicy::FgTle {
+                orecs: DEFAULT_ORECS_PER_SHARD,
+            }),
+        )
+    }
+}
+
+impl<V: TxWord + Default, B: HtmBackend + Clone> ShardedTxMap<V, B> {
+    /// A map whose every shard is built from one [`ElidableLockBuilder`]
+    /// template — policy, retry, backend, and recorder are cloned per
+    /// shard, so shard configuration is exactly the single-lock builder
+    /// API. A shared recorder aggregates all shards' attempt streams into
+    /// one observability snapshot.
+    ///
+    /// `shards` must be a power of two (routing uses the top
+    /// `log2(shards)` bits of the Wang mix).
+    pub fn with_builder(
+        shards: usize,
+        capacity_per_shard: usize,
+        template: ElidableLockBuilder<B>,
+    ) -> Self {
+        assert!(
+            shards.is_power_of_two() && shards > 0,
+            "shard count must be a power of two"
+        );
+        assert!(shards <= 1 << 16, "shard count cap: 65536");
+        let bits = shards.trailing_zeros();
+        ShardedTxMap {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    lock: template.clone().build(),
+                    map: TxMap::with_capacity(capacity_per_shard),
+                    routed: AtomicU64::new(0),
+                })
+                .collect(),
+            // For 1 shard, bits = 0 and a 64-bit shift would be UB; route
+            // everything to shard 0 via a full shift of a zeroed index.
+            shift: 64 - bits,
+        }
+    }
+}
+
+impl<V: TxWord, B: HtmBackend> ShardedTxMap<V, B> {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `key` routes to.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        (wang_mix64(key) >> self.shift) as usize
+    }
+
+    #[inline]
+    fn route(&self, key: u64) -> &Shard<V, B> {
+        let s = &self.shards[self.shard_of(key)];
+        // ordering: advisory load counter — uniqueness/ordering of the
+        // increments never synchronizes other memory.
+        s.routed.fetch_add(1, Ordering::Relaxed);
+        s
+    }
+
+    /// Runs `f` under `key`'s shard lock — the pessimistic, instrumented
+    /// lock-holder path, never speculation. For maintenance operations
+    /// that must not run in a hardware transaction (audits, scans with
+    /// irrevocable side effects, HTM-unfriendly work): the shard's other
+    /// traffic keeps speculating on the instrumented slow path while `f`
+    /// runs, and every *other* shard is completely unaffected — the
+    /// single-lock pathology (one pessimistic op stalling the whole map)
+    /// shrinks to one shard.
+    pub fn with_key_shard_locked<R>(
+        &self,
+        key: u64,
+        f: impl FnOnce(&TxMap<V>, &rtle_core::Ctx<'_>) -> R,
+    ) -> R {
+        self.with_shard_locked(self.shard_of(key), f)
+    }
+
+    /// [`Self::with_key_shard_locked`] addressed by shard index instead of
+    /// by key — for maintenance that walks the shards themselves
+    /// (incremental audits, per-shard compaction sweeps), where the unit
+    /// of work is "shard `idx`", not "the shard owning key `k`".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.shard_count()`.
+    pub fn with_shard_locked<R>(
+        &self,
+        idx: usize,
+        f: impl FnOnce(&TxMap<V>, &rtle_core::Ctx<'_>) -> R,
+    ) -> R {
+        let s = &self.shards[idx];
+        // ordering: advisory load counter — see `route`.
+        s.routed.fetch_add(1, Ordering::Relaxed);
+        let guard = s.lock.lock_section();
+        f(&s.map, guard.ctx())
+    }
+
+    /// Looks `key` up. Single-shard: speculates on the key's shard only.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let s = self.route(key);
+        s.lock.execute(|ctx| s.map.get(ctx, key))
+    }
+
+    /// Membership probe.
+    pub fn contains(&self, key: u64) -> bool {
+        let s = self.route(key);
+        s.lock.execute(|ctx| s.map.contains(ctx, key))
+    }
+
+    /// Inserts or updates `key`; returns the previous value, if any.
+    pub fn insert(&self, key: u64, value: V) -> Option<V> {
+        let s = self.route(key);
+        s.lock.execute(|ctx| s.map.insert(ctx, key, value))
+    }
+
+    /// Removes `key`; returns the removed value.
+    pub fn remove(&self, key: u64) -> Option<V> {
+        let s = self.route(key);
+        s.lock.execute(|ctx| s.map.remove(ctx, key))
+    }
+
+    /// Runs `f` with every listed shard locked in ascending index order
+    /// (the deadlock-freedom spine; see module docs). `idxs` must be
+    /// sorted and deduplicated; the guards passed to `f` are parallel to
+    /// `idxs`.
+    pub(crate) fn with_shards_locked<R>(
+        &self,
+        idxs: &[usize],
+        f: impl FnOnce(&[LockedSection<'_, B>]) -> R,
+    ) -> R {
+        debug_assert!(idxs.windows(2).all(|w| w[0] < w[1]), "ascending order");
+        let guards: Vec<LockedSection<'_, B>> = idxs
+            .iter()
+            .map(|&i| {
+                self.shards[i].routed.fetch_add(1, Ordering::Relaxed);
+                self.shards[i].lock.lock_section()
+            })
+            .collect();
+        let r = f(&guards);
+        // Release in descending order (Vec drop is front-to-back either
+        // way; order does not matter for correctness, only acquisition
+        // order does).
+        drop(guards);
+        r
+    }
+
+    /// Atomically reads every key in `keys`, returning values parallel to
+    /// the input. Keys within one shard read under a single critical
+    /// section; keys spanning shards use the ordered cross-shard path, so
+    /// the result is one consistent snapshot across all involved shards.
+    pub fn multi_get(&self, keys: &[u64]) -> Vec<Option<V>> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        let mut idxs: Vec<usize> = keys.iter().map(|&k| self.shard_of(k)).collect();
+        let mut sorted = idxs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() == 1 {
+            let s = self.route(keys[0]);
+            return s
+                .lock
+                .execute(|ctx| keys.iter().map(|&k| s.map.get(ctx, k)).collect());
+        }
+        self.with_shards_locked(&sorted, |guards| {
+            idxs.iter_mut()
+                .zip(keys)
+                .map(|(idx, &k)| {
+                    let at = sorted
+                        .binary_search(idx)
+                        .expect("every routed shard index is in the sorted set");
+                    self.shards[*idx].map.get(guards[at].ctx(), k)
+                })
+                .collect()
+        })
+    }
+}
+
+impl<V: TxWord + PartialEq, B: HtmBackend> ShardedTxMap<V, B> {
+    /// Atomically compares-and-swaps *two* entries: iff `k1` currently
+    /// maps to `expect1` **and** `k2` maps to `expect2`, both are updated
+    /// (to `new1`/`new2`) in one transaction. Returns whether the swap
+    /// happened. The two keys may live in different shards — the paper's
+    /// §3/§4 concurrency story lifted to a sharded setting.
+    pub fn compare_and_swap_pair(
+        &self,
+        (k1, expect1, new1): (u64, V, V),
+        (k2, expect2, new2): (u64, V, V),
+    ) -> bool {
+        let (s1, s2) = (self.shard_of(k1), self.shard_of(k2));
+        if s1 == s2 {
+            let s = self.route(k1);
+            return s.lock.execute(|ctx| {
+                let ok = s.map.get(ctx, k1) == Some(expect1)
+                    && s.map.get(ctx, k2) == Some(expect2);
+                if ok {
+                    s.map.insert(ctx, k1, new1);
+                    s.map.insert(ctx, k2, new2);
+                }
+                ok
+            });
+        }
+        let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+        self.with_shards_locked(&[lo, hi], |guards| {
+            let (g1, g2) = if s1 == lo {
+                (&guards[0], &guards[1])
+            } else {
+                (&guards[1], &guards[0])
+            };
+            let ok = self.shards[s1].map.get(g1.ctx(), k1) == Some(expect1)
+                && self.shards[s2].map.get(g2.ctx(), k2) == Some(expect2);
+            if ok {
+                self.shards[s1].map.insert(g1.ctx(), k1, new1);
+                self.shards[s2].map.insert(g2.ctx(), k2, new2);
+            }
+            ok
+        })
+    }
+}
+
+impl<B: HtmBackend> ShardedTxMap<u64, B> {
+    /// Atomically moves `amount` from `from`'s balance to `to`'s. Both
+    /// accounts must exist and the debit must not overdraw; on any error
+    /// neither balance changes. Cross-shard transfers take the ordered
+    /// pessimistic path; same-shard transfers speculate like any other
+    /// single-shard operation.
+    pub fn transfer(&self, from: u64, to: u64, amount: u64) -> Result<(), TransferError> {
+        let (sf, st) = (self.shard_of(from), self.shard_of(to));
+        if sf == st {
+            let s = self.route(from);
+            return s.lock.execute(|ctx| {
+                Self::transfer_in(&s.map, ctx, &s.map, ctx, from, to, amount)
+            });
+        }
+        let (lo, hi) = if sf < st { (sf, st) } else { (st, sf) };
+        self.with_shards_locked(&[lo, hi], |guards| {
+            let (gf, gt) = if sf == lo {
+                (&guards[0], &guards[1])
+            } else {
+                (&guards[1], &guards[0])
+            };
+            Self::transfer_in(
+                &self.shards[sf].map,
+                gf.ctx(),
+                &self.shards[st].map,
+                gt.ctx(),
+                from,
+                to,
+                amount,
+            )
+        })
+    }
+
+    /// The transfer body, generic over the two (map, access) legs so the
+    /// same logic runs single-shard speculative and cross-shard locked.
+    fn transfer_in<A1, A2>(
+        from_map: &TxMap<u64>,
+        af: &A1,
+        to_map: &TxMap<u64>,
+        at: &A2,
+        from: u64,
+        to: u64,
+        amount: u64,
+    ) -> Result<(), TransferError>
+    where
+        A1: rtle_htm::TxAccess + ?Sized,
+        A2: rtle_htm::TxAccess + ?Sized,
+    {
+        let bal_from = from_map.get(af, from).ok_or(TransferError::MissingFrom)?;
+        let bal_to = to_map.get(at, to).ok_or(TransferError::MissingTo)?;
+        if from == to {
+            // Degenerate self-transfer: validated, then a no-op.
+            return if bal_from >= amount {
+                Ok(())
+            } else {
+                Err(TransferError::Insufficient { balance: bal_from })
+            };
+        }
+        let debited = bal_from
+            .checked_sub(amount)
+            .ok_or(TransferError::Insufficient { balance: bal_from })?;
+        let credited = bal_to.checked_add(amount).ok_or(TransferError::Overflow)?;
+        from_map.insert(af, from, debited);
+        to_map.insert(at, to, credited);
+        Ok(())
+    }
+
+    /// Sum of all values (balances). Quiescent use only — races with
+    /// in-flight transfers see torn totals.
+    pub fn total_plain(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| s.map.entries_plain())
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+impl<V: TxWord, B: HtmBackend> ShardedTxMap<V, B> {
+    /// Live entries across all shards. Quiescent use only.
+    pub fn len_plain(&self) -> usize {
+        self.shards.iter().map(|s| s.map.len_plain()).sum()
+    }
+
+    /// All entries across all shards, unordered. Quiescent use only.
+    pub fn entries_plain(&self) -> Vec<(u64, V)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.map.entries_plain())
+            .collect()
+    }
+}
+
+impl<V: TxWord, B: HtmBackend> std::fmt::Debug for ShardedTxMap<V, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedTxMap")
+            .field("shards", &self.shards.len())
+            .field("capacity_per_shard", &self.shards[0].map.capacity())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_covers_all_shards_and_is_stable() {
+        let m: ShardedTxMap = ShardedTxMap::new(16, 64);
+        let mut seen = [false; 16];
+        for k in 0..4096u64 {
+            let s = m.shard_of(k);
+            assert!(s < 16);
+            assert_eq!(s, m.shard_of(k), "routing must be deterministic");
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "4096 keys must touch all 16 shards");
+    }
+
+    #[test]
+    fn one_shard_edge_case_routes_everything_to_zero() {
+        let m: ShardedTxMap = ShardedTxMap::new(1, 128);
+        for k in [0u64, 1, u64::MAX - 2] {
+            assert_eq!(m.shard_of(k), 0);
+        }
+        assert_eq!(m.insert(5, 50), None);
+        assert_eq!(m.get(5), Some(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_rejected() {
+        let _ = ShardedTxMap::new(12, 64);
+    }
+
+    #[test]
+    fn single_key_ops_route_and_work() {
+        let m: ShardedTxMap = ShardedTxMap::new(8, 64);
+        for k in 0..200u64 {
+            assert_eq!(m.insert(k, k + 1000), None);
+        }
+        for k in 0..200u64 {
+            assert_eq!(m.get(k), Some(k + 1000));
+            assert!(m.contains(k));
+        }
+        assert_eq!(m.len_plain(), 200);
+        for k in (0..200u64).step_by(2) {
+            assert_eq!(m.remove(k), Some(k + 1000));
+        }
+        assert_eq!(m.len_plain(), 100);
+        assert_eq!(m.get(4), None);
+        assert_eq!(m.get(5), Some(1005));
+    }
+
+    #[test]
+    fn multi_get_spans_shards_consistently() {
+        let m: ShardedTxMap = ShardedTxMap::new(16, 64);
+        let keys: Vec<u64> = (0..64).collect();
+        for &k in &keys {
+            m.insert(k, k * 2);
+        }
+        let vals = m.multi_get(&keys);
+        assert_eq!(vals.len(), keys.len());
+        for (k, v) in keys.iter().zip(&vals) {
+            assert_eq!(*v, Some(k * 2));
+        }
+        assert!(m.multi_get(&[]).is_empty());
+        // Repeated + missing keys.
+        let vals = m.multi_get(&[3, 3, 9999]);
+        assert_eq!(vals, vec![Some(6), Some(6), None]);
+    }
+
+    #[test]
+    fn cas_pair_same_and_cross_shard() {
+        let m: ShardedTxMap = ShardedTxMap::new(4, 64);
+        // Find two keys in the same shard and two in different shards.
+        let mut same = None;
+        let mut cross = None;
+        for a in 0..64u64 {
+            for b in (a + 1)..64u64 {
+                if m.shard_of(a) == m.shard_of(b) && same.is_none() {
+                    same = Some((a, b));
+                }
+                if m.shard_of(a) != m.shard_of(b) && cross.is_none() {
+                    cross = Some((a, b));
+                }
+            }
+        }
+        for (a, b) in [same.unwrap(), cross.unwrap()] {
+            m.insert(a, 1);
+            m.insert(b, 2);
+            assert!(m.compare_and_swap_pair((a, 1, 10), (b, 2, 20)));
+            assert_eq!((m.get(a), m.get(b)), (Some(10), Some(20)));
+            // Second CAS against stale expectations must fail untouched.
+            assert!(!m.compare_and_swap_pair((a, 1, 99), (b, 20, 99)));
+            assert_eq!((m.get(a), m.get(b)), (Some(10), Some(20)));
+        }
+    }
+
+    #[test]
+    fn transfer_conserves_and_validates() {
+        let m: ShardedTxMap = ShardedTxMap::new(8, 64);
+        m.insert(1, 100);
+        m.insert(2, 50);
+        assert_eq!(m.transfer(1, 2, 30), Ok(()));
+        assert_eq!((m.get(1), m.get(2)), (Some(70), Some(80)));
+        assert_eq!(
+            m.transfer(1, 2, 71),
+            Err(TransferError::Insufficient { balance: 70 })
+        );
+        assert_eq!(m.transfer(999, 2, 1), Err(TransferError::MissingFrom));
+        assert_eq!(m.transfer(1, 999, 1), Err(TransferError::MissingTo));
+        assert_eq!(m.total_plain(), 150, "errors must leave balances untouched");
+        m.insert(3, u64::MAX);
+        assert_eq!(m.transfer(1, 3, 1), Err(TransferError::Overflow));
+        assert_eq!(m.get(1), Some(70), "failed credit must not debit");
+        // Self-transfer: validated no-op.
+        assert_eq!(m.transfer(1, 1, 70), Ok(()));
+        assert_eq!(
+            m.transfer(1, 1, 71),
+            Err(TransferError::Insufficient { balance: 70 })
+        );
+        assert_eq!(m.get(1), Some(70));
+    }
+}

@@ -1,0 +1,158 @@
+//! Differential proptests: `ShardedTxMap` against a single-`Mutex`
+//! `BTreeMap` oracle, driven by the shared `rtle_fuzz::ops` generator
+//! family so the sharded map is hammered by the exact streams (uniform,
+//! duplicate-key churn, skewed) that the AVL proptests and chaos workers
+//! already draw from. Every operation's *result* must match the oracle
+//! op-for-op, and the final entry sets must be identical.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use rtle_core::{ElidableLock, ElisionPolicy};
+use rtle_fuzz::ops::{gen_ops, gen_ops_churn, gen_ops_skewed, SetOp};
+use rtle_htm::prng::SplitMix64;
+use rtle_shard::{MapOp, OpResult, ShardedTxMap};
+
+/// Deterministic value for a key, so value agreement is checked too (a
+/// set-shaped oracle would miss value tearing).
+fn val_for(k: u64, round: u64) -> u64 {
+    k.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(round)
+}
+
+/// Applies one `SetOp` to the oracle, returning the map-shaped result.
+fn apply_oracle(op: SetOp, round: u64, model: &Mutex<BTreeMap<u64, u64>>) -> Option<u64> {
+    let mut m = model.lock().expect("oracle mutex");
+    match op {
+        SetOp::Insert(k) => m.insert(k, val_for(k, round)),
+        SetOp::Remove(k) => m.remove(&k),
+        SetOp::Contains(k) => m.get(&k).copied(),
+    }
+}
+
+/// Applies the same op to the sharded map, mirroring the oracle's shape.
+fn apply_sharded(op: SetOp, round: u64, map: &ShardedTxMap) -> Option<u64> {
+    match op {
+        SetOp::Insert(k) => map.insert(k, val_for(k, round)),
+        SetOp::Remove(k) => map.remove(k),
+        SetOp::Contains(k) => map.get(k),
+    }
+}
+
+fn final_states_match(map: &ShardedTxMap, model: &Mutex<BTreeMap<u64, u64>>, label: &str) {
+    let mut entries = map.entries_plain();
+    entries.sort_unstable();
+    let model_entries: Vec<(u64, u64)> = model
+        .lock()
+        .expect("oracle mutex")
+        .iter()
+        .map(|(&k, &v)| (k, v))
+        .collect();
+    assert_eq!(entries, model_entries, "[{label}] final entry sets diverge");
+}
+
+#[test]
+fn uniform_streams_agree_across_shard_counts() {
+    let mut rng = SplitMix64::new(0x5aad_0001);
+    for shards in [1usize, 2, 16] {
+        for case in 0..24u64 {
+            let map: ShardedTxMap = ShardedTxMap::new(shards, 1024);
+            let model = Mutex::new(BTreeMap::new());
+            for (i, op) in gen_ops(&mut rng, 96, 50, 400).into_iter().enumerate() {
+                let round = case.wrapping_mul(1000) + i as u64;
+                assert_eq!(
+                    apply_sharded(op, round, &map),
+                    apply_oracle(op, round, &model),
+                    "[{shards} shards, case {case}] result diverged on {op:?}"
+                );
+            }
+            final_states_match(&map, &model, &format!("{shards} shards, case {case}"));
+        }
+    }
+}
+
+#[test]
+fn churn_and_skewed_streams_agree() {
+    let mut rng = SplitMix64::new(0x5aad_0002);
+    for case in 0..12u64 {
+        let map: ShardedTxMap = ShardedTxMap::new(8, 2048);
+        let model = Mutex::new(BTreeMap::new());
+        // Churn hammers tombstone reuse in a handful of slots; skewed
+        // clusters probe chains (and shard routing) on the low keys.
+        let mut ops = gen_ops_churn(&mut rng, 6, 500);
+        ops.extend(gen_ops_skewed(&mut rng, 512, 500));
+        for (i, op) in ops.into_iter().enumerate() {
+            let round = case.wrapping_mul(10_000) + i as u64;
+            assert_eq!(
+                apply_sharded(op, round, &map),
+                apply_oracle(op, round, &model),
+                "[case {case}] result diverged on {op:?}"
+            );
+        }
+        final_states_match(&map, &model, &format!("case {case}"));
+    }
+}
+
+/// The batch API must agree with the oracle op-for-op as well — results
+/// come back parallel to the input, and per-key program order within one
+/// batch must hold (`gen_ops_churn` guarantees heavy same-key traffic, so
+/// this is exercised, not hoped for).
+#[test]
+fn batched_execution_agrees_with_oracle() {
+    let mut rng = SplitMix64::new(0x5aad_0003);
+    for case in 0..12u64 {
+        let map: ShardedTxMap = ShardedTxMap::with_builder(
+            4,
+            1024,
+            ElidableLock::builder().policy(ElisionPolicy::RwTle),
+        );
+        let model = Mutex::new(BTreeMap::new());
+        for batch_no in 0..6u64 {
+            let ops = gen_ops_churn(&mut rng, 24, 200);
+            let round = case * 100 + batch_no;
+            let batch: Vec<MapOp<u64>> = ops
+                .iter()
+                .map(|&op| match op {
+                    SetOp::Insert(k) => MapOp::Insert(k, val_for(k, round)),
+                    SetOp::Remove(k) => MapOp::Remove(k),
+                    SetOp::Contains(k) => MapOp::Get(k),
+                })
+                .collect();
+            let results = map.execute_batch(&batch);
+            assert_eq!(results.len(), ops.len());
+            for (i, (&op, result)) in ops.iter().zip(&results).enumerate() {
+                let expect = apply_oracle(op, round, &model);
+                let got = match *result {
+                    OpResult::Value(v) | OpResult::Found(v) => v,
+                    OpResult::Present(p) => p.then_some(0),
+                };
+                assert_eq!(
+                    got, expect,
+                    "[case {case}, batch {batch_no}, op {i}] {op:?} diverged"
+                );
+            }
+        }
+        final_states_match(&map, &model, &format!("batched case {case}"));
+    }
+}
+
+/// `multi_get` must agree with the oracle for arbitrary (including
+/// duplicate and absent) key vectors.
+#[test]
+fn multi_get_agrees_with_oracle() {
+    let mut rng = SplitMix64::new(0x5aad_0004);
+    let map: ShardedTxMap = ShardedTxMap::new(16, 1024);
+    let model = Mutex::new(BTreeMap::new());
+    for (i, op) in gen_ops(&mut rng, 128, 400, 600).into_iter().enumerate() {
+        apply_sharded(op, i as u64, &map);
+        apply_oracle(op, i as u64, &model);
+    }
+    for _ in 0..64 {
+        let keys: Vec<u64> = (0..rng.range_inclusive(1, 24))
+            .map(|_| rng.below(160)) // deliberately includes absent keys
+            .collect();
+        let got = map.multi_get(&keys);
+        let m = model.lock().expect("oracle mutex");
+        let want: Vec<Option<u64>> = keys.iter().map(|k| m.get(k).copied()).collect();
+        assert_eq!(got, want, "multi_get diverged for {keys:?}");
+    }
+}

@@ -78,7 +78,7 @@ fn hashset_under_all_policies() {
         ElisionPolicy::FgTle { orecs: 256 },
     ] {
         let set = TxHashSet::with_capacity(2048);
-        let lock = ElidableLock::new(policy);
+        let lock = ElidableLock::builder().policy(policy).build();
         let balance = drive(4, 1_500, 512, |op, key| {
             lock.execute(|ctx| apply_hash(&set, ctx, op, key))
         });
@@ -123,7 +123,7 @@ fn list_under_policies_with_capacity_pressure() {
     cfg.with_installed(|| {
         for policy in [ElisionPolicy::Tle, ElisionPolicy::FgTle { orecs: 256 }] {
             let set = TxListSet::with_key_range(600);
-            let lock = ElidableLock::new(policy);
+            let lock = ElidableLock::builder().policy(policy).build();
             let balance = drive(3, 500, 600, |op, key| {
                 lock.execute(|ctx| apply_list(&set, ctx, op, key))
             });

@@ -52,7 +52,7 @@ fn run_one(policy: ElisionPolicy, key_range: u64, update_pct: u64, threads: usiz
             set.insert(&a, k);
         }
     }
-    let lock = Arc::new(ElidableLock::new(policy));
+    let lock = Arc::new(ElidableLock::builder().policy(policy).build());
     let stop = Arc::new(AtomicBool::new(false));
     let t0 = Instant::now();
 

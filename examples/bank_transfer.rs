@@ -32,7 +32,7 @@ fn main() {
         ElisionPolicy::FgTle { orecs: 1024 },
     ] {
         let accounts = make_accounts();
-        let lock = ElidableLock::new(policy);
+        let lock = ElidableLock::builder().policy(policy).build();
         let t0 = Instant::now();
         drive(threads, transfers, &accounts, |from, to, amt| {
             lock.execute(|ctx| transfer(ctx, &accounts, from, to, amt));

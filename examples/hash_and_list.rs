@@ -63,7 +63,7 @@ fn main() {
 }
 
 fn run(policy: ElisionPolicy, op: impl Fn(&Ctx<'_>, u64, u64) + Sync) {
-    let lock = Arc::new(ElidableLock::new(policy));
+    let lock = Arc::new(ElidableLock::builder().policy(policy).build());
     let stop = Arc::new(AtomicBool::new(false));
     let t0 = Instant::now();
     std::thread::scope(|scope| {

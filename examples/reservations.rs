@@ -154,7 +154,7 @@ fn main() {
         },
     ] {
         let sys = Arc::new(System::new());
-        let lock = Arc::new(ElidableLock::new(policy));
+        let lock = Arc::new(ElidableLock::builder().policy(policy).build());
         let t0 = Instant::now();
 
         std::thread::scope(|scope| {

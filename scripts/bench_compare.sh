@@ -2,30 +2,50 @@
 # Perf-baseline regression report: measures the `bench` suite now and
 # diffs it against the newest BENCH_<n>.json checked in at the repo root,
 # using the harness's noise-tolerant thresholds (ratio x1.8 AND +15ns
-# absolute, see crates/bench/src/baseline.rs).
+# absolute, see crates/bench/src/baseline.rs). If a SHARD_<n>.json
+# baseline exists, the sharded-map scaling rows (`shard{N}_mixed_{T}thr`
+# from `shard_bench`) are diffed the same way.
 #
 #   scripts/bench_compare.sh              # report-only: always exits 0
 #   scripts/bench_compare.sh --strict     # exit 1 on a regression verdict
 #
 # To (re)seed a baseline after an intentional perf change:
 #   cargo run -p rtle-bench --release --bin bench -- run --out BENCH_<n+1>.json
+#   cargo run -p rtle-bench --release --bin shard_bench -- --json SHARD_<n+1>.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:---report-only}"
+status=0
 
 baseline="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
 if [[ -z "$baseline" ]]; then
     echo "bench_compare: no BENCH_<n>.json baseline at the repo root; nothing to compare"
-    exit 0
-fi
-echo "bench_compare: baseline $baseline"
-
-new="$(mktemp -d)/bench_new.json"
-cargo run -p rtle-bench --release --bin bench -- run --out "$new" >/dev/null
-
-if [[ "$mode" == "--strict" ]]; then
-    cargo run -p rtle-bench --release --bin bench -- compare "$baseline" "$new"
 else
-    cargo run -p rtle-bench --release --bin bench -- compare "$baseline" "$new" --report-only
+    echo "bench_compare: baseline $baseline"
+    new="$(mktemp -d)/bench_new.json"
+    cargo run -p rtle-bench --release --bin bench -- run --out "$new" >/dev/null
+    if [[ "$mode" == "--strict" ]]; then
+        cargo run -p rtle-bench --release --bin bench -- compare "$baseline" "$new" || status=1
+    else
+        cargo run -p rtle-bench --release --bin bench -- compare "$baseline" "$new" --report-only
+    fi
 fi
+
+shard_baseline="$(ls SHARD_*.json 2>/dev/null | sort -V | tail -1 || true)"
+if [[ -z "$shard_baseline" ]]; then
+    echo "bench_compare: no SHARD_<n>.json baseline at the repo root; skipping shard rows"
+else
+    echo "bench_compare: shard baseline $shard_baseline"
+    # A quick run matches the baseline's 8-thread rows; the full run's
+    # other thread points show up as unmatched, which compare tolerates.
+    shard_new="$(mktemp -d)/shard_new.json"
+    cargo run -p rtle-bench --release --bin shard_bench -- --quick --json "$shard_new" >/dev/null
+    if [[ "$mode" == "--strict" ]]; then
+        cargo run -p rtle-bench --release --bin bench -- compare "$shard_baseline" "$shard_new" || status=1
+    else
+        cargo run -p rtle-bench --release --bin bench -- compare "$shard_baseline" "$shard_new" --report-only
+    fi
+fi
+
+exit "$status"

@@ -65,6 +65,51 @@ fuzz_json="$tmp/fuzz.json"
 cargo run -p rtle-fuzz --release --bin fuzz -- run --quick --seed 0xf422 --json "$fuzz_json" >/dev/null
 grep -q '"tool":"rtle-fuzz"' "$fuzz_json" || { echo "fuzz json missing"; exit 1; }
 
+echo "== shard_bench smoke (sharded-map scaling + JSON stats) =="
+# Seeded quick run of the sharded-map scaling benchmark; the validator
+# checks the merged per-shard stats document end-to-end with the
+# library's own parser and that sharding is not slower than the single
+# lock (the full >= 2x demonstration lives in EXPERIMENTS.md — this
+# gate only smokes structure and direction, to stay robust to scheduler
+# noise on loaded machines).
+shard_json="$tmp/shard.json"
+cargo run -p rtle-bench --release --bin shard_bench -- --quick --seed 0xf422 --json "$shard_json" >/dev/null
+cat > /tmp/tier1_shard_smoke.rs <<'RS'
+fn main() {
+    let path = std::env::args().nth(1).unwrap();
+    let text = std::fs::read_to_string(&path).expect("read shard json");
+    let j = rtle_obs::parse_json(&text).expect("shard json must parse");
+    assert_eq!(j.get("kind").and_then(rtle_obs::Json::as_str), Some("perf-baseline"));
+    assert_eq!(j.get("tool").and_then(rtle_obs::Json::as_str), Some("shard_bench"));
+    assert_eq!(
+        j.get("schema_version").and_then(rtle_obs::Json::as_u64),
+        Some(rtle_obs::SCHEMA_VERSION),
+        "schema version mismatch"
+    );
+    let benches = j.get("benches").and_then(rtle_obs::Json::as_arr).expect("benches");
+    assert!(!benches.is_empty(), "no bench rows");
+    let shards = j.get("shards").and_then(rtle_obs::Json::as_u64).expect("shards") as usize;
+    let stats = j.get("shard_stats").expect("embedded shard stats");
+    assert_eq!(stats.get("kind").and_then(rtle_obs::Json::as_str), Some("shard-stats"));
+    let per_shard = stats.get("per_shard").and_then(rtle_obs::Json::as_arr).expect("per_shard");
+    assert_eq!(per_shard.len(), shards, "one stats row per shard");
+    assert!(
+        stats.get("ops").and_then(rtle_obs::Json::as_u64).expect("ops") > 0,
+        "sharded run committed nothing"
+    );
+    let speedup = j
+        .get("speedup_at_max_threads")
+        .and_then(rtle_obs::Json::as_f64)
+        .expect("speedup");
+    println!("ok: {} bench rows, {shards} shards, speedup {speedup:.2}x", benches.len());
+    assert!(speedup > 1.0, "sharding slower than the single lock: {speedup:.2}x");
+}
+RS
+rustc --edition 2021 -O --extern rtle_obs="$obs_rlib" \
+    -L dependency=target/release/deps \
+    -o /tmp/tier1_shard_smoke /tmp/tier1_shard_smoke.rs
+/tmp/tier1_shard_smoke "$shard_json"
+
 echo "== perf baseline (non-fatal report) =="
 scripts/bench_compare.sh --report-only || echo "bench_compare: report failed (non-fatal)"
 

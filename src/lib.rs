@@ -17,7 +17,7 @@
 //! ```
 //! use refined_tle::prelude::*;
 //!
-//! let lock = ElidableLock::new(ElisionPolicy::FgTle { orecs: 256 });
+//! let lock = ElidableLock::builder().policy(ElisionPolicy::FgTle { orecs: 256 }).build();
 //! let cell = TxCell::new(0u64);
 //! lock.execute(|ctx| {
 //!     let v = ctx.read(&cell);
@@ -32,6 +32,8 @@ pub use rtle_core as core;
 pub use rtle_fuzz as fuzz;
 pub use rtle_htm as htm;
 pub use rtle_hytm as hytm;
+pub use rtle_obs as obs;
+pub use rtle_shard as shard;
 pub use rtle_sim as sim;
 pub use rtle_structs as structs;
 
@@ -39,10 +41,13 @@ pub use rtle_structs as structs;
 pub mod prelude {
     pub use rtle_avltree::AvlSet;
     pub use rtle_core::{
-        Ctx, ElidableLock, ElisionPolicy, ExecMode, RetryPolicy, TatasLock, TicketLock,
+        Ctx, ElidableLock, ElidableLockBuilder, ElisionPolicy, ExecMode, LockedSection,
+        RetryPolicy, StatsSnapshot, TatasLock, TicketLock,
     };
     pub use rtle_htm::{AbortCode, PlainAccess, TxAccess, TxCell};
     pub use rtle_hytm::{Norec, RhNorec, TmCtx};
+    pub use rtle_obs::{AdaptAction, AdaptDecision, ObsConfig, Recorder};
+    pub use rtle_shard::{MapOp, OpResult, ShardedTxMap, TransferError};
     pub use rtle_structs::{TxHashSet, TxListSet};
 }
 
@@ -51,9 +56,50 @@ mod tests {
     #[test]
     fn facade_reexports_work() {
         use crate::prelude::*;
-        let lock = ElidableLock::new(ElisionPolicy::Tle);
+        let lock = ElidableLock::builder().policy(ElisionPolicy::Tle).build();
         let c = TxCell::new(1u64);
         let v = lock.execute(|ctx| ctx.read(&c));
         assert_eq!(v, 1);
+    }
+
+    /// The prelude must cover adaptive configuration and observability
+    /// without reaching into `rtle_core` / `rtle_obs` paths directly.
+    #[test]
+    fn prelude_covers_adaptive_config_and_recorder() {
+        use crate::prelude::*;
+        use std::sync::Arc;
+        let rec = Arc::new(Recorder::new(ObsConfig::default()));
+        let lock = ElidableLock::builder()
+            .policy(ElisionPolicy::AdaptiveFgTle {
+                initial_orecs: 16,
+                max_orecs: 256,
+            })
+            .recorder(Arc::clone(&rec))
+            .build();
+        let c = TxCell::new(0u64);
+        lock.execute(|ctx| ctx.write(&c, 7));
+        assert_eq!(c.read_plain(), 7);
+        // AdaptAction/AdaptDecision are nameable from the prelude.
+        let _names_resolve: Option<(AdaptAction, AdaptDecision)> = None;
+    }
+
+    #[test]
+    fn prelude_covers_sharded_map() {
+        use crate::prelude::*;
+        let map: ShardedTxMap = ShardedTxMap::with_builder(
+            4,
+            64,
+            ElidableLock::builder().policy(ElisionPolicy::FgTle { orecs: 32 }),
+        );
+        map.insert(1, 10);
+        map.insert(2, 20);
+        assert_eq!(map.transfer(1, 2, 5), Ok(()));
+        assert_eq!(
+            map.execute_batch(&[MapOp::Get(1), MapOp::Get(2)]),
+            vec![OpResult::Found(Some(5)), OpResult::Found(Some(25))]
+        );
+        let _ = TransferError::MissingFrom;
+        let snap: StatsSnapshot = map.merged_stats();
+        assert!(snap.ops >= 4);
     }
 }

@@ -74,7 +74,7 @@ impl Sys {
 
 fn drive(policy: ElisionPolicy) {
     let sys = Arc::new(Sys::new());
-    let lock = Arc::new(ElidableLock::new(policy));
+    let lock = Arc::new(ElidableLock::builder().policy(policy).build());
 
     std::thread::scope(|scope| {
         for t in 0..4u64 {

@@ -24,7 +24,7 @@ struct Fixture {
 /// thread 2 observed after its empty critical section.
 fn run_figure4(policy: ElisionPolicy, retry: RetryPolicy) -> u64 {
     let fx = Arc::new(Fixture {
-        lock: ElidableLock::with_retry(policy, retry),
+        lock: ElidableLock::builder().policy(policy).retry(retry).build(),
         go_flag: AtomicBool::new(false),
         ptr: TxCell::new(0),
     });

@@ -20,7 +20,7 @@ fn outside_readers_see_ordered_committed_state() {
         ElisionPolicy::RwTle,
         ElisionPolicy::FgTle { orecs: 128 },
     ] {
-        let lock = Arc::new(ElidableLock::new(policy));
+        let lock = Arc::new(ElidableLock::builder().policy(policy).build());
         let seq = Arc::new(TxCell::new(0u64));
         let data = Arc::new(TxCell::new(0u64));
         let stop = Arc::new(AtomicBool::new(false));
@@ -86,7 +86,7 @@ fn outside_readers_see_ordered_committed_state() {
 /// transactions that read it (strong atomicity in the write direction).
 #[test]
 fn outside_writes_are_respected_by_speculation() {
-    let lock = Arc::new(ElidableLock::new(ElisionPolicy::FgTle { orecs: 64 }));
+    let lock = Arc::new(ElidableLock::builder().policy(ElisionPolicy::FgTle { orecs: 64 }).build());
     let cell = Arc::new(TxCell::new(0u64));
     let stop = Arc::new(AtomicBool::new(false));
 
