@@ -7,17 +7,27 @@
 //! ```sh
 //! cargo run -p rtle-bench --release --bin diag -- \
 //!     [threads] [--quick] [--json out.json] [--heatmap] [--trace out.trace.json]
+//! cargo run -p rtle-bench --release --bin diag -- --slo run.json
+//! cargo run -p rtle-bench --release --bin diag -- --timeline flight.json
 //! ```
 //!
 //! `--heatmap` prints the per-orec conflict hot-spot report; `--trace`
 //! writes a Chrome `trace_event` document loadable in Perfetto
 //! (<https://ui.perfetto.dev>), one process per method (requires the
 //! default `trace` feature for non-empty tracks).
+//!
+//! `--slo FILE` / `--timeline FILE` are offline viewers: they render a
+//! saved `slo_bench` export (verdict summary / per-window timeline) or
+//! a watchdog flight record without running anything. A file written by
+//! an older build (schema mismatch) is a clean error telling you to
+//! regenerate it, never a panic.
 
 use rtle_bench::diag::{
     diag_to_json, diag_trace_to_json, print_diag_table, print_heatmap_report, run_diag,
 };
+use rtle_bench::slo::{load_versioned, render_slo, render_timeline, SloViewError};
 use rtle_bench::BenchArgs;
+use rtle_obs::Json;
 
 fn write_doc(path: &std::path::Path, doc: String) {
     if let Err(e) = std::fs::write(path, doc + "\n") {
@@ -27,8 +37,34 @@ fn write_doc(path: &std::path::Path, doc: String) {
     eprintln!("wrote {}", path.display());
 }
 
+/// Loads a schema-checked `slo_bench`/flight-record document and renders
+/// it with `render`. Any failure — unreadable file, bad JSON, stale
+/// schema, wrong shape — is a diagnostic on stderr and exit 1.
+fn view_file(path: &std::path::Path, render: fn(&Json) -> Result<String, SloViewError>) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("diag: cannot read {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    match load_versioned(&text).and_then(|doc| render(&doc)) {
+        Ok(rendered) => {
+            print!("{rendered}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("diag: {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
+    if let Some(path) = args.slo.as_deref() {
+        view_file(path, render_slo);
+    }
+    if let Some(path) = args.timeline.as_deref() {
+        view_file(path, render_timeline);
+    }
     let threads: usize = args
         .rest
         .first()

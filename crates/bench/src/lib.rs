@@ -20,6 +20,7 @@ pub mod diag;
 pub mod figures;
 pub mod micro;
 pub mod report;
+pub mod slo;
 
 pub use figures::{Scale, Series};
 pub use report::{BenchArgs, Report};

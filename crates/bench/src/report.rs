@@ -25,6 +25,12 @@ pub struct BenchArgs {
     pub trace: Option<PathBuf>,
     /// `--heatmap` present: print the per-orec conflict hot-spot report.
     pub heatmap: bool,
+    /// `--slo <path>`: render a saved `slo_bench` export's verdict
+    /// summary instead of running a sweep.
+    pub slo: Option<PathBuf>,
+    /// `--timeline <path>`: render a saved `slo_bench` export's
+    /// per-window timeline, or a watchdog flight record.
+    pub timeline: Option<PathBuf>,
     /// Remaining positional arguments, in order.
     pub rest: Vec<String>,
 }
@@ -57,6 +63,20 @@ impl BenchArgs {
                     out.trace = Some(PathBuf::from(p));
                 }
                 "--heatmap" => out.heatmap = true,
+                "--slo" => {
+                    let p = it.next().unwrap_or_else(|| {
+                        eprintln!("--slo requires a path argument");
+                        std::process::exit(2);
+                    });
+                    out.slo = Some(PathBuf::from(p));
+                }
+                "--timeline" => {
+                    let p = it.next().unwrap_or_else(|| {
+                        eprintln!("--timeline requires a path argument");
+                        std::process::exit(2);
+                    });
+                    out.timeline = Some(PathBuf::from(p));
+                }
                 _ => out.rest.push(a),
             }
         }

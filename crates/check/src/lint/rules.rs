@@ -262,6 +262,50 @@ pub const ORDERING_RULES: &[OrderingRule] = &[
         allowed: &["Relaxed"],
         why: "routing-counter snapshot read: advisory imbalance metric, no synchronization role",
     },
+    // ---- rtle-obs -------------------------------------------------------
+    // The windowed collector's only synchronizing atomic is the epoch
+    // bump that flips writers onto the other phase buffer: AcqRel so the
+    // rotator's subsequent drains are ordered after the flip, and a
+    // writer that observed the new epoch publishes into the new phase.
+    // Everything else is per-stripe monotonic counters drained by
+    // `swap(0)`: stragglers racing a rotation land in whichever phase
+    // they read the epoch from and are attributed one window late — by
+    // design, never lost — so Relaxed carries no correctness weight.
+    OrderingRule {
+        file_suffix: "obs/src/window.rs",
+        receiver: "epoch",
+        op: AtomicOp::FetchAdd,
+        allowed: &["AcqRel"],
+        why: "window rotation flip: orders the rotator's drains after the epoch bump",
+    },
+    OrderingRule {
+        file_suffix: "obs/src/window.rs",
+        receiver: "epoch",
+        op: AtomicOp::Load,
+        allowed: &["Relaxed"],
+        why: "phase selection / advisory epoch read: one-window-late attribution is tolerated",
+    },
+    OrderingRule {
+        file_suffix: "obs/src/window.rs",
+        receiver: "*",
+        op: AtomicOp::FetchAdd,
+        allowed: &["Relaxed"],
+        why: "per-stripe window counters: monotonic telemetry, drained via swap at rotation",
+    },
+    OrderingRule {
+        file_suffix: "obs/src/window.rs",
+        receiver: "*",
+        op: AtomicOp::Swap,
+        allowed: &["Relaxed"],
+        why: "rotation drain (swap-to-zero) and window start stamp: single-rotator protocol",
+    },
+    OrderingRule {
+        file_suffix: "obs/src/window.rs",
+        receiver: "*",
+        op: AtomicOp::Load,
+        allowed: &["Relaxed"],
+        why: "window start / length snapshot reads: advisory telemetry, no synchronization role",
+    },
 ];
 
 /// Hot-path modules where `unwrap`/`panic!` are banned outside tests.
@@ -275,7 +319,12 @@ pub const HOT_PATH_FILES: &[&str] = &[
 
 /// Files whose atomic-ordering uses must be covered by the table (or
 /// annotated).
-pub const ORDERING_SCOPE: &[&str] = &["crates/core/src/", "crates/htm/src/", "crates/shard/src/"];
+pub const ORDERING_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/htm/src/",
+    "crates/shard/src/",
+    "crates/obs/src/window.rs",
+];
 
 /// One ordering usage found in a statement.
 #[derive(Debug)]

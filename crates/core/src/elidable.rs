@@ -58,8 +58,8 @@ pub struct ElidableLock<B: HtmBackend = SwHtmBackend> {
     recorder: Option<Arc<Recorder>>,
 }
 
-/// Per-thread identity for observability: a stable small key (ring stripe
-/// selection) and a monotone per-thread operation sequence (sampling).
+/// Per-thread identity for observability: a stable small key (ring and
+/// window stripe selection) and a decrementing sampling ticket.
 mod obs_thread {
     use std::cell::Cell;
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,19 +70,39 @@ mod obs_thread {
         // ordering: key allocation — only uniqueness matters, the value
         // never synchronizes other memory.
         static KEY: u64 = NEXT_KEY.fetch_add(1, Ordering::Relaxed);
-        static OP_SEQ: Cell<u64> = const { Cell::new(0) };
+        /// Operations left until the next sampled one; `0` = sample now.
+        static TICKET: Cell<u64> = const { Cell::new(0) };
     }
 
-    /// `(thread_key, op_seq)` — the sequence advances on every call.
+    /// The calling thread's stable observability key (also the window
+    /// collector's stripe selector).
     #[inline]
-    pub(super) fn next() -> (u64, u64) {
-        let key = KEY.with(|k| *k);
-        let seq = OP_SEQ.with(|s| {
-            let v = s.get();
-            s.set(v.wrapping_add(1));
-            v
-        });
-        (key, seq)
+    pub(super) fn key() -> u64 {
+        KEY.with(|k| *k)
+    }
+
+    /// Ticket-based sampling: one decrement-and-test per operation,
+    /// reloading with `period - 1` each time it hits zero, so a thread
+    /// samples 1 in `period` operations. This replaces the old
+    /// key-lookup + sequence-bump + mask-test chain, whose three
+    /// thread-local accesses roughly doubled uncontended RMW cost when
+    /// a sampled recorder was installed (BENCH_0.json,
+    /// `tle_sampled_recorder_rmw`); the thread key is now only fetched
+    /// for the sampled minority. The ticket is shared across locks on
+    /// the thread (as the old sequence was), so with several sampled
+    /// recorders the phases interleave — fine for statistics.
+    #[inline]
+    pub(super) fn take_ticket(period: u64) -> bool {
+        TICKET.with(|t| {
+            let v = t.get();
+            if v == 0 {
+                t.set(period.saturating_sub(1));
+                true
+            } else {
+                t.set(v - 1);
+                false
+            }
+        })
     }
 }
 
@@ -347,16 +367,36 @@ impl<B: HtmBackend> ElidableLock<B> {
         // exact uninstrumented path.
         let rec = match &self.recorder {
             Some(recorder) => {
-                let (thread_key, seq) = obs_thread::next();
-                recorder.should_sample(seq).then_some(Rec {
+                obs_thread::take_ticket(recorder.sample_period()).then(|| Rec {
                     recorder,
-                    thread_key,
+                    thread_key: obs_thread::key(),
                 })
             }
             None => None,
         };
         let r = self.execute_inner(&cs, rec);
         self.stats.record_op();
+        r
+    }
+
+    /// Executes `cs` like [`Self::execute`], additionally recording the
+    /// operation's end-to-end latency — measured from `intended_start`,
+    /// not from now — into the recorder's windowed telemetry (a no-op
+    /// without a recorder or window collector; unlike attempt events
+    /// this is recorded for every operation, since tail percentiles
+    /// cannot be sampled honestly).
+    ///
+    /// Open-loop harnesses pass the operation's *scheduled* arrival
+    /// time: when the lock convoys and the worker falls behind, the
+    /// queueing delay is charged to the operation, which corrects the
+    /// coordinated omission a closed-loop start-to-end measurement
+    /// would commit.
+    pub fn execute_from<R>(&self, intended_start: Instant, cs: impl Fn(&Ctx<'_>) -> R) -> R {
+        let r = self.execute(cs);
+        if let Some(recorder) = &self.recorder {
+            recorder
+                .record_op_latency(obs_thread::key(), intended_start.elapsed().as_nanos() as u64);
+        }
         r
     }
 

@@ -19,6 +19,22 @@ const BACKOFF_MIN: u32 = 1 << 4;
 /// Backoff ceiling.
 const BACKOFF_MAX: u32 = 1 << 14;
 
+/// One saturated-backoff wait: spin `BACKOFF_MAX` then yield the CPU.
+/// Pure spinning is right for the short holds TLE expects, but once
+/// backoff saturates the hold is long (a pessimistic section doing real
+/// work — or a blocking wait), and on an oversubscribed host a pure
+/// spinner steals entire scheduler quanta from the very holder it waits
+/// for, multiplying the convoy. The yield keeps the paper's
+/// test-and-test-and-set-with-backoff shape while degrading gracefully
+/// when threads outnumber cores.
+#[inline]
+fn saturated_pause() {
+    for _ in 0..BACKOFF_MAX {
+        hint::spin_loop();
+    }
+    std::thread::yield_now();
+}
+
 /// Test-and-test-and-set spin lock with exponential backoff, built on a
 /// transactionally visible word.
 ///
@@ -64,17 +80,22 @@ impl TatasLock {
         !self.is_held() && self.word.compare_exchange_plain(FREE, HELD)
     }
 
-    /// Acquires the lock, spinning with exponential backoff.
+    /// Acquires the lock, spinning with exponential backoff (yielding
+    /// once the backoff saturates — see [`saturated_pause`]).
     pub fn acquire(&self) {
         let mut backoff = BACKOFF_MIN;
         loop {
             if self.try_acquire() {
                 return;
             }
-            for _ in 0..backoff {
-                hint::spin_loop();
+            if backoff >= BACKOFF_MAX {
+                saturated_pause();
+            } else {
+                for _ in 0..backoff {
+                    hint::spin_loop();
+                }
+                backoff <<= 1;
             }
-            backoff = (backoff << 1).min(BACKOFF_MAX);
         }
     }
 
@@ -91,10 +112,14 @@ impl TatasLock {
     pub fn spin_while_held(&self) {
         let mut backoff = BACKOFF_MIN;
         while self.is_held() {
-            for _ in 0..backoff {
-                hint::spin_loop();
+            if backoff >= BACKOFF_MAX {
+                saturated_pause();
+            } else {
+                for _ in 0..backoff {
+                    hint::spin_loop();
+                }
+                backoff <<= 1;
             }
-            backoff = (backoff << 1).min(BACKOFF_MAX);
         }
     }
 

@@ -86,6 +86,46 @@ fn sampling_thins_recording_but_not_stats() {
     );
 }
 
+/// `execute_from` charges latency from the *intended* start into the
+/// windowed telemetry: an operation scheduled in the past shows its
+/// queueing delay in the window percentiles (coordinated-omission
+/// correction), and the window sees every op even under sampling.
+#[test]
+fn execute_from_records_intended_start_latency_into_windows() {
+    let rec = Arc::new(Recorder::new(ObsConfig {
+        sample_shift: 4, // attempt events 1-in-16; window ops unsampled
+        window_len_ms: 1_000,
+        ..ObsConfig::default()
+    }));
+    let lock = ElidableLock::builder()
+        .policy(ElisionPolicy::Tle)
+        .recorder(Arc::clone(&rec))
+        .build();
+    let c = TxCell::new(0u64);
+    let backlogged = std::time::Instant::now() - std::time::Duration::from_millis(5);
+    for _ in 0..64u64 {
+        lock.execute_from(backlogged, |ctx: &Ctx| {
+            let v = ctx.read(&c);
+            ctx.write(&c, v + 1);
+        });
+    }
+    assert_eq!(c.read_plain(), 64);
+    let w = rec.windows().expect("window collector configured").rotate().merged;
+    assert_eq!(w.ops(), 64, "every op lands in the window, sampled or not");
+    // >= 5ms minus the histogram's one-sub-bucket floor underestimate.
+    assert!(
+        w.latency_p(0.50) >= 4_800_000,
+        "queueing delay from the intended start must be charged: p50 = {} ns",
+        w.latency_p(0.50)
+    );
+    let snap = rec.snapshot();
+    assert_eq!(snap.windows.len(), 1);
+    assert!(
+        snap.total_commits() < 64,
+        "attempt events stay sampled while window latency is exact"
+    );
+}
+
 /// Eight threads hammer a recorded lock (histograms + ExecStats) while
 /// the main thread snapshots both continuously: no panics, no torn
 /// values, and the final counts add up.

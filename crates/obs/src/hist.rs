@@ -114,6 +114,39 @@ impl Histogram {
         }
     }
 
+    /// Takes the histogram's contents, leaving it empty: every bucket
+    /// (and the value sum and running maximum) is `swap(0)`, so each
+    /// recorded sample is returned by **exactly one** drain even when
+    /// writers are concurrent. A racing [`Self::record`] lands either in
+    /// this drain or, if its fetch-add executes after the swap, in the
+    /// next one — late attribution, never loss. The windowed telemetry
+    /// rotator ([`crate::window`]) is built on this guarantee.
+    ///
+    /// Under a concurrent writer the drained `total`/`max` may be off by
+    /// the in-flight sample relative to the buckets (the three updates in
+    /// `record` are not one atomic step); that skews a window's mean by
+    /// at most one sample, which is fine for diagnostics.
+    pub fn drain(&self) -> HistSnapshot {
+        let buckets: Vec<(u64, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                // ordering: counter hand-off; exactness comes from the
+                // swap's read-modify-write atomicity, not from ordering.
+                let n = c.swap(0, Relaxed);
+                (n > 0).then(|| (Self::bucket_floor(i), n))
+            })
+            .collect();
+        let count = buckets.iter().map(|&(_, n)| n).sum();
+        HistSnapshot {
+            count,
+            total: self.total.swap(0, Relaxed),
+            max: self.max.swap(0, Relaxed),
+            buckets,
+        }
+    }
+
     /// An immutable snapshot (not atomic with respect to concurrent
     /// recording; counters may be mid-flight, which is fine for
     /// diagnostics).
@@ -145,7 +178,7 @@ impl Default for Histogram {
 
 /// A point-in-time copy of a [`Histogram`]: only non-empty buckets, as
 /// `(floor_value, count)` pairs sorted by value.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HistSnapshot {
     /// Number of recorded samples.
     pub count: u64,
@@ -158,6 +191,38 @@ pub struct HistSnapshot {
 }
 
 impl HistSnapshot {
+    /// An empty snapshot (what a fresh histogram drains to).
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot {
+            count: 0,
+            total: 0,
+            max: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Sums many snapshots bucket-wise — e.g. per-stripe window
+    /// histograms into one merged window, or a whole window series into
+    /// a full-run distribution.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a HistSnapshot>) -> HistSnapshot {
+        let mut buckets = std::collections::BTreeMap::<u64, u64>::new();
+        let (mut count, mut total, mut max) = (0u64, 0u64, 0u64);
+        for s in parts {
+            count += s.count;
+            total = total.wrapping_add(s.total);
+            max = max.max(s.max);
+            for &(floor, n) in &s.buckets {
+                *buckets.entry(floor).or_insert(0) += n;
+            }
+        }
+        HistSnapshot {
+            count,
+            total,
+            max,
+            buckets: buckets.into_iter().collect(),
+        }
+    }
+
     /// Mean of recorded values, `0.0` when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -306,6 +371,36 @@ mod tests {
         assert_eq!(back.max, s.max);
         assert_eq!(back.buckets, s.buckets);
         assert_eq!(back.percentile(0.99), s.percentile(0.99));
+    }
+
+    #[test]
+    fn drain_takes_everything_exactly_once() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 900, 65_537] {
+            h.record(v);
+        }
+        let first = h.drain();
+        assert_eq!(first.count, 4);
+        assert_eq!(first.max, 65_537);
+        assert_eq!(first.total, 3 + 3 + 900 + 65_537);
+        let second = h.drain();
+        assert_eq!(second, HistSnapshot::empty(), "drain must leave it empty");
+        h.record(7);
+        assert_eq!(h.drain().count, 1, "histogram usable again after drain");
+    }
+
+    #[test]
+    fn merged_equals_single_histogram() {
+        let parts: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        let whole = Histogram::new();
+        for i in 0..800u64 {
+            let v = i * 97 % 50_000;
+            parts[(i % 4) as usize].record(v);
+            whole.record(v);
+        }
+        let snaps: Vec<HistSnapshot> = parts.iter().map(Histogram::snapshot).collect();
+        assert_eq!(HistSnapshot::merged(&snaps), whole.snapshot());
+        assert_eq!(HistSnapshot::merged([]), HistSnapshot::empty());
     }
 
     #[test]

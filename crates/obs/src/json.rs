@@ -7,6 +7,20 @@
 //! through `f64`) and finite floats. The parser exists so tests can
 //! round-trip snapshots and so `scripts/tier1.sh` can validate exports
 //! with the repository's own tooling.
+//!
+//! # Schema migration policy
+//!
+//! Every exported document carries a top-level `schema_version` stamped
+//! from [`crate::SCHEMA_VERSION`]. Loaders (`ObsSnapshot::from_json`,
+//! the `diag --slo`/`--timeline` file views) **reject** documents whose
+//! version differs from the one they were built with — there is no
+//! in-place upgrade path, because snapshots are cheap to regenerate
+//! while silently misreading an old layout is not. Version history
+//! lives on [`crate::SCHEMA_VERSION`]; to migrate an old file, re-run
+//! the producing tool, and to read one anyway, check out the matching
+//! revision. Tools must surface the mismatch as a clean error naming
+//! both versions (see `rtle-bench`'s `diag`), never as a panic or, by
+//! treating fields as absent, as zeroed data.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -24,6 +24,15 @@
 //!   per-thread span buffers for critical sections, path transitions,
 //!   write-flag sets, epoch bumps and adaptive decisions, exported as
 //!   Chrome `trace_event` JSON loadable in Perfetto.
+//! * **Windowed telemetry** ([`WindowCollector`], [`TimeSeries`]) —
+//!   epoch-rotated per-thread windows closed every N ms into a bounded
+//!   series of [`WindowSnapshot`]s (per-window p50/p99/p999 latency,
+//!   abort-cause rates, path-mix), giving tail-latency SLOs a time axis
+//!   that cumulative counters cannot provide.
+//! * **Collapse watchdog** ([`Watchdog`]) — inspects each closed window
+//!   for collapse signatures (fallback-rate spike + commit-rate floor,
+//!   sustained conflict storms) and assembles a postmortem
+//!   [`flight_record`] JSON dump on trigger.
 //!
 //! Recording is opt-in: the lock runtime holds an `Option<Arc<Recorder>>`
 //! and pays only an `Option` null-check when none is installed, plus a
@@ -40,6 +49,8 @@ pub mod json;
 pub mod recorder;
 pub mod ring;
 pub mod trace;
+pub mod watchdog;
+pub mod window;
 
 pub use event::{AdaptAction, AdaptDecision, AttemptEvent, Outcome, PathKind};
 pub use hist::{HistSnapshot, Histogram};
@@ -48,3 +59,5 @@ pub use recorder::{
     JsonSink, MemorySink, ObsConfig, ObsSnapshot, Recorder, Sink, TextSink, SCHEMA_VERSION,
 };
 pub use trace::{TraceKind, TraceRecord, Tracer};
+pub use watchdog::{flight_record, CollapseEvent, CollapseKind, Watchdog, WatchdogConfig};
+pub use window::{TimeSeries, WindowCollector, WindowCounts, WindowRotation, WindowSnapshot};

@@ -19,10 +19,15 @@ use crate::hist::{HistSnapshot, Histogram};
 use crate::json::Json;
 use crate::ring::EventRing;
 use crate::trace::{TraceKind, Tracer};
+use crate::window::{WindowCollector, WindowSnapshot};
 
 /// Version stamped into every exported snapshot. Bump on any
 /// backwards-incompatible change to the JSON layout.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 = cumulative counters/histograms only; v2 added the
+/// `windows` time series (and the windowed-telemetry documents built on
+/// it). See the [`crate::json`] module docs for the migration policy.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Static configuration for a [`Recorder`].
 #[derive(Debug, Clone)]
@@ -45,6 +50,15 @@ pub struct ObsConfig {
     /// Trace slots per stripe (rounded up to a power of two). Ignored
     /// when the `trace` feature is off.
     pub trace_capacity: usize,
+    /// Windowed-telemetry period in milliseconds; `0` (the default)
+    /// disables the window collector entirely, keeping the hot path free
+    /// of even the forwarding branch's target.
+    pub window_len_ms: u64,
+    /// Closed windows retained in the bounded time series.
+    pub window_series_cap: usize,
+    /// Window collector stripes (rounded up to a power of two); stripe
+    /// = `thread_key & (stripes - 1)`.
+    pub window_stripes: usize,
 }
 
 impl Default for ObsConfig {
@@ -56,6 +70,9 @@ impl Default for ObsConfig {
             latency_unit: "ns",
             trace_stripes: 8,
             trace_capacity: 4096,
+            window_len_ms: 0,
+            window_series_cap: 256,
+            window_stripes: 8,
         }
     }
 }
@@ -89,6 +106,7 @@ pub struct Recorder {
     explicit_codes: [AtomicU64; EXPLICIT_CODES],
     decisions: Mutex<Vec<AdaptDecision>>,
     tracer: Tracer,
+    windows: Option<WindowCollector>,
 }
 
 impl Recorder {
@@ -105,8 +123,18 @@ impl Recorder {
             explicit_codes: Default::default(),
             decisions: Mutex::new(Vec::new()),
             tracer: Tracer::new(cfg.trace_stripes, cfg.trace_capacity),
+            windows: (cfg.window_len_ms > 0).then(|| {
+                WindowCollector::new(cfg.window_len_ms, cfg.window_series_cap, cfg.window_stripes)
+            }),
             cfg,
         }
+    }
+
+    /// The window collector, when `window_len_ms > 0` was configured.
+    /// The harness's rotator thread drives [`WindowCollector::rotate`]
+    /// through this.
+    pub fn windows(&self) -> Option<&WindowCollector> {
+        self.windows.as_ref()
     }
 
     /// The recorder's causal tracer (inert unless the `trace` feature is
@@ -127,6 +155,15 @@ impl Recorder {
         op_seq & self.sample_mask == 0
     }
 
+    /// The sampling period (`2^sample_shift`): one in this many
+    /// operations is recorded. Callers that sample with a decrementing
+    /// per-thread ticket (cheaper than a masked counter on the hot path)
+    /// reload the ticket from this.
+    #[inline]
+    pub fn sample_period(&self) -> u64 {
+        self.sample_mask + 1
+    }
+
     /// Records one attempt event: bumps the path/outcome counters, feeds
     /// the retry and critical-section histograms on commit, and publishes
     /// the packed event to the ring. `thread_key` picks the ring stripe.
@@ -145,7 +182,23 @@ impl Recorder {
                 }
             }
         }
+        if let Some(w) = &self.windows {
+            w.record_attempt(thread_key, ev);
+        }
         self.ring.push(thread_key, ev.pack());
+    }
+
+    /// Records one end-to-end operation latency into the open telemetry
+    /// window (no-op without a window collector). Unlike attempt events
+    /// this is fed for **every** operation, not just sampled ones —
+    /// honest tail percentiles cannot be sampled — and the caller is
+    /// expected to measure from the operation's *intended* start so the
+    /// per-window p99/p999 are coordinated-omission-corrected.
+    #[inline]
+    pub fn record_op_latency(&self, thread_key: u64, latency_ns: u64) {
+        if let Some(w) = &self.windows {
+            w.record_latency(thread_key, latency_ns);
+        }
     }
 
     /// Records how long the fallback lock was held, in the recorder's
@@ -234,6 +287,11 @@ impl Recorder {
             decisions: self.decisions(),
             events_recorded: self.ring.pushed(),
             recent_events: self.ring.drain(),
+            windows: self
+                .windows
+                .as_ref()
+                .map(WindowCollector::series)
+                .unwrap_or_default(),
         }
     }
 }
@@ -241,7 +299,7 @@ impl Recorder {
 impl Outcome {
     /// Index into the per-outcome abort counter array (1..=6; commit is 0
     /// and never used as an abort index).
-    fn kind_index(self) -> usize {
+    pub(crate) fn kind_index(self) -> usize {
         match self {
             Outcome::Commit => 0,
             Outcome::AbortConflict => 1,
@@ -281,6 +339,9 @@ pub struct ObsSnapshot {
     pub events_recorded: u64,
     /// Events resident in the ring at snapshot time.
     pub recent_events: Vec<AttemptEvent>,
+    /// Closed telemetry windows (oldest first); empty when the recorder
+    /// was configured without a window collector. Schema v2.
+    pub windows: Vec<WindowSnapshot>,
 }
 
 impl ObsSnapshot {
@@ -335,6 +396,10 @@ impl ObsSnapshot {
                         .map(AttemptEvent::to_json)
                         .collect(),
                 ),
+            ),
+            (
+                "windows",
+                Json::Arr(self.windows.iter().map(WindowSnapshot::to_json).collect()),
             ),
         ])
     }
@@ -433,6 +498,12 @@ impl ObsSnapshot {
                 .iter()
                 .map(attempt)
                 .collect::<Option<Vec<_>>>()?,
+            windows: j
+                .get("windows")?
+                .as_arr()?
+                .iter()
+                .map(WindowSnapshot::from_json)
+                .collect::<Option<Vec<_>>>()?,
         })
     }
 
@@ -509,6 +580,18 @@ impl ObsSnapshot {
             self.events_recorded,
             self.recent_events.len()
         );
+        if let Some(last) = self.windows.last() {
+            let _ = writeln!(
+                out,
+                "  windows: {} closed; last: {} ops, p50={} p99={} p999={}, fallback {:.1}%",
+                self.windows.len(),
+                last.ops(),
+                last.latency_p(0.50),
+                last.latency_p(0.99),
+                last.latency_p(0.999),
+                last.fallback_rate() * 100.0
+            );
+        }
         out
     }
 }
@@ -666,6 +749,34 @@ mod tests {
         assert_eq!(back, snap);
         assert_eq!(back.decisions[0].action, AdaptAction::Grow);
         assert_eq!(back.latency_unit, "cycles");
+    }
+
+    #[test]
+    fn windowed_recorder_rotates_and_round_trips() {
+        assert!(
+            Recorder::new(ObsConfig::default()).windows().is_none(),
+            "window collector must be opt-in"
+        );
+        let r = Recorder::new(ObsConfig {
+            window_len_ms: 50,
+            window_stripes: 2,
+            ..ObsConfig::default()
+        });
+        for i in 0..40u64 {
+            r.record_attempt(i % 2, commit(PathKind::FastHtm, 0, 100));
+            r.record_op_latency(i % 2, 1_000 + i * 10);
+        }
+        let rot = r.windows().expect("collector configured").rotate();
+        assert_eq!(rot.merged.ops(), 40);
+        assert_eq!(rot.merged.counts.commits[0], 40, "attempts forwarded");
+
+        let snap = r.snapshot();
+        assert_eq!(snap.windows.len(), 1);
+        assert!(snap.windows[0].latency_p(0.999) >= snap.windows[0].latency_p(0.5));
+        let parsed = crate::json::parse(&snap.to_json().to_string()).unwrap();
+        let back = ObsSnapshot::from_json(&parsed).expect("v2 round-trips");
+        assert_eq!(back, snap);
+        assert!(snap.render_text().contains("windows: 1 closed"));
     }
 
     #[test]

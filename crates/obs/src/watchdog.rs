@@ -1,0 +1,491 @@
+//! The collapse watchdog: inspects each closed telemetry window and
+//! flags the failure signatures the paper's elision runtimes exhibit
+//! under pathological load, dumping a postmortem "flight record" on
+//! trigger.
+//!
+//! Three signatures are recognised:
+//!
+//! * **Fallback collapse** (the classic TLE lemming effect): the
+//!   pessimistic-lock share of commits spikes past
+//!   [`WatchdogConfig::fallback_spike`] **while** the commit rate falls
+//!   below [`WatchdogConfig::commit_floor_frac`] of the trailing healthy
+//!   mean. Either alone is benign — a lock-heavy-but-fast phase, or a
+//!   quiet period — together they mean the lock convoy is starving HTM.
+//! * **Conflict storm**: aborts-per-commit stays above
+//!   [`WatchdogConfig::storm_aborts_per_commit`] for
+//!   [`WatchdogConfig::storm_windows`] consecutive windows (sustained
+//!   OREC_CONFLICT storms from pessimistic audits stamping the orec
+//!   table look exactly like this).
+//! * **Convoy stall**: the commit rate drops below
+//!   [`WatchdogConfig::stall_rate_frac`] of the trailing mean **while**
+//!   the window's p99 latency exceeds the window length itself, for
+//!   [`WatchdogConfig::stall_windows`] consecutive windows. This is the
+//!   quiet convoy the other two miss: when waiters politely spin (or
+//!   yield) behind a long pessimistic hold, nothing aborts and nothing
+//!   falls back — throughput simply halves while every op's latency
+//!   blows past a full window. The latency guard keeps genuinely idle
+//!   periods (low rate, instant ops) from masquerading as a stall.
+//!
+//! The watchdog arms only after [`WatchdogConfig::warmup_windows`]
+//! healthy windows so startup noise cannot trigger it, and collapsed
+//! windows are kept **out** of the trailing mean so a long incident
+//! cannot normalise itself.
+//!
+//! On trigger, [`flight_record`] assembles the postmortem JSON: the
+//! triggering verdict, the trailing window series, and the last K
+//! attempt events from the recorder's per-thread rings — enough for
+//! offline `diag --timeline` analysis without any live re-run.
+
+use std::collections::VecDeque;
+
+use crate::json::Json;
+use crate::recorder::{ObsSnapshot, SCHEMA_VERSION};
+use crate::window::WindowSnapshot;
+
+/// Thresholds for the collapse signatures. The defaults are tuned on
+/// the `shard_bench`/`slo_bench` collapse reproductions: a healthy
+/// elided map stays under 5% fallback and ~0.5 aborts/commit even
+/// under storms, while a convoyed single lock blows through all three
+/// thresholds at once.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Fallback-rate spike threshold (fraction of commits on the lock
+    /// path) for the collapse signature.
+    pub fallback_spike: f64,
+    /// Commit-rate floor, as a fraction of the trailing healthy mean.
+    pub commit_floor_frac: f64,
+    /// Aborts-per-commit level that counts a window toward a storm.
+    pub storm_aborts_per_commit: f64,
+    /// Consecutive stormy windows required to flag a conflict storm.
+    pub storm_windows: usize,
+    /// Commit-rate fraction (of the trailing mean) below which a window
+    /// counts toward a convoy stall.
+    pub stall_rate_frac: f64,
+    /// p99-latency floor for a stall window, as a multiple of the
+    /// window length (1.0 = ops are waiting longer than a whole window).
+    pub stall_p99_factor: f64,
+    /// Consecutive stalled windows required to flag a convoy stall.
+    pub stall_windows: usize,
+    /// Healthy windows required before the watchdog arms.
+    pub warmup_windows: usize,
+    /// Trailing-mean horizon (healthy windows remembered).
+    pub trailing: usize,
+    /// Windows with fewer total commits than this are ignored entirely
+    /// (idle tails, rotator jitter).
+    pub min_commits: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            fallback_spike: 0.5,
+            commit_floor_frac: 0.35,
+            storm_aborts_per_commit: 4.0,
+            storm_windows: 2,
+            stall_rate_frac: 0.5,
+            stall_p99_factor: 1.0,
+            stall_windows: 2,
+            warmup_windows: 3,
+            trailing: 8,
+            min_commits: 16,
+        }
+    }
+}
+
+/// Which signature fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollapseKind {
+    /// Fallback-rate spike + commit-rate floor.
+    FallbackCollapse,
+    /// Sustained aborts-per-commit storm.
+    ConflictStorm,
+    /// Sustained rate halving with p99 past the window length: a quiet
+    /// lock convoy with no abort or fallback evidence.
+    ConvoyStall,
+}
+
+impl CollapseKind {
+    /// Stable lowercase label used in JSON exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CollapseKind::FallbackCollapse => "fallback_collapse",
+            CollapseKind::ConflictStorm => "conflict_storm",
+            CollapseKind::ConvoyStall => "convoy_stall",
+        }
+    }
+}
+
+/// One watchdog verdict: the signature plus the evidence it fired on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollapseEvent {
+    /// Which signature fired.
+    pub kind: CollapseKind,
+    /// Index of the window that tripped it.
+    pub window_index: u64,
+    /// That window's fallback rate.
+    pub fallback_rate: f64,
+    /// That window's commit rate (commits/s).
+    pub commit_rate: f64,
+    /// Trailing healthy-mean commit rate at trigger time.
+    pub trailing_commit_rate: f64,
+    /// That window's aborts-per-commit ratio.
+    pub aborts_per_commit: f64,
+    /// That window's p99 latency (ns).
+    pub latency_p99_ns: u64,
+}
+
+impl CollapseEvent {
+    /// JSON form for exports and flight records.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::Str(self.kind.label().into())),
+            ("window_index", Json::UInt(self.window_index)),
+            ("fallback_rate", Json::Num(self.fallback_rate)),
+            ("commit_rate", Json::Num(self.commit_rate)),
+            ("trailing_commit_rate", Json::Num(self.trailing_commit_rate)),
+            ("aborts_per_commit", Json::Num(self.aborts_per_commit)),
+            ("latency_p99_ns", Json::UInt(self.latency_p99_ns)),
+        ])
+    }
+}
+
+/// The watchdog: feed it each closed window via [`Watchdog::inspect`].
+/// Single-consumer by design — it rides the rotator thread.
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    /// Commit rates of recent *healthy* windows (collapsed windows are
+    /// excluded so an incident cannot drag the baseline down to itself).
+    trailing: VecDeque<f64>,
+    /// Consecutive stormy windows seen so far.
+    storm_run: usize,
+    /// Consecutive stalled windows seen so far.
+    stall_run: usize,
+    events: Vec<CollapseEvent>,
+}
+
+impl Watchdog {
+    /// A watchdog with the given thresholds.
+    pub fn new(cfg: WatchdogConfig) -> Watchdog {
+        Watchdog {
+            cfg,
+            trailing: VecDeque::new(),
+            storm_run: 0,
+            stall_run: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Mean commit rate of the trailing healthy windows (0.0 pre-warmup).
+    pub fn trailing_commit_rate(&self) -> f64 {
+        if self.trailing.is_empty() {
+            return 0.0;
+        }
+        self.trailing.iter().sum::<f64>() / self.trailing.len() as f64
+    }
+
+    /// Inspects one closed window; returns the verdict if a signature
+    /// fired. Verdicts are also accumulated in [`Watchdog::events`].
+    pub fn inspect(&mut self, w: &WindowSnapshot) -> Option<CollapseEvent> {
+        if w.counts.total_commits() < self.cfg.min_commits {
+            // Idle window: no evidence either way; do not advance the
+            // storm run or pollute the trailing mean.
+            return None;
+        }
+        let commit_rate = w.commit_rate();
+        let trailing_rate = self.trailing_commit_rate();
+        let armed = self.trailing.len() >= self.cfg.warmup_windows;
+
+        let mut fired: Option<CollapseKind> = None;
+        if armed {
+            let collapsed = w.fallback_rate() >= self.cfg.fallback_spike
+                && commit_rate <= trailing_rate * self.cfg.commit_floor_frac;
+            if collapsed {
+                fired = Some(CollapseKind::FallbackCollapse);
+            }
+            if w.aborts_per_commit() >= self.cfg.storm_aborts_per_commit {
+                self.storm_run += 1;
+                if fired.is_none() && self.storm_run >= self.cfg.storm_windows {
+                    fired = Some(CollapseKind::ConflictStorm);
+                    self.storm_run = 0;
+                }
+            } else {
+                self.storm_run = 0;
+            }
+            let stall_p99_floor = w.len_ns as f64 * self.cfg.stall_p99_factor;
+            let stalled = commit_rate <= trailing_rate * self.cfg.stall_rate_frac
+                && w.latency_p(0.99) as f64 >= stall_p99_floor;
+            if stalled {
+                self.stall_run += 1;
+                if fired.is_none() && self.stall_run >= self.cfg.stall_windows {
+                    fired = Some(CollapseKind::ConvoyStall);
+                    self.stall_run = 0;
+                }
+            } else {
+                self.stall_run = 0;
+            }
+        }
+
+        match fired {
+            Some(kind) => {
+                let ev = CollapseEvent {
+                    kind,
+                    window_index: w.index,
+                    fallback_rate: w.fallback_rate(),
+                    commit_rate,
+                    trailing_commit_rate: trailing_rate,
+                    aborts_per_commit: w.aborts_per_commit(),
+                    latency_p99_ns: w.latency_p(0.99),
+                };
+                self.events.push(ev.clone());
+                Some(ev)
+            }
+            None => {
+                self.trailing.push_back(commit_rate);
+                if self.trailing.len() > self.cfg.trailing {
+                    self.trailing.pop_front();
+                }
+                None
+            }
+        }
+    }
+
+    /// Every verdict so far, oldest first.
+    pub fn events(&self) -> &[CollapseEvent] {
+        &self.events
+    }
+}
+
+/// Assembles the postmortem flight-record document (`kind:
+/// "flight-record"`): the triggering verdict, the trailing window
+/// series, and the recorder's recent attempt events. Written to a file
+/// by the harness, read back by `diag --timeline`.
+pub fn flight_record(
+    trigger: &CollapseEvent,
+    windows: &[WindowSnapshot],
+    obs: &ObsSnapshot,
+) -> Json {
+    Json::obj([
+        ("kind", Json::Str("flight-record".into())),
+        ("schema_version", Json::UInt(SCHEMA_VERSION)),
+        ("tool", Json::Str("watchdog".into())),
+        ("latency_unit", Json::Str(obs.latency_unit.clone())),
+        ("trigger", trigger.to_json()),
+        (
+            "windows",
+            Json::Arr(windows.iter().map(WindowSnapshot::to_json).collect()),
+        ),
+        ("events_recorded", Json::UInt(obs.events_recorded)),
+        (
+            "recent_events",
+            Json::Arr(obs.recent_events.iter().map(|e| e.to_json()).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::HistSnapshot;
+    use crate::window::WindowCounts;
+
+    /// Builds a window snapshot the way a rotator would have produced
+    /// it from live counters: per-path commits, conflict + explicit
+    /// aborts, and a flat latency distribution at `lat_ns`.
+    fn window(
+        index: u64,
+        len_ms: u64,
+        commits: [u64; 3],
+        conflicts: u64,
+        orec_explicit: u64,
+        lat_ns: u64,
+    ) -> WindowSnapshot {
+        let total_ops = commits.iter().sum::<u64>();
+        let mut aborts = [0u64; 7];
+        aborts[1] = conflicts; // conflict
+        aborts[3] = orec_explicit; // explicit
+        let mut explicit = [0u64; 8];
+        explicit[4] = orec_explicit; // OREC_CONFLICT protocol code
+        WindowSnapshot {
+            index,
+            start_ns: index * len_ms * 1_000_000,
+            len_ns: len_ms * 1_000_000,
+            counts: WindowCounts {
+                commits,
+                aborts,
+                explicit,
+                latency: HistSnapshot {
+                    count: total_ops,
+                    total: total_ops * lat_ns,
+                    max: lat_ns,
+                    buckets: vec![(lat_ns, total_ops)],
+                },
+            },
+        }
+    }
+
+    /// Replays the collapse trace recorded from a single-lock
+    /// `shard_bench`-style run: ~9.5k commits/s nearly all on HTM, then
+    /// pessimistic audits convoy the lock — fallback share jumps to
+    /// ~70% while throughput drops 15x and OREC_CONFLICT aborts storm.
+    /// The watchdog must fire on the first collapsed window.
+    #[test]
+    fn fires_on_recorded_single_lock_collapse() {
+        let mut wd = Watchdog::new(WatchdogConfig::default());
+        for i in 0..5 {
+            let w = window(i, 100, [900, 45, 5], 60, 12, 8_000);
+            assert_eq!(wd.inspect(&w), None, "healthy window {i} must not fire");
+        }
+        let baseline = wd.trailing_commit_rate();
+        assert!(baseline > 9_000.0, "baseline {baseline}");
+
+        let collapsed = window(5, 100, [15, 3, 42], 180, 5_000, 2_500_000);
+        let ev = wd.inspect(&collapsed).expect("collapse must trigger");
+        assert_eq!(ev.kind, CollapseKind::FallbackCollapse);
+        assert_eq!(ev.window_index, 5);
+        assert!(ev.fallback_rate > 0.5, "fallback {}", ev.fallback_rate);
+        assert!(
+            ev.commit_rate < baseline * 0.35,
+            "rate {} vs baseline {baseline}",
+            ev.commit_rate
+        );
+        assert_eq!(wd.events().len(), 1);
+
+        // The incident must not become the new baseline: a second
+        // collapsed window still fires.
+        let ev2 = wd.inspect(&window(6, 100, [10, 2, 50], 200, 6_000, 3_000_000));
+        assert_eq!(ev2.unwrap().kind, CollapseKind::FallbackCollapse);
+        assert!(
+            (wd.trailing_commit_rate() - baseline).abs() < 1.0,
+            "collapsed windows must stay out of the trailing mean"
+        );
+    }
+
+    #[test]
+    fn stays_silent_on_the_sharded_trace_at_identical_load() {
+        // The sharded run under the same storm: audits pin one shard,
+        // the rest keep committing — fallback stays low, rate dips but
+        // stays above the floor.
+        let mut wd = Watchdog::new(WatchdogConfig::default());
+        for i in 0..5 {
+            assert!(wd.inspect(&window(i, 100, [920, 60, 8], 70, 15, 7_000)).is_none());
+        }
+        for i in 5..8 {
+            // Storm windows: ~20% dip, modest fallback, some conflicts.
+            let w = window(i, 100, [700, 80, 30], 300, 400, 40_000);
+            assert!(wd.inspect(&w).is_none(), "sharded storm window {i} fired");
+        }
+        assert!(wd.events().is_empty());
+    }
+
+    #[test]
+    fn sustained_orec_storm_fires_without_a_rate_floor() {
+        let mut wd = Watchdog::new(WatchdogConfig::default());
+        for i in 0..4 {
+            wd.inspect(&window(i, 100, [800, 100, 10], 80, 20, 9_000));
+        }
+        // Aborts-per-commit ~5.5 but commit rate holds: only the storm
+        // signature applies, and only after two consecutive windows.
+        let stormy = |i| window(i, 100, [500, 300, 20], 1_500, 3_000, 30_000);
+        assert_eq!(wd.inspect(&stormy(4)), None, "one stormy window is noise");
+        let ev = wd.inspect(&stormy(5)).expect("second consecutive window");
+        assert_eq!(ev.kind, CollapseKind::ConflictStorm);
+        assert!(ev.aborts_per_commit >= 4.0);
+
+        // A healthy window resets the run.
+        assert!(wd.inspect(&window(6, 100, [800, 100, 10], 80, 20, 9_000)).is_none());
+        assert_eq!(wd.inspect(&stormy(7)), None, "run was reset");
+    }
+
+    /// Replays the `slo_bench` single-lock trace: blocking audits convoy
+    /// the lock but every waiter politely yields — fallback stays ~2%,
+    /// aborts near zero, yet throughput drops to a third and p99 blows
+    /// past the window length. Only the convoy-stall signature can see
+    /// this shape, and it needs two consecutive windows.
+    #[test]
+    fn convoy_stall_fires_without_fallback_or_abort_evidence() {
+        let mut wd = Watchdog::new(WatchdogConfig::default());
+        for i in 0..5 {
+            let w = window(i, 125, [780, 0, 15], 10, 8, 150_000);
+            assert_eq!(wd.inspect(&w), None, "healthy window {i} must not fire");
+        }
+        let baseline = wd.trailing_commit_rate();
+        // ~220 commits / 125 ms with 150-260 ms p99 and no abort storm.
+        let stalled = |i, lat| window(i, 125, [215, 0, 5], 12, 10, lat);
+        assert_eq!(wd.inspect(&stalled(5, 150_000_000)), None, "one window is noise");
+        let ev = wd.inspect(&stalled(6, 260_000_000)).expect("second stalled window");
+        assert_eq!(ev.kind, CollapseKind::ConvoyStall);
+        assert!(ev.fallback_rate < 0.05, "no fallback evidence: {}", ev.fallback_rate);
+        assert!(ev.aborts_per_commit < 0.5, "no abort evidence");
+        assert!(ev.commit_rate < baseline * 0.5);
+        assert!(ev.latency_p99_ns >= 125_000_000);
+
+        // A healthy window resets the run; an idle drain tail (low rate
+        // but instant ops) fails the latency guard and never counts.
+        assert!(wd.inspect(&window(7, 125, [780, 0, 15], 10, 8, 150_000)).is_none());
+        assert_eq!(wd.inspect(&stalled(8, 130_000_000)), None, "run was reset");
+        let idle_tail = window(9, 125, [50, 0, 1], 0, 0, 700_000);
+        assert_eq!(wd.inspect(&idle_tail), None, "fast idle tail is not a stall");
+        assert_eq!(wd.inspect(&stalled(10, 130_000_000)), None, "tail reset the run");
+    }
+
+    #[test]
+    fn warmup_and_idle_windows_never_fire() {
+        let mut wd = Watchdog::new(WatchdogConfig::default());
+        // Unarmed: even a blatant collapse shape is ignored pre-warmup.
+        let bad = window(0, 100, [2, 1, 60], 500, 900, 5_000_000);
+        assert_eq!(wd.inspect(&bad), None);
+        let after_warmup = wd.trailing_commit_rate();
+        assert!(after_warmup > 0.0, "pre-warmup windows build the baseline");
+        // Idle windows (below min_commits) are skipped entirely.
+        assert_eq!(wd.inspect(&window(1, 100, [3, 0, 1], 0, 0, 100)), None);
+        assert_eq!(wd.trailing_commit_rate(), after_warmup, "idle windows not tracked");
+    }
+
+    #[test]
+    fn flight_record_document_shape() {
+        use crate::recorder::{ObsConfig, Recorder};
+        let mut wd = Watchdog::new(WatchdogConfig::default());
+        let mut windows = Vec::new();
+        for i in 0..4 {
+            let w = window(i, 100, [900, 45, 5], 60, 12, 8_000);
+            wd.inspect(&w);
+            windows.push(w);
+        }
+        let collapsed = window(4, 100, [15, 3, 42], 180, 5_000, 2_500_000);
+        let trigger = wd.inspect(&collapsed).unwrap();
+        windows.push(collapsed);
+
+        let r = Recorder::new(ObsConfig::default());
+        r.record_attempt(
+            0,
+            crate::event::AttemptEvent {
+                path: crate::event::PathKind::Lock,
+                outcome: crate::event::Outcome::Commit,
+                attempt: 7,
+                latency: 1_000_000,
+            },
+        );
+        let doc = flight_record(&trigger, &windows, &r.snapshot());
+        let text = doc.to_string_pretty();
+        let back = crate::json::parse(&text).expect("flight record parses");
+        assert_eq!(back.get("kind").and_then(Json::as_str), Some("flight-record"));
+        assert_eq!(
+            back.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(
+            back.get("trigger")
+                .and_then(|t| t.get("kind"))
+                .and_then(Json::as_str),
+            Some("fallback_collapse")
+        );
+        let ws = back.get("windows").and_then(Json::as_arr).unwrap();
+        assert_eq!(ws.len(), 5);
+        let last = WindowSnapshot::from_json(&ws[4]).expect("windows round-trip");
+        assert_eq!(last.index, 4);
+        assert_eq!(
+            back.get("recent_events").and_then(Json::as_arr).map(<[_]>::len),
+            Some(1)
+        );
+    }
+}

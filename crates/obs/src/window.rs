@@ -1,0 +1,625 @@
+//! Windowed telemetry: epoch-rotated per-thread counters and latency
+//! histograms, snapshotted into a bounded time series.
+//!
+//! Cumulative counters answer "how did the run go overall"; they cannot
+//! show a 50 ms lemming collapse or a pessimistic-audit stall, because
+//! the healthy minutes around the incident average it away. This module
+//! adds the time dimension: writers record into the **open** window
+//! lock-free, a rotator closes the window every N milliseconds, and each
+//! closed window becomes a [`WindowSnapshot`] (per-window p50/p99/p999
+//! latency, abort-cause rates, path-mix) in a bounded [`TimeSeries`]
+//! ring.
+//!
+//! # Rotation protocol (no lost samples)
+//!
+//! Each stripe holds **two** phase buffers; writers pick the buffer by
+//! the low bit of a global window epoch. Rotation is:
+//!
+//! 1. `epoch.fetch_add(1, AcqRel)` — new samples start landing in the
+//!    other phase buffer;
+//! 2. drain the just-retired phase with `swap(0)` per counter/bucket
+//!    ([`crate::hist::Histogram::drain`]).
+//!
+//! A writer that read the old epoch just before the flip may still
+//! increment the retired buffer *after* the drain; the swap guarantees
+//! that increment is collected by the **next** drain of that phase (two
+//! rotations later). Samples can therefore be attributed one window
+//! late under a race, but are never lost and never double-counted —
+//! `sum(all windows) == sum(all records)` once writers quiesce. The
+//! stress test `tests/window_stress.rs` pounds this invariant with 8
+//! writers across hundreds of flips.
+//!
+//! Stripes are selected directly by `thread_key & (stripes - 1)` (unlike
+//! the event ring's hashed striping) so a harness that hands out dense
+//! thread keys gets per-thread buffers, and tests can address stripes
+//! deterministically.
+
+use std::sync::atomic::{
+    AtomicU64,
+    Ordering::{AcqRel, Relaxed},
+};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::event::{AttemptEvent, Outcome, PathKind};
+use crate::hist::{HistSnapshot, Histogram};
+use crate::json::Json;
+
+/// Execution paths (indexes match [`PathKind`] order).
+const PATHS: usize = 3;
+/// Outcome kinds (index = `Outcome::kind_index`; 0 is commit, unused).
+const OUTCOMES: usize = 7;
+/// Explicit-abort protocol codes tracked per window.
+const EXPLICIT_CODES: usize = 8;
+
+const PATH_LABELS: [&str; PATHS] = ["fast_htm", "slow_htm", "lock"];
+const ABORT_LABELS: [&str; OUTCOMES] = [
+    "commit", // index 0, never used as an abort label
+    "conflict",
+    "capacity",
+    "explicit",
+    "unsupported",
+    "nested",
+    "spurious",
+];
+
+/// One phase buffer of one stripe: the counters a writer touches.
+struct PhaseSlots {
+    commits: [AtomicU64; PATHS],
+    aborts: [AtomicU64; OUTCOMES],
+    explicit: [AtomicU64; EXPLICIT_CODES],
+    /// End-to-end operation latency (intended-start to completion when
+    /// the harness corrects for coordinated omission).
+    latency: Histogram,
+}
+
+impl PhaseSlots {
+    fn new() -> PhaseSlots {
+        PhaseSlots {
+            commits: Default::default(),
+            aborts: Default::default(),
+            explicit: Default::default(),
+            latency: Histogram::new(),
+        }
+    }
+
+    /// Takes this phase's contents (swap-to-zero; see the module docs).
+    fn drain(&self) -> WindowCounts {
+        // ordering: counter hand-off via swap's read-modify-write
+        // atomicity; Relaxed suffices because a straggler's increment is
+        // simply collected by the next drain of this phase.
+        let take = |a: &AtomicU64| a.swap(0, Relaxed);
+        WindowCounts {
+            commits: std::array::from_fn(|i| take(&self.commits[i])),
+            aborts: std::array::from_fn(|i| take(&self.aborts[i])),
+            explicit: std::array::from_fn(|i| take(&self.explicit[i])),
+            latency: self.latency.drain(),
+        }
+    }
+}
+
+/// Two phase buffers; the open one is `phases[epoch & 1]`.
+struct Stripe {
+    phases: [PhaseSlots; 2],
+}
+
+/// The raw counts drained from one window (or one stripe of it).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WindowCounts {
+    /// Commits per path, indexed like [`PathKind`] (fast, slow, lock).
+    pub commits: [u64; PATHS],
+    /// Aborts per outcome kind (index 0 — commit — always zero).
+    pub aborts: [u64; OUTCOMES],
+    /// Explicit aborts per protocol code (code mod 8).
+    pub explicit: [u64; EXPLICIT_CODES],
+    /// Operation latency distribution for the window.
+    pub latency: HistSnapshot,
+}
+
+impl WindowCounts {
+    /// Field-wise sum (used to merge per-stripe drains).
+    pub fn merge(&mut self, other: &WindowCounts) {
+        for (d, s) in self.commits.iter_mut().zip(other.commits) {
+            *d += s;
+        }
+        for (d, s) in self.aborts.iter_mut().zip(other.aborts) {
+            *d += s;
+        }
+        for (d, s) in self.explicit.iter_mut().zip(other.explicit) {
+            *d += s;
+        }
+        self.latency = HistSnapshot::merged([&self.latency, &other.latency]);
+    }
+
+    /// Total commits across paths.
+    pub fn total_commits(&self) -> u64 {
+        self.commits.iter().sum()
+    }
+
+    /// Total aborts across causes.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.iter().sum()
+    }
+}
+
+/// One closed window: drained counts plus its position on the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// Zero-based window index (the epoch value the window was open
+    /// under).
+    pub index: u64,
+    /// Window start, ns since the collector was created.
+    pub start_ns: u64,
+    /// Actual window length in ns (rotator jitter makes this differ
+    /// slightly from the configured period).
+    pub len_ns: u64,
+    /// Merged counts for the window.
+    pub counts: WindowCounts,
+}
+
+impl WindowSnapshot {
+    /// Latency at quantile `q` (`0.5`, `0.99`, `0.999`, ...).
+    pub fn latency_p(&self, q: f64) -> u64 {
+        self.counts.latency.percentile(q)
+    }
+
+    /// Operations whose latency was recorded in this window.
+    pub fn ops(&self) -> u64 {
+        self.counts.latency.count
+    }
+
+    /// Fraction of commits that took the pessimistic lock path
+    /// (`0.0` when the window saw no commits).
+    pub fn fallback_rate(&self) -> f64 {
+        let total = self.counts.total_commits();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts.commits[2] as f64 / total as f64
+    }
+
+    /// Commits per second over the window's actual length.
+    pub fn commit_rate(&self) -> f64 {
+        if self.len_ns == 0 {
+            return 0.0;
+        }
+        self.counts.total_commits() as f64 * 1e9 / self.len_ns as f64
+    }
+
+    /// Aborts per commit (`aborts / max(commits, 1)`), the storm signal.
+    pub fn aborts_per_commit(&self) -> f64 {
+        self.counts.total_aborts() as f64 / self.counts.total_commits().max(1) as f64
+    }
+
+    /// Explicit aborts recorded for protocol code `code` (mod 8).
+    pub fn explicit_aborts(&self, code: u8) -> u64 {
+        self.counts.explicit[code as usize % EXPLICIT_CODES]
+    }
+
+    /// JSON form: timeline position, derived rates, percentiles, and the
+    /// full latency histogram (commit/abort maps keyed by stable label).
+    pub fn to_json(&self) -> Json {
+        let label_map = |labels: &[&str], counts: &[u64], skip_zero: bool| {
+            Json::Obj(
+                labels
+                    .iter()
+                    .zip(counts)
+                    .skip(usize::from(skip_zero)) // drop the "commit" abort slot
+                    .map(|(&l, &n)| (l.to_string(), Json::UInt(n)))
+                    .collect(),
+            )
+        };
+        Json::obj([
+            ("index", Json::UInt(self.index)),
+            ("start_ns", Json::UInt(self.start_ns)),
+            ("len_ns", Json::UInt(self.len_ns)),
+            ("ops", Json::UInt(self.ops())),
+            ("p50_ns", Json::UInt(self.latency_p(0.50))),
+            ("p99_ns", Json::UInt(self.latency_p(0.99))),
+            ("p999_ns", Json::UInt(self.latency_p(0.999))),
+            ("commit_rate", Json::Num(self.commit_rate())),
+            ("fallback_rate", Json::Num(self.fallback_rate())),
+            ("aborts_per_commit", Json::Num(self.aborts_per_commit())),
+            (
+                "commits",
+                label_map(&PATH_LABELS, &self.counts.commits, false),
+            ),
+            ("aborts", label_map(&ABORT_LABELS, &self.counts.aborts, true)),
+            (
+                "explicit_codes",
+                Json::Arr(
+                    self.counts
+                        .explicit
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &n)| n > 0)
+                        .map(|(c, &n)| Json::Arr(vec![Json::UInt(c as u64), Json::UInt(n)]))
+                        .collect(),
+                ),
+            ),
+            ("latency", self.counts.latency.to_json()),
+        ])
+    }
+
+    /// Rebuilds a snapshot from [`Self::to_json`] output; `None` on shape
+    /// mismatch. Derived fields (rates, percentiles) are recomputed from
+    /// the counts rather than trusted from the document.
+    pub fn from_json(j: &Json) -> Option<WindowSnapshot> {
+        fn labelled<const N: usize>(j: &Json, labels: &[&str], off: usize) -> Option<[u64; N]> {
+            let mut out = [0u64; N];
+            for (i, &l) in labels.iter().enumerate().skip(off) {
+                out[i] = j.get(l)?.as_u64()?;
+            }
+            Some(out)
+        }
+        let mut explicit = [0u64; EXPLICIT_CODES];
+        for pair in j.get("explicit_codes")?.as_arr()? {
+            let p = pair.as_arr()?;
+            explicit[p.first()?.as_u64()? as usize % EXPLICIT_CODES] = p.get(1)?.as_u64()?;
+        }
+        Some(WindowSnapshot {
+            index: j.get("index")?.as_u64()?,
+            start_ns: j.get("start_ns")?.as_u64()?,
+            len_ns: j.get("len_ns")?.as_u64()?,
+            counts: WindowCounts {
+                commits: labelled(j.get("commits")?, &PATH_LABELS, 0)?,
+                aborts: labelled(j.get("aborts")?, &ABORT_LABELS, 1)?,
+                explicit,
+                latency: HistSnapshot::from_json(j.get("latency")?)?,
+            },
+        })
+    }
+}
+
+/// A bounded ring of closed windows, oldest first. When full, the oldest
+/// window is dropped and counted in [`TimeSeries::dropped`].
+#[derive(Debug, Default)]
+pub struct TimeSeries {
+    cap: usize,
+    dropped: u64,
+    buf: std::collections::VecDeque<WindowSnapshot>,
+}
+
+impl TimeSeries {
+    /// An empty series keeping at most `cap` windows (min 1).
+    pub fn new(cap: usize) -> TimeSeries {
+        TimeSeries {
+            cap: cap.max(1),
+            dropped: 0,
+            buf: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Appends a closed window, evicting the oldest at capacity.
+    pub fn push(&mut self, w: WindowSnapshot) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(w);
+    }
+
+    /// Windows currently retained, oldest first.
+    pub fn windows(&self) -> Vec<WindowSnapshot> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// Retained window count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no window has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Windows evicted since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// The result of one rotation: the merged closed window plus the
+/// per-stripe drains it was merged from (tests use the latter to check
+/// merged == sum of per-thread windows).
+#[derive(Debug, Clone)]
+pub struct WindowRotation {
+    /// The closed window, all stripes merged.
+    pub merged: WindowSnapshot,
+    /// Per-stripe drained counts, stripe-index order.
+    pub per_stripe: Vec<WindowCounts>,
+}
+
+/// The windowed-telemetry collector. Writers are lock-free; one rotator
+/// (any thread) closes windows. See the module docs for the protocol.
+pub struct WindowCollector {
+    stripes: Box<[Stripe]>,
+    /// Global window epoch; low bit selects the open phase buffer.
+    epoch: AtomicU64,
+    window_len_ns: u64,
+    t0: Instant,
+    /// Start of the open window, ns since `t0`.
+    open_start_ns: AtomicU64,
+    /// Serializes rotators and holds the closed-window ring.
+    series: Mutex<TimeSeries>,
+}
+
+impl WindowCollector {
+    /// A collector rotating `window_len_ms`-long windows into a series
+    /// of at most `series_cap` snapshots, with `stripes` (rounded up to
+    /// a power of two) per-thread buffers.
+    pub fn new(window_len_ms: u64, series_cap: usize, stripes: usize) -> WindowCollector {
+        let stripes = stripes.next_power_of_two().max(1);
+        WindowCollector {
+            stripes: (0..stripes)
+                .map(|_| Stripe {
+                    phases: [PhaseSlots::new(), PhaseSlots::new()],
+                })
+                .collect(),
+            epoch: AtomicU64::new(0),
+            window_len_ns: window_len_ms.max(1) * 1_000_000,
+            t0: Instant::now(),
+            open_start_ns: AtomicU64::new(0),
+            series: Mutex::new(TimeSeries::new(series_cap)),
+        }
+    }
+
+    /// Configured window length in ns.
+    pub fn window_len_ns(&self) -> u64 {
+        self.window_len_ns
+    }
+
+    /// The current window epoch (== index of the open window).
+    pub fn epoch(&self) -> u64 {
+        // ordering: advisory read for reporting; the phase selection in
+        // `slots` re-reads it.
+        self.epoch.load(Relaxed)
+    }
+
+    /// ns since the collector was created.
+    pub fn now_ns(&self) -> u64 {
+        self.t0.elapsed().as_nanos() as u64
+    }
+
+    #[inline]
+    fn slots(&self, thread_key: u64) -> &PhaseSlots {
+        // ordering: the epoch read is advisory — a stale value routes
+        // the sample to the phase being drained, where the swap-based
+        // drain attributes it to a later window instead of losing it
+        // (module docs); no synchronization edge is required.
+        let e = self.epoch.load(Relaxed);
+        let s = (thread_key as usize) & (self.stripes.len() - 1);
+        &self.stripes[s].phases[(e & 1) as usize]
+    }
+
+    /// Records one end-to-end operation latency (ns, ideally measured
+    /// from the *intended* start to correct for coordinated omission)
+    /// into the open window. Lock-free.
+    #[inline]
+    pub fn record_latency(&self, thread_key: u64, latency_ns: u64) {
+        self.slots(thread_key).latency.record(latency_ns);
+    }
+
+    /// Feeds one attempt event's path/outcome into the open window's
+    /// rate counters. Lock-free.
+    #[inline]
+    pub fn record_attempt(&self, thread_key: u64, ev: AttemptEvent) {
+        let p = self.slots(thread_key);
+        match ev.outcome {
+            Outcome::Commit => {
+                let i = match ev.path {
+                    PathKind::FastHtm => 0,
+                    PathKind::SlowHtm => 1,
+                    PathKind::Lock => 2,
+                };
+                // ordering: statistics counter, merged at drain time.
+                p.commits[i].fetch_add(1, Relaxed);
+            }
+            other => {
+                // ordering: statistics counter, merged at drain time.
+                p.aborts[other.kind_index()].fetch_add(1, Relaxed);
+                if let Outcome::AbortExplicit(c) = other {
+                    // ordering: statistics counter, merged at drain time.
+                    p.explicit[c as usize % EXPLICIT_CODES].fetch_add(1, Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Closes the open window unconditionally: flips the epoch, drains
+    /// the retired phase, pushes the merged snapshot onto the series,
+    /// and returns the drains. Rotators are serialized by the series
+    /// mutex (rotation is off the hot path; writers never take it).
+    pub fn rotate(&self) -> WindowRotation {
+        let mut series = self.series.lock().unwrap();
+        let now = self.now_ns();
+        // ordering: AcqRel — the flip must not be reordered after the
+        // drains below (Release), and this rotator must observe prior
+        // rotations' flips (Acquire); writers racing with the flip are
+        // handled by the swap-based drain (module docs).
+        let index = self.epoch.fetch_add(1, AcqRel);
+        let retired = (index & 1) as usize;
+        let per_stripe: Vec<WindowCounts> = self
+            .stripes
+            .iter()
+            .map(|s| s.phases[retired].drain())
+            .collect();
+        let mut counts = WindowCounts::default();
+        for sc in &per_stripe {
+            counts.merge(sc);
+        }
+        // ordering: rotators are serialized by the series mutex; the
+        // swap just hands the previous window-start to this rotation.
+        let start_ns = self.open_start_ns.swap(now, Relaxed);
+        let merged = WindowSnapshot {
+            index,
+            start_ns,
+            len_ns: now.saturating_sub(start_ns).max(1),
+            counts,
+        };
+        series.push(merged.clone());
+        WindowRotation { merged, per_stripe }
+    }
+
+    /// Rotates only if the open window has reached the configured
+    /// length; the rotator thread calls this on its tick.
+    pub fn maybe_rotate(&self) -> Option<WindowRotation> {
+        // ordering: advisory deadline check; `rotate` re-reads the
+        // clock under the series mutex.
+        let start = self.open_start_ns.load(Relaxed);
+        (self.now_ns().saturating_sub(start) >= self.window_len_ns).then(|| self.rotate())
+    }
+
+    /// The closed-window series, oldest first.
+    pub fn series(&self) -> Vec<WindowSnapshot> {
+        self.series.lock().unwrap().windows()
+    }
+
+    /// Windows evicted from the bounded series so far.
+    pub fn series_dropped(&self) -> u64 {
+        self.series.lock().unwrap().dropped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commit(path: PathKind, latency: u64) -> AttemptEvent {
+        AttemptEvent {
+            path,
+            outcome: Outcome::Commit,
+            attempt: 0,
+            latency,
+        }
+    }
+
+    #[test]
+    fn rotation_drains_into_distinct_windows() {
+        let c = WindowCollector::new(1_000, 16, 4);
+        c.record_attempt(0, commit(PathKind::FastHtm, 10));
+        c.record_latency(0, 100);
+        let w1 = c.rotate().merged;
+        assert_eq!(w1.index, 0);
+        assert_eq!(w1.counts.commits, [1, 0, 0]);
+        assert_eq!(w1.ops(), 1);
+
+        c.record_attempt(1, commit(PathKind::Lock, 20));
+        c.record_attempt(
+            1,
+            AttemptEvent {
+                path: PathKind::SlowHtm,
+                outcome: Outcome::AbortExplicit(4),
+                attempt: 1,
+                latency: 0,
+            },
+        );
+        let w2 = c.rotate().merged;
+        assert_eq!(w2.index, 1);
+        assert_eq!(w2.counts.commits, [0, 0, 1]);
+        assert_eq!(w2.explicit_aborts(4), 1);
+        assert_eq!(w2.fallback_rate(), 1.0);
+        assert_eq!(c.series().len(), 2);
+
+        let w3 = c.rotate().merged;
+        assert_eq!(w3.counts, WindowCounts::default(), "nothing recorded");
+    }
+
+    #[test]
+    fn merged_window_is_sum_of_stripes() {
+        let c = WindowCollector::new(1_000, 16, 8);
+        for key in 0..8u64 {
+            for _ in 0..=key {
+                c.record_attempt(key, commit(PathKind::FastHtm, 5));
+                c.record_latency(key, 50 * (key + 1));
+            }
+        }
+        let rot = c.rotate();
+        assert_eq!(rot.per_stripe.len(), 8);
+        for (key, stripe) in rot.per_stripe.iter().enumerate() {
+            assert_eq!(stripe.commits[0], key as u64 + 1, "stripe {key}");
+        }
+        let mut sum = WindowCounts::default();
+        for s in &rot.per_stripe {
+            sum.merge(s);
+        }
+        assert_eq!(rot.merged.counts, sum);
+        assert_eq!(rot.merged.ops(), (1..=8u64).sum::<u64>());
+    }
+
+    #[test]
+    fn series_is_bounded_and_counts_drops() {
+        let c = WindowCollector::new(1_000, 3, 1);
+        for i in 0..5u64 {
+            c.record_latency(0, i + 1);
+            c.rotate();
+        }
+        let series = c.series();
+        assert_eq!(series.len(), 3);
+        assert_eq!(c.series_dropped(), 2);
+        assert_eq!(
+            series.iter().map(|w| w.index).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "oldest windows evicted first"
+        );
+    }
+
+    #[test]
+    fn maybe_rotate_respects_the_deadline() {
+        // 1000 ms window: the deadline cannot have passed yet.
+        let c = WindowCollector::new(1_000, 4, 1);
+        assert!(c.maybe_rotate().is_none());
+        // 1 ms window: spin past the deadline.
+        let c = WindowCollector::new(1, 4, 1);
+        while c.now_ns() < 2_000_000 {
+            std::hint::spin_loop();
+        }
+        assert!(c.maybe_rotate().is_some());
+    }
+
+    #[test]
+    fn window_json_round_trips() {
+        let c = WindowCollector::new(50, 8, 2);
+        for i in 0..100u64 {
+            c.record_attempt(i % 2, commit(PathKind::FastHtm, i));
+            c.record_latency(i % 2, i * 17 + 3);
+        }
+        c.record_attempt(
+            0,
+            AttemptEvent {
+                path: PathKind::SlowHtm,
+                outcome: Outcome::AbortConflict,
+                attempt: 2,
+                latency: 0,
+            },
+        );
+        c.record_attempt(
+            1,
+            AttemptEvent {
+                path: PathKind::Lock,
+                outcome: Outcome::AbortExplicit(6),
+                attempt: 3,
+                latency: 0,
+            },
+        );
+        let w = c.rotate().merged;
+        let text = w.to_json().to_string_pretty();
+        let back =
+            WindowSnapshot::from_json(&crate::json::parse(&text).unwrap()).expect("round-trip");
+        assert_eq!(back, w);
+        assert_eq!(back.latency_p(0.999), w.latency_p(0.999));
+    }
+
+    #[test]
+    fn percentiles_come_from_window_latency() {
+        let c = WindowCollector::new(50, 8, 1);
+        for v in 1..=1000u64 {
+            c.record_latency(0, v);
+        }
+        let w = c.rotate().merged;
+        assert!(w.latency_p(0.5) >= 450 && w.latency_p(0.5) <= 550);
+        assert!(w.latency_p(0.99) <= w.latency_p(0.999));
+        assert_eq!(w.ops(), 1000);
+    }
+}

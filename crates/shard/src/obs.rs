@@ -26,6 +26,12 @@ pub struct ShardReport {
     /// orecs) — the "which shard's footprint is actually contended"
     /// signal, as opposed to `routed`'s "which shard is merely busy".
     pub heat_conflicts: Vec<u64>,
+    /// Merged windowed time series, when the shards were built (via
+    /// [`ShardedTxMap::with_builder`]) around a shared recorder with
+    /// windowing configured. All shards feed the same per-thread stripes,
+    /// so each entry is already the cross-shard merged window — the same
+    /// series the collapse watchdog inspects. Empty without a recorder.
+    pub windows: Vec<rtle_obs::WindowSnapshot>,
 }
 
 /// `max / mean` of a counter vector: 1.0 = perfectly balanced,
@@ -97,6 +103,15 @@ impl ShardReport {
             ("load_imbalance", Json::Num(self.load_imbalance())),
             ("abort_imbalance", Json::Num(self.abort_imbalance())),
             ("per_shard", Json::Arr(shards)),
+            (
+                "windows",
+                Json::Arr(
+                    self.windows
+                        .iter()
+                        .map(rtle_obs::WindowSnapshot::to_json)
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -129,7 +144,17 @@ impl<V: TxWord, B: HtmBackend> ShardedTxMap<V, B> {
         let merged = per_shard
             .iter()
             .fold(StatsSnapshot::default(), |acc, s| acc.merge(s));
+        // `with_builder` clones one template per shard, so every shard
+        // holds the same `Arc<Recorder>` — the first shard's window
+        // series is already the cross-shard merge.
+        let windows = self
+            .shards
+            .first()
+            .and_then(|s| s.lock.recorder())
+            .and_then(|r| r.windows())
+            .map_or_else(Vec::new, |w| w.series());
         ShardReport {
+            windows,
             heat_conflicts: self
                 .shards
                 .iter()
@@ -183,6 +208,46 @@ mod tests {
         assert_eq!(imbalance(&[0, 0, 0]), 0.0);
         assert!((imbalance(&[5, 5, 5, 5]) - 1.0).abs() < 1e-12);
         assert!((imbalance(&[8, 0, 0, 0]) - 4.0).abs() < 1e-12, "all-on-one = shard count");
+    }
+
+    #[test]
+    fn report_carries_the_merged_window_series() {
+        use rtle_core::ElidableLock;
+        use rtle_obs::{ObsConfig, Recorder};
+        use std::sync::Arc;
+
+        let rec = Arc::new(Recorder::new(ObsConfig {
+            window_len_ms: 1_000,
+            ..ObsConfig::default()
+        }));
+        let m: ShardedTxMap =
+            ShardedTxMap::with_builder(4, 64, ElidableLock::builder().recorder(Arc::clone(&rec)));
+        for k in 0..200u64 {
+            m.insert(k, k);
+        }
+        // Without a rotation nothing has closed yet.
+        assert!(m.report().windows.is_empty());
+        rec.windows().expect("windowing configured").rotate();
+        let report = m.report();
+        assert_eq!(report.windows.len(), 1, "one closed window");
+        let w = &report.windows[0];
+        assert_eq!(
+            w.counts.total_commits(),
+            200,
+            "window merges commits from every shard"
+        );
+        let doc = report.to_json();
+        let back = parse_json(&doc.to_string_pretty()).expect("export parses");
+        let ws = back.get("windows").and_then(Json::as_arr).expect("windows array");
+        assert_eq!(ws.len(), 1);
+        let round = rtle_obs::WindowSnapshot::from_json(&ws[0]).expect("window round-trips");
+        assert_eq!(round.counts.total_commits(), 200);
+
+        // A recorder-less map exports an empty series, not a missing key.
+        let plain: ShardedTxMap = ShardedTxMap::new(4, 64);
+        plain.insert(1, 1);
+        let bare = parse_json(&plain.report().to_json().to_string_pretty()).unwrap();
+        assert_eq!(bare.get("windows").and_then(Json::as_arr).map(<[_]>::len), Some(0));
     }
 
     #[test]

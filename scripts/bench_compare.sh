@@ -4,7 +4,10 @@
 # using the harness's noise-tolerant thresholds (ratio x1.8 AND +15ns
 # absolute, see crates/bench/src/baseline.rs). If a SHARD_<n>.json
 # baseline exists, the sharded-map scaling rows (`shard{N}_mixed_{T}thr`
-# from `shard_bench`) are diffed the same way.
+# from `shard_bench`) are diffed the same way; if an SLO_<n>.json
+# baseline exists, the SLO harness's headline latency rows
+# (`slo_<config>_p50_ns`, `slo_<config>_worst_p99_ns` from `slo_bench`)
+# are too.
 #
 #   scripts/bench_compare.sh              # report-only: always exits 0
 #   scripts/bench_compare.sh --strict     # exit 1 on a regression verdict
@@ -12,6 +15,7 @@
 # To (re)seed a baseline after an intentional perf change:
 #   cargo run -p rtle-bench --release --bin bench -- run --out BENCH_<n+1>.json
 #   cargo run -p rtle-bench --release --bin shard_bench -- --json SHARD_<n+1>.json
+#   cargo run -p rtle-bench --release --bin slo_bench -- --quick --json SLO_<n+1>.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +49,24 @@ else
         cargo run -p rtle-bench --release --bin bench -- compare "$shard_baseline" "$shard_new" || status=1
     else
         cargo run -p rtle-bench --release --bin bench -- compare "$shard_baseline" "$shard_new" --report-only
+    fi
+fi
+
+slo_baseline="$(ls SLO_*.json 2>/dev/null | sort -V | tail -1 || true)"
+if [[ -z "$slo_baseline" ]]; then
+    echo "bench_compare: no SLO_<n>.json baseline at the repo root; skipping SLO rows"
+else
+    echo "bench_compare: SLO baseline $slo_baseline"
+    # The quick config matches the baseline's rows. The collapsed
+    # single-lock p99 is intentionally huge and noisy; the x1.8 ratio
+    # gate still separates it from a real regression of the healthy
+    # sharded rows.
+    slo_new="$(mktemp -d)/slo_new.json"
+    cargo run -p rtle-bench --release --bin slo_bench -- --quick --json "$slo_new" >/dev/null 2>&1
+    if [[ "$mode" == "--strict" ]]; then
+        cargo run -p rtle-bench --release --bin bench -- compare "$slo_baseline" "$slo_new" || status=1
+    else
+        cargo run -p rtle-bench --release --bin bench -- compare "$slo_baseline" "$slo_new" --report-only
     fi
 fi
 

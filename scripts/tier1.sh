@@ -110,6 +110,68 @@ rustc --edition 2021 -O --extern rtle_obs="$obs_rlib" \
     -o /tmp/tier1_shard_smoke /tmp/tier1_shard_smoke.rs
 /tmp/tier1_shard_smoke "$shard_json"
 
+echo "== slo_bench smoke (open-loop SLO harness + collapse watchdog) =="
+# Seeded quick run of the windowed tail-latency harness. The validator
+# enforces the PR's demonstrandum end-to-end: the forced single-lock
+# collapse must trip the watchdog and write a flight record, while the
+# sharded map under the identical arrival schedule stays silent. The
+# collapse is physics, not timing luck — the storm's blocking audits
+# serialize on the single lock well past its capacity — so this holds
+# on a loaded 1-core host.
+slo_json="$tmp/slo.json"
+flight_dir="$tmp/flight"
+mkdir -p "$flight_dir"
+cargo run -p rtle-bench --release --bin slo_bench -- \
+    --quick --seed 0x510b42d --flight-dir "$flight_dir" --json "$slo_json" >/dev/null 2>&1
+cat > /tmp/tier1_slo_smoke.rs <<'RS'
+fn main() {
+    use rtle_obs::Json;
+    let path = std::env::args().nth(1).unwrap();
+    let text = std::fs::read_to_string(&path).expect("read slo json");
+    let j = rtle_obs::parse_json(&text).expect("slo json must parse");
+    assert_eq!(j.get("kind").and_then(Json::as_str), Some("perf-baseline"));
+    assert_eq!(j.get("tool").and_then(Json::as_str), Some("slo_bench"));
+    assert_eq!(
+        j.get("schema_version").and_then(Json::as_u64),
+        Some(rtle_obs::SCHEMA_VERSION),
+        "schema version mismatch"
+    );
+    assert!(!j.get("benches").and_then(Json::as_arr).expect("benches").is_empty());
+    let slo = j.get("slo").expect("slo section");
+    let configs = slo.get("configs").and_then(Json::as_arr).expect("configs");
+    assert_eq!(configs.len(), 2, "single_lock + sharded");
+    for c in configs {
+        let name = c.get("name").and_then(Json::as_str).expect("name");
+        let windows = c.get("windows").and_then(Json::as_arr).expect("windows");
+        assert!(windows.len() >= 4, "{name}: too few windows");
+        for w in windows {
+            rtle_obs::WindowSnapshot::from_json(w).expect("window round-trips");
+        }
+        let dogs = c.get("watchdog").and_then(Json::as_arr).expect("watchdog");
+        if name == "single_lock" {
+            assert!(!dogs.is_empty(), "single-lock collapse must trip the watchdog");
+            let fr = c.get("flight_record").and_then(Json::as_str)
+                .expect("collapse must dump a flight record");
+            let ftext = std::fs::read_to_string(fr).expect("read flight record");
+            let fj = rtle_obs::parse_json(&ftext).expect("flight record parses");
+            assert_eq!(fj.get("kind").and_then(Json::as_str), Some("flight-record"));
+            println!("ok: {name} fired {} verdict(s), flight record at {fr}", dogs.len());
+        } else {
+            assert!(dogs.is_empty(), "{name} must stay silent at identical load");
+            println!("ok: {name} silent");
+        }
+    }
+}
+RS
+rustc --edition 2021 -O --extern rtle_obs="$obs_rlib" \
+    -L dependency=target/release/deps \
+    -o /tmp/tier1_slo_smoke /tmp/tier1_slo_smoke.rs
+/tmp/tier1_slo_smoke "$slo_json"
+# The offline viewers must render both document kinds.
+cargo run -p rtle-bench --release --bin diag -- --slo "$slo_json" >/dev/null
+cargo run -p rtle-bench --release --bin diag -- \
+    --timeline "$flight_dir"/slo_flight_single_lock.json >/dev/null
+
 echo "== perf baseline (non-fatal report) =="
 scripts/bench_compare.sh --report-only || echo "bench_compare: report failed (non-fatal)"
 
