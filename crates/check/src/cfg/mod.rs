@@ -1,0 +1,402 @@
+//! Per-function control-flow graphs over the [`crate::syntax`] AST.
+//!
+//! Each function lowers to a graph of basic blocks holding typed
+//! [`Event`]s — the only program actions the concurrency passes reason
+//! about (atomic ops, fences, raw-pointer accesses, lock acquisitions,
+//! guard-protected field uses, and ordering *facts* like "`lo < hi`
+//! holds here"). Everything else in the function is dropped at lowering
+//! time, which keeps the dominance machinery tiny.
+//!
+//! Dominance and postdominance are computed by the classic iterative
+//! bitset dataflow; functions in this workspace have tens of blocks, so
+//! the O(n²) sets are effectively free and the implementation stays
+//! dependency-free.
+
+pub mod lower;
+
+use std::fmt;
+
+pub use lower::lower_fn;
+
+/// How `with_shards_locked` was called (its slice argument shape).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContractArg {
+    /// `&name` — a slice variable; needs a dominating sortedness fact.
+    Slice(String),
+    /// `&[a, b]` — a two-element array; needs a dominating `a < b` fact.
+    Pair(String, String),
+    /// Anything the lowering could not resolve symbolically.
+    Unknown,
+}
+
+/// One analyzable program action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A call (free or method) the passes may interpret by name.
+    Call {
+        /// Callee / method name.
+        name: String,
+        /// Receiver name for method calls, when resolvable.
+        recv: Option<String>,
+    },
+    /// Atomic operation with explicit `Ordering` arguments.
+    Atomic {
+        /// Method name (`load`, `store`, `fetch_add`, ...).
+        op: String,
+        /// Receiver name.
+        recv: String,
+        /// Ordering idents in argument order (`Acquire`, `SeqCst`, ...).
+        orderings: Vec<String>,
+    },
+    /// `fence(Ordering::X)`.
+    Fence {
+        /// Ordering ident.
+        ordering: String,
+    },
+    /// `<recv>.write(value)` — a `TxCell`-style store (no `Ordering`).
+    TxWrite {
+        /// Receiver name.
+        recv: String,
+    },
+    /// Raw-pointer write: `*p = x` inside `unsafe`, or `ptr::write`.
+    RawWrite,
+    /// Raw-pointer read: an `unsafe` deref that is not a store target or
+    /// an atomic receiver.
+    RawRead,
+    /// Access to a watched shared field (`....map`), with the guard
+    /// nesting depth recorded on the event.
+    FieldUse {
+        /// Dotted access path.
+        path: String,
+        /// Field name.
+        field: String,
+    },
+    /// Shard-lock acquisition (`lock_section()`).
+    Acquire {
+        /// Symbolic shard index (`hi`, `3`, loop variable), if resolvable.
+        index: Option<String>,
+        /// When acquired inside an iterator closure: the slice iterated.
+        loop_over: Option<String>,
+        /// Symbols of locks already held lexically at this point.
+        live: Vec<String>,
+    },
+    /// Fact: `lt < gt` holds from here on (conditional-swap binding).
+    OrderFact {
+        /// The smaller symbol.
+        lt: String,
+        /// The larger symbol.
+        gt: String,
+    },
+    /// Fact: `slice` is sorted ascending (a `sort*()` call or the
+    /// `debug_assert!(s.windows(2).all(|w| w[0] < w[1]))` idiom).
+    SortedFact {
+        /// The slice symbol.
+        slice: String,
+    },
+    /// A `with_shards_locked(arg, ...)` call site and its argument shape.
+    ContractCall {
+        /// The slice argument.
+        arg: ContractArg,
+    },
+}
+
+/// An [`EventKind`] with its source position and guard nesting depth.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// The action.
+    pub kind: EventKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// How many guard regions (critical sections) enclose this event.
+    pub guard_depth: usize,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[g{}] ", self.guard_depth)?;
+        match &self.kind {
+            EventKind::Call { name, recv } => match recv {
+                Some(r) => write!(f, "call {r}.{name}"),
+                None => write!(f, "call {name}"),
+            },
+            EventKind::Atomic { op, recv, orderings } => {
+                write!(f, "atomic {recv}.{op} {}", orderings.join("/"))
+            }
+            EventKind::Fence { ordering } => write!(f, "fence {ordering}"),
+            EventKind::TxWrite { recv } => write!(f, "txwrite {recv}"),
+            EventKind::RawWrite => write!(f, "raw-write"),
+            EventKind::RawRead => write!(f, "raw-read"),
+            EventKind::FieldUse { path, .. } => write!(f, "field {path}"),
+            EventKind::Acquire { index, loop_over, live } => {
+                write!(f, "acquire")?;
+                if let Some(i) = index {
+                    write!(f, " idx={i}")?;
+                }
+                if let Some(s) = loop_over {
+                    write!(f, " loop={s}")?;
+                }
+                if !live.is_empty() {
+                    write!(f, " live=[{}]", live.join(","))?;
+                }
+                Ok(())
+            }
+            EventKind::OrderFact { lt, gt } => write!(f, "order-fact {lt}<{gt}"),
+            EventKind::SortedFact { slice } => write!(f, "sorted-fact {slice}"),
+            EventKind::ContractCall { arg } => match arg {
+                ContractArg::Slice(s) => write!(f, "contract &{s}"),
+                ContractArg::Pair(a, b) => write!(f, "contract &[{a},{b}]"),
+                ContractArg::Unknown => write!(f, "contract ?"),
+            },
+        }
+    }
+}
+
+/// A basic block: straight-line events plus successor edges.
+#[derive(Debug, Default)]
+pub struct BasicBlock {
+    /// Events in program order.
+    pub events: Vec<Event>,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+}
+
+/// Position of an event inside a [`FnCfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvRef {
+    /// Block id.
+    pub block: usize,
+    /// Index into the block's event list.
+    pub idx: usize,
+}
+
+/// A lowered function.
+#[derive(Debug)]
+pub struct FnCfg {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// `cfg` marker in effect: `"test"`, a feature name, etc.
+    pub cfg_marker: Option<String>,
+    /// Blocks; ids are indices.
+    pub blocks: Vec<BasicBlock>,
+    /// Entry block id.
+    pub entry: usize,
+    /// Exit block id (every return edge targets it).
+    pub exit: usize,
+}
+
+impl FnCfg {
+    /// Is this function a seeded analyzer mutant
+    /// (`#[cfg(feature = "mutant-...")]`)?
+    pub fn mutant_feature(&self) -> Option<&str> {
+        self.cfg_marker.as_deref().filter(|m| m.starts_with("mutant"))
+    }
+
+    /// Iterates all events with their positions, in block order.
+    pub fn events(&self) -> impl Iterator<Item = (EvRef, &Event)> {
+        self.blocks.iter().enumerate().flat_map(|(b, blk)| {
+            blk.events
+                .iter()
+                .enumerate()
+                .map(move |(i, e)| (EvRef { block: b, idx: i }, e))
+        })
+    }
+
+    fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                if s < preds.len() {
+                    preds[s].push(b);
+                }
+            }
+        }
+        preds
+    }
+
+    /// Block-level dominator sets: `doms[b][d]` ⇔ `d` dominates `b`.
+    /// Blocks unreachable from entry keep the full set (vacuous truth);
+    /// the passes only query reachable events.
+    pub fn dominators(&self) -> Vec<Vec<bool>> {
+        iterate_flow(self.blocks.len(), self.entry, &self.preds())
+    }
+
+    /// Block-level postdominator sets over the reversed graph from exit
+    /// (the reverse graph's predecessors are the forward successors).
+    pub fn postdominators(&self) -> Vec<Vec<bool>> {
+        let fwd_succs: Vec<Vec<usize>> = self.blocks.iter().map(|b| b.succs.clone()).collect();
+        iterate_flow(self.blocks.len(), self.exit, &fwd_succs)
+    }
+
+    /// Block-level reachability: `reach[a][b]` ⇔ a path a→…→b exists
+    /// (including the empty path: `reach[a][a]`).
+    pub fn reachability(&self) -> Vec<Vec<bool>> {
+        let n = self.blocks.len();
+        let mut reach = vec![vec![false; n]; n];
+        for (start, row) in reach.iter_mut().enumerate() {
+            let mut stack = vec![start];
+            while let Some(b) = stack.pop() {
+                if row[b] {
+                    continue;
+                }
+                row[b] = true;
+                for &s in &self.blocks[b].succs {
+                    if s < n && !row[s] {
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+        reach
+    }
+
+    /// Event-level dominance: `a` dominates `b` iff `a`'s block strictly
+    /// dominates `b`'s, or they share a block and `a` comes first.
+    pub fn ev_dominates(&self, doms: &[Vec<bool>], a: EvRef, b: EvRef) -> bool {
+        if a.block == b.block {
+            return a.idx <= b.idx;
+        }
+        doms[b.block][a.block]
+    }
+
+    /// Event-level reachability: can control reach `b` strictly after `a`?
+    pub fn ev_reaches(&self, reach: &[Vec<bool>], a: EvRef, b: EvRef) -> bool {
+        if a.block == b.block && b.idx > a.idx {
+            return true;
+        }
+        self.blocks[a.block]
+            .succs
+            .iter()
+            .any(|&s| s < reach.len() && reach[s][b.block])
+    }
+
+    /// Text dump (golden-test format).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "fn {} (line {})", self.name, self.line);
+        for (i, b) in self.blocks.iter().enumerate() {
+            let mark = if i == self.entry {
+                " entry"
+            } else if i == self.exit {
+                " exit"
+            } else {
+                ""
+            };
+            let succs: Vec<String> = b.succs.iter().map(|s| s.to_string()).collect();
+            let _ = writeln!(out, "  b{i}{mark} -> [{}]", succs.join(" "));
+            for e in &b.events {
+                let _ = writeln!(out, "    {e}");
+            }
+        }
+        out
+    }
+}
+
+/// The shared dominator-style fixpoint: `sets[root] = {root}`, every
+/// other node starts full and intersects over `edges_in` until stable.
+fn iterate_flow(n: usize, root: usize, edges_in: &[Vec<usize>]) -> Vec<Vec<bool>> {
+    let mut sets: Vec<Vec<bool>> = vec![vec![true; n]; n];
+    if n == 0 {
+        return sets;
+    }
+    sets[root] = vec![false; n];
+    sets[root][root] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..n {
+            if b == root {
+                continue;
+            }
+            let mut new: Option<Vec<bool>> = None;
+            for &p in &edges_in[b] {
+                match &mut new {
+                    None => new = Some(sets[p].clone()),
+                    Some(acc) => {
+                        for (i, v) in acc.iter_mut().enumerate() {
+                            *v = *v && sets[p][i];
+                        }
+                    }
+                }
+            }
+            let mut new = new.unwrap_or_else(|| vec![true; n]);
+            new[b] = true;
+            if new != sets[b] {
+                sets[b] = new;
+                changed = true;
+            }
+        }
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> FnCfg {
+        // 0 -> 1,2 ; 1 -> 3 ; 2 -> 3 ; 3 -> 4(exit)
+        let mut blocks: Vec<BasicBlock> = (0..5).map(|_| BasicBlock::default()).collect();
+        blocks[0].succs = vec![1, 2];
+        blocks[1].succs = vec![3];
+        blocks[2].succs = vec![3];
+        blocks[3].succs = vec![4];
+        FnCfg {
+            name: "d".into(),
+            line: 1,
+            cfg_marker: None,
+            blocks,
+            entry: 0,
+            exit: 4,
+        }
+    }
+
+    #[test]
+    fn diamond_dominance() {
+        let cfg = diamond();
+        let doms = cfg.dominators();
+        assert!(doms[3][0], "entry dominates join");
+        assert!(!doms[3][1], "one branch does not dominate the join");
+        assert!(!doms[3][2]);
+        let pdoms = cfg.postdominators();
+        assert!(pdoms[0][3], "join postdominates entry");
+        assert!(pdoms[1][3]);
+        assert!(!pdoms[0][1], "a branch does not postdominate entry");
+    }
+
+    #[test]
+    fn diamond_reachability() {
+        let cfg = diamond();
+        let reach = cfg.reachability();
+        assert!(reach[0][4]);
+        assert!(reach[1][3]);
+        assert!(!reach[1][2], "siblings unreachable from each other");
+        assert!(!reach[3][0]);
+    }
+
+    #[test]
+    fn event_level_relations() {
+        let mut cfg = diamond();
+        let ev = |k: EventKind| Event {
+            kind: k,
+            line: 1,
+            guard_depth: 0,
+        };
+        cfg.blocks[0].events.push(ev(EventKind::RawRead));
+        cfg.blocks[0].events.push(ev(EventKind::RawWrite));
+        cfg.blocks[1].events.push(ev(EventKind::RawRead));
+        let doms = cfg.dominators();
+        let reach = cfg.reachability();
+        let a = EvRef { block: 0, idx: 0 };
+        let b = EvRef { block: 0, idx: 1 };
+        let c = EvRef { block: 1, idx: 0 };
+        assert!(cfg.ev_dominates(&doms, a, b));
+        assert!(!cfg.ev_dominates(&doms, b, a));
+        assert!(cfg.ev_dominates(&doms, a, c));
+        assert!(!cfg.ev_dominates(&doms, c, a));
+        assert!(cfg.ev_reaches(&reach, a, c));
+        assert!(!cfg.ev_reaches(&reach, c, a));
+    }
+}

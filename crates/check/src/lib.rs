@@ -19,8 +19,11 @@
 
 #![warn(missing_docs)]
 
+pub mod cfg;
 pub mod lint;
 pub mod model;
+pub mod passes;
+pub mod syntax;
 
 use std::path::{Path, PathBuf};
 

@@ -8,13 +8,14 @@
 //!    [`rules::ORDERING_RULES`] or carry a `// ordering: <reason>`
 //!    annotation within three lines. Covered-but-nonconforming uses are
 //!    violations; uncovered, unannotated uses are "unaudited" findings.
-//! 2. **Fence discipline** — in `core/src/orec.rs`, every `orec.write(...)`
-//!    (an orec acquisition) must be followed by a `fence(...)` before the
-//!    enclosing function ends (§4's store-load fence).
-//! 3. **SAFETY comments** — every `unsafe` block or `unsafe impl` outside
+//! 2. **SAFETY comments** — every `unsafe` block or `unsafe impl` outside
 //!    test code needs a `// SAFETY:` comment within three lines above.
-//! 4. **Hot-path hygiene** — `unwrap`/`panic!` are banned outside tests in
+//! 3. **Hot-path hygiene** — `unwrap`/`panic!` are banned outside tests in
 //!    [`rules::HOT_PATH_FILES`].
+//!
+//! The §4 orec-fence discipline used to be rule family 2 here, enforced
+//! by textual adjacency; it is now the path-sensitive `fence` pass in
+//! [`crate::passes`] (see the migration note in [`rules`]).
 
 pub mod rules;
 pub mod source;
@@ -132,47 +133,7 @@ pub fn lint_file(root: &Path, path: &Path, sf: &SourceFile, findings: &mut Vec<F
         }
     }
 
-    // 2. Fence after orec stamp (§4).
-    if path_str.ends_with("core/src/orec.rs") {
-        for (i, stmt) in sf.stmts.iter().enumerate() {
-            if stmt.in_test || !stmt.code.contains(".write(") {
-                continue;
-            }
-            // Only orec stamp stores (receiver `orec`), not e.g. the
-            // `active` resize write.
-            let Some(at) = stmt.code.find(".write(") else {
-                continue;
-            };
-            let recv = &stmt.code[..at];
-            if !recv.trim_end().ends_with("orec") {
-                continue;
-            }
-            let mut fenced = stmt.code[at..].contains("fence(");
-            for later in &sf.stmts[i + 1..] {
-                if fenced {
-                    break;
-                }
-                if later.depth < stmt.depth {
-                    break; // left the enclosing block/function
-                }
-                if later.code.contains("fence(") {
-                    fenced = true;
-                    break;
-                }
-            }
-            if !fenced {
-                findings.push(Finding {
-                    path: rp.clone(),
-                    line: stmt.line,
-                    rule: "orec-fence",
-                    msg: "orec stamp store has no following fence() in the same function (§4 store-load fence)"
-                        .into(),
-                });
-            }
-        }
-    }
-
-    // 3. SAFETY comments on unsafe blocks / impls.
+    // 2. SAFETY comments on unsafe blocks / impls.
     for (idx, li) in sf.lines.iter().enumerate() {
         if li.in_test {
             continue;
@@ -214,7 +175,7 @@ pub fn lint_file(root: &Path, path: &Path, sf: &SourceFile, findings: &mut Vec<F
         }
     }
 
-    // 4. Hot-path hygiene.
+    // 3. Hot-path hygiene.
     if rules::HOT_PATH_FILES.iter().any(|f| path_str.ends_with(f)) {
         for (idx, li) in sf.lines.iter().enumerate() {
             if li.in_test {
@@ -297,17 +258,6 @@ mod tests {
         let src = "#[cfg(test)]\nmod tests {\n    fn f() { X.load(Ordering::SeqCst); }\n}\n";
         let f = lint_str("/ws/crates/core/src/other.rs", src);
         assert!(f.is_empty(), "{f:?}");
-    }
-
-    #[test]
-    fn orec_write_needs_fence() {
-        let bad = "impl T { fn stamp(&self) { let orec = &self.r[0]; orec.write(e); true } }";
-        let f = lint_str("/ws/crates/core/src/orec.rs", bad);
-        assert!(f.iter().any(|f| f.rule == "orec-fence"), "{f:?}");
-
-        let good = "impl T { fn stamp(&self) { let orec = &self.r[0]; orec.write(e); fence(Ordering::SeqCst); } }";
-        let f = lint_str("/ws/crates/core/src/orec.rs", good);
-        assert!(!f.iter().any(|f| f.rule == "orec-fence"), "{f:?}");
     }
 
     #[test]

@@ -5,6 +5,20 @@
 //! allowed orderings) or carry a nearby `// ordering: <reason>` annotation;
 //! anything else is a finding. The table is the reviewable artifact: adding
 //! a new atomic means adding a row (or an annotation) stating its contract.
+//!
+//! # Migration note: retired textual rules
+//!
+//! The lint used to carry an `orec-fence` rule family that checked §4's
+//! store-load fence by *textual adjacency* — "an `orec.write(` statement
+//! must be followed by a `fence(` statement before brace depth drops".
+//! That rule (and the statement-joining heuristics it leaned on) is
+//! retired: the `fence` pass in [`crate::passes`] now proves the same
+//! invariant path-sensitively on the CFG — the fence must come before
+//! any store-class event on *every* path from the stamp, which the
+//! textual rule could neither express (branches) nor check precisely
+//! (any `fence(` text counted, at any ordering). Keep new flow-sensitive
+//! invariants in `passes`; this table stays for per-site ordering
+//! contracts, which are genuinely local.
 
 use super::source::Stmt;
 

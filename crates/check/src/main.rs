@@ -1,17 +1,22 @@
-//! `rtle-check` CLI: `rtle-check [--root <path>] [lint|model|all]`.
+//! `rtle-check` CLI:
+//! `rtle-check [--root <path>] [--json <file>] [lint|analyze|model|all]`.
 //!
-//! * `lint` — run the static pass over the workspace sources.
+//! * `lint` — run the token-level lint pass over the workspace sources.
+//! * `analyze` — run the path-sensitive concurrency passes (lockset,
+//!   lock-order, publication, §4 fence) over the whole workspace and
+//!   verify the seeded analyzer mutants are caught. With `--json <file>`
+//!   the full report is exported through the rtle-obs JSON schema.
 //! * `model` — exhaustively check the standard protocol configurations
 //!   *and* verify the seeded lazy-subscription mutant is caught.
-//! * `all` (default) — both.
+//! * `all` (default) — everything.
 //!
-//! Exit code 0 iff everything is clean (and the mutant was detected).
+//! Exit code 0 iff everything is clean (and every mutant was detected).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rtle_check::model::{explore, mutant_config, standard_suite};
-use rtle_check::{find_workspace_root, lint};
+use rtle_check::{find_workspace_root, lint, passes};
 
 fn run_lint(root: &PathBuf) -> bool {
     let findings = lint::lint_workspace(root);
@@ -26,6 +31,43 @@ fn run_lint(root: &PathBuf) -> bool {
         println!("lint: FAILED ({} findings)", findings.len());
         false
     }
+}
+
+fn run_analyze(root: &PathBuf, json: Option<&PathBuf>) -> bool {
+    let report = passes::analyze_workspace(root);
+    for f in report.unsuppressed() {
+        println!("analyze: {f}");
+    }
+    for m in &report.mutants {
+        println!(
+            "analyze: mutant {:<22} [{}] -> {}",
+            m.feature,
+            m.pass,
+            if m.caught {
+                format!("CAUGHT ({} findings, as required)", m.findings)
+            } else {
+                "MISSED — analyzer regression!".to_string()
+            }
+        );
+    }
+    let suppressed = report.findings.iter().filter(|f| f.suppressed).count();
+    let live = report.unsuppressed().count();
+    println!(
+        "analyze: {} ({} files, {} fns, {live} findings, {suppressed} suppressed, {} ms)",
+        if report.ok() { "OK" } else { "FAILED" },
+        report.files,
+        report.functions,
+        report.elapsed_ms
+    );
+    if let Some(path) = json {
+        let text = report.to_json().to_string_pretty();
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("analyze: could not write {}: {e}", path.display());
+            return false;
+        }
+        println!("analyze: report written to {}", path.display());
+    }
+    report.ok()
 }
 
 fn run_model() -> bool {
@@ -78,14 +120,28 @@ fn run_model() -> bool {
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
     let mut mode = String::from("all");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--root" => root = args.next().map(PathBuf::from),
-            "lint" | "model" | "all" => mode = a,
+            "--root" | "--json" => {
+                let Some(v) = args.next() else {
+                    eprintln!("rtle-check: {a} requires a path argument");
+                    return ExitCode::from(2);
+                };
+                if a == "--root" {
+                    root = Some(PathBuf::from(v));
+                } else {
+                    json = Some(PathBuf::from(v));
+                }
+            }
+            "lint" | "analyze" | "model" | "all" => mode = a,
             other => {
-                eprintln!("usage: rtle-check [--root <path>] [lint|model|all] (got {other:?})");
+                eprintln!(
+                    "usage: rtle-check [--root <path>] [--json <file>] \
+                     [lint|analyze|model|all] (got {other:?})"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -100,6 +156,15 @@ fn main() -> ExitCode {
     if mode == "lint" || mode == "all" {
         match &root {
             Some(r) => ok &= run_lint(r),
+            None => {
+                eprintln!("rtle-check: could not locate the workspace root (use --root)");
+                ok = false;
+            }
+        }
+    }
+    if mode == "analyze" || mode == "all" {
+        match &root {
+            Some(r) => ok &= run_analyze(r, json.as_ref()),
             None => {
                 eprintln!("rtle-check: could not locate the workspace root (use --root)");
                 ok = false;

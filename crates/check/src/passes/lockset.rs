@@ -1,0 +1,63 @@
+//! Lockset / critical-section-escape pass.
+//!
+//! The sharded map's invariant is that the per-shard `map` field is only
+//! touched with that shard's lock held — inside an
+//! `ElidableLock::execute`/`execute_from` closure, a `with_*_locked`
+//! closure, or after a let-bound `lock_section()` guard. Lowering tags
+//! every event with its guard nesting depth, so the pass is a scan:
+//! any watched-field use at depth zero escaped every critical section.
+
+use super::PassFinding;
+use crate::cfg::{EventKind, FnCfg};
+
+/// Runs the pass over one lowered function.
+pub fn run(cfg: &FnCfg) -> Vec<PassFinding> {
+    let mut out = Vec::new();
+    for (_, ev) in cfg.events() {
+        if let EventKind::FieldUse { path, field } = &ev.kind {
+            if ev.guard_depth == 0 {
+                out.push(PassFinding {
+                    line: ev.line,
+                    msg: format!(
+                        "`{path}` accesses shared field `{field}` outside any lock guard \
+                         (fn `{}`)",
+                        cfg.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::tests::lower_first;
+
+    #[test]
+    fn guarded_access_is_clean() {
+        let cfg = lower_first(
+            "fn get(&self, k: u64) -> Option<u64> {\n                let s = &self.shards[0];\n                s.lock.execute(|ctx| s.map.get(ctx, k))\n            }",
+        );
+        assert!(run(&cfg).is_empty());
+    }
+
+    #[test]
+    fn unguarded_access_is_flagged() {
+        let cfg = lower_first(
+            "fn len_plain(&self) -> usize { self.shards.iter().map(|s| s.map.len_plain()).sum() }",
+        );
+        let f = run(&cfg);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("outside any lock guard"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn let_bound_guard_covers_rest_of_block() {
+        let cfg = lower_first(
+            "fn peek(&self, idx: usize) -> usize {\n                let s = &self.shards[idx];\n                let guard = s.lock.lock_section();\n                s.map.len_plain()\n            }",
+        );
+        assert!(run(&cfg).is_empty());
+    }
+}

@@ -1,0 +1,471 @@
+//! Path-sensitive concurrency passes over the lowered CFGs.
+//!
+//! The driver ([`analyze_workspace`]) parses every workspace source
+//! file with [`crate::syntax`], lowers each function with
+//! [`crate::cfg`], and runs four passes, each scoped to the files whose
+//! invariants it encodes:
+//!
+//! | pass          | scope                         | invariant |
+//! |---------------|-------------------------------|-----------|
+//! | `lockset`     | `shard/src/`                  | shard `map` only touched under a guard |
+//! | `lock-order`  | `shard/src/`                  | cross-shard acquisition ascending |
+//! | `publication` | htm cell/swhtm/stripe, core lock/barrier | Release publishes after init; raw reads behind Acquire |
+//! | `fence`       | `core/src/orec.rs`            | §4 store-load fence post-dominates the stamp |
+//!
+//! Findings can be suppressed with a `// lockcheck: <reason>` comment
+//! within three lines (same mechanics as `// SAFETY:`); the reason is
+//! mandatory — an empty one is itself a finding. Functions gated behind
+//! a `mutant-*` cargo feature are **seeded mutants**: their findings are
+//! diverted into a per-feature bucket that must be non-empty, a
+//! regression test for the analyzer itself.
+
+pub mod fence;
+pub mod lock_order;
+pub mod lockset;
+pub mod publication;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use rtle_obs::{Json, SCHEMA_VERSION};
+
+use crate::cfg::{lower_fn, FnCfg};
+use crate::lint::source::SourceFile;
+use crate::lint::workspace_sources;
+use crate::syntax::{for_each_fn, parse_file};
+
+/// A raw (line, message) finding from a single pass run.
+#[derive(Debug)]
+pub struct PassFinding {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+/// A workspace-level finding, after suppression processing.
+#[derive(Debug)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Pass name (`lockset`, `lock-order`, `publication`, `fence`,
+    /// or `suppression` for annotation-hygiene findings).
+    pub pass: &'static str,
+    /// Description.
+    pub msg: String,
+    /// Silenced by a `// lockcheck: <reason>` annotation?
+    pub suppressed: bool,
+    /// The annotation's reason text, when suppressed.
+    pub reason: Option<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.pass,
+            self.msg
+        )?;
+        if self.suppressed {
+            write!(
+                f,
+                " (suppressed: {})",
+                self.reason.as_deref().unwrap_or("")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one seeded mutant.
+#[derive(Debug)]
+pub struct MutantResult {
+    /// Cargo feature gating the mutant (`mutant-lock-order`, ...).
+    pub feature: String,
+    /// Pass expected to catch it.
+    pub pass: &'static str,
+    /// Did the expected pass report at least one finding in it?
+    pub caught: bool,
+    /// Total findings (all passes) inside the mutant.
+    pub findings: usize,
+}
+
+/// The seeded mutants the workspace must contain and catch.
+pub const EXPECTED_MUTANTS: &[(&str, &str)] = &[
+    ("mutant-lock-order", "lock-order"),
+    ("mutant-publication", "publication"),
+];
+
+/// Whole-workspace analysis result.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// Source files scanned.
+    pub files: usize,
+    /// Non-test functions analyzed.
+    pub functions: usize,
+    /// Wall-clock analysis time.
+    pub elapsed_ms: u64,
+    /// All findings (suppressed ones included, marked).
+    pub findings: Vec<Finding>,
+    /// Seeded-mutant outcomes, in [`EXPECTED_MUTANTS`] order.
+    pub mutants: Vec<MutantResult>,
+}
+
+impl AnalysisReport {
+    /// Findings that actually gate CI (not suppressed).
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+
+    /// Clean ⇔ zero unsuppressed findings *and* every mutant caught.
+    pub fn ok(&self) -> bool {
+        self.unsuppressed().count() == 0 && self.mutants.iter().all(|m| m.caught)
+    }
+
+    fn pass_counts(&self, name: &str) -> (u64, u64) {
+        let mut live = 0;
+        let mut supp = 0;
+        for f in self.findings.iter().filter(|f| f.pass == name) {
+            if f.suppressed {
+                supp += 1;
+            } else {
+                live += 1;
+            }
+        }
+        (live, supp)
+    }
+
+    /// The report as a JSON document in the rtle-obs export schema.
+    pub fn to_json(&self) -> Json {
+        let passes = ["lockset", "lock-order", "publication", "fence", "suppression"]
+            .iter()
+            .map(|name| {
+                let (live, supp) = self.pass_counts(name);
+                Json::obj([
+                    ("name", Json::Str((*name).into())),
+                    ("findings", Json::UInt(live)),
+                    ("suppressed", Json::UInt(supp)),
+                ])
+            })
+            .collect();
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                Json::obj([
+                    ("path", Json::Str(f.path.display().to_string())),
+                    ("line", Json::UInt(f.line as u64)),
+                    ("pass", Json::Str(f.pass.into())),
+                    ("msg", Json::Str(f.msg.clone())),
+                    ("suppressed", Json::Bool(f.suppressed)),
+                    (
+                        "reason",
+                        f.reason.clone().map_or(Json::Null, Json::Str),
+                    ),
+                ])
+            })
+            .collect();
+        let mutants = self
+            .mutants
+            .iter()
+            .map(|m| {
+                Json::obj([
+                    ("feature", Json::Str(m.feature.clone())),
+                    ("pass", Json::Str(m.pass.into())),
+                    ("caught", Json::Bool(m.caught)),
+                    ("findings", Json::UInt(m.findings as u64)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema_version", Json::UInt(SCHEMA_VERSION)),
+            ("tool", Json::Str("rtle-check".into())),
+            ("kind", Json::Str("check-findings".into())),
+            ("files", Json::UInt(self.files as u64)),
+            ("functions", Json::UInt(self.functions as u64)),
+            ("elapsed_ms", Json::UInt(self.elapsed_ms)),
+            ("passes", Json::Arr(passes)),
+            ("findings", Json::Arr(findings)),
+            ("mutants", Json::Arr(mutants)),
+        ])
+    }
+}
+
+/// Which passes cover `path` (workspace-relative, `/`-separated).
+fn passes_for(path_str: &str) -> Vec<&'static str> {
+    const PUBLICATION_FILES: &[&str] = &[
+        "htm/src/cell.rs",
+        "htm/src/swhtm.rs",
+        "htm/src/stripe.rs",
+        "htm/src/mutants.rs",
+        "core/src/lock.rs",
+        "core/src/barrier.rs",
+    ];
+    let mut v = Vec::new();
+    if path_str.contains("shard/src/") {
+        v.push("lockset");
+        v.push("lock-order");
+    }
+    if PUBLICATION_FILES.iter().any(|f| path_str.ends_with(f)) {
+        v.push("publication");
+    }
+    if path_str.ends_with("core/src/orec.rs") {
+        v.push("fence");
+    }
+    v
+}
+
+fn run_pass(name: &str, cfg: &FnCfg) -> Vec<PassFinding> {
+    match name {
+        "lockset" => lockset::run(cfg),
+        "lock-order" => lock_order::run(cfg),
+        "publication" => publication::run(cfg),
+        "fence" => fence::run(cfg),
+        _ => Vec::new(),
+    }
+}
+
+/// The reason text of a `// lockcheck:` annotation near `line`, mirroring
+/// [`SourceFile::has_annotation`]'s search (three lines back plus the
+/// contiguous comment/attribute block above).
+fn annotation_reason(sf: &SourceFile, line: usize) -> Option<String> {
+    let grab = |comment: &str| -> Option<String> {
+        let at = comment.find("lockcheck:")?;
+        Some(comment[at + "lockcheck:".len()..].trim().to_string())
+    };
+    let idx = line.saturating_sub(1).min(sf.lines.len().saturating_sub(1));
+    let from = idx.saturating_sub(3);
+    for l in &sf.lines[from..=idx] {
+        if let Some(r) = grab(&l.comment) {
+            return Some(r);
+        }
+    }
+    let mut i = idx;
+    let mut budget = 32;
+    while i > 0 && budget > 0 {
+        i -= 1;
+        budget -= 1;
+        let l = &sf.lines[i];
+        let code = l.code.trim();
+        if code.is_empty() || code.starts_with("#[") {
+            if let Some(r) = grab(&l.comment) {
+                return Some(r);
+            }
+            continue;
+        }
+        break;
+    }
+    None
+}
+
+/// Analyzes one file's text; appends to `findings` / `mutant_hits` and
+/// returns the number of non-test functions analyzed.
+fn analyze_file(
+    rel_path: &Path,
+    text: &str,
+    findings: &mut Vec<Finding>,
+    mutant_hits: &mut Vec<(String, &'static str, usize)>,
+) -> usize {
+    let path_str = rel_path.to_string_lossy().replace('\\', "/");
+    let active = passes_for(&path_str);
+    if active.is_empty() {
+        return 0;
+    }
+    let sf = SourceFile::parse(text);
+    let items = parse_file(text);
+    let mut functions = 0;
+    for_each_fn(&items, &mut |f, mod_cfg| {
+        let cfg = lower_fn(f, mod_cfg);
+        if cfg.cfg_marker.as_deref() == Some("test") {
+            return;
+        }
+        if sf
+            .lines
+            .get(f.line.saturating_sub(1))
+            .is_some_and(|l| l.in_test)
+        {
+            return;
+        }
+        functions += 1;
+        let mutant = cfg.mutant_feature().map(str::to_string);
+        for pass in &active {
+            for pf in run_pass(pass, &cfg) {
+                if let Some(feat) = &mutant {
+                    mutant_hits.push((feat.clone(), pass, pf.line));
+                    continue;
+                }
+                let annotated = sf.has_annotation(pf.line, 3, "lockcheck:");
+                let reason = if annotated {
+                    annotation_reason(&sf, pf.line)
+                } else {
+                    None
+                };
+                if annotated && reason.as_deref().is_none_or(str::is_empty) {
+                    findings.push(Finding {
+                        path: rel_path.to_path_buf(),
+                        line: pf.line,
+                        pass: "suppression",
+                        msg: "`// lockcheck:` suppression with an empty reason \
+                              (a reason is mandatory)"
+                            .into(),
+                        suppressed: false,
+                        reason: None,
+                    });
+                }
+                findings.push(Finding {
+                    path: rel_path.to_path_buf(),
+                    line: pf.line,
+                    pass,
+                    msg: pf.msg,
+                    suppressed: annotated,
+                    reason,
+                });
+            }
+        }
+    });
+    functions
+}
+
+/// Runs all four passes over the workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> AnalysisReport {
+    let start = std::time::Instant::now();
+    let mut findings = Vec::new();
+    let mut mutant_hits: Vec<(String, &'static str, usize)> = Vec::new();
+    let mut files = 0;
+    let mut functions = 0;
+    for path in workspace_sources(root) {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        files += 1;
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        functions += analyze_file(rel, &text, &mut findings, &mut mutant_hits);
+    }
+    let mutants = EXPECTED_MUTANTS
+        .iter()
+        .map(|&(feature, pass)| {
+            let all = mutant_hits.iter().filter(|(f, _, _)| f == feature).count();
+            let hit = mutant_hits
+                .iter()
+                .any(|(f, p, _)| f == feature && *p == pass);
+            MutantResult {
+                feature: feature.into(),
+                pass,
+                caught: hit,
+                findings: all,
+            }
+        })
+        .collect();
+    AnalysisReport {
+        files,
+        functions,
+        elapsed_ms: start.elapsed().as_millis() as u64,
+        findings,
+        mutants,
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::cfg::FnCfg;
+    use crate::syntax::parse_file;
+
+    /// Parses `src` and lowers its first function — the shared fixture
+    /// loader for the per-pass test modules.
+    pub(crate) fn lower_first(src: &str) -> FnCfg {
+        let items = parse_file(src);
+        let mut out = None;
+        crate::syntax::for_each_fn(&items, &mut |f, cfg| {
+            if out.is_none() {
+                out = Some(lower_fn(f, cfg));
+            }
+        });
+        out.expect("no fn parsed")
+    }
+
+    fn analyze_one(rel: &str, text: &str) -> (Vec<Finding>, Vec<(String, &'static str, usize)>) {
+        let mut findings = Vec::new();
+        let mut hits = Vec::new();
+        analyze_file(Path::new(rel), text, &mut findings, &mut hits);
+        (findings, hits)
+    }
+
+    #[test]
+    fn suppression_with_reason_marks_finding() {
+        let src = "impl M {\n    fn len_plain(&self) -> usize {\n        // lockcheck: advisory read, documented racy\n        self.shards.iter().map(|s| s.map.len_plain()).sum()\n    }\n}\n";
+        let (f, _) = analyze_one("crates/shard/src/sharded.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].suppressed);
+        assert_eq!(f[0].reason.as_deref(), Some("advisory read, documented racy"));
+    }
+
+    #[test]
+    fn suppression_without_reason_is_a_finding() {
+        let src = "impl M {\n    fn len_plain(&self) -> usize {\n        // lockcheck:\n        self.shards.iter().map(|s| s.map.len_plain()).sum()\n    }\n}\n";
+        let (f, _) = analyze_one("crates/shard/src/sharded.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|f| f.pass == "suppression" && !f.suppressed));
+    }
+
+    #[test]
+    fn mutant_findings_divert_to_bucket() {
+        let src = "impl M {\n    #[cfg(feature = \"mutant-lock-order\")]\n    fn bad(&self, s1: usize, s2: usize) {\n        let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };\n        let g_hi = self.shards[hi].lock.lock_section();\n        let g_lo = self.shards[lo].lock.lock_section();\n    }\n}\n";
+        let (f, hits) = analyze_one("crates/shard/src/mutants.rs", src);
+        assert!(f.is_empty(), "mutant findings must not gate: {f:?}");
+        assert!(
+            hits.iter()
+                .any(|(feat, pass, _)| feat == "mutant-lock-order" && *pass == "lock-order"),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn test_functions_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(&self) { self.shards[0].map.len_plain(); }\n}\n";
+        let (f, _) = analyze_one("crates/shard/src/sharded.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn out_of_scope_files_are_not_analyzed() {
+        let src = "fn f(&self) { self.shards[0].map.len_plain(); }";
+        let (f, _) = analyze_one("crates/bench/src/main.rs", src);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn report_json_has_schema_and_counts() {
+        let report = AnalysisReport {
+            files: 3,
+            functions: 7,
+            elapsed_ms: 12,
+            findings: vec![Finding {
+                path: PathBuf::from("crates/shard/src/sharded.rs"),
+                line: 4,
+                pass: "lockset",
+                msg: "m".into(),
+                suppressed: true,
+                reason: Some("r".into()),
+            }],
+            mutants: vec![MutantResult {
+                feature: "mutant-lock-order".into(),
+                pass: "lock-order",
+                caught: true,
+                findings: 1,
+            }],
+        };
+        assert!(report.ok());
+        let j = report.to_json();
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("check-findings"));
+        let text = j.to_string_pretty();
+        let back = rtle_obs::parse_json(&text).expect("round-trip");
+        assert_eq!(back.get("files").and_then(Json::as_u64), Some(3));
+    }
+}

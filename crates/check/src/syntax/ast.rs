@@ -1,0 +1,581 @@
+//! The analyzer's AST for the Rust subset this workspace uses.
+//!
+//! Deliberately lossy where the passes do not care (types, generics,
+//! visibility, most patterns) and faithful where they do (control flow,
+//! call/method chains, closures, atomics arguments, `cfg` attributes).
+
+use std::fmt::Write as _;
+
+/// A top-level or nested item.
+#[derive(Debug)]
+pub enum Item {
+    /// A function with a body.
+    Fn(FnItem),
+    /// `mod name { items }` (inline only; `mod name;` is `Other`).
+    Mod {
+        /// Module name.
+        name: String,
+        /// `cfg(test)` / `cfg(feature = "...")` marker from attributes.
+        cfg: Option<String>,
+        /// Nested items.
+        items: Vec<Item>,
+    },
+    /// `impl ... { items }`.
+    Impl {
+        /// Best-effort self-type name (last path segment).
+        type_name: String,
+        /// Associated items.
+        items: Vec<Item>,
+    },
+    /// Anything else (struct, enum, use, const, trait, macro def, ...).
+    Other,
+}
+
+/// A parsed function.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Parameter names (patterns reduced to their bound identifier).
+    pub params: Vec<String>,
+    /// `cfg(feature = "...")` value from attributes, when present
+    /// (e.g. `mutant-lock-order` for seeded analyzer mutants).
+    pub cfg_feature: Option<String>,
+    /// Body (absent for trait method declarations).
+    pub body: Option<Block>,
+}
+
+/// A `{ ... }` block.
+#[derive(Debug)]
+pub struct Block {
+    /// 1-based line of the opening brace.
+    pub line: usize,
+    /// Was this an `unsafe { ... }` block?
+    pub is_unsafe: bool,
+    /// Statements; the final one may be the tail expression.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let PAT (= init) (else { .. });`
+    Let {
+        /// Identifiers bound by the pattern, in source order.
+        pat: Vec<String>,
+        /// Whether the pattern was a tuple `(a, b, ..)`.
+        tuple: bool,
+        /// Initializer.
+        init: Option<Expr>,
+        /// `else` block of a let-else.
+        else_block: Option<Block>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// Expression statement (with or without `;`).
+    Expr(Expr),
+    /// A nested item (fn, mod, ...).
+    Item(Box<Item>),
+}
+
+/// One arm of a `match`.
+#[derive(Debug)]
+pub struct Arm {
+    /// Raw pattern text (tokens joined), for diagnostics only.
+    pub pat: String,
+    /// `if` guard expression.
+    pub guard: Option<Expr>,
+    /// Arm body.
+    pub body: Expr,
+}
+
+/// An expression.
+#[derive(Debug)]
+pub enum Expr {
+    /// Path: `a::b::c` (single identifiers included).
+    Path(Vec<String>, usize),
+    /// Literal.
+    Lit(String, usize),
+    /// `callee(args)`.
+    Call {
+        /// Callee (usually a path).
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Line of the opening parenthesis.
+        line: usize,
+    },
+    /// `recv.method(args)`.
+    MethodCall {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Line of the method name.
+        line: usize,
+    },
+    /// `base.field`.
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name (tuple indices included as text).
+        name: String,
+        /// Line.
+        line: usize,
+    },
+    /// `base[index]`.
+    Index {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Line.
+        line: usize,
+    },
+    /// `*expr`.
+    Deref(Box<Expr>, usize),
+    /// `&expr` / `&mut expr`.
+    Ref(Box<Expr>, usize),
+    /// `!expr` / `-expr`.
+    Unary(Box<Expr>, usize),
+    /// `lhs OP rhs` for a binary operator; `op` keeps the operator text.
+    Binary {
+        /// Operator text (`<`, `==`, `+`, ...).
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Line.
+        line: usize,
+    },
+    /// `lhs = rhs` (and compound assignments).
+    Assign {
+        /// Assignment target.
+        lhs: Box<Expr>,
+        /// Assigned value.
+        rhs: Box<Expr>,
+        /// Line.
+        line: usize,
+    },
+    /// `if cond { then } (else ...)`; `cond` is `None` for `if let`
+    /// scrutinees folded into `scrutinee`.
+    If {
+        /// Condition (the scrutinee expression for `if let`).
+        cond: Box<Expr>,
+        /// Was this an `if let`?
+        if_let: bool,
+        /// Then block.
+        then: Block,
+        /// Else branch: a block or a chained `if`.
+        else_: Option<Box<Expr>>,
+        /// Line.
+        line: usize,
+    },
+    /// `match scrut { arms }`.
+    Match {
+        /// Scrutinee.
+        scrut: Box<Expr>,
+        /// Arms.
+        arms: Vec<Arm>,
+        /// Line.
+        line: usize,
+    },
+    /// `loop { body }`.
+    Loop(Block, usize),
+    /// `while cond { body }` (`while let` folds the scrutinee into cond).
+    While {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Body.
+        body: Block,
+        /// Line.
+        line: usize,
+    },
+    /// `for pat in iter { body }`.
+    For {
+        /// Bound identifiers of the loop pattern.
+        pat: Vec<String>,
+        /// Iterated expression.
+        iter: Box<Expr>,
+        /// Body.
+        body: Block,
+        /// Line.
+        line: usize,
+    },
+    /// `|params| body` closure.
+    Closure {
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body expression.
+        body: Box<Expr>,
+        /// Line.
+        line: usize,
+    },
+    /// A block expression (incl. `unsafe` blocks).
+    Block(Block),
+    /// `return (expr)`.
+    Return(Option<Box<Expr>>, usize),
+    /// `break (expr)`.
+    Break(usize),
+    /// `continue`.
+    Continue(usize),
+    /// `expr?`.
+    Try(Box<Expr>, usize),
+    /// `name!(...)`; `text` is the space-joined token stream inside.
+    Macro {
+        /// Macro name (last path segment).
+        name: String,
+        /// Raw joined tokens of the arguments.
+        text: String,
+        /// Line.
+        line: usize,
+    },
+    /// `(a, b, ...)` tuple.
+    Tuple(Vec<Expr>, usize),
+    /// `[a, b, ...]` array literal (`[x; n]` included).
+    Array(Vec<Expr>, usize),
+    /// `Path { field: expr, ... }` struct literal.
+    StructLit {
+        /// Struct path (last segment).
+        name: String,
+        /// Field initializers.
+        fields: Vec<(String, Expr)>,
+        /// Line.
+        line: usize,
+    },
+    /// Unparseable fragment, skipped tokens.
+    Unknown(usize),
+}
+
+impl Expr {
+    /// Best-effort source line of the expression.
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Path(_, l)
+            | Expr::Lit(_, l)
+            | Expr::Call { line: l, .. }
+            | Expr::MethodCall { line: l, .. }
+            | Expr::Field { line: l, .. }
+            | Expr::Index { line: l, .. }
+            | Expr::Deref(_, l)
+            | Expr::Ref(_, l)
+            | Expr::Unary(_, l)
+            | Expr::Binary { line: l, .. }
+            | Expr::Assign { line: l, .. }
+            | Expr::If { line: l, .. }
+            | Expr::Match { line: l, .. }
+            | Expr::Loop(_, l)
+            | Expr::While { line: l, .. }
+            | Expr::For { line: l, .. }
+            | Expr::Closure { line: l, .. }
+            | Expr::Return(_, l)
+            | Expr::Break(l)
+            | Expr::Continue(l)
+            | Expr::Try(_, l)
+            | Expr::Macro { line: l, .. }
+            | Expr::Tuple(_, l)
+            | Expr::Array(_, l)
+            | Expr::StructLit { line: l, .. }
+            | Expr::Unknown(l) => *l,
+            Expr::Block(b) => b.line,
+        }
+    }
+
+    /// The expression as a dotted access path (`self.shards.lock`), when
+    /// it is a pure chain of paths / fields / indexes / derefs / refs.
+    /// Index segments render as `[..]`; anything else returns `None`.
+    pub fn access_path(&self) -> Option<Vec<String>> {
+        match self {
+            Expr::Path(segs, _) => Some(vec![segs.last()?.clone()]),
+            Expr::Field { base, name, .. } => {
+                let mut p = base.access_path()?;
+                p.push(name.clone());
+                Some(p)
+            }
+            Expr::Index { base, .. } => {
+                let mut p = base.access_path()?;
+                p.push("[..]".into());
+                Some(p)
+            }
+            Expr::Deref(e, _) | Expr::Ref(e, _) => e.access_path(),
+            _ => None,
+        }
+    }
+
+    /// Last name of [`Self::access_path`] that is a real identifier
+    /// (skipping `[..]` segments) — the "receiver name" for rule lookups.
+    pub fn receiver_name(&self) -> Option<String> {
+        let p = self.access_path()?;
+        p.iter().rev().find(|s| *s != "[..]").cloned()
+    }
+
+    /// If this expression indexes `<...>.shards[IDX]` (possibly under
+    /// further field accesses), the index expression.
+    pub fn shards_index(&self) -> Option<&Expr> {
+        match self {
+            Expr::Index { base, index, .. } => {
+                if base.receiver_name().as_deref() == Some("shards") {
+                    Some(index)
+                } else {
+                    base.shards_index()
+                }
+            }
+            Expr::Field { base, .. } | Expr::MethodCall { recv: base, .. } => base.shards_index(),
+            Expr::Deref(e, _) | Expr::Ref(e, _) => e.shards_index(),
+            _ => None,
+        }
+    }
+
+    /// A compact single-identifier rendering of an index expression:
+    /// `hi` → `hi`, `3` → `3`, `*idx` → `idx`; anything compound → `None`.
+    pub fn simple_symbol(&self) -> Option<String> {
+        match self {
+            Expr::Path(segs, _) => segs.last().cloned(),
+            Expr::Lit(t, _) => Some(t.clone()),
+            Expr::Deref(e, _) | Expr::Ref(e, _) => e.simple_symbol(),
+            _ => None,
+        }
+    }
+}
+
+/// Walks every function item (including nested in mods/impls), with the
+/// `cfg` context of enclosing modules threaded through.
+pub fn for_each_fn<'a>(items: &'a [Item], f: &mut impl FnMut(&'a FnItem, Option<&'a str>)) {
+    fn walk<'a>(
+        items: &'a [Item],
+        mod_cfg: Option<&'a str>,
+        f: &mut impl FnMut(&'a FnItem, Option<&'a str>),
+    ) {
+        for it in items {
+            match it {
+                Item::Fn(func) => f(func, mod_cfg),
+                Item::Mod { cfg, items, .. } => walk(items, cfg.as_deref().or(mod_cfg), f),
+                Item::Impl { items, .. } => walk(items, mod_cfg, f),
+                Item::Other => {}
+            }
+        }
+    }
+    walk(items, None, f);
+}
+
+/// Renders an item tree as an indented dump (golden-test format).
+pub fn dump_items(items: &[Item]) -> String {
+    let mut out = String::new();
+    for it in items {
+        dump_item(it, 0, &mut out);
+    }
+    out
+}
+
+fn pad(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn dump_item(it: &Item, depth: usize, out: &mut String) {
+    pad(depth, out);
+    match it {
+        Item::Fn(f) => {
+            let _ = writeln!(
+                out,
+                "fn {} (line {}, params [{}]{})",
+                f.name,
+                f.line,
+                f.params.join(", "),
+                f.cfg_feature
+                    .as_deref()
+                    .map(|c| format!(", cfg-feature {c}"))
+                    .unwrap_or_default()
+            );
+            if let Some(b) = &f.body {
+                dump_block(b, depth + 1, out);
+            }
+        }
+        Item::Mod { name, cfg, items } => {
+            let _ = writeln!(
+                out,
+                "mod {name}{}",
+                cfg.as_deref().map(|c| format!(" (cfg {c})")).unwrap_or_default()
+            );
+            for it in items {
+                dump_item(it, depth + 1, out);
+            }
+        }
+        Item::Impl { type_name, items } => {
+            let _ = writeln!(out, "impl {type_name}");
+            for it in items {
+                dump_item(it, depth + 1, out);
+            }
+        }
+        Item::Other => {
+            let _ = writeln!(out, "item");
+        }
+    }
+}
+
+fn dump_block(b: &Block, depth: usize, out: &mut String) {
+    pad(depth, out);
+    let _ = writeln!(out, "block{}", if b.is_unsafe { " (unsafe)" } else { "" });
+    for s in &b.stmts {
+        match s {
+            Stmt::Let { pat, init, line, .. } => {
+                pad(depth + 1, out);
+                let _ = writeln!(out, "let [{}] (line {line})", pat.join(", "));
+                if let Some(e) = init {
+                    dump_expr(e, depth + 2, out);
+                }
+            }
+            Stmt::Expr(e) => dump_expr(e, depth + 1, out),
+            Stmt::Item(it) => dump_item(it, depth + 1, out),
+        }
+    }
+}
+
+fn dump_expr(e: &Expr, depth: usize, out: &mut String) {
+    pad(depth, out);
+    match e {
+        Expr::Path(segs, _) => {
+            let _ = writeln!(out, "path {}", segs.join("::"));
+        }
+        Expr::Lit(t, _) => {
+            let _ = writeln!(out, "lit {t}");
+        }
+        Expr::Call { callee, args, .. } => {
+            let _ = writeln!(out, "call");
+            dump_expr(callee, depth + 1, out);
+            for a in args {
+                dump_expr(a, depth + 1, out);
+            }
+        }
+        Expr::MethodCall { recv, method, args, .. } => {
+            let _ = writeln!(out, "method .{method}");
+            dump_expr(recv, depth + 1, out);
+            for a in args {
+                dump_expr(a, depth + 1, out);
+            }
+        }
+        Expr::Field { base, name, .. } => {
+            let _ = writeln!(out, "field .{name}");
+            dump_expr(base, depth + 1, out);
+        }
+        Expr::Index { base, index, .. } => {
+            let _ = writeln!(out, "index");
+            dump_expr(base, depth + 1, out);
+            dump_expr(index, depth + 1, out);
+        }
+        Expr::Deref(e, _) => {
+            let _ = writeln!(out, "deref");
+            dump_expr(e, depth + 1, out);
+        }
+        Expr::Ref(e, _) => {
+            let _ = writeln!(out, "ref");
+            dump_expr(e, depth + 1, out);
+        }
+        Expr::Unary(e, _) => {
+            let _ = writeln!(out, "unary");
+            dump_expr(e, depth + 1, out);
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let _ = writeln!(out, "binary {op}");
+            dump_expr(lhs, depth + 1, out);
+            dump_expr(rhs, depth + 1, out);
+        }
+        Expr::Assign { lhs, rhs, .. } => {
+            let _ = writeln!(out, "assign");
+            dump_expr(lhs, depth + 1, out);
+            dump_expr(rhs, depth + 1, out);
+        }
+        Expr::If { cond, if_let, then, else_, .. } => {
+            let _ = writeln!(out, "if{}", if *if_let { "-let" } else { "" });
+            dump_expr(cond, depth + 1, out);
+            dump_block(then, depth + 1, out);
+            if let Some(e) = else_ {
+                pad(depth + 1, out);
+                let _ = writeln!(out, "else");
+                dump_expr(e, depth + 2, out);
+            }
+        }
+        Expr::Match { scrut, arms, .. } => {
+            let _ = writeln!(out, "match");
+            dump_expr(scrut, depth + 1, out);
+            for arm in arms {
+                pad(depth + 1, out);
+                let _ = writeln!(out, "arm `{}`{}", arm.pat, if arm.guard.is_some() { " (guarded)" } else { "" });
+                if let Some(g) = &arm.guard {
+                    dump_expr(g, depth + 2, out);
+                }
+                dump_expr(&arm.body, depth + 2, out);
+            }
+        }
+        Expr::Loop(b, _) => {
+            let _ = writeln!(out, "loop");
+            dump_block(b, depth + 1, out);
+        }
+        Expr::While { cond, body, .. } => {
+            let _ = writeln!(out, "while");
+            dump_expr(cond, depth + 1, out);
+            dump_block(body, depth + 1, out);
+        }
+        Expr::For { pat, iter, body, .. } => {
+            let _ = writeln!(out, "for [{}]", pat.join(", "));
+            dump_expr(iter, depth + 1, out);
+            dump_block(body, depth + 1, out);
+        }
+        Expr::Closure { params, body, .. } => {
+            let _ = writeln!(out, "closure |{}|", params.join(", "));
+            dump_expr(body, depth + 1, out);
+        }
+        Expr::Block(b) => {
+            let _ = writeln!(out, "block-expr");
+            dump_block(b, depth + 1, out);
+        }
+        Expr::Return(e, _) => {
+            let _ = writeln!(out, "return");
+            if let Some(e) = e {
+                dump_expr(e, depth + 1, out);
+            }
+        }
+        Expr::Break(_) => {
+            let _ = writeln!(out, "break");
+        }
+        Expr::Continue(_) => {
+            let _ = writeln!(out, "continue");
+        }
+        Expr::Try(e, _) => {
+            let _ = writeln!(out, "try");
+            dump_expr(e, depth + 1, out);
+        }
+        Expr::Macro { name, .. } => {
+            let _ = writeln!(out, "macro {name}!");
+        }
+        Expr::Tuple(es, _) => {
+            let _ = writeln!(out, "tuple");
+            for e in es {
+                dump_expr(e, depth + 1, out);
+            }
+        }
+        Expr::Array(es, _) => {
+            let _ = writeln!(out, "array");
+            for e in es {
+                dump_expr(e, depth + 1, out);
+            }
+        }
+        Expr::StructLit { name, fields, .. } => {
+            let _ = writeln!(out, "struct-lit {name}");
+            for (f, e) in fields {
+                pad(depth + 1, out);
+                let _ = writeln!(out, ".{f} =");
+                dump_expr(e, depth + 2, out);
+            }
+        }
+        Expr::Unknown(_) => {
+            let _ = writeln!(out, "unknown");
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Token-level lexer for the Rust subset the analyzer parses.
+//!
+//! Produces a flat token stream with line numbers. Comments are dropped
+//! (annotation lookups go through [`crate::lint::source::SourceFile`],
+//! which keeps them); string/char literals become a single `Lit` token
+//! carrying their source text — token-level patterns cannot match inside
+//! them, and attribute parsing can still read `cfg(feature = "...")`
+//! names.
+
+/// Token kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `self`, `shards`, ...).
+    Ident,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Any literal: string, raw string, char, number, byte string.
+    Lit,
+    /// Punctuation; multi-character operators are joined (`::`, `->`,
+    /// `=>`, `..=`, `..`, `&&`, `||`, `==`, `!=`, `<=`, `>=`, compound
+    /// assignments). `<<`/`>>` are deliberately left as two tokens so
+    /// generic-argument skipping stays simple.
+    Punct,
+}
+
+/// One token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Kind.
+    pub kind: TokKind,
+    /// Source text (literal contents collapsed to `""`/`0`).
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Is this exactly the punctuation/identifier `s`?
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+}
+
+/// Multi-char operators, longest first. `<<`/`>>` intentionally absent.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "::", "->", "=>", "..", "&&", "||", "==", "!=", "<=", ">=", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lexes `text` into tokens. Never fails: unrecognized bytes are skipped.
+pub fn lex(text: &str) -> Vec<Tok> {
+    let b: Vec<char> = text.chars().collect();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start = line;
+                let from = i;
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: b[from..i.min(b.len())].iter().collect(),
+                    line: start,
+                });
+            }
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                let start = line;
+                let from = i;
+                // Skip prefix letters, count hashes, then scan to the
+                // matching `"#...#` close.
+                while i < b.len() && (b[i] == 'r' || b[i] == 'b') {
+                    i += 1;
+                }
+                let mut hashes = 0usize;
+                while b.get(i) == Some(&'#') {
+                    hashes += 1;
+                    i += 1;
+                }
+                i += 1; // opening quote
+                while i < b.len() {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '"'
+                        && b[i + 1..].iter().take(hashes).filter(|&&c| c == '#').count() == hashes
+                    {
+                        i += 1 + hashes;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: b[from..i.min(b.len())].iter().collect(),
+                    line: start,
+                });
+            }
+            '\'' => {
+                // Char literal vs. lifetime/label.
+                let close = if b.get(i + 1) == Some(&'\\') {
+                    b[i + 2..].iter().position(|&c| c == '\'').map(|p| i + 2 + p)
+                } else if b.get(i + 2) == Some(&'\'') && b.get(i + 1) != Some(&'\'') {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                match close {
+                    Some(end) => {
+                        toks.push(Tok {
+                            kind: TokKind::Lit,
+                            text: "' '".into(),
+                            line,
+                        });
+                        i = end + 1;
+                    }
+                    None => {
+                        let mut j = i + 1;
+                        let mut name = String::from("'");
+                        while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                            name.push(b[j]);
+                            j += 1;
+                        }
+                        toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text: name,
+                            line,
+                        });
+                        i = j;
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut text = String::new();
+                while j < b.len()
+                    && (b[j].is_alphanumeric() || b[j] == '_' || (b[j] == '.' && b.get(j + 1).is_some_and(|d| d.is_ascii_digit()) && !text.contains('.')))
+                {
+                    // Stop before `..` range operators.
+                    if b[j] == '.' && b.get(j + 1) == Some(&'.') {
+                        break;
+                    }
+                    text.push(b[j]);
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text,
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut j = i;
+                let mut text = String::new();
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    text.push(b[j]);
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                let rest: String = b[i..b.len().min(i + 3)].iter().collect();
+                let mut matched = None;
+                for op in MULTI_PUNCT {
+                    if rest.starts_with(op) {
+                        matched = Some(*op);
+                        break;
+                    }
+                }
+                match matched {
+                    Some(op) => {
+                        toks.push(Tok {
+                            kind: TokKind::Punct,
+                            text: op.to_string(),
+                            line,
+                        });
+                        i += op.len();
+                    }
+                    None => {
+                        toks.push(Tok {
+                            kind: TokKind::Punct,
+                            text: c.to_string(),
+                            line,
+                        });
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    toks
+}
+
+/// Is position `i` the start of a raw (`r"`, `r#"`) or byte (`b"`, `br"`)
+/// string literal, as opposed to an identifier starting with `r`/`b`?
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    if i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b') && j - i < 2 {
+        j += 1;
+    }
+    while b.get(j) == Some(&'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&'"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(code: &str) -> Vec<String> {
+        lex(code).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        assert_eq!(
+            texts("let x = a.load(Ordering::Acquire);"),
+            ["let", "x", "=", "a", ".", "load", "(", "Ordering", "::", "Acquire", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn strings_become_single_tokens_and_comments_drop() {
+        assert_eq!(
+            texts("f(\"a.load(x)\"); // c.store(y)\n/* block */ g()"),
+            ["f", "(", "\"a.load(x)\"", ")", ";", "g", "(", ")"]
+        );
+        assert_eq!(
+            texts("let s = r#\"raw \" text\"#;"),
+            ["let", "s", "=", "r#\"raw \" text\"#", ";"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        assert_eq!(texts("fn f<'a>(x: &'a u8) { let c = 'x'; }")[3], "'a");
+        assert!(texts("let c = '\\n';").contains(&"' '".to_string()));
+    }
+
+    #[test]
+    fn multi_char_ops() {
+        assert_eq!(texts("a && b || c == d => e -> f :: g"), ["a", "&&", "b", "||", "c", "==", "d", "=>", "e", "->", "f", "::", "g"]);
+        assert_eq!(texts("0..=n"), ["0", "..=", "n"]);
+        // Shifts stay split so generic skipping can treat `>` uniformly.
+        assert_eq!(texts("a << b"), ["a", "<", "<", "b"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        assert_eq!(texts("0xf422u64 1_000 2.5f64"), ["0xf422u64", "1_000", "2.5f64"]);
+        assert_eq!(texts("0..3"), ["0", "..", "3"]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Rust-subset syntax layer: lexer, AST, and recursive-descent parser.
+//!
+//! This is the front half of the path-sensitive analyzer (the back half
+//! is [`crate::cfg`] and [`crate::passes`]). The parser is deliberately
+//! lossy — types, generics, and most patterns are skipped — but control
+//! flow, closures, call/method chains, and `cfg` attributes are kept
+//! faithfully, which is exactly the subset the concurrency passes need.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{dump_items, for_each_fn, Arm, Block, Expr, FnItem, Item, Stmt};
+pub use parser::parse_file;

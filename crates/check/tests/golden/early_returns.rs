@@ -1,0 +1,22 @@
+// Golden-test snippet: early returns, `?`, loops with break/continue —
+// the control-flow shapes the fence pass must track path-sensitively.
+fn drain(&self, budget: usize) -> Result<usize, Error> {
+    if budget == 0 {
+        return Ok(0);
+    }
+    let mut done = 0;
+    loop {
+        let item = self.queue.pop()?;
+        if item.skip {
+            continue;
+        }
+        self.orec.write(item.epoch);
+        fence(Ordering::SeqCst);
+        self.sink.store(item.value, Ordering::Release);
+        done += 1;
+        if done >= budget {
+            break;
+        }
+    }
+    Ok(done)
+}

@@ -1,0 +1,18 @@
+// Golden-test snippet: match with guards, if-let chains, struct
+// literals in arm bodies.
+fn classify(x: Option<u64>, limit: u64) -> Outcome {
+    match x {
+        Some(v) if v < limit => Outcome { kind: Kind::Low, value: v },
+        Some(v) if v == limit => {
+            let edge = v + 1;
+            Outcome { kind: Kind::Edge, value: edge }
+        }
+        Some(v) => Outcome { kind: Kind::High, value: v },
+        None => {
+            if let Some(d) = DEFAULT.get() {
+                return Outcome { kind: Kind::Default, value: *d };
+            }
+            Outcome { kind: Kind::Empty, value: 0 }
+        }
+    }
+}

@@ -132,7 +132,8 @@ impl OrecTable {
         // TxCell::write already publishes a fresh stripe version, but that
         // is an artifact of the software emulation — on real RTM hardware
         // the store above is plain, so the protocol-mandated fence stays
-        // (rtle-check's orec-fence lint rule pins it here).
+        // (rtle-check's `fence` pass proves it dominates every store that
+        // follows the stamp, on every path).
         fence(Ordering::SeqCst);
         self.stamps[i].fetch_add(1, Ordering::Relaxed);
         true

@@ -91,6 +91,7 @@ fn sampling_thins_recording_but_not_stats() {
 /// queueing delay in the window percentiles (coordinated-omission
 /// correction), and the window sees every op even under sampling.
 #[test]
+#[cfg_attr(miri, ignore = "timing-sensitive: asserts on Instant-derived start latency")]
 fn execute_from_records_intended_start_latency_into_windows() {
     let rec = Arc::new(Recorder::new(ObsConfig {
         sample_shift: 4, // attempt events 1-in-16; window ops unsampled
@@ -130,6 +131,7 @@ fn execute_from_records_intended_start_latency_into_windows() {
 /// the main thread snapshots both continuously: no panics, no torn
 /// values, and the final counts add up.
 #[test]
+#[cfg_attr(miri, ignore = "8-thread hammer: minutes under the interpreter; covered by TSan instead")]
 fn concurrent_hammer_while_snapshotting() {
     const THREADS: usize = 8;
     const OPS: usize = 3_000;

@@ -57,6 +57,8 @@ pub mod cell;
 pub mod config;
 pub mod descriptor;
 pub mod hash;
+#[cfg(feature = "mutant-publication")]
+pub mod mutants;
 pub mod prng;
 #[cfg(feature = "rtm")]
 pub mod rtm;

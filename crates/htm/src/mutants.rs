@@ -1,0 +1,68 @@
+//! Seeded analyzer mutants — deliberately broken code the static
+//! analyzer must catch.
+//!
+//! The publication mutant below hoists the Release "ready" store above
+//! the data write it is supposed to publish — the classic broken
+//! message-passing shape: a reader that observes `ready == true` with
+//! an Acquire load can still read a stale slot. Compiled only behind
+//! the off-by-default `mutant-publication` feature; `rtle-check
+//! analyze`'s publication pass must report it from source, and tier-1
+//! fails if it does not.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A one-slot mailbox whose publish path is seeded with a
+/// publication-order bug.
+pub struct BrokenMailbox {
+    ready: AtomicBool,
+    slot: UnsafeCell<u64>,
+}
+
+// SAFETY: this is a *mutant* — the whole point is that the claimed
+// publish/consume protocol below is wrong. The impl exists so the type
+// mirrors real mailbox shapes; it must never be used outside the
+// analyzer-regression feature gate.
+unsafe impl Sync for BrokenMailbox {}
+
+impl Default for BrokenMailbox {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BrokenMailbox {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        BrokenMailbox {
+            ready: AtomicBool::new(false),
+            slot: UnsafeCell::new(0),
+        }
+    }
+
+    /// Publishes `v` — with the order seeded backwards.
+    #[cfg(feature = "mutant-publication")]
+    pub fn publish(&self, v: u64) {
+        // BUG (seeded): the Release store is hoisted above the slot
+        // initialization it is supposed to publish.
+        // ordering: Release is the *intended* publication ordering; the
+        // bug is the program order, which the analyzer must flag.
+        self.ready.store(true, Ordering::Release);
+        // SAFETY: mutant code, never enabled outside the analyzer
+        // regression gate; the race here is the seeded bug itself.
+        unsafe { *self.slot.get() = v };
+    }
+
+    /// Reads the slot if published (the correctly ordered consumer side).
+    pub fn try_read(&self) -> Option<u64> {
+        // ordering: Acquire pairs with the publisher's Release store; a
+        // true read synchronizes-with the publish.
+        if !self.ready.load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: `ready` was observed true through an Acquire load, so
+        // (with a correct publisher) the slot write happens-before this
+        // read and the slot is never written again.
+        Some(unsafe { *self.slot.get() })
+    }
+}

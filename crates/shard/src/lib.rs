@@ -50,6 +50,8 @@
 
 pub mod batch;
 pub mod map;
+#[cfg(feature = "mutant-lock-order")]
+pub mod mutants;
 pub mod obs;
 pub mod sharded;
 

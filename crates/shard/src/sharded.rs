@@ -402,6 +402,7 @@ impl<B: HtmBackend> ShardedTxMap<u64, B> {
     /// Sum of all values (balances). Quiescent use only — races with
     /// in-flight transfers see torn totals.
     pub fn total_plain(&self) -> u64 {
+        // lockcheck: quiescent-only diagnostic; torn totals are documented.
         self.shards
             .iter()
             .flat_map(|s| s.map.entries_plain())
@@ -413,11 +414,13 @@ impl<B: HtmBackend> ShardedTxMap<u64, B> {
 impl<V: TxWord, B: HtmBackend> ShardedTxMap<V, B> {
     /// Live entries across all shards. Quiescent use only.
     pub fn len_plain(&self) -> usize {
+        // lockcheck: quiescent-only diagnostic, documented above.
         self.shards.iter().map(|s| s.map.len_plain()).sum()
     }
 
     /// All entries across all shards, unordered. Quiescent use only.
     pub fn entries_plain(&self) -> Vec<(u64, V)> {
+        // lockcheck: quiescent-only diagnostic, documented above.
         self.shards
             .iter()
             .flat_map(|s| s.map.entries_plain())
@@ -429,6 +432,7 @@ impl<V: TxWord, B: HtmBackend> std::fmt::Debug for ShardedTxMap<V, B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedTxMap")
             .field("shards", &self.shards.len())
+            // lockcheck: capacity is fixed at construction, never mutated.
             .field("capacity_per_shard", &self.shards[0].map.capacity())
             .finish_non_exhaustive()
     }

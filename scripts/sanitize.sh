@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Tier-2 sanitizer gate (optional): Miri + ThreadSanitizer.
+#
+# This script is NOT part of tier-1 (`scripts/tier1.sh`). It needs a
+# nightly toolchain with the `miri` component and `rust-src`, neither of
+# which the baseline container guarantees, so every stage degrades to a
+# loud SKIP instead of a failure when the tooling is missing. Run it
+# before merging changes to unsafe code, atomics orderings, or the
+# publication protocol — the static analyzer (`rtle-check analyze`)
+# proves the modelled paths, this script exercises the real ones.
+#
+# Stages:
+#   1. `cargo miri test` on the cfg(miri)-safe subset: the pure data
+#      structure / parser / telemetry crates, plus rtle-htm's seqlock
+#      cell under the software emulation backend. Timing-sensitive and
+#      long-running stress tests are `#[cfg_attr(miri, ignore)]`-gated
+#      in-tree, so the suites below are interpreter-safe as-is.
+#   2. ThreadSanitizer build + run of the 8-thread stress tests
+#      (`window_stress`, `mixed_stress`, `cross_shard_stress`,
+#      `observability`): real threads, real interleavings, TSan's
+#      happens-before checking over the emulated-HTM commit protocol.
+#
+# Usage: scripts/sanitize.sh [miri|tsan]    (default: both)
+
+set -u
+cd "$(dirname "$0")/.."
+
+stage="${1:-all}"
+failures=0
+
+have_nightly() {
+    rustup toolchain list 2>/dev/null | grep -q nightly
+}
+
+run_miri() {
+    echo "== tier-2: miri =="
+    if ! command -v rustup >/dev/null 2>&1 || ! have_nightly; then
+        echo "SKIP: no nightly toolchain installed (rustup toolchain install nightly)"
+        return 0
+    fi
+    if ! rustup component list --toolchain nightly 2>/dev/null | grep -q '^miri.*(installed)'; then
+        echo "SKIP: miri component not installed (rustup component add miri --toolchain nightly)"
+        return 0
+    fi
+    # Curated cfg(miri)-safe subset. Interpreter time is the constraint:
+    # these are the crates whose unsafe code Miri can cover in minutes.
+    # Everything timing-sensitive carries #[cfg_attr(miri, ignore)].
+    local targets=(
+        "-p rtle-obs --lib"
+        "-p rtle-check --lib"
+        "-p rtle-htm --lib"
+        "-p rtle-core --lib"
+    )
+    for t in "${targets[@]}"; do
+        echo "-- cargo miri test $t"
+        # shellcheck disable=SC2086
+        if ! cargo +nightly miri test -q $t; then
+            echo "FAIL: miri $t"
+            failures=$((failures + 1))
+        fi
+    done
+}
+
+run_tsan() {
+    echo "== tier-2: thread sanitizer =="
+    if ! command -v rustup >/dev/null 2>&1 || ! have_nightly; then
+        echo "SKIP: no nightly toolchain installed (rustup toolchain install nightly)"
+        return 0
+    fi
+    if ! rustup component list --toolchain nightly 2>/dev/null | grep -q '^rust-src.*(installed)'; then
+        echo "SKIP: rust-src component not installed (rustup component add rust-src --toolchain nightly)"
+        return 0
+    fi
+    local host
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    # The 8-thread stress suites: they are the tests whose schedules TSan
+    # can actually vary. -Zbuild-std instruments std itself so the
+    # happens-before graph covers channel/mutex edges too.
+    local suites=(
+        "-p rtle-obs --test window_stress"
+        "-p rtle-htm --test mixed_stress"
+        "-p rtle-shard --test cross_shard_stress"
+        "-p rtle-core --test observability"
+    )
+    for s in "${suites[@]}"; do
+        echo "-- tsan cargo test $s"
+        # shellcheck disable=SC2086
+        if ! RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -q -Zbuild-std --target "$host" \
+            --target-dir target/tsan $s; then
+            echo "FAIL: tsan $s"
+            failures=$((failures + 1))
+        fi
+    done
+}
+
+case "$stage" in
+    miri) run_miri ;;
+    tsan) run_tsan ;;
+    all)  run_miri; run_tsan ;;
+    *) echo "usage: $0 [miri|tsan]"; exit 2 ;;
+esac
+
+if [ "$failures" -ne 0 ]; then
+    echo "sanitize: FAILED ($failures stage(s))"
+    exit 1
+fi
+echo "sanitize: OK (stages that found no tooling were skipped, not failed)"

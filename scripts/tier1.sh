@@ -14,8 +14,73 @@ cargo test --workspace --release -q
 echo "== clippy (deny warnings) =="
 cargo clippy --all-targets -q -- -D warnings
 
-echo "== rtle-check (lint + interleaving model) =="
+echo "== rtle-check (lint + path-sensitive analysis + interleaving model) =="
+# Zero-findings gate: `all` runs the lint, the four concurrency passes
+# (lockset, lock-order, publication, §4 fence — any unsuppressed finding
+# or missed seeded mutant is a non-zero exit), and the model checker.
+# The analyze step is re-run standalone below to enforce its wall-clock
+# budget and validate the JSON export.
 cargo run -p rtle-check --release
+
+echo "== rtle-check analyze budget + JSON export =="
+tmp_check="$(mktemp -d)"
+check_json="$tmp_check/check.json"
+t0="$(date +%s%N)"
+./target/release/rtle-check analyze --json "$check_json" >/dev/null
+t1="$(date +%s%N)"
+analyze_ms=$(( (t1 - t0) / 1000000 ))
+echo "analyze wall-clock: ${analyze_ms} ms"
+if [ "$analyze_ms" -ge 5000 ]; then
+    echo "analyze blew its 5 s whole-workspace budget (${analyze_ms} ms)"
+    exit 1
+fi
+cat > /tmp/tier1_check_smoke.rs <<'RS'
+fn main() {
+    use rtle_obs::Json;
+    let path = std::env::args().nth(1).unwrap();
+    let text = std::fs::read_to_string(&path).expect("read check json");
+    let j = rtle_obs::parse_json(&text).expect("check json must parse");
+    assert_eq!(j.get("kind").and_then(Json::as_str), Some("check-findings"));
+    assert_eq!(j.get("tool").and_then(Json::as_str), Some("rtle-check"));
+    assert_eq!(
+        j.get("schema_version").and_then(Json::as_u64),
+        Some(rtle_obs::SCHEMA_VERSION),
+        "schema version mismatch"
+    );
+    let findings = j.get("findings").and_then(Json::as_arr).expect("findings");
+    let live = findings
+        .iter()
+        .filter(|f| f.get("suppressed") == Some(&Json::Bool(false)))
+        .count();
+    assert_eq!(live, 0, "unsuppressed findings in export");
+    let mutants = j.get("mutants").and_then(Json::as_arr).expect("mutants");
+    assert_eq!(mutants.len(), 2, "both seeded mutants must be reported");
+    for m in mutants {
+        let feat = m.get("feature").and_then(Json::as_str).unwrap_or("?");
+        assert_eq!(
+            m.get("caught"),
+            Some(&Json::Bool(true)),
+            "seeded mutant {feat} missed"
+        );
+    }
+    println!(
+        "ok: {} findings (all suppressed), {} mutants caught",
+        findings.len(),
+        mutants.len()
+    );
+}
+RS
+check_obs_rlib="$(ls -t target/release/deps/librtle_obs-*.rlib | head -1)"
+rustc --edition 2021 -O --extern rtle_obs="$check_obs_rlib" \
+    -L dependency=target/release/deps \
+    -o /tmp/tier1_check_smoke /tmp/tier1_check_smoke.rs
+/tmp/tier1_check_smoke "$check_json"
+
+echo "== seeded analyzer mutants still compile =="
+# The mutants are feature-gated out of every normal build; type-check
+# them so the seeded code cannot rot while staying caught.
+cargo check -q -p rtle-shard --features mutant-lock-order
+cargo check -q -p rtle-htm --features mutant-publication
 
 echo "== trace-off overhead gate =="
 # The causal-tracing feature must be a true no-op when compiled out: the
