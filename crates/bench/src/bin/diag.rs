@@ -9,7 +9,15 @@
 //!     [threads] [--quick] [--json out.json] [--heatmap] [--trace out.trace.json]
 //! cargo run -p rtle-bench --release --bin diag -- --slo run.json
 //! cargo run -p rtle-bench --release --bin diag -- --timeline flight.json
+//! cargo run -p rtle-bench --release --bin diag -- top 127.0.0.1:9090
 //! ```
+//!
+//! `top ADDR` connects to a live scrape endpoint (`slo_bench --live` /
+//! `shard_bench --live`) and renders a refreshing per-source view:
+//! commit-path mix, window latency percentiles, abort composition,
+//! shard imbalance and watchdog status. `--iters N` bounds the refresh
+//! count (0 = until the endpoint goes away, the default);
+//! `--interval-ms N` sets the refresh period.
 //!
 //! `--heatmap` prints the per-orec conflict hot-spot report; `--trace`
 //! writes a Chrome `trace_event` document loadable in Perfetto
@@ -57,7 +65,51 @@ fn view_file(path: &std::path::Path, render: fn(&Json) -> Result<String, SloView
     }
 }
 
+/// Parses and runs `diag top ADDR [--iters N] [--interval-ms N]`.
+fn run_top_command(rest: &[String]) -> ! {
+    let usage = || -> ! {
+        eprintln!("usage: diag top ADDR [--iters N] [--interval-ms N]");
+        std::process::exit(1);
+    };
+    let mut cfg = rtle_bench::top::TopConfig {
+        addr: String::new(),
+        iters: 0,
+        interval_ms: 1_000,
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => {
+                cfg.iters = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--interval-ms" => {
+                cfg.interval_ms =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            flag if flag.starts_with('-') => usage(),
+            addr if cfg.addr.is_empty() => cfg.addr = addr.to_string(),
+            _ => usage(),
+        }
+    }
+    if cfg.addr.is_empty() {
+        usage();
+    }
+    match rtle_bench::top::run_top(&cfg) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("diag top: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    // The `top` subcommand owns its own flags; dispatch before the
+    // shared flag parser sees (and rejects) them.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("top") {
+        run_top_command(&raw[1..]);
+    }
     let args = BenchArgs::parse();
     if let Some(path) = args.slo.as_deref() {
         view_file(path, render_slo);

@@ -31,7 +31,7 @@ use std::time::Instant;
 use rtle_bench::baseline::BenchResult;
 use rtle_core::{ElidableLock, ElisionPolicy};
 use rtle_htm::prng::SplitMix64;
-use rtle_obs::{Json, SCHEMA_VERSION};
+use rtle_obs::{Json, LiveServer, MetricsRegistry, SCHEMA_VERSION};
 use rtle_shard::ShardedTxMap;
 
 struct Args {
@@ -44,6 +44,9 @@ struct Args {
     audit_one_in: u64,
     /// Passes over the scan window per audit (sets the sweep's length).
     audit_passes: u64,
+    /// `--live ADDR`: serve each run's map at `/metrics` and `/json`
+    /// while the sweep executes.
+    live: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +58,7 @@ fn parse_args() -> Args {
         seed: 0x5ba4d,
         audit_one_in: 2_048,
         audit_passes: 256,
+        live: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -66,6 +70,7 @@ fn parse_args() -> Args {
             "--audit-one-in" => args.audit_one_in = num(it.next()).max(1),
             "--audit-passes" => args.audit_passes = num(it.next()).max(1),
             "--json" => args.json = Some(it.next().unwrap_or_else(|| usage())),
+            "--live" => args.live = Some(it.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -89,7 +94,7 @@ fn num(s: Option<String>) -> u64 {
 fn usage() -> ! {
     eprintln!(
         "usage: shard_bench [--quick] [--threads N] [--shards N] [--seed S] \
-         [--audit-one-in N] [--audit-passes P] [--json PATH]"
+         [--audit-one-in N] [--audit-passes P] [--json PATH] [--live ADDR]"
     );
     exit(2);
 }
@@ -130,16 +135,25 @@ fn part_of(key: u64, partitions: usize) -> usize {
 /// paths abort (`OREC_CONFLICT`) until the audit drains. A descheduled
 /// auditor then strands the entire process, which is exactly the
 /// single-big-lock pathology this benchmark quantifies.
-fn run_mixed(
-    shards: usize,
-    partitions: usize,
-    threads: usize,
+/// The per-run workload shape shared by every configuration of the
+/// sweep, so single-lock and sharded runs are compared on identical work.
+#[derive(Clone, Copy)]
+struct Workload {
     keys: u64,
     ops_per_thread: u64,
     seed: u64,
     audit_one_in: u64,
     audit_passes: u64,
+}
+
+fn run_mixed(
+    shards: usize,
+    partitions: usize,
+    threads: usize,
+    w: Workload,
+    live: Option<(&MetricsRegistry, &str)>,
 ) -> RunOutcome {
+    let Workload { keys, ops_per_thread, seed, audit_one_in, audit_passes } = w;
     let map: Arc<ShardedTxMap> = Arc::new(ShardedTxMap::with_builder(
         shards,
         // Size each shard so total capacity covers the key range with the
@@ -147,6 +161,11 @@ fn run_mixed(
         ((keys as usize * 2) / shards).max(64),
         ElidableLock::builder().policy(ElisionPolicy::FgTle { orecs: 128 }),
     ));
+    if let Some((registry, label)) = live {
+        // Registered before the clock starts, so a scraper watching the
+        // endpoint sees every run of the sweep from its first op.
+        map.register_live(registry, label);
+    }
     // Pre-populate half the key range so gets actually hit.
     for k in (0..keys).step_by(2) {
         map.insert(k, k);
@@ -247,6 +266,17 @@ fn main() {
     let args = parse_args();
     let (keys, ops_per_thread) = if args.quick { (1024, 48_000) } else { (2048, 96_000) };
 
+    let live = args.live.as_ref().map(|addr| {
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = LiveServer::start(Arc::clone(&registry), addr.as_str())
+            .unwrap_or_else(|e| {
+                eprintln!("shard_bench: cannot bind live endpoint on {addr}: {e}");
+                exit(1);
+            });
+        eprintln!("shard_bench: live endpoint at http://{}/metrics", server.addr());
+        (registry, server)
+    });
+
     println!(
         "shard_bench: mixed 80/10/10 over {keys} keys, {} ops/thread, \
          audit 1/{} x {} passes, seed {:#x}",
@@ -268,17 +298,20 @@ fn main() {
     for &threads in &thread_points {
         let mut pair = (0.0, 0.0);
         for shards in [1, args.shards] {
+            let label = format!("shard{shards}_mixed_{threads}thr");
             let out = run_mixed(
                 shards,
                 args.shards,
                 threads,
-                keys,
-                ops_per_thread,
-                args.seed,
-                args.audit_one_in,
-                args.audit_passes,
+                Workload {
+                    keys,
+                    ops_per_thread,
+                    seed: args.seed,
+                    audit_one_in: args.audit_one_in,
+                    audit_passes: args.audit_passes,
+                },
+                live.as_ref().map(|(r, _)| (r.as_ref(), label.as_str())),
             );
-            let label = format!("shard{shards}_mixed_{threads}thr");
             println!(
                 "{label:<28}{threads:>10}{:>16.1}{:>12.1}",
                 out.ops_per_ms, out.ns_per_op

@@ -6,7 +6,13 @@
 //! slo_bench [--quick] [--seed N] [--threads N] [--shards N]
 //!           [--rate OPS_S] [--duration-ms N] [--window-ms N]
 //!           [--no-storm] [--flight-dir DIR] [--json PATH]
+//!           [--live ADDR] [--live-port-file PATH]
 //! ```
+//!
+//! `--live ADDR` (e.g. `127.0.0.1:9090`, or port `0` for ephemeral)
+//! serves the run's telemetry at `/metrics` and `/json` while it runs —
+//! point `diag top ADDR` at it to watch the collapse live.
+//! `--live-port-file` writes the bound address for scripted scrapers.
 //!
 //! The JSON export is a `perf-baseline`-kind document (headline rows for
 //! `bench compare`) carrying the full schema-versioned `slo` section;
@@ -25,7 +31,8 @@ fn usage() -> ! {
         "usage: slo_bench [--quick] [--seed N] [--threads N] [--shards N] \
          [--rate OPS_S] [--duration-ms N] [--window-ms N] [--no-storm] \
          [--audit-hold-ms N] [--audit-boost N] [--storm-write-pct N] \
-         [--timeline] [--flight-dir DIR] [--json PATH]"
+         [--timeline] [--flight-dir DIR] [--json PATH] \
+         [--live ADDR] [--live-port-file PATH]"
     );
     std::process::exit(2);
 }
@@ -52,7 +59,14 @@ fn parse_args() -> Args {
     let mut timeline = false;
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--quick" => cfg = SloConfig { flight_dir: cfg.flight_dir, ..SloConfig::quick() },
+            "--quick" => {
+                cfg = SloConfig {
+                    flight_dir: cfg.flight_dir,
+                    live: cfg.live,
+                    live_port_file: cfg.live_port_file,
+                    ..SloConfig::quick()
+                }
+            }
             "--seed" => cfg.seed = num(&mut it, "--seed"),
             "--threads" => cfg.threads = num(&mut it, "--threads") as usize,
             "--shards" => cfg.shards = (num(&mut it, "--shards") as usize).next_power_of_two(),
@@ -66,6 +80,10 @@ fn parse_args() -> Args {
             "--timeline" => timeline = true,
             "--flight-dir" => {
                 cfg.flight_dir = Some(it.next().map(Into::into).unwrap_or_else(|| usage()))
+            }
+            "--live" => cfg.live = Some(it.next().unwrap_or_else(|| usage())),
+            "--live-port-file" => {
+                cfg.live_port_file = Some(it.next().map(Into::into).unwrap_or_else(|| usage()))
             }
             "--json" => json = Some(it.next().map(Into::into).unwrap_or_else(|| usage())),
             _ => usage(),

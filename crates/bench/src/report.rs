@@ -35,14 +35,33 @@ pub struct BenchArgs {
     pub rest: Vec<String>,
 }
 
+/// The flag summary printed when a binary is invoked with a flag nobody
+/// understands. Binaries with extra flags of their own parse those first
+/// and only hand the remainder to [`BenchArgs`].
+pub const USAGE: &str = "shared flags: [--quick] [--json PATH] [--trace PATH] [--heatmap] \
+                         [--slo FILE] [--timeline FILE]";
+
 impl BenchArgs {
-    /// Parses `std::env::args()` (skipping the binary name).
+    /// Parses `std::env::args()` (skipping the binary name). An
+    /// unrecognized `-`-prefixed argument is a usage error (exit 1), not
+    /// a positional: silently swallowing a misspelled flag means a run
+    /// quietly measures something other than what was asked for.
     pub fn parse() -> Self {
         Self::parse_args(std::env::args().skip(1))
     }
 
-    /// Parses an explicit argument list (testable).
+    /// [`Self::try_parse_args`], exiting with usage on a bad flag.
     pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        Self::try_parse_args(args).unwrap_or_else(|bad| {
+            eprintln!("unrecognized flag: {bad}");
+            eprintln!("{USAGE}");
+            std::process::exit(1);
+        })
+    }
+
+    /// Parses an explicit argument list; `Err` carries the first
+    /// unrecognized `-`-prefixed argument.
+    pub fn try_parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut out = BenchArgs::default();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -77,10 +96,11 @@ impl BenchArgs {
                     });
                     out.timeline = Some(PathBuf::from(p));
                 }
+                flag if flag.starts_with('-') => return Err(a),
                 _ => out.rest.push(a),
             }
         }
-        out
+        Ok(out)
     }
 
     /// The sweep scale implied by the flags.
@@ -227,8 +247,7 @@ mod tests {
     fn args_parse_flags_and_positionals() {
         let a = BenchArgs::parse_args(
             ["--quick", "--json", "/tmp/x.json", "--trace", "/tmp/t.json", "--heatmap", "12"]
-                .map(String::from)
-                .into_iter(),
+                .map(String::from),
         );
         assert!(a.quick);
         assert_eq!(a.scale(), Scale::Quick);
@@ -237,6 +256,20 @@ mod tests {
         assert!(a.heatmap);
         assert_eq!(a.rest, vec!["12".to_string()]);
         assert_eq!(BenchArgs::parse_args(std::iter::empty()).scale(), Scale::Full);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_swallowed() {
+        let err = BenchArgs::try_parse_args(
+            ["--quick", "--heatmpa"].map(String::from),
+        )
+        .unwrap_err();
+        assert_eq!(err, "--heatmpa");
+        let err = BenchArgs::try_parse_args(["-q"].map(String::from)).unwrap_err();
+        assert_eq!(err, "-q");
+        // Positionals (no dash) still pass through untouched.
+        let ok = BenchArgs::try_parse_args(["12", "top"].map(String::from)).unwrap();
+        assert_eq!(ok.rest, vec!["12".to_string(), "top".to_string()]);
     }
 
     #[test]

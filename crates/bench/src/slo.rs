@@ -49,8 +49,8 @@ use std::time::{Duration, Instant};
 use rtle_core::{Ctx, ElidableLock, ElisionPolicy, RetryPolicy};
 use rtle_htm::prng::SplitMix64;
 use rtle_obs::{
-    flight_record, CollapseEvent, HistSnapshot, Json, ObsConfig, Recorder, Watchdog,
-    WatchdogConfig, WindowSnapshot, SCHEMA_VERSION,
+    flight_record, CollapseEvent, HistSnapshot, Json, LiveServer, LiveSource, MetricsRegistry,
+    ObsConfig, Recorder, Watchdog, WatchdogConfig, WindowSnapshot, SCHEMA_VERSION,
 };
 use rtle_shard::{ShardedTxMap, TxMap};
 
@@ -107,6 +107,14 @@ pub struct SloConfig {
     /// Where collapse flight records are written (`None` disables the
     /// dump; the watchdog still reports verdicts).
     pub flight_dir: Option<PathBuf>,
+    /// Bind address for the live scrape endpoint (`None` disables it).
+    /// Each target's recorder and watchdog mirror — plus the sharded
+    /// map itself — register with one [`MetricsRegistry`] served at
+    /// `/metrics` and `/json` for the whole run.
+    pub live: Option<String>,
+    /// Where to write the endpoint's actual address (useful with a
+    /// `:0` ephemeral port — the tier-1 scrape smoke reads this).
+    pub live_port_file: Option<PathBuf>,
 }
 
 impl SloConfig {
@@ -152,6 +160,8 @@ impl SloConfig {
             p999_target_ms: 800.0,
             series_cap: 512,
             flight_dir: None,
+            live: None,
+            live_port_file: None,
         }
     }
 
@@ -185,8 +195,9 @@ enum Target {
         lock: Box<ElidableLock>,
         map: TxMap<u64>,
     },
-    /// The sharded map; shards share the harness recorder.
-    Sharded { map: ShardedTxMap },
+    /// The sharded map; shards share the harness recorder. `Arc` so the
+    /// map can double as a registered live-scrape source.
+    Sharded { map: Arc<ShardedTxMap> },
 }
 
 impl Target {
@@ -330,8 +341,16 @@ fn wait_until(t0: Instant, target_ns: u64) {
 }
 
 /// Runs one configuration under the schedule. The returned outcome owns
-/// everything the JSON export needs.
-fn run_target(cfg: &SloConfig, name: String, target: Target, rec: Arc<Recorder>) -> SloOutcome {
+/// everything the JSON export needs. When `registry` is given, the
+/// run's watchdog publishes its live mirror there (the recorder and map
+/// sources are registered by [`run_slo`] before the clock starts).
+fn run_target(
+    cfg: &SloConfig,
+    name: String,
+    target: Target,
+    rec: Arc<Recorder>,
+    registry: Option<Arc<MetricsRegistry>>,
+) -> SloOutcome {
     let target = Arc::new(target);
     // Pre-populate half the key range so gets hit (outside the clock).
     for k in (0..cfg.keys).step_by(2) {
@@ -359,8 +378,14 @@ fn run_target(cfg: &SloConfig, name: String, target: Target, rec: Arc<Recorder>)
         let stop = Arc::clone(&stop);
         let flight_to = cfg.flight_dir.as_ref().map(|d| d.join(format!("slo_flight_{name}.json")));
         let tick = Duration::from_millis((cfg.window_ms / 4).max(5));
+        let wd_name = format!("{name}_watchdog");
         std::thread::spawn(move || {
             let mut wd = Watchdog::new(WatchdogConfig::default());
+            let live_mirror = registry.map(|reg| {
+                let mirror = wd.live();
+                reg.register(wd_name, Arc::clone(&mirror) as Arc<dyn LiveSource>);
+                mirror
+            });
             let mut flight_path = None;
             let coll = rec.windows().expect("harness recorder always has windows");
             loop {
@@ -376,6 +401,9 @@ fn run_target(cfg: &SloConfig, name: String, target: Target, rec: Arc<Recorder>)
                         if let (Some(path), None) = (&flight_to, &flight_path) {
                             let doc = flight_record(&ev, &coll.series(), &rec.snapshot());
                             if std::fs::write(path, doc.to_string_pretty()).is_ok() {
+                                if let Some(mirror) = &live_mirror {
+                                    mirror.set_flight_record_path(path.display().to_string());
+                                }
                                 flight_path = Some(path.clone());
                             }
                         }
@@ -516,7 +544,25 @@ pub fn run_slo(cfg: &SloConfig) -> Vec<SloOutcome> {
     };
     let capacity = (cfg.keys as usize) * 2;
 
+    // The live scrape endpoint, when asked for: one registry + server
+    // outlives both target runs, so an operator watching `diag top` sees
+    // the single-lock collapse and the sharded recovery back to back.
+    let live = cfg.live.as_ref().map(|addr| {
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = LiveServer::start(Arc::clone(&registry), addr.as_str())
+            .unwrap_or_else(|e| panic!("cannot bind live endpoint on {addr}: {e}"));
+        eprintln!("slo: live endpoint at http://{}/metrics", server.addr());
+        if let Some(path) = &cfg.live_port_file {
+            std::fs::write(path, server.addr().to_string()).expect("write live port file");
+        }
+        (registry, server)
+    });
+    let registry = live.as_ref().map(|(r, _)| Arc::clone(r));
+
     let rec = harness_recorder(cfg);
+    if let Some(reg) = &registry {
+        reg.register("single_lock", Arc::clone(&rec) as Arc<dyn LiveSource>);
+    }
     let single = Target::SingleLock {
         lock: Box::new(
             ElidableLock::builder()
@@ -527,21 +573,33 @@ pub fn run_slo(cfg: &SloConfig) -> Vec<SloOutcome> {
         ),
         map: TxMap::with_capacity(capacity),
     };
-    let single_out = run_target(cfg, "single_lock".into(), single, rec);
+    let single_out = run_target(cfg, "single_lock".into(), single, rec, registry.clone());
 
     let rec = harness_recorder(cfg);
-    let sharded = Target::Sharded {
-        map: ShardedTxMap::with_builder(
-            cfg.shards,
-            (capacity / cfg.shards).max(64),
-            ElidableLock::builder()
-                .policy(policy)
-                .retry(retry)
-                .recorder(Arc::clone(&rec)),
-        ),
-    };
-    let sharded_out = run_target(cfg, format!("sharded{}", cfg.shards), sharded, rec);
+    let sharded_name = format!("sharded{}", cfg.shards);
+    if let Some(reg) = &registry {
+        reg.register(&sharded_name, Arc::clone(&rec) as Arc<dyn LiveSource>);
+    }
+    let map = Arc::new(ShardedTxMap::with_builder(
+        cfg.shards,
+        (capacity / cfg.shards).max(64),
+        ElidableLock::builder()
+            .policy(policy)
+            .retry(retry)
+            .recorder(Arc::clone(&rec)),
+    ));
+    if let Some(reg) = &registry {
+        reg.register(
+            format!("{sharded_name}_map"),
+            Arc::clone(&map) as Arc<dyn LiveSource>,
+        );
+    }
+    let sharded = Target::Sharded { map };
+    let sharded_out = run_target(cfg, sharded_name, sharded, rec, registry);
 
+    if let Some((_, mut server)) = live {
+        server.shutdown();
+    }
     vec![single_out, sharded_out]
 }
 
@@ -861,6 +919,8 @@ mod tests {
             p999_target_ms: 2_000.0,
             series_cap: 64,
             flight_dir: None,
+            live: None,
+            live_port_file: None,
         }
     }
 
@@ -915,6 +975,69 @@ mod tests {
             .map(|j| render_slo(&j).unwrap_err())
             .unwrap();
         assert_eq!(err, SloViewError::Shape("no slo section"));
+    }
+
+    #[test]
+    fn live_endpoint_serves_while_the_run_is_hot() {
+        use std::io::{Read as _, Write as _};
+
+        let dir = std::env::temp_dir().join(format!("rtle_slo_live_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("port");
+        let _ = std::fs::remove_file(&port_file);
+        let cfg = SloConfig {
+            live: Some("127.0.0.1:0".into()),
+            live_port_file: Some(port_file.clone()),
+            ..tiny(false)
+        };
+
+        // A scraper racing the run: wait for the port file, then GET both
+        // routes while the workload is still generating load.
+        let scraper = {
+            let port_file = port_file.clone();
+            std::thread::spawn(move || {
+                let deadline = Instant::now() + Duration::from_secs(10);
+                let addr = loop {
+                    if let Ok(s) = std::fs::read_to_string(&port_file) {
+                        if !s.trim().is_empty() {
+                            break s.trim().to_string();
+                        }
+                    }
+                    assert!(Instant::now() < deadline, "port file never appeared");
+                    std::thread::sleep(Duration::from_millis(5));
+                };
+                let get = |route: &str| {
+                    let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
+                    write!(conn, "GET {route} HTTP/1.0\r\n\r\n").unwrap();
+                    let mut resp = String::new();
+                    conn.read_to_string(&mut resp).expect("read response");
+                    resp
+                };
+                (get("/metrics"), get("/json"))
+            })
+        };
+        let outcomes = run_slo(&cfg);
+        let (metrics, json) = scraper.join().expect("scraper never panics");
+
+        assert_eq!(outcomes.len(), 2);
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(
+            metrics.contains(r#"source="single_lock",kind="recorder""#),
+            "recorder registered before the clock started:\n{metrics}"
+        );
+        assert!(
+            metrics.contains("rtle_windows_inspected"),
+            "watchdog mirror registered:\n{metrics}"
+        );
+        assert!(json.starts_with("HTTP/1.1 200 OK"), "{json}");
+        let body = json.split("\r\n\r\n").nth(1).expect("json body");
+        let doc = rtle_obs::parse_json(body).expect("live JSON parses");
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("live-registry"));
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -320,6 +320,49 @@ pub const ORDERING_RULES: &[OrderingRule] = &[
         allowed: &["Relaxed"],
         why: "window start / length snapshot reads: advisory telemetry, no synchronization role",
     },
+    // ---- rtle-obs: live scrape plane ------------------------------------
+    // The scrape server's only atomic is its shutdown flag: Release on
+    // store / Acquire on load so the accept loop's final iteration sees
+    // everything written before shutdown was requested.
+    OrderingRule {
+        file_suffix: "obs/src/live.rs",
+        receiver: "stop",
+        op: AtomicOp::Store,
+        allowed: &["Release"],
+        why: "shutdown request publication: the accept loop must see pre-shutdown writes",
+    },
+    OrderingRule {
+        file_suffix: "obs/src/live.rs",
+        receiver: "stop",
+        op: AtomicOp::Load,
+        allowed: &["Acquire"],
+        why: "accept-loop shutdown check: pairs with the Release store in shutdown()",
+    },
+    // The watchdog's live mirror is a write-rarely/read-racy scrape view:
+    // every field is independent advisory telemetry, so Relaxed
+    // everywhere — a scrape reading a half-published verdict is tolerated
+    // and corrected by the next scrape.
+    OrderingRule {
+        file_suffix: "obs/src/watchdog.rs",
+        receiver: "*",
+        op: AtomicOp::Load,
+        allowed: &["Relaxed"],
+        why: "live-mirror scrape reads: advisory, racy-by-design telemetry",
+    },
+    OrderingRule {
+        file_suffix: "obs/src/watchdog.rs",
+        receiver: "*",
+        op: AtomicOp::Store,
+        allowed: &["Relaxed"],
+        why: "live-mirror publication from the rotator thread: no cross-field ordering contract",
+    },
+    OrderingRule {
+        file_suffix: "obs/src/watchdog.rs",
+        receiver: "*",
+        op: AtomicOp::FetchAdd,
+        allowed: &["Relaxed"],
+        why: "live-mirror monotone counters: single-writer rotator, racy readers",
+    },
 ];
 
 /// Hot-path modules where `unwrap`/`panic!` are banned outside tests.
@@ -338,6 +381,9 @@ pub const ORDERING_SCOPE: &[&str] = &[
     "crates/htm/src/",
     "crates/shard/src/",
     "crates/obs/src/window.rs",
+    "crates/obs/src/registry.rs",
+    "crates/obs/src/live.rs",
+    "crates/obs/src/watchdog.rs",
 ];
 
 /// One ordering usage found in a statement.

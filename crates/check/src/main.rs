@@ -12,13 +12,13 @@
 //!
 //! Exit code 0 iff everything is clean (and every mutant was detected).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use rtle_check::model::{explore, mutant_config, standard_suite};
 use rtle_check::{find_workspace_root, lint, passes};
 
-fn run_lint(root: &PathBuf) -> bool {
+fn run_lint(root: &Path) -> bool {
     let findings = lint::lint_workspace(root);
     if findings.is_empty() {
         let n = lint::workspace_sources(root).len();
@@ -33,7 +33,7 @@ fn run_lint(root: &PathBuf) -> bool {
     }
 }
 
-fn run_analyze(root: &PathBuf, json: Option<&PathBuf>) -> bool {
+fn run_analyze(root: &Path, json: Option<&Path>) -> bool {
     let report = passes::analyze_workspace(root);
     for f in report.unsuppressed() {
         println!("analyze: {f}");
@@ -164,7 +164,7 @@ fn main() -> ExitCode {
     }
     if mode == "analyze" || mode == "all" {
         match &root {
-            Some(r) => ok &= run_analyze(r, json.as_ref()),
+            Some(r) => ok &= run_analyze(r, json.as_deref()),
             None => {
                 eprintln!("rtle-check: could not locate the workspace root (use --root)");
                 ok = false;

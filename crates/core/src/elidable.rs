@@ -18,7 +18,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rtle_htm::{AbortCode, HtmBackend, SwHtmBackend, TxCell};
-use rtle_obs::{AttemptEvent, Outcome, PathKind, Recorder, TraceKind};
+use rtle_obs::{
+    AttemptEvent, LiveSource, MetricsRegistry, ObsConfig, Outcome, PathKind, Recorder, TraceKind,
+};
 
 use crate::abort_codes;
 use crate::adaptive::AdaptiveState;
@@ -66,41 +68,73 @@ mod obs_thread {
 
     static NEXT_KEY: AtomicU64 = AtomicU64::new(0);
 
-    thread_local! {
-        // ordering: key allocation — only uniqueness matters, the value
-        // never synchronizes other memory.
-        static KEY: u64 = NEXT_KEY.fetch_add(1, Ordering::Relaxed);
+    /// Sentinel for "this thread has no key yet"; real keys are the
+    /// small dense integers `NEXT_KEY` hands out.
+    const UNASSIGNED: u64 = u64::MAX;
+
+    /// The thread's whole observability identity in one const-initialized
+    /// TLS slot: the stable key (ring/window stripe selection) and the
+    /// decrementing sampling ticket. One slot means one TLS address
+    /// computation per operation; const initialization means no
+    /// lazy-init branch or destructor registration on that path (a
+    /// non-const `thread_local!` pays an initialization check on every
+    /// access). The key is allocated lazily behind the [`UNASSIGNED`]
+    /// sentinel, off the unsampled path entirely.
+    struct ObsTls {
+        key: Cell<u64>,
         /// Operations left until the next sampled one; `0` = sample now.
-        static TICKET: Cell<u64> = const { Cell::new(0) };
+        ticket: Cell<u64>,
+    }
+
+    thread_local! {
+        static TLS: ObsTls = const {
+            ObsTls {
+                key: Cell::new(UNASSIGNED),
+                ticket: Cell::new(0),
+            }
+        };
+    }
+
+    #[inline]
+    fn key_of(t: &ObsTls) -> u64 {
+        let k = t.key.get();
+        if k != UNASSIGNED {
+            k
+        } else {
+            // ordering: key allocation — only uniqueness matters, the
+            // value never synchronizes other memory.
+            let k = NEXT_KEY.fetch_add(1, Ordering::Relaxed);
+            t.key.set(k);
+            k
+        }
     }
 
     /// The calling thread's stable observability key (also the window
     /// collector's stripe selector).
     #[inline]
     pub(super) fn key() -> u64 {
-        KEY.with(|k| *k)
+        TLS.with(key_of)
     }
 
     /// Ticket-based sampling: one decrement-and-test per operation,
     /// reloading with `period - 1` each time it hits zero, so a thread
-    /// samples 1 in `period` operations. This replaces the old
-    /// key-lookup + sequence-bump + mask-test chain, whose three
-    /// thread-local accesses roughly doubled uncontended RMW cost when
-    /// a sampled recorder was installed (BENCH_0.json,
-    /// `tle_sampled_recorder_rmw`); the thread key is now only fetched
-    /// for the sampled minority. The ticket is shared across locks on
-    /// the thread (as the old sequence was), so with several sampled
+    /// samples 1 in `period` operations. Returns the thread key for
+    /// sampled operations, so the caller needs no second TLS access.
+    /// The unsampled path — the one an always-on recorder puts every
+    /// operation but the sampled minority through — is a single TLS
+    /// read-modify-write of the const-initialized slot. The ticket is
+    /// shared across locks on the thread, so with several sampled
     /// recorders the phases interleave — fine for statistics.
     #[inline]
-    pub(super) fn take_ticket(period: u64) -> bool {
-        TICKET.with(|t| {
-            let v = t.get();
+    pub(super) fn take_ticket(period: u64) -> Option<u64> {
+        TLS.with(|t| {
+            let v = t.ticket.get();
             if v == 0 {
-                t.set(period.saturating_sub(1));
-                true
+                t.ticket.set(period.saturating_sub(1));
+                Some(key_of(t))
             } else {
-                t.set(v - 1);
-                false
+                t.ticket.set(v - 1);
+                None
             }
         })
     }
@@ -228,6 +262,24 @@ impl<B: HtmBackend> ElidableLockBuilder<B> {
     /// attempt streams aggregate into a single observability snapshot.
     pub fn recorder(mut self, recorder: Arc<Recorder>) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Opts this lock into the live telemetry plane: registers its
+    /// recorder with `registry` under `name`, so a
+    /// [`rtle_obs::LiveServer`] scraping that registry sees the lock's
+    /// commit-path mix, abort composition, and window series while the
+    /// workload runs. If no recorder was installed yet, a windowed one
+    /// is created (100 ms windows) — a live plane without a time axis
+    /// cannot show a collapse happening.
+    pub fn with_live(mut self, registry: &MetricsRegistry, name: impl Into<String>) -> Self {
+        let recorder = self.recorder.get_or_insert_with(|| {
+            Arc::new(Recorder::new(ObsConfig {
+                window_len_ms: 100,
+                ..ObsConfig::default()
+            }))
+        });
+        registry.register(name, Arc::clone(recorder) as Arc<dyn LiveSource>);
         self
     }
 
@@ -366,12 +418,11 @@ impl<B: HtmBackend> ElidableLock<B> {
         // retry loop: unsampled (and recorder-less) operations run the
         // exact uninstrumented path.
         let rec = match &self.recorder {
-            Some(recorder) => {
-                obs_thread::take_ticket(recorder.sample_period()).then(|| Rec {
+            Some(recorder) => obs_thread::take_ticket(recorder.sample_period())
+                .map(|thread_key| Rec {
                     recorder,
-                    thread_key: obs_thread::key(),
-                })
-            }
+                    thread_key,
+                }),
             None => None,
         };
         let r = self.execute_inner(&cs, rec);
@@ -1136,6 +1187,53 @@ mod tests {
         assert_eq!(plain.policy(), ElisionPolicy::Tle);
         assert_eq!(plain.retry_policy(), RetryPolicy::default());
         assert!(plain.recorder().is_none());
+    }
+
+    /// `with_live` wires the lock's recorder into a scrape registry —
+    /// installing a windowed default recorder when none was configured —
+    /// and live scrapes then see the lock's traffic without disturbing
+    /// the destructive end-of-run snapshot.
+    #[test]
+    fn with_live_registers_recorder_with_the_registry() {
+        let registry = MetricsRegistry::new();
+        let lock = ElidableLock::builder()
+            .policy(ElisionPolicy::Tle)
+            .with_live(&registry, "demo_lock")
+            .build();
+        assert!(lock.recorder().is_some(), "with_live installs a default recorder");
+        assert!(
+            lock.recorder().unwrap().windows().is_some(),
+            "the default live recorder is windowed"
+        );
+        let c = TxCell::new(0u64);
+        for _ in 0..50 {
+            lock.execute(|ctx| {
+                let v = ctx.read(&c);
+                ctx.write(&c, v + 1);
+            });
+        }
+        let scrape = registry.scrape();
+        assert_eq!(scrape.len(), 1);
+        assert_eq!(scrape[0].0, "demo_lock");
+        let commits: u64 = scrape[0]
+            .1
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("commits_"))
+            .map(|&(_, n)| n)
+            .sum();
+        assert_eq!(commits, 50, "every sampled op is visible to the scrape");
+        let text = registry.to_prometheus();
+        assert!(text.contains("rtle_commits_fast_htm{source=\"demo_lock\",kind=\"recorder\"}"));
+
+        // An explicitly-installed recorder is reused, not replaced.
+        let rec = Arc::new(rtle_obs::Recorder::new(rtle_obs::ObsConfig::default()));
+        let lock2 = ElidableLock::builder()
+            .recorder(Arc::clone(&rec))
+            .with_live(&registry, "second")
+            .build();
+        assert!(Arc::ptr_eq(lock2.recorder().unwrap(), &rec));
+        assert_eq!(registry.len(), 2);
     }
 
     #[test]

@@ -124,6 +124,7 @@ impl ExecStats {
             aborts_by_code: std::array::from_fn(|i| self.aborts_by_code[i].load(Ordering::Relaxed)),
             lock_path_aborts: self.lock_path_aborts.load(Ordering::Relaxed),
             time_locked: Duration::from_nanos(self.time_locked_ns.load(Ordering::Relaxed)),
+            taken_at_ns: rtle_obs::epoch::now_ns(),
         }
     }
 }
@@ -160,6 +161,13 @@ pub struct StatsSnapshot {
     pub lock_path_aborts: u64,
     /// Total wall time some thread held the lock.
     pub time_locked: Duration,
+    /// When this snapshot was taken, in ns since the process-start
+    /// monotonic epoch ([`rtle_obs::epoch`]) — the same timebase live
+    /// scrapes, window series, and flight records use, so offline
+    /// reports can be lined up against a scrape of the same run. Zero
+    /// for hand-built snapshots. `merge` keeps the later stamp; `since`
+    /// yields the interval between the two snapshots.
+    pub taken_at_ns: u64,
 }
 
 impl StatsSnapshot {
@@ -204,6 +212,7 @@ impl StatsSnapshot {
             }),
             lock_path_aborts: self.lock_path_aborts.saturating_add(other.lock_path_aborts),
             time_locked: self.time_locked.saturating_add(other.time_locked),
+            taken_at_ns: self.taken_at_ns.max(other.taken_at_ns),
         }
     }
 
@@ -230,6 +239,7 @@ impl StatsSnapshot {
             }),
             lock_path_aborts: self.lock_path_aborts.saturating_sub(earlier.lock_path_aborts),
             time_locked: self.time_locked.saturating_sub(earlier.time_locked),
+            taken_at_ns: self.taken_at_ns.saturating_sub(earlier.taken_at_ns),
         }
     }
 }
@@ -260,6 +270,24 @@ mod tests {
         assert_eq!(snap.aborts_conflict, 1);
         assert_eq!(snap.aborts_explicit, 1);
         assert_eq!(snap.time_locked, Duration::from_micros(5));
+        assert!(snap.taken_at_ns > 0, "snapshots stamp the process epoch");
+    }
+
+    #[test]
+    fn epoch_stamps_merge_to_latest_and_diff_to_interval() {
+        let a = StatsSnapshot {
+            ops: 10,
+            taken_at_ns: 1_000,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            ops: 20,
+            taken_at_ns: 4_500,
+            ..Default::default()
+        };
+        assert_eq!(a.merge(&b).taken_at_ns, 4_500, "merged view is as fresh as its freshest part");
+        assert_eq!(b.since(&a).taken_at_ns, 3_500, "delta carries the measurement interval");
+        assert_eq!(a.since(&b).taken_at_ns, 0, "racing order saturates");
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! A single process-wide monotonic timebase.
+//!
+//! Every telemetry consumer — live scrapes, window series, watchdog
+//! flight records, offline `diag --timeline` replays — needs to agree
+//! on what "t = 0" means, or their offsets cannot be correlated. This
+//! module pins one `Instant` the first time anything asks for it and
+//! measures everything as nanoseconds since that epoch. The epoch is
+//! process-global and immutable once taken; callers that want a local
+//! origin subtract two [`now_ns`] readings.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process-start monotonic epoch. Pinned on first call; every
+/// subsequent call returns the same instant.
+pub fn process_epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since [`process_epoch`], saturating at
+/// `u64::MAX` (≈584 years — effectively never).
+pub fn now_ns() -> u64 {
+    let ns = process_epoch().elapsed().as_nanos();
+    u64::try_from(ns).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_pinned_once() {
+        let a = process_epoch();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = process_epoch();
+        assert_eq!(a, b, "epoch must not drift between calls");
+    }
+
+    #[test]
+    fn now_is_monotone() {
+        let a = now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = now_ns();
+        assert!(b > a, "elapsed time must advance: {a} -> {b}");
+    }
+}

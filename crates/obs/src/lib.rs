@@ -33,6 +33,13 @@
 //!   for collapse signatures (fallback-rate spike + commit-rate floor,
 //!   sustained conflict storms) and assembles a postmortem
 //!   [`flight_record`] JSON dump on trigger.
+//! * **Live telemetry plane** ([`MetricsRegistry`], [`LiveServer`]) —
+//!   subsystems register [`LiveSource`]s whose snapshots are built from
+//!   non-destructive relaxed reads; a hand-rolled HTTP/1.1 endpoint on
+//!   `std::net::TcpListener` serves Prometheus text at `/metrics` and
+//!   schema-versioned JSON at `/json` while the workload runs. All
+//!   exports share the [`epoch`] process-start timebase so live scrapes
+//!   correlate with flight records and offline timelines.
 //!
 //! Recording is opt-in: the lock runtime holds an `Option<Arc<Recorder>>`
 //! and pays only an `Option` null-check when none is installed, plus a
@@ -43,10 +50,13 @@
 //! vendored, and the parser lets tests assert that every `--json` file
 //! round-trips.
 
+pub mod epoch;
 pub mod event;
 pub mod hist;
 pub mod json;
+pub mod live;
 pub mod recorder;
+pub mod registry;
 pub mod ring;
 pub mod trace;
 pub mod watchdog;
@@ -55,9 +65,13 @@ pub mod window;
 pub use event::{AdaptAction, AdaptDecision, AttemptEvent, Outcome, PathKind};
 pub use hist::{HistSnapshot, Histogram};
 pub use json::{parse as parse_json, Json};
+pub use live::LiveServer;
 pub use recorder::{
     JsonSink, MemorySink, ObsConfig, ObsSnapshot, Recorder, Sink, TextSink, SCHEMA_VERSION,
 };
+pub use registry::{LiveSource, MetricsRegistry, SourceSnapshot, SCRAPE_WINDOW_TAIL};
 pub use trace::{TraceKind, TraceRecord, Tracer};
-pub use watchdog::{flight_record, CollapseEvent, CollapseKind, Watchdog, WatchdogConfig};
+pub use watchdog::{
+    flight_record, CollapseEvent, CollapseKind, Watchdog, WatchdogConfig, WatchdogLive,
+};
 pub use window::{TimeSeries, WindowCollector, WindowCounts, WindowRotation, WindowSnapshot};

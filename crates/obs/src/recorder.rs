@@ -296,6 +296,65 @@ impl Recorder {
     }
 }
 
+/// Live scraping reads the same atomics as [`Recorder::snapshot`] but
+/// **non-destructively**: no ring drain, no counter reset, so a scrape
+/// every second cannot disturb the end-of-run export (and vice versa).
+/// Lives here rather than in `registry.rs` because it reads the
+/// recorder's private counter fields directly.
+impl crate::registry::LiveSource for Recorder {
+    fn live_snapshot(&self) -> crate::registry::SourceSnapshot {
+        const PATH_LABELS: [&str; PATHS] = ["fast_htm", "slow_htm", "lock"];
+        const ABORT_LABELS: [&str; OUTCOMES] = [
+            "commit",
+            "conflict",
+            "capacity",
+            "explicit",
+            "unsupported",
+            "nested",
+            "spurious",
+        ];
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        for (i, label) in PATH_LABELS.iter().enumerate() {
+            counters.push((format!("commits_{label}"), self.commits[i].load(Relaxed)));
+        }
+        for (i, label) in ABORT_LABELS.iter().enumerate().skip(1) {
+            counters.push((format!("aborts_{label}"), self.aborts[i].load(Relaxed)));
+        }
+        for (c, n) in self.explicit_codes.iter().enumerate() {
+            let n = n.load(Relaxed);
+            if n > 0 {
+                counters.push((format!("explicit_code_{c}"), n));
+            }
+        }
+        counters.push(("events_recorded".into(), self.ring.pushed()));
+        let cs = self.cs_latency.snapshot();
+        let hold = self.lock_hold.snapshot();
+        counters.push(("cs_latency_count".into(), cs.count));
+        counters.push(("lock_hold_count".into(), hold.count));
+        let mut gauges: Vec<(String, f64)> = vec![
+            ("cs_latency_p50".into(), cs.percentile(0.50) as f64),
+            ("cs_latency_p99".into(), cs.percentile(0.99) as f64),
+            ("cs_latency_max".into(), cs.max as f64),
+            ("lock_hold_p99".into(), hold.percentile(0.99) as f64),
+        ];
+        let mut windows = Vec::new();
+        if let Some(w) = &self.windows {
+            counters.push(("windows_closed".into(), w.epoch()));
+            counters.push(("windows_dropped".into(), w.series_dropped()));
+            gauges.push(("window_len_ms".into(), (w.window_len_ns() / 1_000_000) as f64));
+            windows = w.series();
+            let tail = windows.len().saturating_sub(crate::registry::SCRAPE_WINDOW_TAIL);
+            windows.drain(..tail);
+        }
+        crate::registry::SourceSnapshot {
+            kind: "recorder",
+            counters,
+            gauges,
+            windows,
+        }
+    }
+}
+
 impl Outcome {
     /// Index into the per-outcome abort counter array (1..=6; commit is 0
     /// and never used as an abort index).
@@ -777,6 +836,34 @@ mod tests {
         let back = ObsSnapshot::from_json(&parsed).expect("v2 round-trips");
         assert_eq!(back, snap);
         assert!(snap.render_text().contains("windows: 1 closed"));
+    }
+
+    #[test]
+    fn live_snapshot_is_non_destructive() {
+        use crate::registry::LiveSource;
+        let r = Recorder::new(ObsConfig {
+            window_len_ms: 50,
+            ..ObsConfig::default()
+        });
+        for i in 0..32u64 {
+            r.record_attempt(0, commit(PathKind::FastHtm, 0, 100 + i));
+            r.record_op_latency(0, 500);
+        }
+        r.windows().unwrap().rotate();
+
+        let live1 = r.live_snapshot();
+        let live2 = r.live_snapshot();
+        assert_eq!(live1.counters, live2.counters, "scrapes must not drain anything");
+        assert!(live1.counters.contains(&("commits_fast_htm".to_string(), 32)));
+        assert!(live1.counters.contains(&("events_recorded".to_string(), 32)));
+        assert_eq!(live1.windows.len(), 1);
+        assert_eq!(live1.windows[0].ops(), 32);
+
+        // The destructive end-of-run snapshot still sees every resident
+        // ring event after any number of scrapes.
+        let snap = r.snapshot();
+        assert_eq!(snap.recent_events.len(), 32);
+        assert_eq!(snap.total_commits(), 32);
     }
 
     #[test]

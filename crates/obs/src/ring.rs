@@ -17,6 +17,10 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use crate::event::AttemptEvent;
 
+/// Line-aligned so adjacent stripes' cursors never false-share: each
+/// sampled push does a `fetch_add` on its stripe's cursor, and stripes
+/// exist precisely so writers on different threads do not contend.
+#[repr(align(64))]
 struct Stripe {
     cursor: AtomicU64,
     slots: Box<[AtomicU64]>,

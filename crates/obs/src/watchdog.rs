@@ -37,9 +37,12 @@
 //! offline `diag --timeline` analysis without any live re-run.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
 
 use crate::json::Json;
 use crate::recorder::{ObsSnapshot, SCHEMA_VERSION};
+use crate::registry::{LiveSource, SourceSnapshot};
 use crate::window::WindowSnapshot;
 
 /// Thresholds for the collapse signatures. The defaults are tuned on
@@ -113,6 +116,16 @@ impl CollapseKind {
             CollapseKind::ConvoyStall => "convoy_stall",
         }
     }
+
+    /// Small numeric code for atomic mirrors (0 is reserved for "no
+    /// verdict yet").
+    pub fn code(self) -> u64 {
+        match self {
+            CollapseKind::FallbackCollapse => 1,
+            CollapseKind::ConflictStorm => 2,
+            CollapseKind::ConvoyStall => 3,
+        }
+    }
 }
 
 /// One watchdog verdict: the signature plus the evidence it fired on.
@@ -149,6 +162,95 @@ impl CollapseEvent {
     }
 }
 
+/// Scrape-visible mirror of the watchdog's state. The watchdog itself
+/// is single-consumer and rides the rotator thread; the mirror is a
+/// handful of relaxed atomics the rotator publishes into on every
+/// [`Watchdog::inspect`], so a live scrape can report armed/fired
+/// status without touching the watchdog's internals or its thread.
+#[derive(Debug, Default)]
+pub struct WatchdogLive {
+    armed: AtomicBool,
+    windows_inspected: AtomicU64,
+    fired_total: AtomicU64,
+    /// [`CollapseKind::code`] of the most recent verdict, 0 if none.
+    last_kind: AtomicU64,
+    /// Window index of the most recent verdict.
+    last_window: AtomicU64,
+    /// Path of the most recent flight-record dump, if the harness wrote
+    /// one. Scrape-side only; never touched by hot-path writers.
+    flight_path: Mutex<Option<String>>,
+}
+
+impl WatchdogLive {
+    /// A fresh mirror: disarmed, nothing fired.
+    pub fn new() -> WatchdogLive {
+        WatchdogLive::default()
+    }
+
+    /// True once the watchdog has seen its warmup windows.
+    pub fn armed(&self) -> bool {
+        self.armed.load(Relaxed)
+    }
+
+    /// Total verdicts so far.
+    pub fn fired_total(&self) -> u64 {
+        self.fired_total.load(Relaxed)
+    }
+
+    /// Label of the most recent verdict, if any fired yet.
+    pub fn last_kind(&self) -> Option<&'static str> {
+        match self.last_kind.load(Relaxed) {
+            1 => Some(CollapseKind::FallbackCollapse.label()),
+            2 => Some(CollapseKind::ConflictStorm.label()),
+            3 => Some(CollapseKind::ConvoyStall.label()),
+            _ => None,
+        }
+    }
+
+    /// Records where the harness dumped a flight record, so scrapes can
+    /// advertise that a postmortem exists.
+    pub fn set_flight_record_path(&self, path: impl Into<String>) {
+        *self.flight_path.lock().unwrap() = Some(path.into());
+    }
+
+    /// The last recorded flight-record path, if any.
+    pub fn flight_record_path(&self) -> Option<String> {
+        self.flight_path.lock().unwrap().clone()
+    }
+
+    fn publish(&self, armed: bool, verdict: Option<&CollapseEvent>) {
+        self.windows_inspected.fetch_add(1, Relaxed);
+        self.armed.store(armed, Relaxed);
+        if let Some(ev) = verdict {
+            self.fired_total.fetch_add(1, Relaxed);
+            self.last_kind.store(ev.kind.code(), Relaxed);
+            self.last_window.store(ev.window_index, Relaxed);
+        }
+    }
+}
+
+impl LiveSource for WatchdogLive {
+    fn live_snapshot(&self) -> SourceSnapshot {
+        SourceSnapshot {
+            kind: "watchdog",
+            counters: vec![
+                ("windows_inspected".into(), self.windows_inspected.load(Relaxed)),
+                ("collapse_fired_total".into(), self.fired_total.load(Relaxed)),
+                ("collapse_last_kind_code".into(), self.last_kind.load(Relaxed)),
+                ("collapse_last_window".into(), self.last_window.load(Relaxed)),
+            ],
+            gauges: vec![
+                ("armed".into(), if self.armed() { 1.0 } else { 0.0 }),
+                (
+                    "flight_record_available".into(),
+                    if self.flight_path.lock().unwrap().is_some() { 1.0 } else { 0.0 },
+                ),
+            ],
+            windows: Vec::new(),
+        }
+    }
+}
+
 /// The watchdog: feed it each closed window via [`Watchdog::inspect`].
 /// Single-consumer by design — it rides the rotator thread.
 pub struct Watchdog {
@@ -161,6 +263,8 @@ pub struct Watchdog {
     /// Consecutive stalled windows seen so far.
     stall_run: usize,
     events: Vec<CollapseEvent>,
+    /// Optional scrape mirror, published on every inspect.
+    live: Option<Arc<WatchdogLive>>,
 }
 
 impl Watchdog {
@@ -172,7 +276,16 @@ impl Watchdog {
             storm_run: 0,
             stall_run: 0,
             events: Vec::new(),
+            live: None,
         }
+    }
+
+    /// The scrape mirror for this watchdog, created on first call.
+    /// Register the returned `Arc` with a
+    /// [`crate::MetricsRegistry`]; every subsequent
+    /// [`Watchdog::inspect`] publishes into it.
+    pub fn live(&mut self) -> Arc<WatchdogLive> {
+        Arc::clone(self.live.get_or_insert_with(|| Arc::new(WatchdogLive::new())))
     }
 
     /// Mean commit rate of the trailing healthy windows (0.0 pre-warmup).
@@ -225,7 +338,7 @@ impl Watchdog {
             }
         }
 
-        match fired {
+        let verdict = match fired {
             Some(kind) => {
                 let ev = CollapseEvent {
                     kind,
@@ -246,7 +359,12 @@ impl Watchdog {
                 }
                 None
             }
+        };
+        if let Some(live) = &self.live {
+            let armed_now = self.trailing.len() >= self.cfg.warmup_windows;
+            live.publish(armed || armed_now, verdict.as_ref());
         }
+        verdict
     }
 
     /// Every verdict so far, oldest first.
@@ -258,7 +376,9 @@ impl Watchdog {
 /// Assembles the postmortem flight-record document (`kind:
 /// "flight-record"`): the triggering verdict, the trailing window
 /// series, and the recorder's recent attempt events. Written to a file
-/// by the harness, read back by `diag --timeline`.
+/// by the harness, read back by `diag --timeline`. `taken_at_ns` is
+/// stamped from the shared [`crate::epoch`] timebase, so the record can
+/// be lined up against live scrapes of the same process.
 pub fn flight_record(
     trigger: &CollapseEvent,
     windows: &[WindowSnapshot],
@@ -268,6 +388,7 @@ pub fn flight_record(
         ("kind", Json::Str("flight-record".into())),
         ("schema_version", Json::UInt(SCHEMA_VERSION)),
         ("tool", Json::Str("watchdog".into())),
+        ("taken_at_ns", Json::UInt(crate::epoch::now_ns())),
         ("latency_unit", Json::Str(obs.latency_unit.clone())),
         ("trigger", trigger.to_json()),
         (
@@ -442,6 +563,36 @@ mod tests {
     }
 
     #[test]
+    fn live_mirror_tracks_arming_and_verdicts() {
+        let mut wd = Watchdog::new(WatchdogConfig::default());
+        let live = wd.live();
+        assert!(!live.armed());
+        assert_eq!(live.fired_total(), 0);
+        assert_eq!(live.last_kind(), None);
+
+        for i in 0..5 {
+            wd.inspect(&window(i, 100, [900, 45, 5], 60, 12, 8_000));
+        }
+        assert!(live.armed(), "mirror must arm after warmup");
+        assert_eq!(live.fired_total(), 0);
+
+        wd.inspect(&window(5, 100, [15, 3, 42], 180, 5_000, 2_500_000))
+            .expect("collapse fires");
+        assert_eq!(live.fired_total(), 1);
+        assert_eq!(live.last_kind(), Some("fallback_collapse"));
+        assert_eq!(live.last_window.load(Relaxed), 5);
+
+        assert!(live.flight_record_path().is_none());
+        live.set_flight_record_path("/tmp/flight.json");
+        assert_eq!(live.flight_record_path().as_deref(), Some("/tmp/flight.json"));
+        let snap = live.live_snapshot();
+        assert_eq!(snap.kind, "watchdog");
+        assert!(snap.counters.contains(&("collapse_fired_total".to_string(), 1)));
+        assert!(snap.gauges.contains(&("armed".to_string(), 1.0)));
+        assert!(snap.gauges.contains(&("flight_record_available".to_string(), 1.0)));
+    }
+
+    #[test]
     fn flight_record_document_shape() {
         use crate::recorder::{ObsConfig, Recorder};
         let mut wd = Watchdog::new(WatchdogConfig::default());
@@ -472,6 +623,10 @@ mod tests {
         assert_eq!(
             back.get("schema_version").and_then(Json::as_u64),
             Some(SCHEMA_VERSION)
+        );
+        assert!(
+            back.get("taken_at_ns").and_then(Json::as_u64).is_some(),
+            "flight records carry the process-epoch timestamp"
         );
         assert_eq!(
             back.get("trigger")

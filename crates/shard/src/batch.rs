@@ -183,7 +183,7 @@ mod tests {
         assert_eq!(rs.len(), 500);
         assert_eq!(m.len_plain(), 500);
         // 500 ops / 64 per chunk = 8 critical sections on shard 0.
-        let snap = m.shard_stats()[0].clone();
+        let snap = m.shard_stats()[0];
         assert!(
             snap.ops >= 500 / BATCH_CHUNK as u64,
             "expected at least ceil(500/64) critical sections, saw {}",

@@ -5,10 +5,11 @@
 //! consumes the same way it consumes single-lock snapshots.
 
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use rtle_core::StatsSnapshot;
 use rtle_htm::{HtmBackend, TxWord};
-use rtle_obs::{Json, SCHEMA_VERSION};
+use rtle_obs::{Json, LiveSource, MetricsRegistry, SourceSnapshot, SCHEMA_VERSION};
 
 use crate::sharded::ShardedTxMap;
 
@@ -171,6 +172,67 @@ impl<V: TxWord, B: HtmBackend> ShardedTxMap<V, B> {
     }
 }
 
+/// Live-registry view of the whole map: merged commit-path counters plus
+/// the imbalance gauges only the sharded layer can compute. Window series
+/// are deliberately *not* duplicated here — when the shards share a
+/// windowed recorder, [`ShardedTxMap::register_live`] registers that
+/// recorder as its own source and the windows arrive through it.
+impl<V: TxWord, B: HtmBackend> LiveSource for ShardedTxMap<V, B>
+where
+    ShardedTxMap<V, B>: Send + Sync,
+{
+    fn live_snapshot(&self) -> SourceSnapshot {
+        let report = self.report();
+        let m = &report.merged;
+        SourceSnapshot {
+            kind: "shard_map",
+            counters: vec![
+                ("shards".into(), self.shard_count() as u64),
+                ("ops".into(), m.ops),
+                ("commits_fast_htm".into(), m.fast_commits),
+                ("commits_slow_htm".into(), m.slow_commits),
+                ("commits_lock".into(), m.lock_acquisitions),
+                ("aborts_fast".into(), m.fast_aborts),
+                ("aborts_slow".into(), m.slow_aborts),
+                ("routed_total".into(), report.routed.iter().sum()),
+                (
+                    "heat_conflicts_total".into(),
+                    report.heat_conflicts.iter().sum(),
+                ),
+            ],
+            gauges: vec![
+                ("load_imbalance".into(), report.load_imbalance()),
+                ("abort_imbalance".into(), report.abort_imbalance()),
+                ("lock_fallback_rate".into(), m.lock_fallback_rate()),
+            ],
+            windows: Vec::new(),
+        }
+    }
+}
+
+impl<V: TxWord + 'static, B: HtmBackend + 'static> ShardedTxMap<V, B>
+where
+    ShardedTxMap<V, B>: Send + Sync,
+{
+    /// Shard-side equivalent of `ElidableLock::builder().with_live(..)`:
+    /// registers this map with `registry` under `name`, and — when the
+    /// shards were built around a shared recorder — registers that
+    /// recorder too (as `<name>_recorder`), so the commit-path mix,
+    /// latency percentiles, and per-window series all reach the same
+    /// scrape endpoint as the imbalance gauges.
+    pub fn register_live(self: &Arc<Self>, registry: &MetricsRegistry, name: &str) {
+        registry.register(name, Arc::clone(self) as Arc<dyn LiveSource>);
+        // `with_builder` clones one template per shard, so the first
+        // shard's recorder is the shared cross-shard one.
+        if let Some(rec) = self.shards.first().and_then(|s| s.lock.recorder()) {
+            registry.register(
+                format!("{name}_recorder"),
+                Arc::clone(rec) as Arc<dyn LiveSource>,
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +310,72 @@ mod tests {
         plain.insert(1, 1);
         let bare = parse_json(&plain.report().to_json().to_string_pretty()).unwrap();
         assert_eq!(bare.get("windows").and_then(Json::as_arr).map(<[_]>::len), Some(0));
+    }
+
+    #[test]
+    fn register_live_exposes_map_and_shared_recorder() {
+        use rtle_core::ElidableLock;
+        use rtle_obs::{ObsConfig, Recorder};
+
+        let rec = Arc::new(Recorder::new(ObsConfig::default()));
+        let m: Arc<ShardedTxMap> = Arc::new(ShardedTxMap::with_builder(
+            4,
+            64,
+            ElidableLock::builder().recorder(Arc::clone(&rec)),
+        ));
+        for k in 0..150u64 {
+            m.insert(k, k);
+        }
+        let registry = MetricsRegistry::new();
+        m.register_live(&registry, "bank");
+        assert_eq!(registry.len(), 2, "map + shared recorder");
+
+        let scrape = registry.scrape();
+        let map_src = scrape
+            .iter()
+            .find(|(n, _)| n == "bank")
+            .map(|(_, s)| s)
+            .expect("map source registered");
+        assert_eq!(map_src.kind, "shard_map");
+        let counter = |key: &str| {
+            map_src
+                .counters
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("counter {key} missing"))
+        };
+        assert_eq!(counter("ops"), 150);
+        assert_eq!(counter("shards"), 4);
+        assert_eq!(counter("routed_total"), 150);
+        let commits =
+            counter("commits_fast_htm") + counter("commits_slow_htm") + counter("commits_lock");
+        assert_eq!(commits, 150, "every insert committed on exactly one path");
+        assert!(
+            map_src.gauges.iter().any(|(k, _)| k == "load_imbalance"),
+            "imbalance gauges present"
+        );
+        assert!(map_src.windows.is_empty(), "windows come via the recorder source");
+
+        let rec_src = scrape
+            .iter()
+            .find(|(n, _)| n == "bank_recorder")
+            .map(|(_, s)| s)
+            .expect("shared recorder registered");
+        assert_eq!(rec_src.kind, "recorder");
+
+        // A recorder-less map registers only itself.
+        let plain: Arc<ShardedTxMap> = Arc::new(ShardedTxMap::new(2, 64));
+        let solo = MetricsRegistry::new();
+        plain.register_live(&solo, "plain");
+        assert_eq!(solo.len(), 1);
+
+        // The prometheus rendering carries the shard-map labels.
+        let text = registry.to_prometheus();
+        assert!(
+            text.contains(r#"rtle_ops{source="bank",kind="shard_map"}"#),
+            "prometheus text:\n{text}"
+        );
     }
 
     #[test]

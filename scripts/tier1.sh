@@ -237,6 +237,108 @@ cargo run -p rtle-bench --release --bin diag -- --slo "$slo_json" >/dev/null
 cargo run -p rtle-bench --release --bin diag -- \
     --timeline "$flight_dir"/slo_flight_single_lock.json >/dev/null
 
+echo "== live scrape smoke (telemetry plane under load) =="
+# slo_bench runs with the live endpoint on an ephemeral port while a
+# compiled checker scrapes /metrics and /json against the running load:
+# both routes must stay consistent, and the forced single-lock collapse
+# must become visible in the scraped windows with the watchdog mirror
+# flipping to fired. The checker is compiled before the bench starts so
+# no scrape window is lost to rustc.
+cat > /tmp/tier1_live_smoke.rs <<'RS'
+use rtle_obs::Json;
+
+fn get(addr: &str, route: &str) -> Option<String> {
+    use std::io::{Read, Write};
+    let mut c = std::net::TcpStream::connect(addr).ok()?;
+    c.set_read_timeout(Some(std::time::Duration::from_secs(5))).ok();
+    write!(c, "GET {route} HTTP/1.0\r\n\r\n").ok()?;
+    let mut s = String::new();
+    c.read_to_string(&mut s).ok()?;
+    let (head, body) = s.split_once("\r\n\r\n")?;
+    if !head.lines().next()?.contains("200") {
+        return None;
+    }
+    Some(body.to_string())
+}
+
+fn main() {
+    let addr = std::env::args().nth(1).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let mut scrapes = 0u64;
+    loop {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "collapse never became visible over {scrapes} scrapes"
+        );
+        let (Some(metrics), Some(json)) = (get(&addr, "/metrics"), get(&addr, "/json")) else {
+            panic!("endpoint went away after {scrapes} scrapes without a visible collapse");
+        };
+        scrapes += 1;
+        let j = rtle_obs::parse_json(&json).expect("live json parses");
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("live-registry"));
+        assert_eq!(
+            j.get("schema_version").and_then(Json::as_u64),
+            Some(rtle_obs::SCHEMA_VERSION),
+            "schema version mismatch"
+        );
+        assert!(j.get("taken_at_ns").and_then(Json::as_u64).is_some());
+        let sources = j.get("sources").and_then(Json::as_arr).expect("sources");
+        // The two routes must agree on which sources exist.
+        for s in sources {
+            let name = s.get("name").and_then(Json::as_str).expect("source name");
+            assert!(
+                metrics.contains(&format!("source=\"{name}\"")),
+                "{name} in /json but missing from /metrics"
+            );
+        }
+        let fired = sources.iter().any(|s| {
+            s.get("name").and_then(Json::as_str) == Some("single_lock_watchdog")
+                && s.get("counters")
+                    .and_then(|c| c.get("collapse_fired_total"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+                    >= 1
+        });
+        let windows_seen = sources.iter().any(|s| {
+            s.get("name").and_then(Json::as_str) == Some("single_lock")
+                && s.get("windows").and_then(Json::as_arr).is_some_and(|w| !w.is_empty())
+        });
+        if fired && windows_seen {
+            assert!(
+                metrics.contains("rtle_collapse_fired_total{source=\"single_lock_watchdog\""),
+                "fired watchdog missing from the Prometheus page"
+            );
+            assert!(metrics.contains(",window=\""), "per-window gauges must be exported");
+            println!("ok: collapse visible live after {scrapes} scrapes");
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+}
+RS
+rustc --edition 2021 -O --extern rtle_obs="$obs_rlib" \
+    -L dependency=target/release/deps \
+    -o /tmp/tier1_live_smoke /tmp/tier1_live_smoke.rs
+live_port_file="$tmp/live_port"
+rm -f "$live_port_file"
+./target/release/slo_bench --quick --seed 0x510b42d \
+    --live 127.0.0.1:0 --live-port-file "$live_port_file" >/dev/null 2>&1 &
+slo_live_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$live_port_file" ] && break
+    sleep 0.1
+done
+[ -s "$live_port_file" ] || { echo "live endpoint never came up"; kill "$slo_live_pid" 2>/dev/null || true; exit 1; }
+live_addr="$(cat "$live_port_file")"
+/tmp/tier1_live_smoke "$live_addr" || { kill "$slo_live_pid" 2>/dev/null || true; exit 1; }
+wait "$slo_live_pid"
+# The endpoint died with the bench; a bounded `diag top` run against it
+# must be a clean exit-1 error, not a hang or a panic. (Rendering against
+# a live endpoint is covered by the rtle-bench unit tests.)
+if ./target/release/diag top "$live_addr" --iters 1 >/dev/null 2>&1; then
+    echo "diag top must fail against a dead endpoint"; exit 1
+fi
+
 echo "== perf baseline (non-fatal report) =="
 scripts/bench_compare.sh --report-only || echo "bench_compare: report failed (non-fatal)"
 
