@@ -21,6 +21,7 @@ pub mod figures;
 pub mod micro;
 pub mod report;
 pub mod slo;
+pub mod tm;
 pub mod top;
 
 pub use figures::{Scale, Series};

@@ -144,6 +144,30 @@ fn render_recorder(out: &mut String, src: &Json) {
     }
 }
 
+fn render_lock(out: &mut String, src: &Json) {
+    use std::fmt::Write as _;
+    let fast = counter(src, "commits_fast_htm");
+    let slow = counter(src, "commits_slow_htm");
+    let stm = counter(src, "commits_stm");
+    let lock = counter(src, "commits_lock");
+    let commits = fast + slow + stm + lock;
+    let _ = writeln!(
+        out,
+        "  commits {commits}: fast {:.1}% / slow {:.1}% / stm {:.1}% / lock {:.1}%",
+        pct(fast, commits),
+        pct(slow, commits),
+        pct(stm, commits),
+        pct(lock, commits),
+    );
+    let _ = writeln!(
+        out,
+        "  aborts: fast {} / slow {}, lock fallback {:.4}",
+        counter(src, "aborts_fast"),
+        counter(src, "aborts_slow"),
+        gauge(src, "lock_fallback_rate"),
+    );
+}
+
 fn render_shard_map(out: &mut String, src: &Json) {
     use std::fmt::Write as _;
     let _ = writeln!(
@@ -205,9 +229,20 @@ pub fn render_top(doc: &Json) -> String {
     for src in sources {
         let name = src.get("name").and_then(Json::as_str).unwrap_or("?");
         let kind = src.get("kind").and_then(Json::as_str).unwrap_or("?");
-        let _ = writeln!(out, "\n== {name} ({kind}) ==");
+        // Identity labels (e.g. which software TM backs the lock) ride
+        // in the header so every panel says *what* it is measuring.
+        let mut tags = String::new();
+        if let Some(Json::Obj(labels)) = src.get("labels") {
+            for (k, v) in labels {
+                if let Some(v) = v.as_str() {
+                    let _ = write!(tags, " [{k}={v}]");
+                }
+            }
+        }
+        let _ = writeln!(out, "\n== {name} ({kind}){tags} ==");
         match kind {
             "recorder" => render_recorder(&mut out, src),
+            "lock" => render_lock(&mut out, src),
             "shard_map" => render_shard_map(&mut out, src),
             "watchdog" => render_watchdog(&mut out, src),
             _ => {
@@ -274,6 +309,7 @@ mod tests {
                 ],
                 gauges: vec![("cs_latency_p99".into(), 420.0)],
                 windows: Vec::new(),
+                labels: vec![("software_backend".into(), "tl2".into())],
             }
         }
     }
@@ -295,6 +331,7 @@ mod tests {
                     ("flight_record_available".into(), 1.0),
                 ],
                 windows: Vec::new(),
+                labels: Vec::new(),
             }
         }
     }
@@ -309,7 +346,10 @@ mod tests {
 
         let doc = fetch_live(&addr).expect("fetch parses and validates");
         let view = render_top(&doc);
-        assert!(view.contains("== demo (recorder) =="), "{view}");
+        assert!(
+            view.contains("== demo (recorder) [software_backend=tl2] =="),
+            "{view}"
+        );
         assert!(view.contains("fast 75.0% / slow 0.0% / lock 25.0%"), "{view}");
         assert!(view.contains("aborts 10: conflict 100.0%"), "{view}");
         assert!(

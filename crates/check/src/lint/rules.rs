@@ -1,6 +1,8 @@
 //! The declarative concurrency-invariant table and the rule engine.
 //!
-//! Every atomic-ordering use in `crates/core` and `crates/htm` must either
+//! Every atomic-ordering use inside [`ORDERING_SCOPE`] (`crates/core`,
+//! `crates/htm`, `crates/hytm`, `crates/shard`, and the live-telemetry
+//! files of `crates/obs`) must either
 //! match a row of [`ORDERING_RULES`] (file + receiver + operation →
 //! allowed orderings) or carry a nearby `// ordering: <reason>` annotation;
 //! anything else is a finding. The table is the reviewable artifact: adding
@@ -68,8 +70,8 @@ pub struct OrderingRule {
     pub why: &'static str,
 }
 
-/// The memory-ordering invariant table for `rtle-core` and `rtle-htm`.
-/// Mirrored in DESIGN.md — update both together.
+/// The memory-ordering invariant table for the crates in
+/// [`ORDERING_SCOPE`]. Mirrored in DESIGN.md — update both together.
 pub const ORDERING_RULES: &[OrderingRule] = &[
     // ---- rtle-htm: TxCell is the protocol choke point -------------------
     // Every TxCell read is a potential lock/write_flag/epoch/orec
@@ -168,6 +170,68 @@ pub const ORDERING_RULES: &[OrderingRule] = &[
     // (One-off sites — NEXT_TOKEN in htm/descriptor.rs, NEXT_KEY in
     // core/elidable.rs — are audited by in-source `// ordering:`
     // annotations instead of table rows.)
+    // ---- rtle-hytm: the TL2 software backend ----------------------------
+    // The global version clock is the serialization spine of TL2: every
+    // begin samples it and every writer commit bumps it, and the
+    // `wv == rv + 2` "nobody else committed" validation shortcut is only
+    // sound if those bumps form one total order every thread agrees on —
+    // hence SeqCst on both sides, not just AcqRel.
+    OrderingRule {
+        file_suffix: "hytm/src/tl2.rs",
+        receiver: "clock",
+        op: AtomicOp::Load,
+        allowed: &["SeqCst"],
+        why: "TL2 clock sample fixes the transaction's snapshot; must join the single total order of commit bumps",
+    },
+    OrderingRule {
+        file_suffix: "hytm/src/tl2.rs",
+        receiver: "clock",
+        op: AtomicOp::FetchAdd,
+        allowed: &["SeqCst"],
+        why: "TL2 clock bump: the wv == rv+2 no-other-writer shortcut needs a total order of bumps; SeqCst",
+    },
+    // Stripe version-locks: reads validate (pre/post read, commit
+    // revalidation), the CAS acquires the lock, stores release it (commit
+    // at the new version, rollback at the pre-lock version).
+    OrderingRule {
+        file_suffix: "hytm/src/tl2.rs",
+        receiver: "stripes",
+        op: AtomicOp::Load,
+        allowed: &["Acquire", "SeqCst"],
+        why: "stripe version reads validate against the snapshot; Acquire is the floor",
+    },
+    OrderingRule {
+        file_suffix: "hytm/src/tl2.rs",
+        receiver: "stripes",
+        op: AtomicOp::Store,
+        allowed: &["Release", "SeqCst"],
+        why: "stripe release (commit write-back / rollback) publishes the new version; Release is the floor",
+    },
+    // Wildcard receiver: the only CAS in the file is the stripe-lock
+    // acquisition, and the multi-line `&&`-chained call site defeats the
+    // scanner's receiver recovery.
+    OrderingRule {
+        file_suffix: "hytm/src/tl2.rs",
+        receiver: "*",
+        op: AtomicOp::CompareExchange,
+        allowed: &["Acquire", "AcqRel", "SeqCst"],
+        why: "stripe lock acquisition; both success and failure orderings must be at least Acquire",
+    },
+    // Hybrid-TM statistics: same contract as htm/src/stats.rs.
+    OrderingRule {
+        file_suffix: "hytm/src/stats.rs",
+        receiver: "*",
+        op: AtomicOp::Load,
+        allowed: &["Relaxed"],
+        why: "software-TM statistics counters: monotonic, advisory, no ordering role",
+    },
+    OrderingRule {
+        file_suffix: "hytm/src/stats.rs",
+        receiver: "*",
+        op: AtomicOp::FetchAdd,
+        allowed: &["Relaxed"],
+        why: "software-TM statistics counters: monotonic, advisory, no ordering role",
+    },
     // ---- rtle-core ------------------------------------------------------
     OrderingRule {
         file_suffix: "core/src/stats.rs",
@@ -370,6 +434,8 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "core/src/elidable.rs",
     "core/src/orec.rs",
     "htm/src/swhtm.rs",
+    "hytm/src/norec.rs",
+    "hytm/src/tl2.rs",
     "shard/src/map.rs",
     "shard/src/sharded.rs",
 ];
@@ -379,6 +445,7 @@ pub const HOT_PATH_FILES: &[&str] = &[
 pub const ORDERING_SCOPE: &[&str] = &[
     "crates/core/src/",
     "crates/htm/src/",
+    "crates/hytm/src/",
     "crates/shard/src/",
     "crates/obs/src/window.rs",
     "crates/obs/src/registry.rs",

@@ -15,7 +15,9 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use rtle_check::model::{explore, mutant_config, standard_suite};
+use rtle_check::model::{
+    explore, explore_tl2, mutant_config, standard_suite, tl2_mutant_config, tl2_suite,
+};
 use rtle_check::{find_workspace_root, lint, passes};
 
 fn run_lint(root: &Path) -> bool {
@@ -94,28 +96,55 @@ fn run_model() -> bool {
         ok &= r.clean();
     }
 
-    // The oracle's own regression test: the unsafe-lazy-subscription mutant
-    // must be *caught*.
-    let mutant = explore(&mutant_config());
-    let caught = mutant
-        .violations
-        .iter()
-        .any(|v| v.kind == "non-serializable");
-    println!(
-        "model: {:<24} {:>7} states {:>6} terminals -> {}",
-        mutant.config,
-        mutant.states,
-        mutant.terminals,
-        if caught {
-            format!("MUTANT CAUGHT ({} violations, as required)", mutant.violation_count)
-        } else {
-            "MUTANT MISSED — oracle regression!".to_string()
+    // The TL2 machine: same explorer discipline, same oracle, over the
+    // software-TM backend's safe configurations.
+    for cfg in tl2_suite() {
+        let r = explore_tl2(&cfg);
+        println!(
+            "model: {:<24} {:>7} states {:>6} terminals (paths ro/wr/atomic: {}/{}/{}) -> {}",
+            r.config,
+            r.states,
+            r.terminals,
+            r.fast_commit_terminals,
+            r.slow_commit_terminals,
+            r.lock_commit_terminals,
+            if r.clean() {
+                "OK".to_string()
+            } else {
+                format!("{} VIOLATIONS", r.violation_count)
+            }
+        );
+        for v in &r.violations {
+            println!("model:   [{}] {} (schedule {:?})", v.kind, v.detail, v.schedule);
         }
-    );
-    if let Some(v) = mutant.violations.first() {
-        println!("model:   zombie witness: {} (schedule {:?})", v.detail, v.schedule);
+        ok &= r.clean();
     }
-    ok && caught
+
+    // The oracles' own regression tests: both seeded mutants must be
+    // *caught* — the unsafe-lazy-subscription zombie and the TL2
+    // skipped-revalidation stale read.
+    for mutant in [explore(&mutant_config()), explore_tl2(&tl2_mutant_config())] {
+        let caught = mutant
+            .violations
+            .iter()
+            .any(|v| v.kind == "non-serializable");
+        println!(
+            "model: {:<24} {:>7} states {:>6} terminals -> {}",
+            mutant.config,
+            mutant.states,
+            mutant.terminals,
+            if caught {
+                format!("MUTANT CAUGHT ({} violations, as required)", mutant.violation_count)
+            } else {
+                "MUTANT MISSED — oracle regression!".to_string()
+            }
+        );
+        if let Some(v) = mutant.violations.first() {
+            println!("model:   witness: {} (schedule {:?})", v.detail, v.schedule);
+        }
+        ok &= caught;
+    }
+    ok
 }
 
 fn main() -> ExitCode {

@@ -22,13 +22,20 @@
 //! while the [`Subscription::LazyUnsafe`] variant (no subscription, no
 //! commit-time check) reproduces the zombie-transaction hazard the paper's
 //! companion work warns about, and the oracle must catch it.
+//!
+//! The [`tl2`] module applies the same treatment to the TL2 software TM
+//! (per-stripe versioned write-locks, global version clock): its own
+//! small-step machine, its own safe suite, and a seeded stale-read mutant
+//! ([`tl2_mutant_config`]) the serializability oracle must likewise catch.
 
 pub mod explore;
 pub mod machine;
 pub mod oracle;
 pub mod suite;
+pub mod tl2;
 
 pub use explore::{explore, judge_terminal, Report, TerminalVerdict, ViolationReport};
 pub use machine::{Config, Op, Policy, State, Subscription, ThreadSpec, Val};
 pub use oracle::{find_serial_witness, CommitPath, Committed, HOp};
 pub use suite::{mutant_config, standard_suite};
+pub use tl2::{explore_tl2, judge_tl2_terminal, tl2_mutant_config, tl2_suite, Tl2Config, Tl2State};

@@ -1,8 +1,11 @@
 //! Acceptance tests for the interleaving checker: every safe configuration
-//! explores clean, the protocol paths are actually exercised, and the
-//! seeded unsafe-lazy-subscription mutant is detected.
+//! explores clean, the protocol paths are actually exercised, and both
+//! seeded mutants (unsafe lazy subscription; TL2 skipped revalidation)
+//! are detected.
 
-use rtle_check::model::{explore, mutant_config, standard_suite};
+use rtle_check::model::{
+    explore, explore_tl2, mutant_config, standard_suite, tl2_mutant_config, tl2_suite,
+};
 
 #[test]
 fn standard_suite_is_violation_free() {
@@ -76,6 +79,45 @@ fn unsafe_lazy_subscription_mutant_is_caught() {
         .find(|v| v.kind == "non-serializable")
         .expect("the violation must be a serializability failure, not a structural one");
     // The canonical zombie: a torn read of the invariant pair.
+    assert!(
+        v.detail.contains("matches no serial order"),
+        "unexpected violation detail: {}",
+        v.detail
+    );
+}
+
+#[test]
+fn tl2_suite_is_violation_free_and_concurrent() {
+    let mut saw_ro = false;
+    let mut saw_writer = false;
+    for cfg in tl2_suite() {
+        let r = explore_tl2(&cfg);
+        assert!(
+            r.clean(),
+            "{}: {} violations, first: {:?}",
+            r.config,
+            r.violation_count,
+            r.violations.first()
+        );
+        assert!(r.terminals > 0, "{}: no terminal states explored", r.config);
+        saw_ro |= r.fast_commit_terminals > 0;
+        saw_writer |= r.slow_commit_terminals > 0;
+    }
+    assert!(saw_ro, "no TL2 configuration ever committed read-only");
+    assert!(saw_writer, "no TL2 configuration ever committed a writer");
+}
+
+#[test]
+fn tl2_stale_read_mutant_is_caught() {
+    // The TL2 analog of the lazy-subscription contract: skipping read-set
+    // revalidation when the clock advanced must surface as a lost update
+    // the serializability oracle flags.
+    let r = explore_tl2(&tl2_mutant_config());
+    let v = r
+        .violations
+        .iter()
+        .find(|v| v.kind == "non-serializable")
+        .expect("the seeded TL2 stale-read bug was NOT detected — oracle regression");
     assert!(
         v.detail.contains("matches no serial order"),
         "unexpected violation detail: {}",

@@ -31,6 +31,10 @@ pub enum ExecMode {
     FastHtm,
     /// Instrumented hardware transaction concurrent with a lock holder.
     SlowHtm,
+    /// Software transaction on a pluggable [`rtle_hytm::SoftwareTm`]
+    /// backend (the lock-free fallback installed via
+    /// `ElidableLockBuilder::with_software_backend`).
+    Stm,
     /// Pessimistic execution holding the lock (instrumented for RW-/FG-TLE).
     UnderLock,
 }
@@ -65,6 +69,9 @@ pub struct Ctx<'a> {
     /// on the timeline. `None` on the speculative paths — an instant
     /// recorded inside a transaction that later aborts would be a lie.
     trace: Option<(&'a Tracer, u64)>,
+    /// [`ExecMode::Stm`]: the software backend's transactional context;
+    /// reads and writes delegate to its barriers.
+    stm: Option<&'a rtle_hytm::TmCtx<'a>>,
 }
 
 impl<'a> Ctx<'a> {
@@ -81,6 +88,7 @@ impl<'a> Ctx<'a> {
             uniq_w: Cell::new(0),
             wrote: Cell::new(false),
             trace: None,
+            stm: None,
         }
     }
 
@@ -103,6 +111,7 @@ impl<'a> Ctx<'a> {
             uniq_w: Cell::new(0),
             wrote: Cell::new(false),
             trace: None,
+            stm: None,
         }
     }
 
@@ -126,6 +135,30 @@ impl<'a> Ctx<'a> {
             uniq_w: Cell::new(0),
             wrote: Cell::new(false),
             trace,
+            stm: None,
+        }
+    }
+
+    /// A software-transaction context: every access delegates to the
+    /// backend's read/write barriers through `tm`.
+    pub(crate) fn stm(
+        policy: ElisionPolicy,
+        write_flag: &'a TxCell<bool>,
+        tm: &'a rtle_hytm::TmCtx<'a>,
+    ) -> Self {
+        Ctx {
+            mode: ExecMode::Stm,
+            policy,
+            write_flag,
+            orecs: None,
+            local_seq: 0,
+            active_n: 0,
+            epoch_now: 0,
+            uniq_r: Cell::new(0),
+            uniq_w: Cell::new(0),
+            wrote: Cell::new(false),
+            trace: None,
+            stm: Some(tm),
         }
     }
 
@@ -168,6 +201,7 @@ impl<'a> Ctx<'a> {
                 // RW-TLE reads are uninstrumented on the slow path.
                 cell.read()
             }
+            ExecMode::Stm => self.stm.expect("Stm mode carries a TmCtx").read(cell),
             ExecMode::UnderLock => {
                 if let (
                     ElisionPolicy::FgTle { .. } | ElisionPolicy::AdaptiveFgTle { .. },
@@ -214,6 +248,7 @@ impl<'a> Ctx<'a> {
                 }
                 cell.write(value);
             }
+            ExecMode::Stm => self.stm.expect("Stm mode carries a TmCtx").write(cell, value),
             ExecMode::UnderLock => {
                 match (self.policy, self.orecs) {
                     (ElisionPolicy::RwTle, _)
@@ -249,6 +284,12 @@ impl<'a> Ctx<'a> {
     /// `uniq_r_orecs` / `uniq_w_orecs`); diagnostics.
     pub fn uniq_orecs(&self) -> (u32, u32) {
         (self.uniq_r.get(), self.uniq_w.get())
+    }
+
+    /// The software backend driving an [`ExecMode::Stm`] execution
+    /// (`None` on hardware and lock paths).
+    pub fn software_backend(&self) -> Option<&'static str> {
+        self.stm.and_then(|t| t.backend_name())
     }
 }
 

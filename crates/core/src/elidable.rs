@@ -18,15 +18,17 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rtle_htm::{AbortCode, HtmBackend, SwHtmBackend, TxCell};
+use rtle_hytm::{run_sw, SoftwareTm};
 use rtle_obs::{
-    AttemptEvent, LiveSource, MetricsRegistry, ObsConfig, Outcome, PathKind, Recorder, TraceKind,
+    AttemptEvent, LiveSource, MetricsRegistry, ObsConfig, Outcome, PathKind, Recorder,
+    SourceSnapshot, TraceKind,
 };
 
 use crate::abort_codes;
 use crate::adaptive::AdaptiveState;
 use crate::barrier::Ctx;
 use crate::epoch::SeqEpoch;
-use crate::lock::TatasLock;
+use crate::lock::{saturated_pause, TatasLock, BACKOFF_MAX, BACKOFF_MIN};
 use crate::orec::OrecTable;
 use crate::policy::{ElisionPolicy, RetryPolicy};
 use crate::stats::{ExecStats, Path};
@@ -53,6 +55,15 @@ pub struct ElidableLock<B: HtmBackend = SwHtmBackend> {
     /// Adaptive FG-TLE's "slow path enabled" flag (§4.2.1).
     fg_enabled: TxCell<bool>,
     adaptive: Option<AdaptiveState>,
+    /// Pluggable software-TM fallbacks (`with_software_backend`). When
+    /// non-empty, operations that exhaust their speculation budget run as
+    /// software transactions instead of acquiring the lock.
+    sw_backends: Vec<Arc<dyn SoftwareTm>>,
+    /// Number of software transactions currently inside a backend. A
+    /// [`TxCell`] so committing hardware transactions can subscribe to it:
+    /// zero means no instrumentation needed, and a racing software entry
+    /// (plain RMW) dooms them.
+    sw_running: TxCell<u64>,
     stats: ExecStats,
     /// Attempt-level observability. `None` (the default) costs one branch
     /// per operation; installed, sampled operations additionally pay two
@@ -208,15 +219,18 @@ pub struct ElidableLockBuilder<B: HtmBackend = SwHtmBackend> {
     policy: ElisionPolicy,
     retry: RetryPolicy,
     recorder: Option<Arc<Recorder>>,
+    sw_backends: Vec<Arc<dyn SoftwareTm>>,
 }
 
 impl<B: HtmBackend> std::fmt::Debug for ElidableLockBuilder<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sw: Vec<&'static str> = self.sw_backends.iter().map(|t| t.name()).collect();
         f.debug_struct("ElidableLockBuilder")
             .field("policy", &self.policy.label())
             .field("backend", &self.backend.name())
             .field("retry", &self.retry)
             .field("recorder", &self.recorder.is_some())
+            .field("software", &sw)
             .finish()
     }
 }
@@ -228,6 +242,7 @@ impl Default for ElidableLockBuilder<SwHtmBackend> {
             policy: ElisionPolicy::Tle,
             retry: RetryPolicy::default(),
             recorder: None,
+            sw_backends: Vec::new(),
         }
     }
 }
@@ -253,7 +268,26 @@ impl<B: HtmBackend> ElidableLockBuilder<B> {
             policy: self.policy,
             retry: self.retry,
             recorder: self.recorder,
+            sw_backends: self.sw_backends,
         }
+    }
+
+    /// Installs a pluggable software-TM fallback ([`SoftwareTm`]): when
+    /// speculation fails, the operation runs as a software transaction on
+    /// this backend instead of acquiring the lock pessimistically — the
+    /// fallback itself stays concurrent (NOrec: concurrent readers; TL2:
+    /// concurrent disjoint writers too).
+    ///
+    /// May be called more than once. With two or more backends the lock
+    /// chooses per workload using the orec conflict-heatmap signal:
+    /// concentrated conflicts (one hot slot dominating) select the *first*
+    /// registered backend — register the value-validating, hot-key-immune
+    /// one (NOrec) first — while dispersed conflicts select the *second*
+    /// (register the disjoint-writer-friendly one, TL2, second). Policies
+    /// without orecs always use the first.
+    pub fn with_software_backend(mut self, tm: Arc<dyn SoftwareTm>) -> Self {
+        self.sw_backends.push(tm);
+        self
     }
 
     /// Installs an attempt-level [`Recorder`]; sampled operations then
@@ -285,7 +319,13 @@ impl<B: HtmBackend> ElidableLockBuilder<B> {
 
     /// Builds the lock.
     pub fn build(self) -> ElidableLock<B> {
-        ElidableLock::assemble(self.backend, self.policy, self.retry, self.recorder)
+        ElidableLock::assemble(
+            self.backend,
+            self.policy,
+            self.retry,
+            self.recorder,
+            self.sw_backends,
+        )
     }
 }
 
@@ -319,7 +359,7 @@ impl<B: HtmBackend> ElidableLock<B> {
         note = "use `ElidableLock::builder().backend(..).policy(..).retry(..).build()`"
     )]
     pub fn with_backend(backend: B, policy: ElisionPolicy, retry: RetryPolicy) -> Self {
-        Self::assemble(backend, policy, retry, None)
+        Self::assemble(backend, policy, retry, None, Vec::new())
     }
 
     /// The one real constructor; every public entry point routes here.
@@ -328,6 +368,7 @@ impl<B: HtmBackend> ElidableLock<B> {
         policy: ElisionPolicy,
         retry: RetryPolicy,
         recorder: Option<Arc<Recorder>>,
+        sw_backends: Vec<Arc<dyn SoftwareTm>>,
     ) -> Self {
         let orecs = policy.orec_capacity().map(OrecTable::new);
         if let (
@@ -357,6 +398,8 @@ impl<B: HtmBackend> ElidableLock<B> {
             orecs,
             fg_enabled: TxCell::new(true),
             adaptive,
+            sw_backends,
+            sw_running: TxCell::new(0),
             stats: ExecStats::new(),
             recorder,
         }
@@ -548,7 +591,113 @@ impl<B: HtmBackend> ElidableLock<B> {
             }
         }
 
+        // Speculation budget exhausted. With a pluggable software TM the
+        // operation stays concurrent (a software transaction) instead of
+        // serializing behind the lock.
+        if let Some(tm) = self.select_software_backend() {
+            return self.run_software(&**tm, cs);
+        }
         self.run_under_lock(cs, rec, attempts + slow_attempts)
+    }
+
+    /// Picks the software backend for the current workload, or `None`
+    /// when no fallback is installed. With two or more backends the orec
+    /// conflict heatmap decides: conflicts concentrated on one hot slot
+    /// favor the first registered backend (value-validating — a hot key
+    /// revalidates cheaply), dispersed conflicts favor the second
+    /// (per-stripe locking — disjoint writers never meet).
+    fn select_software_backend(&self) -> Option<&Arc<dyn SoftwareTm>> {
+        match self.sw_backends.len() {
+            0 => None,
+            1 => self.sw_backends.first(),
+            _ => {
+                let dispersed = self.orec_heatmap().is_some_and(|heat| {
+                    let total = heat.total_conflicts();
+                    let max_slot = heat.conflicts.iter().copied().max().unwrap_or(0);
+                    // Enough signal, and no single slot holding a majority.
+                    total >= 64 && max_slot * 2 <= total
+                });
+                self.sw_backends.get(if dispersed { 1 } else { 0 })
+            }
+        }
+    }
+
+    /// The software backend the lock would run right now, by name
+    /// (diagnostics / telemetry; `None` when no fallback is installed).
+    pub fn software_backend_name(&self) -> Option<&'static str> {
+        self.select_software_backend().map(|tm| tm.name())
+    }
+
+    /// Runs `cs` as a software transaction on `tm`, cooperating with the
+    /// pessimistic lock path via the `sw_running` presence counter: the
+    /// lock holder's instrumented writes do not speak the backend's
+    /// validation protocol, so software transactions never overlap a held
+    /// lock (and vice versa — see [`Self::quiesce_software`]).
+    fn run_software<R>(&self, tm: &dyn SoftwareTm, cs: &impl Fn(&Ctx<'_>) -> R) -> R {
+        // Presence protocol: raise the counter only while the lock is
+        // observed free, re-checking after the raise. A holder that
+        // acquired between our check and raise sees the counter and waits
+        // in `quiesce_software`; we see the held lock and retreat. Both
+        // sides eventually stop colliding because software transactions
+        // are finite and lock holds are finite.
+        loop {
+            self.lock.spin_while_held();
+            self.sw_running.fetch_add_plain(1);
+            if !self.lock.is_held() {
+                break;
+            }
+            self.sw_running.fetch_add_plain(u64::MAX);
+        }
+        struct Presence<'a>(&'a TxCell<u64>);
+        impl Drop for Presence<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add_plain(u64::MAX);
+            }
+        }
+        let _presence = Presence(&self.sw_running);
+        let r = run_sw(tm, |tmctx| {
+            let ctx = Ctx::stm(self.policy, &self.write_flag, tmctx);
+            cs(&ctx)
+        });
+        self.stats.record_stm_commit();
+        r
+    }
+
+    /// Lock-holder side of the software/pessimistic exclusion: after
+    /// acquiring the lock, wait until no software transaction is inside a
+    /// backend. New arrivals observe the held lock and retreat, so this
+    /// terminates.
+    fn quiesce_software(&self) {
+        if self.sw_backends.is_empty() {
+            return;
+        }
+        let mut backoff = BACKOFF_MIN;
+        while self.sw_running.read_plain() != 0 {
+            if backoff >= BACKOFF_MAX {
+                saturated_pause();
+            } else {
+                for _ in 0..backoff {
+                    std::hint::spin_loop();
+                }
+                backoff <<= 1;
+            }
+        }
+    }
+
+    /// Hardware-commit hook: committing hardware transactions subscribe to
+    /// the software presence counter and give each live backend its chance
+    /// to serialize against them (NOrec bumps its clock; TL2 aborts the
+    /// hardware transaction, whose plain-store commits its stripe versions
+    /// cannot observe). Zero-cost when no software transaction is running:
+    /// one transactional read that also dooms this transaction should a
+    /// software entry race in.
+    #[inline]
+    fn hw_commit_hooks(&self) {
+        if !self.sw_backends.is_empty() && self.sw_running.read() > 0 {
+            for tm in &self.sw_backends {
+                tm.hw_commit_hook();
+            }
+        }
     }
 
     /// One uninstrumented fast-path attempt.
@@ -562,6 +711,7 @@ impl<B: HtmBackend> ElidableLock<B> {
             if self.retry.lazy_subscription && self.lock.subscribe() {
                 rtle_htm::abort(abort_codes::LAZY_LOCK_HELD);
             }
+            self.hw_commit_hooks();
             r
         })
     }
@@ -602,6 +752,7 @@ impl<B: HtmBackend> ElidableLock<B> {
             if self.retry.lazy_subscription && self.lock.subscribe() {
                 rtle_htm::abort(abort_codes::LAZY_LOCK_HELD);
             }
+            self.hw_commit_hooks();
             r
         })
     }
@@ -611,6 +762,7 @@ impl<B: HtmBackend> ElidableLock<B> {
     /// one attempt — the property §4.1 highlights.
     fn run_under_lock<R>(&self, cs: &impl Fn(&Ctx<'_>) -> R, rec: Option<Rec<'_>>, prior_attempts: u32) -> R {
         self.lock.acquire();
+        self.quiesce_software();
         // Recorded at acquisition (not completion) so concurrent observers
         // see the pessimistic execution while it is in flight.
         self.stats.record_commit(Path::UnderLock);
@@ -731,6 +883,7 @@ impl<B: HtmBackend> ElidableLock<B> {
     /// matching [`ElidableLock::execute`]'s panic semantics.
     pub fn lock_section(&self) -> LockedSection<'_, B> {
         self.lock.acquire();
+        self.quiesce_software();
         self.stats.record_commit(Path::UnderLock);
         self.stats.record_op();
         let t0 = Instant::now();
@@ -741,6 +894,59 @@ impl<B: HtmBackend> ElidableLock<B> {
             t0,
             fg_on,
             holder_epoch,
+        }
+    }
+}
+
+impl<B: HtmBackend> ElidableLock<B> {
+    /// Registers this lock with a live scrape registry under `name`:
+    /// the lock itself (kind `"lock"`: commit-path mix including the
+    /// software-TM path, plus the backend-name label) and, when a
+    /// recorder is installed, the recorder as `<name>_recorder` — the
+    /// same two-source pattern sharded maps use.
+    pub fn register_live(self: &Arc<Self>, registry: &MetricsRegistry, name: &str)
+    where
+        B: 'static,
+        ElidableLock<B>: Send + Sync,
+    {
+        registry.register(name, Arc::clone(self) as Arc<dyn LiveSource>);
+        if let Some(rec) = self.recorder() {
+            registry.register(
+                format!("{name}_recorder"),
+                Arc::clone(rec) as Arc<dyn LiveSource>,
+            );
+        }
+    }
+}
+
+/// Live-registry view of one lock: the always-on [`ExecStats`] counters
+/// (unsampled, unlike the recorder's), with the software-TM backend name
+/// as an identity label so `diag top` and `/metrics` show which software
+/// path is live.
+impl<B: HtmBackend> LiveSource for ElidableLock<B>
+where
+    ElidableLock<B>: Send + Sync,
+{
+    fn live_snapshot(&self) -> SourceSnapshot {
+        let s = self.stats.snapshot();
+        SourceSnapshot {
+            kind: "lock",
+            counters: vec![
+                ("ops".into(), s.ops),
+                ("commits_fast_htm".into(), s.fast_commits),
+                ("commits_slow_htm".into(), s.slow_commits),
+                ("commits_stm".into(), s.stm_commits),
+                ("commits_lock".into(), s.lock_acquisitions),
+                ("aborts_fast".into(), s.fast_aborts),
+                ("aborts_slow".into(), s.slow_aborts),
+            ],
+            gauges: vec![("lock_fallback_rate".into(), s.lock_fallback_rate())],
+            windows: Vec::new(),
+            labels: self
+                .software_backend_name()
+                .map(|n| ("software_backend".to_string(), n.to_string()))
+                .into_iter()
+                .collect(),
         }
     }
 }
@@ -1316,6 +1522,174 @@ mod tests {
         drop(g);
         assert_eq!(other_cell.read_plain(), 5);
         assert_eq!(holder_cell.read_plain(), 1);
+    }
+
+    /// A software backend turns the "speculation exhausted" fallback into
+    /// a software transaction: the lock is never acquired, and the commit
+    /// lands on the STM path.
+    #[test]
+    fn software_backend_replaces_the_lock_fallback() {
+        for tm in [
+            Arc::new(rtle_hytm::Norec::new()) as Arc<dyn SoftwareTm>,
+            Arc::new(rtle_hytm::Tl2::new()) as Arc<dyn SoftwareTm>,
+        ] {
+            let name = tm.name();
+            let lock = ElidableLock::builder()
+                .policy(ElisionPolicy::Tle)
+                .with_software_backend(tm)
+                .build();
+            assert_eq!(lock.software_backend_name(), Some(name));
+            let c = TxCell::new(0u64);
+            for _ in 0..10 {
+                lock.execute(|ctx| {
+                    // Dooms every hardware attempt; the operation must
+                    // complete on the software path, not under the lock.
+                    rtle_htm::htm_unfriendly_instruction();
+                    let v = ctx.read(&c);
+                    ctx.write(&c, v + 1);
+                });
+            }
+            assert_eq!(c.read_plain(), 10, "{name}");
+            let snap = lock.stats().snapshot();
+            assert_eq!(snap.stm_commits, 10, "{name}: all ops via STM");
+            assert_eq!(snap.lock_acquisitions, 0, "{name}: lock never taken");
+        }
+    }
+
+    /// Multi-threaded conservation through the software path: concurrent
+    /// increments through a TL2 backend are neither lost nor duplicated,
+    /// and hardware commits interleave correctly with software ones.
+    #[test]
+    fn software_backend_multithread_conservation() {
+        const THREADS: usize = 4;
+        const OPS: usize = 300;
+        let lock = Arc::new(
+            ElidableLock::builder()
+                .policy(ElisionPolicy::Tle)
+                .with_software_backend(Arc::new(rtle_hytm::Tl2::new()))
+                .build(),
+        );
+        let c = Arc::new(TxCell::new(0u64));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let (lock, c) = (Arc::clone(&lock), Arc::clone(&c));
+                std::thread::spawn(move || {
+                    for i in 0..OPS {
+                        lock.execute(|ctx| {
+                            // Odd thread/op pairs force the software path;
+                            // the rest stay eligible for hardware.
+                            if (t + i) % 2 == 1 {
+                                rtle_htm::htm_unfriendly_instruction();
+                            }
+                            let v = ctx.read(&c);
+                            ctx.write(&c, v + 1);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.read_plain(), (THREADS * OPS) as u64);
+        let snap = lock.stats().snapshot();
+        assert!(snap.stm_commits > 0, "software path exercised: {snap:?}");
+    }
+
+    /// Software transactions and pessimistic lock holders exclude each
+    /// other: a `lock_section` holder's uninstrumented writes never
+    /// overlap a software transaction's validated reads.
+    #[test]
+    fn software_and_lock_holders_exclude_each_other() {
+        const OPS: usize = 200;
+        let lock = Arc::new(
+            ElidableLock::builder()
+                .policy(ElisionPolicy::Tle)
+                .with_software_backend(Arc::new(rtle_hytm::Tl2::new()))
+                .build(),
+        );
+        let c = Arc::new(TxCell::new(0u64));
+        let sw = {
+            let (lock, c) = (Arc::clone(&lock), Arc::clone(&c));
+            std::thread::spawn(move || {
+                for _ in 0..OPS {
+                    lock.execute(|ctx| {
+                        rtle_htm::htm_unfriendly_instruction();
+                        let v = ctx.read(&c);
+                        ctx.write(&c, v + 1);
+                    });
+                }
+            })
+        };
+        for _ in 0..OPS {
+            let g = lock.lock_section();
+            let v = g.ctx().read(&c);
+            g.ctx().write(&c, v + 1);
+        }
+        sw.join().unwrap();
+        assert_eq!(c.read_plain(), 2 * OPS as u64);
+    }
+
+    /// With two backends the heatmap decides; without signal (or without
+    /// orecs) the first registered backend wins.
+    #[test]
+    fn two_backends_default_to_the_first() {
+        let lock = ElidableLock::builder()
+            .policy(ElisionPolicy::FgTle { orecs: 16 })
+            .with_software_backend(Arc::new(rtle_hytm::Norec::new()))
+            .with_software_backend(Arc::new(rtle_hytm::Tl2::new()))
+            .build();
+        // No conflict signal yet: the hot-key-immune first backend.
+        assert_eq!(lock.software_backend_name(), Some("norec"));
+        // Policies without orecs have no heatmap at all — still the first.
+        let plain = ElidableLock::builder()
+            .policy(ElisionPolicy::Tle)
+            .with_software_backend(Arc::new(rtle_hytm::Norec::new()))
+            .with_software_backend(Arc::new(rtle_hytm::Tl2::new()))
+            .build();
+        assert_eq!(plain.software_backend_name(), Some("norec"));
+    }
+
+    /// The lock's own live source: kind `"lock"`, STM commits counted,
+    /// and the software-backend name exported as an identity label all
+    /// the way into the Prometheus exposition.
+    #[test]
+    fn register_live_exports_backend_name_label() {
+        let registry = MetricsRegistry::new();
+        let lock = Arc::new(
+            ElidableLock::builder()
+                .policy(ElisionPolicy::Tle)
+                .with_software_backend(Arc::new(rtle_hytm::Tl2::new()))
+                .build(),
+        );
+        lock.register_live(&registry, "demo");
+        let c = TxCell::new(0u64);
+        for _ in 0..5 {
+            lock.execute(|ctx| {
+                rtle_htm::htm_unfriendly_instruction();
+                let v = ctx.read(&c);
+                ctx.write(&c, v + 1);
+            });
+        }
+        let scrape = registry.scrape();
+        assert_eq!(scrape.len(), 1, "no recorder installed: just the lock");
+        let snap = &scrape[0].1;
+        assert_eq!(snap.kind, "lock");
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(k, v)| k == "commits_stm" && *v == 5));
+        assert_eq!(
+            snap.labels,
+            vec![("software_backend".to_string(), "tl2".to_string())]
+        );
+        let text = registry.to_prometheus();
+        assert!(
+            text.contains(
+                "rtle_commits_stm{source=\"demo\",kind=\"lock\",software_backend=\"tl2\"} 5"
+            ),
+            "{text}"
+        );
     }
 
     /// Ordered multi-lock acquisition: the composition pattern cross-shard

@@ -15,9 +15,9 @@ const FREE: u64 = 0;
 const HELD: u64 = 1;
 
 /// Initial backoff spin count; doubled on each failed acquisition attempt.
-const BACKOFF_MIN: u32 = 1 << 4;
+pub(crate) const BACKOFF_MIN: u32 = 1 << 4;
 /// Backoff ceiling.
-const BACKOFF_MAX: u32 = 1 << 14;
+pub(crate) const BACKOFF_MAX: u32 = 1 << 14;
 
 /// One saturated-backoff wait: spin `BACKOFF_MAX` then yield the CPU.
 /// Pure spinning is right for the short holds TLE expects, but once
@@ -28,7 +28,7 @@ const BACKOFF_MAX: u32 = 1 << 14;
 /// test-and-test-and-set-with-backoff shape while degrading gracefully
 /// when threads outnumber cores.
 #[inline]
-fn saturated_pause() {
+pub(crate) fn saturated_pause() {
     for _ in 0..BACKOFF_MAX {
         hint::spin_loop();
     }

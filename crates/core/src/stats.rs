@@ -25,6 +25,7 @@ pub struct ExecStats {
     ops: AtomicU64,
     fast_commits: AtomicU64,
     slow_commits: AtomicU64,
+    stm_commits: AtomicU64,
     lock_acquisitions: AtomicU64,
     fast_aborts: AtomicU64,
     slow_aborts: AtomicU64,
@@ -89,6 +90,14 @@ impl ExecStats {
         .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One critical section completed on a pluggable software-TM backend
+    /// (outside [`Path`]: the software path never aborts at this level —
+    /// the backend retries internally and reports its own abort counters).
+    #[inline]
+    pub(crate) fn record_stm_commit(&self) {
+        self.stm_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
     #[inline]
     pub(crate) fn record_time_locked(&self, d: Duration) {
         self.time_locked_ns
@@ -113,6 +122,7 @@ impl ExecStats {
             ops: self.ops.load(Ordering::Relaxed),
             fast_commits: self.fast_commits.load(Ordering::Relaxed),
             slow_commits: self.slow_commits.load(Ordering::Relaxed),
+            stm_commits: self.stm_commits.load(Ordering::Relaxed),
             lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
             fast_aborts: self.fast_aborts.load(Ordering::Relaxed),
             slow_aborts: self.slow_aborts.load(Ordering::Relaxed),
@@ -138,6 +148,9 @@ pub struct StatsSnapshot {
     pub fast_commits: u64,
     /// Commits on the instrumented slow path (concurrent with a holder).
     pub slow_commits: u64,
+    /// Commits on a pluggable software-TM backend (the lock-free
+    /// fallback installed via `with_software_backend`; zero without one).
+    pub stm_commits: u64,
     /// Times the lock was actually acquired (pessimistic executions).
     pub lock_acquisitions: u64,
     /// Hardware aborts on the fast path.
@@ -199,6 +212,7 @@ impl StatsSnapshot {
             ops: self.ops.saturating_add(other.ops),
             fast_commits: self.fast_commits.saturating_add(other.fast_commits),
             slow_commits: self.slow_commits.saturating_add(other.slow_commits),
+            stm_commits: self.stm_commits.saturating_add(other.stm_commits),
             lock_acquisitions: self.lock_acquisitions.saturating_add(other.lock_acquisitions),
             fast_aborts: self.fast_aborts.saturating_add(other.fast_aborts),
             slow_aborts: self.slow_aborts.saturating_add(other.slow_aborts),
@@ -226,6 +240,7 @@ impl StatsSnapshot {
             ops: self.ops.saturating_sub(earlier.ops),
             fast_commits: self.fast_commits.saturating_sub(earlier.fast_commits),
             slow_commits: self.slow_commits.saturating_sub(earlier.slow_commits),
+            stm_commits: self.stm_commits.saturating_sub(earlier.stm_commits),
             lock_acquisitions: self.lock_acquisitions.saturating_sub(earlier.lock_acquisitions),
             fast_aborts: self.fast_aborts.saturating_sub(earlier.fast_aborts),
             slow_aborts: self.slow_aborts.saturating_sub(earlier.slow_aborts),

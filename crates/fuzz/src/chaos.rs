@@ -22,11 +22,26 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use rtle_avltree::AvlSet;
-use rtle_core::{ElidableLock, ElisionPolicy};
+use rtle_core::{ElidableLock, ElisionPolicy, RetryPolicy};
 use rtle_htm::prng::SplitMix64;
 use rtle_htm::HtmConfig;
+use rtle_hytm::{Norec, SoftwareTm, Tl2};
 
 use crate::ops;
+
+/// Which software-TM backend (if any) the plan installs as the lock's
+/// concurrent fallback tier. With a backend installed, exhausted
+/// speculation runs as a software transaction instead of serializing
+/// behind the lock — so the chaos oracle then exercises the STM commit
+/// protocol (and its coexistence with raw HTM commits) instead of the
+/// pessimistic path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosBackend {
+    /// Value-validating NOrec.
+    Norec,
+    /// Per-stripe versioned write-locks (TL2).
+    Tl2,
+}
 
 /// One chaos campaign description.
 #[derive(Debug, Clone)]
@@ -48,6 +63,16 @@ pub struct ChaosPlan {
     pub staller: bool,
     /// Spin iterations the staller burns inside each critical section.
     pub stall_spins: u32,
+    /// Software-TM fallback installed on the lock (`None` = classic
+    /// HTM-or-lock elision).
+    pub software: Option<ChaosBackend>,
+    /// Fast-path HTM attempts before falling back (STM tier or lock).
+    /// The injected abort streams are *periodic* (every Nth transaction),
+    /// so `k` consecutive aborts need `k` consecutive integers covered by
+    /// the periods — impossible for the default budget of 5 under the
+    /// 3/7/11 storm. Software-backed plans lower this so worker
+    /// *mutations* (not just staller probes) actually reach the STM tier.
+    pub max_attempts: u32,
 }
 
 impl ChaosPlan {
@@ -70,6 +95,25 @@ impl ChaosPlan {
             },
             staller: true,
             stall_spins: 3_000,
+            software: None,
+            max_attempts: 5,
+        }
+    }
+
+    /// The tier-1 quick profile with the TL2 software tier installed:
+    /// the same seeded storm, but exhausted speculation commits through
+    /// TL2's stripe locks while fresh attempts still commit in raw HTM —
+    /// the hybrid regime the `SoftwareTm` glue must keep coherent. The
+    /// staller becomes a long *software* transaction instead of a lock
+    /// hold, so expect `stm_commits` instead of `lock_acquisitions`.
+    pub fn quick_tl2(seeded_storm: bool) -> Self {
+        ChaosPlan {
+            software: Some(ChaosBackend::Tl2),
+            // Two attempts: adjacent injected-abort pairs exist under the
+            // 3/7/11 periods, so a steady fraction of worker mutations
+            // exhausts speculation and commits through TL2.
+            max_attempts: 2,
+            ..ChaosPlan::quick(seeded_storm)
         }
     }
 
@@ -89,6 +133,18 @@ impl ChaosPlan {
             // Long lock-held windows: slow-path commits need time to thread
             // through the holder's read-orec stamps and the writer storm.
             stall_spins: 200_000,
+            software: None,
+            max_attempts: 5,
+        }
+    }
+
+    /// The 8-thread storm with the TL2 software tier: the full-campaign
+    /// counterpart of [`ChaosPlan::quick_tl2`].
+    pub fn storm8_tl2() -> Self {
+        ChaosPlan {
+            software: Some(ChaosBackend::Tl2),
+            max_attempts: 2,
+            ..ChaosPlan::storm8()
         }
     }
 }
@@ -110,6 +166,8 @@ pub struct ChaosReport {
     pub slow_commits: u64,
     /// Pessimistic lock acquisitions.
     pub lock_acquisitions: u64,
+    /// Software-TM commits (zero unless the plan installs a backend).
+    pub stm_commits: u64,
     /// Total hardware aborts observed (fast + slow).
     pub aborts: u64,
 }
@@ -125,6 +183,15 @@ impl ChaosReport {
     pub fn all_paths_exercised(&self) -> bool {
         self.fast_commits > 0 && self.slow_commits > 0 && self.lock_acquisitions > 0
     }
+
+    /// True iff the run exercised the hybrid regime a software-backed
+    /// plan targets: raw HTM commits *and* software-TM commits in the
+    /// same run. (With a backend installed the lock is never contended —
+    /// exhausted speculation goes to the STM tier — so
+    /// [`ChaosReport::all_paths_exercised`] does not apply.)
+    pub fn hybrid_paths_exercised(&self) -> bool {
+        self.fast_commits > 0 && self.stm_commits > 0
+    }
 }
 
 /// Runs one chaos campaign. Deterministic per-worker op streams derive
@@ -134,7 +201,17 @@ pub fn run_chaos(plan: &ChaosPlan, seed: u64) -> ChaosReport {
     assert!(plan.workers >= 1);
     let range = plan.workers as u64 * plan.keys_per_worker;
     let set = Arc::new(AvlSet::with_key_range(range));
-    let lock = Arc::new(ElidableLock::builder().policy(plan.policy).build());
+    let mut builder = ElidableLock::builder().policy(plan.policy).retry(RetryPolicy {
+        max_attempts: plan.max_attempts,
+        ..RetryPolicy::default()
+    });
+    if let Some(backend) = plan.software {
+        builder = builder.with_software_backend(match backend {
+            ChaosBackend::Norec => Arc::new(Norec::new()) as Arc<dyn SoftwareTm>,
+            ChaosBackend::Tl2 => Arc::new(Tl2::new()) as Arc<dyn SoftwareTm>,
+        });
+    }
+    let lock = Arc::new(builder.build());
 
     plan.htm.with_installed(|| {
         let stop = Arc::new(AtomicBool::new(false));
@@ -214,6 +291,7 @@ pub fn run_chaos(plan: &ChaosPlan, seed: u64) -> ChaosReport {
             fast_commits: snap.fast_commits,
             slow_commits: snap.slow_commits,
             lock_acquisitions: snap.lock_acquisitions,
+            stm_commits: snap.stm_commits,
             aborts: snap.fast_aborts + snap.slow_aborts,
         }
     })
@@ -235,9 +313,34 @@ mod tests {
             htm: HtmConfig::default(),
             staller: false,
             stall_spins: 0,
+            software: None,
+            max_attempts: 5,
         };
         let r = run_chaos(&plan, 0x00ca_0001);
         assert!(r.clean(), "divergences: {:?}", r.divergences);
         assert!(r.fast_commits > 0);
+    }
+
+    /// TL2-backed smoke run: a seeded abort storm pushes exhausted
+    /// speculation into the software tier, so the differential oracle
+    /// judges TL2 commits interleaved with raw HTM commits over the same
+    /// shared tree. Must stay divergence-free with both regimes present.
+    #[test]
+    fn tl2_backed_storm_is_clean_and_hybrid() {
+        let plan = ChaosPlan {
+            workers: 2,
+            keys_per_worker: 24,
+            ops_per_worker: 500,
+            staller: false,
+            stall_spins: 0,
+            ..ChaosPlan::quick_tl2(true)
+        };
+        let r = run_chaos(&plan, 0x00ca_0002);
+        assert!(r.clean(), "divergences: {:?}", r.divergences);
+        assert!(
+            r.hybrid_paths_exercised(),
+            "need HTM and STM commits in one run: {r:?}"
+        );
+        assert_eq!(r.lock_acquisitions, 0, "STM tier replaces the lock path");
     }
 }

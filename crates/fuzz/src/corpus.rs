@@ -2,26 +2,39 @@
 //!
 //! Every entry is a deterministic contract — `fuzz corpus` replays each
 //! one and fails loudly if the fuzzer's behaviour on that seed drifts
-//! (oracle regression, scheduler change, shrinker change). The
-//! lazy-subscription mutant entries double as the fuzzer's *fitness
-//! test*: a fuzzer that can no longer find the seeded bug within its
-//! budget is broken, whatever else it reports.
+//! (oracle regression, scheduler change, shrinker change). The mutant
+//! entries double as the fuzzer's *fitness test*: a fuzzer that can no
+//! longer find a seeded bug — the TLE lazy-subscription zombie or the
+//! TL2 stale read — within its budget is broken, whatever else it
+//! reports.
 
-use rtle_check::model::mutant_config;
+use rtle_check::model::{mutant_config, tl2_mutant_config};
 
 use crate::schedule::{hunt, HuntReport};
+use crate::tl2::hunt_tl2;
 
 /// The documented default seed (see EXPERIMENTS.md): `fuzz run --seed
-/// 0xf422` must catch the mutant, and `fuzz replay 0xf422` must print the
-/// identical witness.
+/// 0xf422` must catch both mutants, and `fuzz replay 0xf422` must print
+/// the identical witness.
 pub const DOC_SEED: u64 = 0xf422;
 
-/// Default iteration budget for the mutant fitness hunt.
+/// Default iteration budget for the mutant fitness hunts.
 pub const MUTANT_BUDGET: u64 = 256;
+
+/// Which protocol machine a corpus entry drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Machine {
+    /// The TLE machine with the lazy-unsafe subscription mutant.
+    Tle,
+    /// The TL2 machine with the stale-read (skipped revalidation) mutant.
+    Tl2,
+}
 
 /// One pinned corpus entry.
 #[derive(Debug, Clone, Copy)]
 pub struct CorpusEntry {
+    /// The mutant machine this entry hunts.
+    pub machine: Machine,
     /// Hunt seed.
     pub seed: u64,
     /// Iteration budget.
@@ -32,46 +45,64 @@ pub struct CorpusEntry {
     pub note: &'static str,
 }
 
-/// The pinned entries. All run against the lazy-unsafe mutant; distinct
-/// seeds cover distinct schedule families.
+/// The pinned entries. Each runs against its machine's seeded mutant;
+/// distinct seeds cover distinct schedule families.
 pub const ENTRIES: &[CorpusEntry] = &[
     CorpusEntry {
+        machine: Machine::Tle,
         seed: DOC_SEED,
         budget: MUTANT_BUDGET,
         expect_kind: "non-serializable",
         note: "documented seed: the EXPERIMENTS.md lazy-subscription catch",
     },
     CorpusEntry {
+        machine: Machine::Tle,
         seed: 0x0001,
         budget: MUTANT_BUDGET,
         expect_kind: "non-serializable",
         note: "smallest seed, independent schedule family",
     },
     CorpusEntry {
+        machine: Machine::Tle,
         seed: 0xdead_beef,
         budget: MUTANT_BUDGET,
         expect_kind: "non-serializable",
         note: "third independent seed",
     },
+    CorpusEntry {
+        machine: Machine::Tl2,
+        seed: DOC_SEED,
+        budget: MUTANT_BUDGET,
+        expect_kind: "non-serializable",
+        note: "documented seed: the TL2 stale-read (skipped revalidation) catch",
+    },
 ];
 
-/// Runs the mutant fitness hunt for `seed`/`budget`.
+/// Runs the TLE mutant fitness hunt for `seed`/`budget`.
 pub fn mutant_hunt(seed: u64, budget: u64) -> HuntReport {
     hunt(&mutant_config(), seed, budget)
 }
 
+/// Runs the TL2 mutant fitness hunt for `seed`/`budget`.
+pub fn tl2_mutant_hunt(seed: u64, budget: u64) -> HuntReport {
+    hunt_tl2(&tl2_mutant_config(), seed, budget)
+}
+
 /// Replays one corpus entry; `Ok(witness)` if the expectation held.
 pub fn replay_entry(e: &CorpusEntry) -> Result<String, String> {
-    let report = mutant_hunt(e.seed, e.budget);
+    let report = match e.machine {
+        Machine::Tle => mutant_hunt(e.seed, e.budget),
+        Machine::Tl2 => tl2_mutant_hunt(e.seed, e.budget),
+    };
     match report.failure {
         Some(f) if f.kind == e.expect_kind => Ok(f.witness()),
         Some(f) => Err(format!(
-            "seed {:#x}: expected kind {:?}, found {:?}",
-            e.seed, e.expect_kind, f.kind
+            "{:?} seed {:#x}: expected kind {:?}, found {:?}",
+            e.machine, e.seed, e.expect_kind, f.kind
         )),
         None => Err(format!(
-            "seed {:#x}: expected {:?} within {} iterations, found nothing",
-            e.seed, e.expect_kind, e.budget
+            "{:?} seed {:#x}: expected {:?} within {} iterations, found nothing",
+            e.machine, e.seed, e.expect_kind, e.budget
         )),
     }
 }
@@ -85,5 +116,11 @@ mod tests {
         for e in ENTRIES {
             replay_entry(e).unwrap_or_else(|err| panic!("corpus drift: {err} ({})", e.note));
         }
+    }
+
+    #[test]
+    fn corpus_covers_both_machines() {
+        assert!(ENTRIES.iter().any(|e| e.machine == Machine::Tle));
+        assert!(ENTRIES.iter().any(|e| e.machine == Machine::Tl2));
     }
 }

@@ -3,28 +3,31 @@
 //! ```text
 //! fuzz run    [--seed S] [--iters N] [--configs N] [--budget N] [--quick]
 //!             [--no-chaos] [--json PATH]
-//! fuzz replay <seed> [--budget N]
+//! fuzz replay <seed> [--budget N] [--tl2]
 //! fuzz corpus
 //! ```
 //!
-//! * `run` — the full campaign: (1) mutant fitness (the seeded
-//!   lazy-subscription mutant must be caught within the budget), (2) a
-//!   sweep of the standard suite plus random safe 4–8-thread
-//!   configurations (must stay clean), (3) a chaos run over the real
-//!   runtime (must show zero oracle divergence). Exit code 0 iff all
-//!   three hold. `--quick` is the deterministic, time-budgeted tier-1
-//!   profile.
-//! * `replay <seed>` — re-runs the mutant hunt for `seed` and prints the
-//!   identical witness block `run` printed (one-line reproduction).
+//! * `run` — the full campaign: (1) mutant fitness (both seeded mutants
+//!   — the TLE lazy-subscription zombie and the TL2 stale read — must be
+//!   caught within the budget), (2) a sweep of the standard TLE and TL2
+//!   suites plus random safe 4–8-thread configurations of both machines
+//!   (must stay clean), (3) chaos runs over the real runtime, classic
+//!   HTM-or-lock and TL2-software-backed (must show zero oracle
+//!   divergence). Exit code 0 iff all three hold. `--quick` is the
+//!   deterministic, time-budgeted tier-1 profile.
+//! * `replay <seed>` — re-runs the mutant hunt for `seed` (`--tl2` picks
+//!   the TL2 machine) and prints the identical witness block `run`
+//!   printed (one-line reproduction).
 //! * `corpus` — replays every pinned corpus seed and verifies it.
 
 use std::process::ExitCode;
 
-use rtle_check::model::standard_suite;
+use rtle_check::model::{standard_suite, tl2_suite};
 use rtle_fuzz::chaos::{run_chaos, ChaosPlan};
 use rtle_fuzz::corpus::{self, DOC_SEED, MUTANT_BUDGET};
 use rtle_fuzz::report::campaign_json;
 use rtle_fuzz::schedule::{hunt, random_safe_config, HuntReport};
+use rtle_fuzz::tl2::{hunt_tl2, random_safe_tl2_config};
 use rtle_htm::prng::SplitMix64;
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -48,7 +51,7 @@ struct RunArgs {
 fn usage(err: &str) -> ExitCode {
     eprintln!("fuzz: {err}");
     eprintln!("usage: fuzz run [--seed S] [--iters N] [--configs N] [--budget N] [--quick] [--no-chaos] [--json PATH]");
-    eprintln!("       fuzz replay <seed> [--budget N]");
+    eprintln!("       fuzz replay <seed> [--budget N] [--tl2]");
     eprintln!("       fuzz corpus");
     ExitCode::from(2)
 }
@@ -65,32 +68,65 @@ fn print_hunt(r: &HuntReport) {
     );
 }
 
-fn cmd_run(a: RunArgs) -> ExitCode {
-    let mut ok = true;
-
-    // 1. Mutant fitness: the fuzzer must re-find the seeded bug.
-    let mutant = corpus::mutant_hunt(a.seed, a.budget);
-    match &mutant.failure {
+fn print_mutant(label: &str, budget: u64, r: &HuntReport, ok: &mut bool) {
+    match &r.failure {
         Some(f) => {
             println!(
-                "fuzz: mutant fitness: CAUGHT at iteration {} (budget {})",
-                f.iteration, a.budget
+                "fuzz: {label} mutant fitness: CAUGHT at iteration {} (budget {budget})",
+                f.iteration
             );
             println!("{}", f.witness());
         }
         None => {
             println!(
-                "fuzz: mutant fitness: MISSED within {} iterations — fuzzer regression!",
-                a.budget
+                "fuzz: {label} mutant fitness: MISSED within {budget} iterations — fuzzer regression!"
             );
-            ok = false;
+            *ok = false;
         }
     }
+}
 
-    // 2. Safe sweep: standard suite + random 4–8-thread configs.
+fn print_chaos(label: &str, plan: &ChaosPlan, r: &rtle_fuzz::chaos::ChaosReport) {
+    println!(
+        "fuzz: {label} ({} workers, {} ops): commits f/s/l/stm {}/{}/{}/{}, {} aborts -> {}",
+        plan.workers,
+        r.ops,
+        r.fast_commits,
+        r.slow_commits,
+        r.lock_acquisitions,
+        r.stm_commits,
+        r.aborts,
+        if r.clean() { "OK" } else { "DIVERGENCE" }
+    );
+    for d in r.divergences.iter().take(5) {
+        println!("fuzz:   {d}");
+    }
+}
+
+fn cmd_run(a: RunArgs) -> ExitCode {
+    let mut ok = true;
+
+    // 1. Mutant fitness: the fuzzer must re-find both seeded bugs — the
+    // TLE lazy-subscription zombie and the TL2 stale read.
+    let mutant = corpus::mutant_hunt(a.seed, a.budget);
+    print_mutant("tle", a.budget, &mutant, &mut ok);
+    let tl2_mutant = corpus::tl2_mutant_hunt(a.seed, a.budget);
+    print_mutant("tl2", a.budget, &tl2_mutant, &mut ok);
+
+    // 2. Safe sweep: both machines' standard suites + random 4–8-thread
+    // configs of each.
     let mut hunts = Vec::new();
     for cfg in standard_suite() {
         let r = hunt(&cfg, a.seed, a.iters);
+        print_hunt(&r);
+        if let Some(f) = &r.failure {
+            println!("{}", f.witness());
+            ok = false;
+        }
+        hunts.push(r);
+    }
+    for cfg in tl2_suite() {
+        let r = hunt_tl2(&cfg, a.seed, a.iters);
         print_hunt(&r);
         if let Some(f) = &r.failure {
             println!("{}", f.witness());
@@ -109,8 +145,20 @@ fn cmd_run(a: RunArgs) -> ExitCode {
         }
         hunts.push(r);
     }
+    let mut tl2_cfg_rng = SplitMix64::new(a.seed ^ 0x712f_c0f1_65ee_d002);
+    for idx in 0..a.configs {
+        let cfg = random_safe_tl2_config(&mut tl2_cfg_rng, idx);
+        let r = hunt_tl2(&cfg, a.seed.wrapping_add(idx), a.iters);
+        print_hunt(&r);
+        if let Some(f) = &r.failure {
+            println!("{}", f.witness());
+            ok = false;
+        }
+        hunts.push(r);
+    }
 
-    // 3. Chaos over the real runtime.
+    // 3. Chaos over the real runtime: the classic HTM-or-lock stack,
+    // then the same storm with the TL2 software tier installed.
     let chaos = a.chaos.then(|| {
         let plan = if a.quick {
             ChaosPlan::quick(true)
@@ -118,27 +166,42 @@ fn cmd_run(a: RunArgs) -> ExitCode {
             ChaosPlan::storm8()
         };
         let r = run_chaos(&plan, a.seed);
-        println!(
-            "fuzz: chaos ({} workers, {} ops): commits f/s/l {}/{}/{}, {} aborts -> {}",
-            plan.workers,
-            r.ops,
-            r.fast_commits,
-            r.slow_commits,
-            r.lock_acquisitions,
-            r.aborts,
-            if r.clean() { "OK" } else { "DIVERGENCE" }
-        );
-        for d in r.divergences.iter().take(5) {
-            println!("fuzz:   {d}");
-        }
+        print_chaos("chaos", &plan, &r);
         r
     });
     if let Some(c) = &chaos {
         ok &= c.clean();
     }
+    let tl2_chaos = a.chaos.then(|| {
+        let plan = if a.quick {
+            ChaosPlan::quick_tl2(true)
+        } else {
+            ChaosPlan::storm8_tl2()
+        };
+        let r = run_chaos(&plan, a.seed);
+        print_chaos("chaos[tl2]", &plan, &r);
+        r
+    });
+    if let Some(c) = &tl2_chaos {
+        ok &= c.clean();
+        if !c.hybrid_paths_exercised() {
+            println!(
+                "fuzz: chaos[tl2] never hit the hybrid regime (f={}, stm={}) — plan regression!",
+                c.fast_commits, c.stm_commits
+            );
+            ok = false;
+        }
+    }
 
     if let Some(path) = &a.json {
-        let doc = campaign_json(a.seed, &mutant, &hunts, chaos.as_ref());
+        let doc = campaign_json(
+            a.seed,
+            &mutant,
+            &tl2_mutant,
+            &hunts,
+            chaos.as_ref(),
+            tl2_chaos.as_ref(),
+        );
         if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
             eprintln!("fuzz: cannot write {path}: {e}");
             ok = false;
@@ -155,13 +218,19 @@ fn cmd_run(a: RunArgs) -> ExitCode {
     }
 }
 
-fn cmd_replay(seed: u64, budget: u64) -> ExitCode {
-    let report = corpus::mutant_hunt(seed, budget);
+fn cmd_replay(seed: u64, budget: u64, tl2: bool) -> ExitCode {
+    let report = if tl2 {
+        corpus::tl2_mutant_hunt(seed, budget)
+    } else {
+        corpus::mutant_hunt(seed, budget)
+    };
     match report.failure {
         Some(f) => {
             println!(
-                "fuzz: mutant fitness: CAUGHT at iteration {} (budget {})",
-                f.iteration, budget
+                "fuzz: {} mutant fitness: CAUGHT at iteration {} (budget {})",
+                if tl2 { "tl2" } else { "tle" },
+                f.iteration,
+                budget
             );
             println!("{}", f.witness());
             ExitCode::SUCCESS
@@ -177,9 +246,9 @@ fn cmd_corpus() -> ExitCode {
     let mut ok = true;
     for e in corpus::ENTRIES {
         match corpus::replay_entry(e) {
-            Ok(_) => println!("fuzz: corpus {:#010x} OK — {}", e.seed, e.note),
+            Ok(_) => println!("fuzz: corpus {:?} {:#010x} OK — {}", e.machine, e.seed, e.note),
             Err(err) => {
-                println!("fuzz: corpus {:#010x} FAILED — {err}", e.seed);
+                println!("fuzz: corpus {:?} {:#010x} FAILED — {err}", e.machine, e.seed);
                 ok = false;
             }
         }
@@ -245,6 +314,7 @@ fn main() -> ExitCode {
                 return usage("replay needs a seed");
             };
             let mut budget = MUTANT_BUDGET;
+            let mut tl2 = false;
             let mut it = args[2..].iter();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -254,10 +324,11 @@ fn main() -> ExitCode {
                         };
                         budget = n.max(1);
                     }
+                    "--tl2" => tl2 = true,
                     other => return usage(&format!("unknown flag {other:?}")),
                 }
             }
-            cmd_replay(seed, budget)
+            cmd_replay(seed, budget, tl2)
         }
         "corpus" => cmd_corpus(),
         other => usage(&format!("unknown subcommand {other:?}")),

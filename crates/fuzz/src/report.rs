@@ -9,7 +9,9 @@ use crate::chaos::ChaosReport;
 use crate::schedule::HuntReport;
 
 /// Schema version of the fuzz JSON document (bumped on layout changes).
-pub const FUZZ_SCHEMA_VERSION: u64 = 1;
+/// v2: `tl2_mutant_fitness` and `tl2_chaos` sections, `stm_commits` in
+/// chaos reports.
+pub const FUZZ_SCHEMA_VERSION: u64 = 2;
 
 /// One hunt report as JSON.
 pub fn hunt_json(r: &HuntReport) -> Json {
@@ -50,6 +52,7 @@ pub fn chaos_json(r: &ChaosReport) -> Json {
         ("fast_commits", Json::UInt(r.fast_commits)),
         ("slow_commits", Json::UInt(r.slow_commits)),
         ("lock_acquisitions", Json::UInt(r.lock_acquisitions)),
+        ("stm_commits", Json::UInt(r.stm_commits)),
         ("aborts", Json::UInt(r.aborts)),
         (
             "divergences",
@@ -58,22 +61,30 @@ pub fn chaos_json(r: &ChaosReport) -> Json {
     ])
 }
 
-/// The full campaign document.
+/// The full campaign document. `mutant` / `chaos` cover the TLE machine
+/// and the classic HTM-or-lock runtime; `tl2_mutant` / `tl2_chaos` cover
+/// the TL2 machine and the software-backed runtime tier.
 pub fn campaign_json(
     seed: u64,
     mutant: &HuntReport,
+    tl2_mutant: &HuntReport,
     hunts: &[HuntReport],
     chaos: Option<&ChaosReport>,
+    tl2_chaos: Option<&ChaosReport>,
 ) -> Json {
     let mut pairs = vec![
         ("tool", Json::Str("rtle-fuzz".into())),
         ("fuzz_schema_version", Json::UInt(FUZZ_SCHEMA_VERSION)),
         ("seed", Json::UInt(seed)),
         ("mutant_fitness", hunt_json(mutant)),
+        ("tl2_mutant_fitness", hunt_json(tl2_mutant)),
         ("hunts", Json::Arr(hunts.iter().map(hunt_json).collect())),
     ];
     if let Some(c) = chaos {
         pairs.push(("chaos", chaos_json(c)));
+    }
+    if let Some(c) = tl2_chaos {
+        pairs.push(("tl2_chaos", chaos_json(c)));
     }
     Json::obj(pairs)
 }
@@ -86,23 +97,26 @@ mod tests {
     #[test]
     fn campaign_json_round_trips() {
         let mutant = corpus::mutant_hunt(corpus::DOC_SEED, corpus::MUTANT_BUDGET);
-        let doc = campaign_json(corpus::DOC_SEED, &mutant, &[], None);
+        let tl2_mutant = corpus::tl2_mutant_hunt(corpus::DOC_SEED, corpus::MUTANT_BUDGET);
+        let doc = campaign_json(corpus::DOC_SEED, &mutant, &tl2_mutant, &[], None, None);
         let text = doc.to_string();
         let parsed = rtle_obs::parse_json(&text).expect("fuzz json parses");
         assert_eq!(
             parsed.get("fuzz_schema_version").and_then(Json::as_u64),
             Some(FUZZ_SCHEMA_VERSION)
         );
-        assert_eq!(
-            parsed
-                .get("mutant_fitness")
-                .and_then(|m| m.get("clean"))
-                .and_then(|c| match c {
-                    Json::Bool(b) => Some(*b),
-                    _ => None,
-                }),
-            Some(false),
-            "mutant hunt must have found the seeded bug"
-        );
+        for section in ["mutant_fitness", "tl2_mutant_fitness"] {
+            assert_eq!(
+                parsed
+                    .get(section)
+                    .and_then(|m| m.get("clean"))
+                    .and_then(|c| match c {
+                        Json::Bool(b) => Some(*b),
+                        _ => None,
+                    }),
+                Some(false),
+                "{section}: the hunt must have found the seeded bug"
+            );
+        }
     }
 }

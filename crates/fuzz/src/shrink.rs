@@ -15,17 +15,20 @@
 //! Replay of a shrunk schedule skips entries whose thread is disabled and
 //! completes the run deterministically (see [`crate::schedule::replay`]),
 //! so any subsequence of a valid schedule is itself replayable.
-
-use rtle_check::model::Config;
+//!
+//! The shrinker is generic over the machine's configuration type — the
+//! `fails` callback owns replay and judgment — so the TLE machine
+//! ([`crate::schedule`]) and the TL2 machine ([`crate::tl2`]) share one
+//! implementation.
 
 /// Shrinks `schedule` while `fails(cfg, candidate)` keeps reporting the
 /// original violation kind. Returns the reduced schedule (possibly
 /// unchanged). Pure and deterministic.
-pub fn shrink_schedule(
-    cfg: &Config,
+pub fn shrink_schedule<C>(
+    cfg: &C,
     schedule: &[u8],
     _kind: &'static str,
-    fails: impl Fn(&Config, &[u8]) -> bool,
+    fails: impl Fn(&C, &[u8]) -> bool,
 ) -> Vec<u8> {
     let mut cur = schedule.to_vec();
     debug_assert!(fails(cfg, &cur), "shrinker fed a non-failing schedule");
@@ -70,7 +73,7 @@ pub fn shrink_schedule(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtle_check::model::{judge_terminal, mutant_config};
+    use rtle_check::model::{judge_terminal, mutant_config, Config};
     use rtle_htm::prng::SplitMix64;
 
     use crate::schedule::{replay, run_pct};

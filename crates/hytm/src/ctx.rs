@@ -1,5 +1,5 @@
-//! The transactional execution context for NOrec / RHNOrec critical
-//! sections — the hybrid-TM counterpart of [`rtle_core::Ctx`].
+//! The transactional execution context for software/hybrid-TM critical
+//! sections — the hybrid-TM counterpart of `rtle_core::Ctx`.
 
 use std::cell::RefCell;
 
@@ -7,23 +7,23 @@ use rtle_htm::{TxCell, TxWord};
 
 use crate::descriptor::{sw_abort, SwDescriptor};
 use crate::stats::TmStats;
+use crate::tm::SoftwareTm;
 
 enum Inner<'a> {
     /// Running inside a hardware transaction: plain accesses, the HTM
     /// tracks everything.
     Hw,
-    /// Running as a software transaction: value-logging reads with
-    /// opacity-preserving revalidation, buffered writes.
+    /// Running as a software transaction: reads and writes dispatch to the
+    /// backend's barriers ([`SoftwareTm::read`] / [`SoftwareTm::write`]).
     Sw {
+        tm: &'a dyn SoftwareTm,
         desc: &'a RefCell<SwDescriptor>,
-        clock: &'a TxCell<u64>,
-        stats: &'a TmStats,
     },
 }
 
 /// Execution token passed to [`crate::Norec::execute`] /
-/// [`crate::RhNorec::execute`] closures. All shared accesses inside the
-/// atomic block must go through it.
+/// [`crate::RhNorec::execute`] / [`crate::Tl2::execute`] closures. All
+/// shared accesses inside the atomic block must go through it.
 pub struct TmCtx<'a> {
     inner: Inner<'a>,
 }
@@ -33,13 +33,9 @@ impl<'a> TmCtx<'a> {
         TmCtx { inner: Inner::Hw }
     }
 
-    pub(crate) fn sw(
-        desc: &'a RefCell<SwDescriptor>,
-        clock: &'a TxCell<u64>,
-        stats: &'a TmStats,
-    ) -> Self {
+    pub(crate) fn sw(tm: &'a dyn SoftwareTm, desc: &'a RefCell<SwDescriptor>) -> Self {
         TmCtx {
-            inner: Inner::Sw { desc, clock, stats },
+            inner: Inner::Sw { tm, desc },
         }
     }
 
@@ -48,13 +44,21 @@ impl<'a> TmCtx<'a> {
         matches!(self.inner, Inner::Hw)
     }
 
+    /// The software backend driving this context, if any.
+    pub fn backend_name(&self) -> Option<&'static str> {
+        match &self.inner {
+            Inner::Hw => None,
+            Inner::Sw { tm, .. } => Some(tm.name()),
+        }
+    }
+
     /// Transactional read.
     #[inline]
     pub fn read<T: TxWord>(&self, cell: &TxCell<T>) -> T {
         match &self.inner {
             Inner::Hw => cell.read(),
-            Inner::Sw { desc, clock, stats } => {
-                let word = sw_read(&mut desc.borrow_mut(), clock, stats, cell.as_word_cell());
+            Inner::Sw { tm, desc } => {
+                let word = tm.read(&mut desc.borrow_mut(), cell.as_word_cell());
                 T::from_word(word)
             }
         }
@@ -65,9 +69,8 @@ impl<'a> TmCtx<'a> {
     pub fn write<T: TxWord>(&self, cell: &TxCell<T>, value: T) {
         match &self.inner {
             Inner::Hw => cell.write(value),
-            Inner::Sw { desc, .. } => {
-                desc.borrow_mut()
-                    .log_write(cell.as_word_cell(), value.to_word());
+            Inner::Sw { tm, desc } => {
+                tm.write(&mut desc.borrow_mut(), cell.as_word_cell(), value.to_word());
             }
         }
     }
@@ -140,12 +143,14 @@ pub(crate) fn sw_read(
 mod tests {
     use super::*;
     use crate::descriptor::catch_sw;
+    use crate::norec::Norec;
 
     #[test]
     fn hw_ctx_reads_plainly() {
         let c = TxCell::new(3u64);
         let ctx = TmCtx::hw();
         assert!(ctx.is_hardware());
+        assert_eq!(ctx.backend_name(), None);
         assert_eq!(ctx.read(&c), 3);
         ctx.write(&c, 4);
         assert_eq!(c.read_plain(), 4);
@@ -153,12 +158,12 @@ mod tests {
 
     #[test]
     fn sw_ctx_buffers_writes() {
-        let clock = TxCell::new(0u64);
-        let stats = TmStats::new();
+        let tm = Norec::new();
         let desc = RefCell::new(SwDescriptor::default());
         desc.borrow_mut().reset(0);
-        let ctx = TmCtx::sw(&desc, &clock, &stats);
+        let ctx = TmCtx::sw(&tm, &desc);
         assert!(!ctx.is_hardware());
+        assert_eq!(ctx.backend_name(), Some("norec"));
 
         let c = TxCell::new(1u64);
         ctx.write(&c, 9);
@@ -168,37 +173,35 @@ mod tests {
 
     #[test]
     fn sw_read_revalidates_on_clock_move() {
-        let clock = TxCell::new(0u64);
-        let stats = TmStats::new();
+        let tm = Norec::new();
         let desc = RefCell::new(SwDescriptor::default());
         desc.borrow_mut().reset(0);
-        let ctx = TmCtx::sw(&desc, &clock, &stats);
+        let ctx = TmCtx::sw(&tm, &desc);
 
         let a = TxCell::new(5u64);
         assert_eq!(ctx.read(&a), 5);
         // Someone commits (values unchanged): clock moves to 2.
-        clock.write(2);
+        tm.clock.write(2);
         let b = TxCell::new(6u64);
         assert_eq!(ctx.read(&b), 6, "revalidation succeeds, read proceeds");
-        assert!(stats.snapshot().validations >= 1);
+        assert!(tm.stats().snapshot().validations >= 1);
         assert_eq!(desc.borrow().snapshot, 2, "snapshot extended");
     }
 
     #[test]
     fn sw_read_aborts_when_values_changed() {
-        let clock = TxCell::new(0u64);
-        let stats = TmStats::new();
+        let tm = Norec::new();
         let a = TxCell::new(5u64);
         let b = TxCell::new(6u64);
 
         let r = catch_sw(|| {
             let desc = RefCell::new(SwDescriptor::default());
             desc.borrow_mut().reset(0);
-            let ctx = TmCtx::sw(&desc, &clock, &stats);
+            let ctx = TmCtx::sw(&tm, &desc);
             let _ = ctx.read(&a);
             // A conflicting commit changes `a` and bumps the clock.
             a.write(50);
-            clock.write(2);
+            tm.clock.write(2);
             ctx.read(&b) // must revalidate -> value mismatch -> abort
         });
         assert_eq!(r, None, "software transaction must abort");

@@ -61,24 +61,28 @@ pub(crate) struct WriteEntry {
     pub value: u64,
 }
 
-/// Per-attempt software transaction state.
+/// Per-attempt software transaction state: the value-logging read set and
+/// the buffering write set every [`crate::tm::SoftwareTm`] backend works
+/// on. Public only because it appears in the trait's method signatures;
+/// all of its contents and operations are crate-private.
 #[derive(Default)]
-pub(crate) struct SwDescriptor {
-    /// Even clock value this attempt's snapshot is consistent with.
-    pub snapshot: u64,
-    pub reads: Vec<ReadEntry>,
-    pub writes: Vec<WriteEntry>,
+pub struct SwDescriptor {
+    /// Clock value this attempt's snapshot is consistent with (NOrec: even
+    /// global sequence clock; TL2: the sampled read version `rv`).
+    pub(crate) snapshot: u64,
+    pub(crate) reads: Vec<ReadEntry>,
+    pub(crate) writes: Vec<WriteEntry>,
 }
 
 impl SwDescriptor {
-    pub fn reset(&mut self, snapshot: u64) {
+    pub(crate) fn reset(&mut self, snapshot: u64) {
         self.snapshot = snapshot;
         self.reads.clear();
         self.writes.clear();
     }
 
     /// Latest buffered value for `cell`, if written by this transaction.
-    pub fn lookup_write(&self, cell: *const TxCell<u64>) -> Option<u64> {
+    pub(crate) fn lookup_write(&self, cell: *const TxCell<u64>) -> Option<u64> {
         self.writes
             .iter()
             .rev()
@@ -87,7 +91,7 @@ impl SwDescriptor {
     }
 
     /// Buffers (or supersedes) a write.
-    pub fn log_write(&mut self, cell: *const TxCell<u64>, value: u64) {
+    pub(crate) fn log_write(&mut self, cell: *const TxCell<u64>, value: u64) {
         if let Some(e) = self
             .writes
             .iter_mut()
@@ -101,12 +105,12 @@ impl SwDescriptor {
     }
 
     /// Logs a validated read.
-    pub fn log_read(&mut self, cell: *const TxCell<u64>, value: u64) {
+    pub(crate) fn log_read(&mut self, cell: *const TxCell<u64>, value: u64) {
         self.reads.push(ReadEntry { cell, value });
     }
 
     /// Re-checks every logged read by value. Returns `false` on mismatch.
-    pub fn reads_still_valid(&self) -> bool {
+    pub(crate) fn reads_still_valid(&self) -> bool {
         self.reads.iter().all(|e| {
             // SAFETY: cells outlive the transaction (captured from live
             // references within the executing closure).
@@ -114,7 +118,7 @@ impl SwDescriptor {
         })
     }
 
-    pub fn is_read_only(&self) -> bool {
+    pub(crate) fn is_read_only(&self) -> bool {
         self.writes.is_empty()
     }
 }

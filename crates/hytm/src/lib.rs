@@ -22,9 +22,16 @@
 //!   back to a clock-acquired single-global-lock commit that halts
 //!   everything.
 //!
-//! Both expose the same closure-over-context interface as
-//! [`rtle_core::ElidableLock::execute`], so the benchmark harness can swap
-//! synchronization methods freely.
+//! Beyond the paper's baselines, [`tl2::Tl2`] implements the TL2 STM (Dice,
+//! Shalev, Shavit; DISC 2006): per-stripe versioned write-locks plus a
+//! global version clock, so *disjoint* writers commit concurrently instead
+//! of serializing through one sequence lock. All three are unified behind
+//! the [`tm::SoftwareTm`] trait — begin/read/write/commit lifecycle plus
+//! stats and the hardware commit-time hook — so `rtle-core`'s
+//! `ElidableLock` can plug any of them in as its software fallback
+//! (`with_software_backend`) and the benchmark harness can swap
+//! synchronization methods freely (they all expose the same
+//! closure-over-context `execute` interface).
 //!
 //! The paper's Figures 8–10 are plotted from the statistics kept here:
 //! execution-type distribution (HTMFast / HTMSlow / STMFastCommit /
@@ -35,11 +42,15 @@ pub mod descriptor;
 pub mod norec;
 pub mod rhnorec;
 pub mod stats;
+pub mod tl2;
+pub mod tm;
 
 pub use ctx::TmCtx;
 pub use norec::Norec;
 pub use rhnorec::RhNorec;
-pub use stats::{TmStats, TmStatsSnapshot};
+pub use stats::{CommitKind, TmStats, TmStatsSnapshot};
+pub use tl2::Tl2;
+pub use tm::{run_sw, SoftwareTm};
 
 /// Explicit abort codes used by the hybrid runtimes inside hardware
 /// transactions.
@@ -49,4 +60,8 @@ pub mod abort_codes {
     /// Hardware fast path found the single-global-lock commit in progress
     /// (odd clock).
     pub const SGL_HELD: u8 = 33;
+    /// Software transactions are live and the backend's validation protocol
+    /// cannot observe hardware commits (TL2: stripe versions only change
+    /// under software commit locks) — the hardware transaction yields.
+    pub const SW_ACTIVE: u8 = 34;
 }

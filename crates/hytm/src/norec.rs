@@ -7,14 +7,13 @@
 //! NOrec immune to false conflicts — the property the paper calls out when
 //! explaining why it is a strong software baseline (§6.2.2).
 
-use std::cell::RefCell;
-use std::time::Instant;
-
 use rtle_htm::TxCell;
 
-use crate::ctx::{validate, wait_even, TmCtx};
-use crate::descriptor::{catch_sw, install_silent_hook, SwDescriptor};
+use crate::abort_codes;
+use crate::ctx::{sw_read, validate, wait_even, TmCtx};
+use crate::descriptor::SwDescriptor;
 use crate::stats::{CommitKind, TmStats};
+use crate::tm::{run_sw, SoftwareTm};
 
 /// A NOrec software transactional memory instance.
 ///
@@ -22,7 +21,7 @@ use crate::stats::{CommitKind, TmStats};
 /// [`TxCell`]s and be accessed through the [`TmCtx`] passed to the closure.
 #[derive(Debug, Default)]
 pub struct Norec {
-    clock: TxCell<u64>,
+    pub(crate) clock: TxCell<u64>,
     stats: TmStats,
 }
 
@@ -40,35 +39,34 @@ impl Norec {
     /// Runs `cs` as one atomic transaction, retrying on validation aborts
     /// until it commits. Returns the committed execution's result.
     pub fn execute<R>(&self, cs: impl Fn(&TmCtx<'_>) -> R) -> R {
-        install_silent_hook();
-        let desc = RefCell::new(SwDescriptor::default());
-        loop {
-            let t0 = Instant::now();
-            desc.borrow_mut().reset(wait_even(&self.clock));
-            let outcome = catch_sw(|| {
-                let ctx = TmCtx::sw(&desc, &self.clock, &self.stats);
-                let r = cs(&ctx);
-                self.commit(&mut desc.borrow_mut());
-                r
-            });
-            self.stats.record_sw_time(t0.elapsed());
-            match outcome {
-                Some(r) => {
-                    self.stats.record_commit(CommitKind::StmSlowCommit);
-                    self.stats.record_op();
-                    return r;
-                }
-                None => self.stats.record_sw_abort(),
-            }
-        }
+        run_sw(self, cs)
+    }
+}
+
+impl SoftwareTm for Norec {
+    fn name(&self) -> &'static str {
+        "norec"
+    }
+
+    fn stats(&self) -> &TmStats {
+        &self.stats
+    }
+
+    fn begin(&self, d: &mut SwDescriptor) {
+        d.reset(wait_even(&self.clock));
+    }
+
+    fn read(&self, d: &mut SwDescriptor, cell: &TxCell<u64>) -> u64 {
+        sw_read(d, &self.clock, &self.stats, cell)
     }
 
     /// NOrec commit: read-only transactions are already serialized at their
     /// last validation point; writers acquire the clock (even → odd CAS),
-    /// write back, and release (odd → even+2).
-    fn commit(&self, d: &mut SwDescriptor) {
+    /// write back, and release (odd → even+2). Every commit counts as
+    /// `StmSlowCommit` — plain NOrec has no hardware-assisted commit tier.
+    fn commit(&self, d: &mut SwDescriptor) -> CommitKind {
         if d.is_read_only() {
-            return;
+            return CommitKind::StmSlowCommit;
         }
         loop {
             if self
@@ -89,6 +87,19 @@ impl Norec {
             unsafe { (*w.cell).write(w.value) };
         }
         self.clock.write(d.snapshot + 2);
+        CommitKind::StmSlowCommit
+    }
+
+    /// A hardware commit publishes to NOrec readers by bumping the clock
+    /// (they revalidate by value). An odd clock means an SGL committer may
+    /// write back at any moment — the hardware transaction must bail.
+    fn hw_commit_hook(&self) -> bool {
+        let c = self.clock.read();
+        if c & 1 == 1 {
+            rtle_htm::abort(abort_codes::SGL_HELD);
+        }
+        self.clock.write(c + 2);
+        true
     }
 }
 

@@ -17,15 +17,13 @@
 //!    CAS), halting every hardware and software commit, and writes back
 //!    under that single global lock (`STMSlowCommit`).
 
-use std::cell::RefCell;
-use std::time::Instant;
-
 use rtle_htm::{swhtm, TxCell};
 
 use crate::abort_codes;
-use crate::ctx::{validate, wait_even, TmCtx};
-use crate::descriptor::{catch_sw, install_silent_hook, SwDescriptor};
+use crate::ctx::{sw_read, validate, wait_even, TmCtx};
+use crate::descriptor::SwDescriptor;
 use crate::stats::{CommitKind, TmStats};
+use crate::tm::{run_sw, SoftwareTm};
 
 /// Hardware attempts before falling to the software path (paper: 5).
 pub const DEFAULT_HW_ATTEMPTS: u32 = 5;
@@ -81,8 +79,6 @@ impl RhNorec {
 
     /// Runs `cs` as one atomic transaction: hardware first, software after.
     pub fn execute<R>(&self, cs: impl Fn(&TmCtx<'_>) -> R) -> R {
-        install_silent_hook();
-
         // Phase 1: entirely-in-hardware attempts.
         for _ in 0..self.hw_attempts {
             match swhtm::try_txn(|| {
@@ -90,18 +86,7 @@ impl RhNorec {
                 let r = cs(&ctx);
                 // Commit-time instrumentation: the *only* metadata work on
                 // the hardware path.
-                let bumped = if self.sw_count.read() > 0 {
-                    let c = self.clock.read();
-                    if c & 1 == 1 {
-                        // An SGL commit is in progress: it may write back
-                        // at any moment; bail.
-                        rtle_htm::abort(abort_codes::SGL_HELD);
-                    }
-                    self.clock.write(c + 2);
-                    true
-                } else {
-                    false
-                };
+                let bumped = self.hw_commit_hook();
                 (r, bumped)
             }) {
                 Ok((r, bumped)) => {
@@ -122,40 +107,10 @@ impl RhNorec {
             }
         }
 
-        // Phase 2: software transaction. The counter is restored by an
-        // RAII guard so a panicking closure cannot leak the increment
-        // (which would force every future hardware commit to bump the
-        // clock forever).
-        struct SwPhase<'a>(&'a TxCell<u64>);
-        impl Drop for SwPhase<'_> {
-            fn drop(&mut self) {
-                // Decrement (wrapping add of -1).
-                self.0.fetch_add_plain(u64::MAX);
-            }
-        }
-        self.sw_count.fetch_add_plain(1);
-        let _phase = SwPhase(&self.sw_count);
-        let desc = RefCell::new(SwDescriptor::default());
-        let result = loop {
-            let t0 = Instant::now();
-            desc.borrow_mut().reset(wait_even(&self.clock));
-            let outcome = catch_sw(|| {
-                let ctx = TmCtx::sw(&desc, &self.clock, &self.stats);
-                let r = cs(&ctx);
-                let kind = self.sw_commit(&mut desc.borrow_mut());
-                (r, kind)
-            });
-            self.stats.record_sw_time(t0.elapsed());
-            match outcome {
-                Some((r, kind)) => {
-                    self.stats.record_commit(kind);
-                    break r;
-                }
-                None => self.stats.record_sw_abort(),
-            }
-        };
-        self.stats.record_op();
-        result
+        // Phase 2: software transaction, driven by the shared retry loop
+        // (which brackets it with enter_sw/exit_sw so the software counter
+        // cannot leak even if the closure panics).
+        run_sw(self, cs)
     }
 
     /// Software commit: reduced hardware transaction first, SGL after.
@@ -205,6 +160,53 @@ impl RhNorec {
         }
         self.clock.write(d.snapshot + 2);
         CommitKind::StmSlowCommit
+    }
+}
+
+impl SoftwareTm for RhNorec {
+    fn name(&self) -> &'static str {
+        "rh-norec"
+    }
+
+    fn stats(&self) -> &TmStats {
+        &self.stats
+    }
+
+    fn begin(&self, d: &mut SwDescriptor) {
+        d.reset(wait_even(&self.clock));
+    }
+
+    fn read(&self, d: &mut SwDescriptor, cell: &TxCell<u64>) -> u64 {
+        sw_read(d, &self.clock, &self.stats, cell)
+    }
+
+    fn commit(&self, d: &mut SwDescriptor) -> CommitKind {
+        self.sw_commit(d)
+    }
+
+    fn enter_sw(&self) {
+        self.sw_count.fetch_add_plain(1);
+    }
+
+    fn exit_sw(&self) {
+        // Decrement (wrapping add of -1).
+        self.sw_count.fetch_add_plain(u64::MAX);
+    }
+
+    /// RH-NOrec's hardware commit instrumentation: if software transactions
+    /// are running, bump the clock so they revalidate; an odd clock means an
+    /// SGL commit is in progress (it may write back at any moment) — bail.
+    fn hw_commit_hook(&self) -> bool {
+        if self.sw_count.read() > 0 {
+            let c = self.clock.read();
+            if c & 1 == 1 {
+                rtle_htm::abort(abort_codes::SGL_HELD);
+            }
+            self.clock.write(c + 2);
+            true
+        } else {
+            false
+        }
     }
 }
 

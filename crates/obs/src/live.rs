@@ -224,6 +224,7 @@ mod tests {
                 counters: vec![("ops".into(), 42)],
                 gauges: Vec::new(),
                 windows: Vec::new(),
+                labels: Vec::new(),
             }
         }
     }

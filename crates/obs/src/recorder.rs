@@ -351,6 +351,7 @@ impl crate::registry::LiveSource for Recorder {
             counters,
             gauges,
             windows,
+            labels: Vec::new(),
         }
     }
 }

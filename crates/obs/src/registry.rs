@@ -49,6 +49,12 @@ pub struct SourceSnapshot {
     /// Up to [`SCRAPE_WINDOW_TAIL`] most recent closed windows, oldest
     /// first. Empty for sources without windowed telemetry.
     pub windows: Vec<WindowSnapshot>,
+    /// Extra identity labels (key, value), in a stable source-defined
+    /// order — e.g. `software_backend="tl2"` for a lock with a software
+    /// fallback. Appended to every sample's label set in the Prometheus
+    /// exposition and exported as a `labels` object in JSON. Empty for
+    /// sources without extra identity.
+    pub labels: Vec<(String, String)>,
 }
 
 /// A subsystem that can be scraped live. Implementations must be
@@ -185,11 +191,14 @@ pub fn render_prometheus(scrape: &[(String, SourceSnapshot)]) -> String {
         out.push_str(&format!("{name}{{{labels}}} {value}\n"));
     };
     for (source, snap) in scrape {
-        let base = format!(
+        let mut base = format!(
             "source=\"{}\",kind=\"{}\"",
             escape_label(source),
             escape_label(snap.kind)
         );
+        for (k, v) in &snap.labels {
+            base.push_str(&format!(",{}=\"{}\"", sanitize_name(k), escape_label(v)));
+        }
         for (key, value) in &snap.counters {
             let name = format!("rtle_{}", sanitize_name(key));
             emit(&mut out, &name, "counter", &base, format!("{value}"));
@@ -225,6 +234,15 @@ pub fn render_json(scrape: &[(String, SourceSnapshot)], taken_at_ns: u64) -> Jso
             Json::obj([
                 ("name", Json::Str(name.clone())),
                 ("kind", Json::Str(snap.kind.to_string())),
+                (
+                    "labels",
+                    Json::Obj(
+                        snap.labels
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                            .collect(),
+                    ),
+                ),
                 (
                     "counters",
                     Json::Obj(
@@ -277,6 +295,7 @@ mod tests {
                 counters: vec![("hits".into(), self.hits.load(Relaxed))],
                 gauges: vec![("ratio".into(), 0.25)],
                 windows: Vec::new(),
+                labels: Vec::new(),
             }
         }
     }

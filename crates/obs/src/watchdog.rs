@@ -247,6 +247,7 @@ impl LiveSource for WatchdogLive {
                 ),
             ],
             windows: Vec::new(),
+            labels: Vec::new(),
         }
     }
 }

@@ -65,6 +65,7 @@ impl LiveSource for FixedSource {
             counters: self.counters.clone(),
             gauges: self.gauges.clone(),
             windows: self.windows.clone(),
+            labels: Vec::new(),
         }
     }
 }

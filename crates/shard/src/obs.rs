@@ -33,6 +33,11 @@ pub struct ShardReport {
     /// so each entry is already the cross-shard merged window — the same
     /// series the collapse watchdog inspects. Empty without a recorder.
     pub windows: Vec<rtle_obs::WindowSnapshot>,
+    /// Name of the software-TM fallback the shards would currently run
+    /// (`None` when built without one). `with_builder` clones one
+    /// template per shard, so every shard holds the same backend `Arc`s
+    /// and the first shard's selection is the map's.
+    pub software_backend: Option<&'static str>,
 }
 
 /// `max / mean` of a counter vector: 1.0 = perfectly balanced,
@@ -90,7 +95,7 @@ impl ShardReport {
                 ])
             })
             .collect();
-        Json::obj([
+        let mut doc = Json::obj([
             ("kind", Json::Str("shard-stats".into())),
             ("schema_version", Json::UInt(SCHEMA_VERSION)),
             ("shards", Json::UInt(self.per_shard.len() as u64)),
@@ -113,7 +118,11 @@ impl ShardReport {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        if let (Some(name), Json::Obj(m)) = (self.software_backend, &mut doc) {
+            m.insert("software_backend".to_string(), Json::Str(name.into()));
+        }
+        doc
     }
 }
 
@@ -166,9 +175,19 @@ impl<V: TxWord, B: HtmBackend> ShardedTxMap<V, B> {
                 })
                 .collect(),
             routed: self.routed_counts(),
+            software_backend: self.software_backend_name(),
             per_shard,
             merged,
         }
+    }
+
+    /// Name of the software-TM fallback the shards would currently run,
+    /// or `None` without one (all shards share the template's backends,
+    /// so the first shard answers for the map).
+    pub fn software_backend_name(&self) -> Option<&'static str> {
+        self.shards
+            .first()
+            .and_then(|s| s.lock.software_backend_name())
     }
 }
 
@@ -191,6 +210,7 @@ where
                 ("ops".into(), m.ops),
                 ("commits_fast_htm".into(), m.fast_commits),
                 ("commits_slow_htm".into(), m.slow_commits),
+                ("commits_stm".into(), m.stm_commits),
                 ("commits_lock".into(), m.lock_acquisitions),
                 ("aborts_fast".into(), m.fast_aborts),
                 ("aborts_slow".into(), m.slow_aborts),
@@ -206,6 +226,11 @@ where
                 ("lock_fallback_rate".into(), m.lock_fallback_rate()),
             ],
             windows: Vec::new(),
+            labels: report
+                .software_backend
+                .map(|n| ("software_backend".to_string(), n.to_string()))
+                .into_iter()
+                .collect(),
         }
     }
 }
@@ -376,6 +401,46 @@ mod tests {
             text.contains(r#"rtle_ops{source="bank",kind="shard_map"}"#),
             "prometheus text:\n{text}"
         );
+    }
+
+    /// A software-TM fallback registered on the builder template flows
+    /// through every shard into the report, the JSON export, and the
+    /// live-snapshot identity label.
+    #[test]
+    fn software_backend_flows_through_report_json_and_live_label() {
+        use rtle_core::ElidableLock;
+        use rtle_hytm::Tl2;
+
+        let tl2 = Arc::new(Tl2::new());
+        let m: Arc<ShardedTxMap> = Arc::new(ShardedTxMap::with_builder(
+            4,
+            64,
+            ElidableLock::builder().with_software_backend(tl2),
+        ));
+        for k in 0..100u64 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.software_backend_name(), Some("tl2"));
+        let report = m.report();
+        assert_eq!(report.software_backend, Some("tl2"));
+        let back = parse_json(&report.to_json().to_string_pretty()).unwrap();
+        assert_eq!(
+            back.get("software_backend").and_then(Json::as_str),
+            Some("tl2")
+        );
+        let snap = m.live_snapshot();
+        assert_eq!(
+            snap.labels,
+            vec![("software_backend".to_string(), "tl2".to_string())]
+        );
+
+        // Without a fallback: no label, no JSON key.
+        let plain: ShardedTxMap = ShardedTxMap::new(2, 64);
+        plain.insert(1, 1);
+        assert_eq!(plain.software_backend_name(), None);
+        assert!(plain.live_snapshot().labels.is_empty());
+        let bare = parse_json(&plain.report().to_json().to_string_pretty()).unwrap();
+        assert!(bare.get("software_backend").is_none());
     }
 
     #[test]

@@ -119,7 +119,10 @@ impl<V: TxWord + Default, B: HtmBackend + Clone> ShardedTxMap<V, B> {
     /// template — policy, retry, backend, and recorder are cloned per
     /// shard, so shard configuration is exactly the single-lock builder
     /// API. A shared recorder aggregates all shards' attempt streams into
-    /// one observability snapshot.
+    /// one observability snapshot; software-TM fallbacks registered on
+    /// the template are likewise shared (`Arc`-cloned) across shards, so
+    /// one global clock/stripe table serializes software transactions
+    /// from every shard.
     ///
     /// `shards` must be a power of two (routing uses the top
     /// `log2(shards)` bits of the Wang mix).

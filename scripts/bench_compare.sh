@@ -7,7 +7,8 @@
 # from `shard_bench`) are diffed the same way; if an SLO_<n>.json
 # baseline exists, the SLO harness's headline latency rows
 # (`slo_<config>_p50_ns`, `slo_<config>_worst_p99_ns` from `slo_bench`)
-# are too.
+# are too; if a TM_<n>.json baseline exists, the software-TM three-way
+# rows (`tm_<engine>_<mix>_8thr` from `tm_bench`) are as well.
 #
 #   scripts/bench_compare.sh              # report-only: always exits 0
 #   scripts/bench_compare.sh --strict     # exit 1 on a regression verdict
@@ -16,6 +17,7 @@
 #   cargo run -p rtle-bench --release --bin bench -- run --out BENCH_<n+1>.json
 #   cargo run -p rtle-bench --release --bin shard_bench -- --json SHARD_<n+1>.json
 #   cargo run -p rtle-bench --release --bin slo_bench -- --quick --json SLO_<n+1>.json
+#   cargo run -p rtle-bench --release --bin tm_bench -- --json TM_<n+1>.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,6 +69,23 @@ else
         cargo run -p rtle-bench --release --bin bench -- compare "$slo_baseline" "$slo_new" || status=1
     else
         cargo run -p rtle-bench --release --bin bench -- compare "$slo_baseline" "$slo_new" --report-only
+    fi
+fi
+
+tm_baseline="$(ls TM_*.json 2>/dev/null | sort -V | tail -1 || true)"
+if [[ -z "$tm_baseline" ]]; then
+    echo "bench_compare: no TM_<n>.json baseline at the repo root; skipping TM rows"
+else
+    echo "bench_compare: TM baseline $tm_baseline"
+    # Full mode (not --quick): the measurement is best-of-2 x 400ms, which
+    # keeps the NOrec preemption-convoy roulette on oversubscribed hosts
+    # from masquerading as a regression in the x1.8 gate.
+    tm_new="$(mktemp -d)/tm_new.json"
+    cargo run -p rtle-bench --release --bin tm_bench -- --json "$tm_new" >/dev/null
+    if [[ "$mode" == "--strict" ]]; then
+        cargo run -p rtle-bench --release --bin bench -- compare "$tm_baseline" "$tm_new" || status=1
+    else
+        cargo run -p rtle-bench --release --bin bench -- compare "$tm_baseline" "$tm_new" --report-only
     fi
 fi
 

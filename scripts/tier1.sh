@@ -81,6 +81,9 @@ echo "== seeded analyzer mutants still compile =="
 # them so the seeded code cannot rot while staying caught.
 cargo check -q -p rtle-shard --features mutant-lock-order
 cargo check -q -p rtle-htm --features mutant-publication
+# The TL2 runtime mutant (caught by the model explorer and the pinned
+# fuzz seed, not the static passes) gets the same anti-rot gate.
+cargo check -q -p rtle-hytm --features tl2-stale-read-mutant
 
 echo "== trace-off overhead gate =="
 # The causal-tracing feature must be a true no-op when compiled out: the
@@ -129,6 +132,55 @@ echo "== fuzz (seeded quick campaign + mutant fitness) =="
 fuzz_json="$tmp/fuzz.json"
 cargo run -p rtle-fuzz --release --bin fuzz -- run --quick --seed 0xf422 --json "$fuzz_json" >/dev/null
 grep -q '"tool":"rtle-fuzz"' "$fuzz_json" || { echo "fuzz json missing"; exit 1; }
+
+echo "== tm_bench smoke (software-TM three-way + JSON export) =="
+# Quick run of the NOrec vs TL2 vs RTLE comparison; the validator checks
+# the exported document structurally (all nine engine x mix rows present,
+# every cell committed something, the headline ratio computed). The
+# >= 2x TL2/NOrec demonstration is gated in full mode by bench_compare
+# against TM_0.json — the 60 ms quick cells are too noisy for a ratio
+# gate on a loaded host.
+tm_json="$tmp/tm.json"
+cargo run -p rtle-bench --release --bin tm_bench -- --quick --json "$tm_json" >/dev/null
+cat > /tmp/tier1_tm_smoke.rs <<'RS'
+fn main() {
+    use rtle_obs::Json;
+    let path = std::env::args().nth(1).unwrap();
+    let text = std::fs::read_to_string(&path).expect("read tm json");
+    let j = rtle_obs::parse_json(&text).expect("tm json must parse");
+    assert_eq!(j.get("kind").and_then(Json::as_str), Some("perf-baseline"));
+    assert_eq!(j.get("tool").and_then(Json::as_str), Some("tm_bench"));
+    assert_eq!(
+        j.get("schema_version").and_then(Json::as_u64),
+        Some(rtle_obs::SCHEMA_VERSION),
+        "schema version mismatch"
+    );
+    let benches = j.get("benches").and_then(Json::as_arr).expect("benches");
+    assert_eq!(benches.len(), 9, "3 engines x 3 mixes");
+    let committed = j.get("committed_ops").expect("committed_ops");
+    for b in benches {
+        let name = b.get("name").and_then(Json::as_str).expect("row name");
+        assert!(
+            b.get("ns_per_op").and_then(Json::as_f64).expect("ns_per_op") > 0.0,
+            "{name}: nonpositive latency"
+        );
+        assert!(
+            committed.get(name).and_then(Json::as_u64).expect("committed row") > 0,
+            "{name}: committed nothing"
+        );
+    }
+    let ratio = j
+        .get("disjoint_write_tl2_over_norec")
+        .and_then(Json::as_f64)
+        .expect("headline ratio");
+    assert!(ratio > 0.0, "ratio not computed: {ratio}");
+    println!("ok: 9 rows, tl2/norec disjoint-write ratio {ratio:.2}x (quick)");
+}
+RS
+rustc --edition 2021 -O --extern rtle_obs="$obs_rlib" \
+    -L dependency=target/release/deps \
+    -o /tmp/tier1_tm_smoke /tmp/tier1_tm_smoke.rs
+/tmp/tier1_tm_smoke "$tm_json"
 
 echo "== shard_bench smoke (sharded-map scaling + JSON stats) =="
 # Seeded quick run of the sharded-map scaling benchmark; the validator
