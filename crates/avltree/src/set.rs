@@ -82,6 +82,39 @@ impl AvlSet {
         false
     }
 
+    /// Smallest key in the set, transactionally: walks the left spine,
+    /// reading only link words. A composable consumer can pair this with
+    /// `remove` and a retry-on-`None` to block for the next item in key
+    /// order (a transactional priority queue).
+    pub fn min<A: TxAccess + ?Sized>(&self, a: &A) -> Option<u64> {
+        let mut cur = a.load(&self.root);
+        if cur == NIL {
+            return None;
+        }
+        loop {
+            let l = a.load(&self.node(cur).left);
+            if l == NIL {
+                return Some(cur as u64 - 1);
+            }
+            cur = l;
+        }
+    }
+
+    /// Largest key in the set, transactionally (right-spine walk).
+    pub fn max<A: TxAccess + ?Sized>(&self, a: &A) -> Option<u64> {
+        let mut cur = a.load(&self.root);
+        if cur == NIL {
+            return None;
+        }
+        loop {
+            let r = a.load(&self.node(cur).right);
+            if r == NIL {
+                return Some(cur as u64 - 1);
+            }
+            cur = r;
+        }
+    }
+
     /// Inserts `key`; returns `false` if it was already present (in which
     /// case nothing is written — the read-only prefix that makes even
     /// "update" operations often commit on RW-TLE's slow path, §3).

@@ -1,0 +1,258 @@
+//! Composable-transaction benchmark: one `atomically` closure over three
+//! transactional structures (an `AvlSet`, a `TxHashSet`, and a
+//! `ShardedTxMap`), swept across the space configurations, plus a
+//! producer/consumer handoff that measures the retry/wakeup path.
+//!
+//! The headline numbers are thread-ns per committed transaction and the
+//! ladder-rung mix (speculation / software TM / pessimistic) each space
+//! settles into; the handoff section proves blocked consumers park and
+//! are woken by commits rather than spinning (`parks`, `wakes_notified`,
+//! `wakes_timeout` come straight from the space's [`rtle_stm::StmStats`]).
+//!
+//! ```sh
+//! cargo run -p rtle-bench --release --bin stm_bench            # full
+//! cargo run -p rtle-bench --release --bin stm_bench -- --quick # smoke
+//! cargo run -p rtle-bench --release --bin stm_bench -- --quick --json out.json
+//! ```
+
+use std::process::exit;
+use std::time::Instant;
+
+use rtle_avltree::{xorshift64, AvlSet};
+use rtle_bench::BenchArgs;
+use rtle_core::ElisionPolicy;
+use rtle_obs::{Json, SCHEMA_VERSION};
+use rtle_shard::ShardedTxMap;
+use rtle_stm::{Stm, StmStatsSnapshot, TxVar};
+use rtle_structs::TxHashSet;
+
+const THREADS: usize = 4;
+const KEY_SPACE: u64 = 128;
+
+/// One measured row of the composed sweep.
+struct Row {
+    name: &'static str,
+    ns_per_op: f64,
+    committed: u64,
+    snap: StmStatsSnapshot,
+}
+
+fn spaces() -> [(&'static str, Stm); 4] {
+    [
+        (
+            "lock_only",
+            Stm::builder()
+                .policy(ElisionPolicy::LockOnly)
+                .software_backends(Vec::new())
+                .build(),
+        ),
+        ("tle", Stm::builder().policy(ElisionPolicy::Tle).build()),
+        ("rw_tle", Stm::builder().policy(ElisionPolicy::RwTle).build()),
+        (
+            "fg_tle_norec",
+            Stm::builder()
+                .policy(ElisionPolicy::FgTle { orecs: 512 })
+                .build(),
+        ),
+    ]
+}
+
+/// Runs the three-structure composed transaction mix on `space`:
+/// 40% insert / 40% remove / 20% lookup, every op covering all three
+/// structures atomically.
+fn run_composed(name: &'static str, space: &Stm, ops_per_thread: u64) -> Row {
+    let avl = AvlSet::with_key_range(KEY_SPACE);
+    let hash = TxHashSet::with_capacity(2048);
+    let map: ShardedTxMap<u64> = ShardedTxMap::with_builder(8, 512, space.lock_builder());
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let (avl, hash, map) = (&avl, &hash, &map);
+        for t in 0..THREADS {
+            s.spawn(move || {
+                let mut rng = 0x57b_0b37u64 ^ (t as u64 + 1);
+                for _ in 0..ops_per_thread {
+                    let r = xorshift64(&mut rng);
+                    let k = r % KEY_SPACE;
+                    match (r >> 32) % 5 {
+                        0 | 1 => space.atomically(|tx| {
+                            avl.insert(tx, k);
+                            hash.insert(tx, k);
+                            tx.map_insert(map, k, k + 1);
+                            Ok(())
+                        }),
+                        2 | 3 => space.atomically(|tx| {
+                            avl.remove(tx, k);
+                            hash.remove(tx, k);
+                            tx.map_remove(map, k);
+                            Ok(())
+                        }),
+                        _ => space.atomically(|tx| {
+                            let a = avl.contains(tx, k);
+                            let h = hash.contains(tx, k);
+                            let m = tx.map_contains(map, k);
+                            assert_eq!(a, h, "torn commit: avl vs hash");
+                            assert_eq!(a, m, "torn commit: avl vs map");
+                            Ok(())
+                        }),
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    let snap = space.stats().snapshot();
+    let committed = snap.commits();
+    Row {
+        name,
+        ns_per_op: elapsed.as_nanos() as f64 * THREADS as f64 / committed.max(1) as f64,
+        committed,
+        snap,
+    }
+}
+
+/// Producer/consumer handoff over a bounded TxVar counter: consumers
+/// block via `retry` when the pool is empty, producers when it is full.
+/// Returns the space's stats (parks and notified wakeups are the point)
+/// and the items moved per second.
+fn run_handoff(items: u64) -> (StmStatsSnapshot, f64) {
+    let space = Stm::new();
+    let pool = TxVar::new(0u64);
+    const BOUND: u64 = 4;
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let (space, pool) = (&space, &pool);
+        s.spawn(move || {
+            for _ in 0..items {
+                space.atomically(|tx| {
+                    let n = tx.read(pool);
+                    tx.check(n < BOUND)?; // full: park until a consumer drains
+                    tx.write(pool, n + 1);
+                    Ok(())
+                });
+            }
+        });
+        s.spawn(move || {
+            for _ in 0..items {
+                space.atomically(|tx| {
+                    let n = tx.read(pool);
+                    tx.check(n > 0)?; // empty: park until a producer fills
+                    tx.write(pool, n - 1);
+                    Ok(())
+                });
+            }
+        });
+    });
+    let per_sec = items as f64 / t0.elapsed().as_secs_f64();
+    (space.stats().snapshot(), per_sec)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (ops_per_thread, handoff_items) = if args.quick {
+        (2_000, 500)
+    } else {
+        (50_000, 20_000)
+    };
+
+    println!(
+        "stm_bench: composed 3-structure transactions, {THREADS} threads x {ops_per_thread} ops"
+    );
+    println!(
+        "{:<16}{:>12}{:>10}{:>10}{:>10}{:>10}",
+        "space", "ns/op", "spec", "sw", "locked", "restarts"
+    );
+    let rows: Vec<Row> = spaces()
+        .into_iter()
+        .map(|(name, space)| {
+            let row = run_composed(name, &space, ops_per_thread);
+            println!(
+                "{:<16}{:>12.0}{:>10}{:>10}{:>10}{:>10}",
+                row.name,
+                row.ns_per_op,
+                row.snap.commits_spec,
+                row.snap.commits_sw,
+                row.snap.commits_locked,
+                row.snap.plan_restarts
+            );
+            row
+        })
+        .collect();
+
+    let (handoff, handoff_per_sec) = run_handoff(handoff_items);
+    println!(
+        "\nhandoff: {handoff_items} items, {:.0} items/s — parks={} wakes_notified={} \
+         wakes_timeout={}",
+        handoff_per_sec, handoff.parks, handoff.wakes_notified, handoff.wakes_timeout
+    );
+
+    // Sanity that holds even on a loaded 1-core host: the bounded buffer
+    // forces real blocking, and wakeups must be delivered by commits.
+    assert!(handoff.wakeups_sent >= 1, "no wakeups sent: {handoff:?}");
+
+    if let Some(path) = &args.json {
+        let rung_mix = |s: &StmStatsSnapshot| {
+            Json::obj([
+                ("spec", Json::UInt(s.commits_spec)),
+                ("sw", Json::UInt(s.commits_sw)),
+                ("locked", Json::UInt(s.commits_locked)),
+                ("plan_restarts", Json::UInt(s.plan_restarts)),
+            ])
+        };
+        let doc = Json::obj([
+            ("schema_version", Json::UInt(SCHEMA_VERSION)),
+            ("tool", Json::Str("stm_bench".into())),
+            ("kind", Json::Str("perf-baseline".into())),
+            ("latency_unit", Json::Str("ns".into())),
+            ("threads", Json::UInt(THREADS as u64)),
+            ("ops_per_thread", Json::UInt(ops_per_thread)),
+            (
+                "benches",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("name", Json::Str(format!("stm/composed/{}", r.name))),
+                                ("ns_per_op", Json::Num(r.ns_per_op)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "committed_ops",
+                Json::Obj(
+                    rows.iter()
+                        .map(|r| (format!("stm/composed/{}", r.name), Json::UInt(r.committed)))
+                        .collect(),
+                ),
+            ),
+            (
+                "rung_mix",
+                Json::Obj(
+                    rows.iter()
+                        .map(|r| (r.name.to_string(), rung_mix(&r.snap)))
+                        .collect(),
+                ),
+            ),
+            (
+                "handoff",
+                Json::obj([
+                    ("items", Json::UInt(handoff_items)),
+                    ("items_per_sec", Json::Num(handoff_per_sec)),
+                    ("parks", Json::UInt(handoff.parks)),
+                    ("wakes_notified", Json::UInt(handoff.wakes_notified)),
+                    ("wakes_timeout", Json::UInt(handoff.wakes_timeout)),
+                    ("wakeups_sent", Json::UInt(handoff.wakeups_sent)),
+                ]),
+            ),
+        ]);
+        if let Err(e) = std::fs::write(path, doc.to_string_pretty()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+}

@@ -309,11 +309,13 @@ mod tests {
         let reads = sample_reads(&g, 36, 3, 0.0, 2);
         let k = 15;
 
-        // Transactified single map, sequential executor.
+        // Transactified single map, sequential executor. One thread: the
+        // sequential executor provides no synchronization, so it must not
+        // be combined with concurrent ingestion.
         let distinct_upper: usize = reads.iter().map(|r| r.len() - (k - 1)).sum();
         let single = KmerMap::with_capacity(2 * distinct_upper);
         let exec = sequential_exec();
-        let counts = ingest_single_map(&single, &reads, k, 2, &exec);
+        let counts = ingest_single_map(&single, &reads, k, 1, &exec);
         assert_eq!(counts.iter().sum::<usize>(), reads.len());
 
         // Original sharded design.

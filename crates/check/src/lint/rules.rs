@@ -427,6 +427,27 @@ pub const ORDERING_RULES: &[OrderingRule] = &[
         allowed: &["Relaxed"],
         why: "live-mirror monotone counters: single-writer rotator, racy readers",
     },
+    // ---- rtle-stm: transaction-space statistics -------------------------
+    // The composable-transaction space keeps only advisory counters in
+    // atomics (rung mix, parks, wakeup accounting). All synchronization —
+    // commit publication, waiter registration, park/wake — goes through
+    // the underlying ElidableLock protocol and the WaitList mutex, so
+    // Relaxed is the only correct ordering here: anything stronger would
+    // imply a synchronization role these counters must never grow.
+    OrderingRule {
+        file_suffix: "stm/src/space.rs",
+        receiver: "*",
+        op: AtomicOp::Load,
+        allowed: &["Relaxed"],
+        why: "stm space statistics (rung mix, parks, wakeups): monotonic, advisory, no ordering role",
+    },
+    OrderingRule {
+        file_suffix: "stm/src/space.rs",
+        receiver: "*",
+        op: AtomicOp::FetchAdd,
+        allowed: &["Relaxed"],
+        why: "stm space statistics (rung mix, parks, wakeups): monotonic, advisory, no ordering role",
+    },
 ];
 
 /// Hot-path modules where `unwrap`/`panic!` are banned outside tests.
@@ -451,6 +472,7 @@ pub const ORDERING_SCOPE: &[&str] = &[
     "crates/obs/src/registry.rs",
     "crates/obs/src/live.rs",
     "crates/obs/src/watchdog.rs",
+    "crates/stm/src/",
 ];
 
 /// One ordering usage found in a statement.

@@ -206,6 +206,14 @@ fn passes_for(path_str: &str) -> Vec<&'static str> {
         "hytm/src/tl2.rs",
         "core/src/lock.rs",
         "core/src/barrier.rs",
+        // The composable-transaction layer: commit-time publication is
+        // delegated to the lock/backend protocols, so the pass is near
+        // vacuous today — in scope so any future Release-store fast path
+        // added to the redo-log flush or the waiter wakeup is checked
+        // automatically.
+        "stm/src/space.rs",
+        "stm/src/tx.rs",
+        "stm/src/var.rs",
     ];
     // Files the §4 fence-dominance pass walks. TL2 has no orec stamps (its
     // commit-time validation shortcut replaces the §4 fence), so the pass

@@ -193,9 +193,9 @@ impl Rec<'_> {
     }
 }
 
-/// Fluent configuration for an [`ElidableLock`], replacing the old
-/// `new` / `with_retry` / `with_backend` / `with_recorder` constructor
-/// matrix with one composable entry point:
+/// Fluent configuration for an [`ElidableLock`] — the one construction
+/// entry point (the historical `new`/`with_retry`/`with_backend`/
+/// `with_recorder` constructor matrix is gone):
 ///
 /// ```
 /// use std::sync::Arc;
@@ -334,34 +334,9 @@ impl ElidableLock<SwHtmBackend> {
     pub fn builder() -> ElidableLockBuilder<SwHtmBackend> {
         ElidableLockBuilder::default()
     }
-
-    /// A lock running `policy` on the software-emulated HTM with the
-    /// paper's default retry policy (5 attempts, early subscription).
-    #[deprecated(since = "0.1.0", note = "use `ElidableLock::builder().policy(..).build()`")]
-    pub fn new(policy: ElisionPolicy) -> Self {
-        Self::builder().policy(policy).build()
-    }
-
-    /// As `ElidableLock::new` with an explicit retry policy.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ElidableLock::builder().policy(..).retry(..).build()`"
-    )]
-    pub fn with_retry(policy: ElisionPolicy, retry: RetryPolicy) -> Self {
-        Self::builder().policy(policy).retry(retry).build()
-    }
 }
 
 impl<B: HtmBackend> ElidableLock<B> {
-    /// Full-control constructor.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ElidableLock::builder().backend(..).policy(..).retry(..).build()`"
-    )]
-    pub fn with_backend(backend: B, policy: ElisionPolicy, retry: RetryPolicy) -> Self {
-        Self::assemble(backend, policy, retry, None, Vec::new())
-    }
-
     /// The one real constructor; every public entry point routes here.
     fn assemble(
         backend: B,
@@ -403,13 +378,6 @@ impl<B: HtmBackend> ElidableLock<B> {
             stats: ExecStats::new(),
             recorder,
         }
-    }
-
-    /// Installs an attempt-level [`Recorder`] on an already-built lock.
-    #[deprecated(since = "0.1.0", note = "use `ElidableLock::builder().recorder(..)`")]
-    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
-        self.recorder = Some(recorder);
-        self
     }
 
     /// The installed recorder, if any.
@@ -499,6 +467,29 @@ impl<B: HtmBackend> ElidableLock<B> {
             return self.run_under_lock(cs, rec, 0);
         }
 
+        match self.speculative_phase(cs, rec) {
+            Ok(r) => r,
+            Err(attempts) => {
+                // Speculation budget exhausted. With a pluggable software TM
+                // the operation stays concurrent (a software transaction)
+                // instead of serializing behind the lock.
+                if let Some(tm) = self.select_software_backend() {
+                    return self.run_software(&**tm, cs);
+                }
+                self.run_under_lock(cs, rec, attempts)
+            }
+        }
+    }
+
+    /// The speculative half of [`Self::execute`]'s ladder: fast attempts
+    /// while the lock is free, instrumented slow attempts while it is held,
+    /// up to the retry policy's budgets. `Ok` carries the committed result;
+    /// `Err` carries the attempt count for the caller's fallback decision.
+    fn speculative_phase<R>(
+        &self,
+        cs: &impl Fn(&Ctx<'_>) -> R,
+        rec: Option<Rec<'_>>,
+    ) -> Result<R, u32> {
         let mut attempts = 0u32;
         let mut slow_attempts = 0u32;
         while attempts < self.retry.max_attempts {
@@ -525,7 +516,7 @@ impl<B: HtmBackend> ElidableLock<B> {
                                     t0,
                                 );
                             }
-                            return r;
+                            return Ok(r);
                         }
                         Err(code) => {
                             self.stats.record_abort(Path::SlowHtm, code);
@@ -568,7 +559,7 @@ impl<B: HtmBackend> ElidableLock<B> {
                             t0,
                         );
                     }
-                    return r;
+                    return Ok(r);
                 }
                 Err(code) => {
                     self.stats.record_abort(Path::FastHtm, code);
@@ -591,13 +582,97 @@ impl<B: HtmBackend> ElidableLock<B> {
             }
         }
 
-        // Speculation budget exhausted. With a pluggable software TM the
-        // operation stays concurrent (a software transaction) instead of
-        // serializing behind the lock.
-        if let Some(tm) = self.select_software_backend() {
-            return self.run_software(&**tm, cs);
+        Err(attempts + slow_attempts)
+    }
+
+    /// Runs `cs` speculatively only — the fast/slow HTM ladder with this
+    /// lock's retry policy, **never** the software or pessimistic
+    /// fallbacks. Returns `None` when the speculation budget is exhausted
+    /// (or the policy is [`ElisionPolicy::LockOnly`]), leaving the caller
+    /// free to choose its own fallback. This is the composable-transaction
+    /// entry point: `rtle-stm`'s `atomically` drives its own
+    /// HTM → software → pessimistic ladder, so it needs the speculative
+    /// phase as a separable step.
+    pub fn try_speculate<R>(&self, cs: impl Fn(&Ctx<'_>) -> R) -> Option<R> {
+        if self.policy == ElisionPolicy::LockOnly {
+            return None;
         }
-        self.run_under_lock(cs, rec, attempts + slow_attempts)
+        let r = self.speculative_phase(&cs, None).ok();
+        if r.is_some() {
+            self.stats.record_op();
+        }
+        r
+    }
+
+    /// Whether the lock word is currently held (advisory snapshot).
+    pub fn is_held(&self) -> bool {
+        self.lock.is_held()
+    }
+
+    /// Subscribes the calling *hardware transaction* to this lock as a
+    /// composable-transaction participant: transactionally reads the lock
+    /// word (so a later acquisition dooms the transaction) and aborts at
+    /// once with [`abort_codes::PARTICIPANT_LOCK_HELD`] if it is already
+    /// held — a holder may be mutating this lock's data with instrumented
+    /// under-lock writes the transaction cannot coexist with, because its
+    /// barriers check a *different* lock's orecs/write-flag.
+    ///
+    /// Must be called inside a hardware transaction.
+    pub fn subscribe_speculatively(&self) {
+        if self.lock.subscribe() {
+            rtle_htm::abort(abort_codes::PARTICIPANT_LOCK_HELD);
+        }
+    }
+
+    /// The software-TM fallbacks installed on this lock, in registration
+    /// order. Composable transactions use this to verify that a
+    /// participant lock shares its space's backends (`Arc` identity), the
+    /// precondition for the hybrid commit-hook protocol to cover both.
+    pub fn software_backends(&self) -> &[Arc<dyn SoftwareTm>] {
+        &self.sw_backends
+    }
+
+    /// The software backend the lock would select right now (the
+    /// heatmap-driven choice `execute` makes), cloned for the caller to
+    /// drive directly. `None` when no fallback is installed.
+    pub fn selected_software_backend(&self) -> Option<Arc<dyn SoftwareTm>> {
+        self.select_software_backend().map(Arc::clone)
+    }
+
+    /// One non-blocking shot at the software-presence protocol: raises the
+    /// `sw_running` counter iff the lock is observed free (re-checked after
+    /// the raise, exactly like the internal software path). On success the
+    /// returned guard keeps pessimistic acquirers of *this* lock waiting in
+    /// [`Self::quiesce_software`] until it drops — giving an external
+    /// software transaction (e.g. an `atomically` space's backend touching
+    /// this lock's data) the same holder exclusion the built-in software
+    /// fallback enjoys. Returns `None` when the lock is held; the caller
+    /// must back off *without blocking* (it may hold other presences, and
+    /// blocking here closes a deadlock cycle with multi-lock acquirers).
+    pub fn try_software_presence(&self) -> Option<SoftwarePresence<'_>> {
+        if self.lock.is_held() {
+            return None;
+        }
+        self.sw_running.fetch_add_plain(1);
+        if self.lock.is_held() {
+            self.sw_running.fetch_add_plain(u64::MAX);
+            return None;
+        }
+        Some(SoftwarePresence {
+            counter: &self.sw_running,
+        })
+    }
+
+    /// Participant-side hardware commit hook: gives this lock's software
+    /// backends their commit-time instrumentation if software transactions
+    /// are live on it — the same [`Self::hw_commit_hooks`] the lock's own
+    /// hardware paths run, exposed for hardware transactions that touched
+    /// this lock's data as composable-transaction participants (their
+    /// commit otherwise bypasses this lock entirely).
+    ///
+    /// Must be called inside a hardware transaction.
+    pub fn participant_commit_hook(&self) {
+        self.hw_commit_hooks();
     }
 
     /// Picks the software backend for the current workload, or `None`
@@ -981,6 +1056,21 @@ impl<B: HtmBackend> Drop for LockedSection<'_, B> {
             .locked_epilogue(self.fg_on, self.holder_epoch, None);
         self.lock.stats.record_time_locked(self.t0.elapsed());
         self.lock.lock.release();
+    }
+}
+
+/// An external software transaction's presence on one lock: while alive,
+/// the lock's `sw_running` counter is raised, so pessimistic acquirers
+/// wait in `quiesce_software` before touching the lock's data. Returned
+/// by [`ElidableLock::try_software_presence`]; dropping it (including via
+/// unwind, when a software attempt aborts) retreats the counter.
+pub struct SoftwarePresence<'a> {
+    counter: &'a TxCell<u64>,
+}
+
+impl Drop for SoftwarePresence<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_add_plain(u64::MAX);
     }
 }
 
@@ -1443,18 +1533,15 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_constructors_still_work() {
-        #[allow(deprecated)]
-        let lock = ElidableLock::new(ElisionPolicy::RwTle);
-        assert_eq!(lock.policy(), ElisionPolicy::RwTle);
-        #[allow(deprecated)]
-        let lock = ElidableLock::with_retry(
-            ElisionPolicy::Tle,
-            RetryPolicy {
+    fn builder_is_the_only_constructor() {
+        let lock = ElidableLock::builder()
+            .policy(ElisionPolicy::RwTle)
+            .retry(RetryPolicy {
                 max_attempts: 2,
                 ..Default::default()
-            },
-        );
+            })
+            .build();
+        assert_eq!(lock.policy(), ElisionPolicy::RwTle);
         assert_eq!(lock.retry_policy().max_attempts, 2);
     }
 

@@ -52,7 +52,7 @@ pub mod policy;
 pub mod stats;
 
 pub use barrier::{Ctx, ExecMode};
-pub use elidable::{ElidableLock, ElidableLockBuilder, LockedSection};
+pub use elidable::{ElidableLock, ElidableLockBuilder, LockedSection, SoftwarePresence};
 pub use lock::{TatasLock, TicketLock};
 pub use orec::OrecTable;
 pub use policy::{ElisionPolicy, RetryPolicy};
@@ -83,4 +83,7 @@ pub mod abort_codes {
     pub const FG_DISABLED: u8 = 5;
     /// Lazy subscription found the lock still held at commit time.
     pub const LAZY_LOCK_HELD: u8 = 6;
+    /// A composable transaction found a participant lock (e.g. a shard
+    /// lock it enrolled mid-transaction) held by a pessimistic owner.
+    pub const PARTICIPANT_LOCK_HELD: u8 = 7;
 }

@@ -19,6 +19,15 @@ pub(crate) fn sw_abort() -> ! {
     panic::panic_any(SwAbort);
 }
 
+/// Explicitly aborts the current software transaction attempt by
+/// unwinding with the [`SwAbort`] payload. For external retry drivers
+/// (`rtle-stm`'s participant enrollment backs off a held lock this way);
+/// only meaningful under [`crate::tm::sw_attempt`] / the backend `execute`
+/// loops, which catch the payload and count the abort.
+pub fn abort_sw() -> ! {
+    sw_abort()
+}
+
 /// Runs one software attempt, translating `SwAbort` unwinds into `None`.
 pub(crate) fn catch_sw<R>(f: impl FnOnce() -> R) -> Option<R> {
     match panic::catch_unwind(panic::AssertUnwindSafe(f)) {

@@ -46,11 +46,12 @@ pub mod tl2;
 pub mod tm;
 
 pub use ctx::TmCtx;
+pub use descriptor::{abort_sw, SwDescriptor};
 pub use norec::Norec;
 pub use rhnorec::RhNorec;
 pub use stats::{CommitKind, TmStats, TmStatsSnapshot};
 pub use tl2::Tl2;
-pub use tm::{run_sw, SoftwareTm};
+pub use tm::{run_sw, sw_attempt, SoftwareTm, SwPhase};
 
 /// Explicit abort codes used by the hybrid runtimes inside hardware
 /// transactions.

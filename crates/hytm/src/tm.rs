@@ -82,38 +82,69 @@ pub trait SoftwareTm: Send + Sync + std::fmt::Debug {
 /// attempts until one commits. Records per-attempt wall time, the commit
 /// kind, aborts, and the completed op on `tm`'s [`TmStats`].
 pub fn run_sw<R>(tm: &dyn SoftwareTm, cs: impl Fn(&TmCtx<'_>) -> R) -> R {
-    install_silent_hook();
-
-    // exit_sw must run even if the closure panics for real (not SwAbort):
-    // leaking e.g. RH-NOrec's software counter would force every future
-    // hardware commit to bump the clock forever.
-    struct SwPhase<'a>(&'a dyn SoftwareTm);
-    impl Drop for SwPhase<'_> {
-        fn drop(&mut self) {
-            self.0.exit_sw();
-        }
-    }
-    tm.enter_sw();
-    let _phase = SwPhase(tm);
-
+    let _phase = SwPhase::enter(tm);
     let desc = RefCell::new(SwDescriptor::default());
     loop {
-        let t0 = Instant::now();
-        tm.begin(&mut desc.borrow_mut());
-        let outcome = catch_sw(|| {
-            let ctx = TmCtx::sw(tm, &desc);
-            let r = cs(&ctx);
-            let kind = tm.commit(&mut desc.borrow_mut());
-            (r, kind)
-        });
-        tm.stats().record_sw_time(t0.elapsed());
-        match outcome {
-            Some((r, kind)) => {
-                tm.stats().record_commit(kind);
-                tm.stats().record_op();
-                return r;
-            }
-            None => tm.stats().record_sw_abort(),
+        if let Some(r) = sw_attempt(tm, &desc, &cs) {
+            return r;
+        }
+    }
+}
+
+/// Brackets one software transaction's `enter_sw`/`exit_sw` lifecycle.
+/// `exit_sw` must run even if the closure panics for real (not `SwAbort`):
+/// leaking e.g. RH-NOrec's software counter would force every future
+/// hardware commit to bump the clock forever — hence a drop guard.
+///
+/// External retry drivers (`rtle-stm`'s `atomically`) hold one of these
+/// around their own [`sw_attempt`] loop, so they can interleave per-attempt
+/// work (presence acquisition, parking decisions) that [`run_sw`]'s closed
+/// loop cannot express.
+pub struct SwPhase<'a>(&'a dyn SoftwareTm);
+
+impl<'a> SwPhase<'a> {
+    /// Calls `tm.enter_sw()` and returns the guard whose drop exits it.
+    pub fn enter(tm: &'a dyn SoftwareTm) -> Self {
+        tm.enter_sw();
+        SwPhase(tm)
+    }
+}
+
+impl Drop for SwPhase<'_> {
+    fn drop(&mut self) {
+        self.0.exit_sw();
+    }
+}
+
+/// One software-transaction attempt against `tm`: begin, run `cs`, commit.
+/// Returns `Some(result)` on commit, `None` when the attempt aborted
+/// (validation failure or an explicit [`crate::abort_sw`]) — the caller
+/// decides whether and when to retry. Must run inside an
+/// [`SwPhase::enter`] bracket; the descriptor is reused across attempts.
+pub fn sw_attempt<R>(
+    tm: &dyn SoftwareTm,
+    desc: &RefCell<SwDescriptor>,
+    cs: impl FnOnce(&TmCtx<'_>) -> R,
+) -> Option<R> {
+    install_silent_hook();
+    let t0 = Instant::now();
+    tm.begin(&mut desc.borrow_mut());
+    let outcome = catch_sw(|| {
+        let ctx = TmCtx::sw(tm, desc);
+        let r = cs(&ctx);
+        let kind = tm.commit(&mut desc.borrow_mut());
+        (r, kind)
+    });
+    tm.stats().record_sw_time(t0.elapsed());
+    match outcome {
+        Some((r, kind)) => {
+            tm.stats().record_commit(kind);
+            tm.stats().record_op();
+            Some(r)
+        }
+        None => {
+            tm.stats().record_sw_abort();
+            None
         }
     }
 }

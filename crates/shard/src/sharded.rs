@@ -212,6 +212,21 @@ impl<V: TxWord, B: HtmBackend> ShardedTxMap<V, B> {
         f(&s.map, guard.ctx())
     }
 
+    /// The lock and store of `key`'s shard — the composable-transaction
+    /// enrollment surface. `rtle-stm`'s `atomically` adapters fetch the
+    /// pair, enroll the lock in the transaction's participant set
+    /// (speculative subscription / software presence / ordered pessimistic
+    /// acquisition), and route the [`TxMap`] access through the
+    /// transaction's own barriers. Direct callers should prefer the
+    /// [`Self::get`]-family operations, which drive the shard's own
+    /// speculation ladder.
+    pub fn shard_parts(&self, key: u64) -> (&ElidableLock<B>, &TxMap<V>) {
+        let s = self.route(key);
+        // lockcheck: returns the lock/map pair without touching map state;
+        // the stm layer enrolls the lock before every access it routes.
+        (&s.lock, &s.map)
+    }
+
     /// Looks `key` up. Single-shard: speculates on the key's shard only.
     pub fn get(&self, key: u64) -> Option<V> {
         let s = self.route(key);

@@ -1,0 +1,516 @@
+//! [`Stm`]: a transaction space and its `atomically` driver.
+//!
+//! A space owns one [`ElidableLock`] (the *space lock*) guarding every
+//! [`TxVar`] and every space-domain structure used through it, plus the
+//! software backends shared with participant locks. [`Stm::atomically`]
+//! drives one composable transaction down the refined-TLE ladder:
+//!
+//! 1. **Speculation** — the space lock's fast/slow hardware phase
+//!    ([`ElidableLock::try_speculate`]), with participant locks enrolled
+//!    by transactional subscription.
+//! 2. **Software TM** — attempts on the space's active backend, with
+//!    participant presences keeping pessimistic holders quiesced.
+//! 3. **Pessimistic** — all discovered locks acquired in ascending
+//!    address order; the plan grows by restart when the closure touches a
+//!    lock it does not hold.
+//!
+//! A [`Tx::retry`] outcome at any rung parks the thread on the read-set
+//! vars' waiter lists (see `var.rs` for the lost-wakeup argument) and
+//! reruns the ladder from the top when woken.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use rtle_core::{ElidableLock, ElidableLockBuilder, ElisionPolicy, LockedSection, RetryPolicy, SoftwarePresence};
+use rtle_htm::{DynAccess, SwHtmBackend};
+use rtle_hytm::{sw_attempt, Norec, SoftwareTm, SwDescriptor, SwPhase};
+
+use crate::tx::{
+    catch_restart, flush_locked, flush_via, install_restart_hook, run_participant_hooks, Lock,
+    LockedPlan, Mode, Tx, TxError, TxInner, TxResult,
+};
+use crate::var::{WaitList, Waiter};
+
+/// Software attempts per ladder round before falling back to locks.
+const SW_ATTEMPTS: usize = 8;
+
+/// Park timeout backstop: a timed-out waiter revalidates and reruns, so a
+/// (hypothetical) lost wakeup costs bounded latency, not a hang.
+const PARK_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Counters for the composable-transaction plane. All counters are
+/// monotonic statistics read at quiescence or for telemetry — `Relaxed`
+/// throughout (per the workspace ordering table in DESIGN.md §3).
+#[derive(Debug, Default)]
+pub struct StmStats {
+    commits_spec: AtomicU64,
+    commits_sw: AtomicU64,
+    commits_locked: AtomicU64,
+    parks: AtomicU64,
+    wakes_notified: AtomicU64,
+    wakes_timeout: AtomicU64,
+    retry_reruns: AtomicU64,
+    plan_restarts: AtomicU64,
+    wakeups_sent: AtomicU64,
+}
+
+/// Point-in-time copy of [`StmStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StmStatsSnapshot {
+    /// Transactions committed in the hardware speculation phase.
+    pub commits_spec: u64,
+    /// Transactions committed by the software-TM fallback.
+    pub commits_sw: u64,
+    /// Transactions committed under pessimistic locks.
+    pub commits_locked: u64,
+    /// Times a retrying transaction actually parked.
+    pub parks: u64,
+    /// Parks ended by a waker's notification.
+    pub wakes_notified: u64,
+    /// Parks ended by the timeout backstop.
+    pub wakes_timeout: u64,
+    /// Retries that skipped parking because a read had already changed.
+    pub retry_reruns: u64,
+    /// Locked-mode plan-growth restarts.
+    pub plan_restarts: u64,
+    /// Waiters notified by this space's committing writers.
+    pub wakeups_sent: u64,
+}
+
+impl StmStatsSnapshot {
+    /// Total committed transactions across all three rungs.
+    pub fn commits(&self) -> u64 {
+        self.commits_spec + self.commits_sw + self.commits_locked
+    }
+}
+
+impl StmStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> StmStatsSnapshot {
+        StmStatsSnapshot {
+            commits_spec: self.commits_spec.load(Ordering::Relaxed),
+            commits_sw: self.commits_sw.load(Ordering::Relaxed),
+            commits_locked: self.commits_locked.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            wakes_notified: self.wakes_notified.load(Ordering::Relaxed),
+            wakes_timeout: self.wakes_timeout.load(Ordering::Relaxed),
+            retry_reruns: self.retry_reruns.load(Ordering::Relaxed),
+            plan_restarts: self.plan_restarts.load(Ordering::Relaxed),
+            wakeups_sent: self.wakeups_sent.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Which rung committed (internal bookkeeping).
+#[derive(Clone, Copy)]
+enum Rung {
+    Spec,
+    Sw,
+    Locked,
+}
+
+/// Builder for a transaction space.
+pub struct StmBuilder {
+    policy: ElisionPolicy,
+    retry: RetryPolicy,
+    backends: Vec<Arc<dyn SoftwareTm>>,
+}
+
+impl Default for StmBuilder {
+    fn default() -> Self {
+        StmBuilder {
+            // FG-TLE by default: the space lock guards *all* vars and
+            // space structures, so holder/speculation coexistence is what
+            // keeps unrelated transactions parallel during pessimistic
+            // episodes.
+            policy: ElisionPolicy::FgTle { orecs: 128 },
+            retry: RetryPolicy::default(),
+            backends: vec![Arc::new(Norec::new())],
+        }
+    }
+}
+
+impl StmBuilder {
+    /// Elision policy for the space lock (default: FG-TLE, 128 orecs).
+    pub fn policy(mut self, policy: ElisionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Retry policy for the space lock's speculative phase.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the software backends (default: one shared NOrec). The
+    /// first registered backend is favoured by the heatmap selection; an
+    /// empty list disables the software rung entirely.
+    pub fn software_backends(mut self, backends: Vec<Arc<dyn SoftwareTm>>) -> Self {
+        self.backends = backends;
+        self
+    }
+
+    /// Builds the space.
+    pub fn build(self) -> Stm {
+        let mut b = ElidableLock::builder().policy(self.policy).retry(self.retry);
+        for tm in &self.backends {
+            b = b.with_software_backend(Arc::clone(tm));
+        }
+        Stm {
+            lock: b.build(),
+            backends: self.backends,
+            stats: StmStats::default(),
+        }
+    }
+}
+
+/// A transaction space: the front door for composable transactions.
+#[derive(Debug)]
+pub struct Stm {
+    lock: Lock,
+    backends: Vec<Arc<dyn SoftwareTm>>,
+    stats: StmStats,
+}
+
+impl Default for Stm {
+    fn default() -> Self {
+        Stm::new()
+    }
+}
+
+impl Stm {
+    /// A space with the default configuration (FG-TLE spec phase, one
+    /// shared NOrec software backend).
+    pub fn new() -> Self {
+        Stm::builder().build()
+    }
+
+    /// Starts building a customized space.
+    pub fn builder() -> StmBuilder {
+        StmBuilder::default()
+    }
+
+    /// The space lock (telemetry: its [`rtle_core::ExecStats`] show the
+    /// spec/software/pessimistic mix of the space's own phase).
+    pub fn lock(&self) -> &Lock {
+        &self.lock
+    }
+
+    /// The composable-transaction counters.
+    pub fn stats(&self) -> &StmStats {
+        &self.stats
+    }
+
+    /// A lock builder pre-loaded with this space's software backends
+    /// (shared `Arc`s). Participant locks — e.g. the per-shard locks of a
+    /// `ShardedTxMap` built via `with_builder` — **must** be constructed
+    /// from this, so the space's software rung validates against the same
+    /// backend the participants' hardware commits publish to.
+    pub fn lock_builder(&self) -> ElidableLockBuilder<SwHtmBackend> {
+        let mut b = ElidableLock::builder();
+        for tm in &self.backends {
+            b = b.with_software_backend(Arc::clone(tm));
+        }
+        b
+    }
+
+    pub(crate) fn lock_addr(&self) -> usize {
+        &self.lock as *const Lock as usize
+    }
+
+    /// Runs `f` as one composable transaction: every read and write in
+    /// the closure commits atomically — across [`crate::TxVar`]s,
+    /// space-domain structures, and enrolled sharded-map participants —
+    /// or not at all. Blocks (without spinning) when `f` returns
+    /// [`TxError::Retry`], until a read-set var changes.
+    ///
+    /// The closure may run any number of times and must be side-effect
+    /// free outside its transactional accesses.
+    pub fn atomically<'env, R>(&'env self, f: impl Fn(&Tx<'env, '_>) -> TxResult<R>) -> R {
+        install_restart_hook();
+        let inner: RefCell<TxInner<'env>> = RefCell::new(TxInner::new());
+        // Participant locks discovered in failed attempts seed the
+        // pessimistic plan, so the Locked rung usually acquires the full
+        // set on its first try instead of growing lock by lock.
+        let mut known: Vec<&'env Lock> = Vec::new();
+
+        loop {
+            // ---- Rung 1: hardware speculation --------------------------
+            let spec = self.lock.try_speculate(|ctx| {
+                inner.borrow_mut().reset();
+                let tx = Tx::new(self, Mode::Spec(ctx), &inner);
+                let r = f(&tx);
+                if r.is_ok() {
+                    let logs = inner.borrow();
+                    flush_via(&logs, ctx);
+                    run_participant_hooks(&logs);
+                }
+                r
+            });
+            match spec {
+                Some(Ok(v)) => {
+                    self.finish(Rung::Spec, &inner);
+                    return v;
+                }
+                Some(Err(TxError::Retry)) => {
+                    self.park(&inner);
+                    continue;
+                }
+                None => self.merge_known(&mut known, &inner),
+            }
+
+            // ---- Rung 2: software TM -----------------------------------
+            if let Some(committed) = self.software_rung(&f, &inner, &mut known) {
+                match committed {
+                    Ok(v) => {
+                        self.finish(Rung::Sw, &inner);
+                        return v;
+                    }
+                    Err(TxError::Retry) => {
+                        self.park(&inner);
+                        continue;
+                    }
+                }
+            }
+
+            // ---- Rung 3: ordered pessimistic locks ---------------------
+            match self.locked_rung(&f, &inner, &mut known) {
+                Ok(v) => {
+                    self.finish(Rung::Locked, &inner);
+                    return v;
+                }
+                Err(TxError::Retry) => {
+                    self.park(&inner);
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// One round of software-TM attempts. `Some(outcome)` when an attempt
+    /// committed (possibly read-only with a retry request); `None` when
+    /// the rung is exhausted or no backend is installed.
+    fn software_rung<'env, R>(
+        &'env self,
+        f: &impl Fn(&Tx<'env, '_>) -> TxResult<R>,
+        inner: &RefCell<TxInner<'env>>,
+        known: &mut Vec<&'env Lock>,
+    ) -> Option<TxResult<R>> {
+        let tm = self.lock.selected_software_backend()?;
+        let tm_ref: &dyn SoftwareTm = tm.as_ref();
+        let _phase = SwPhase::enter(tm_ref);
+        let desc = RefCell::new(SwDescriptor::default());
+        let presences: RefCell<Vec<SoftwarePresence<'env>>> = RefCell::new(Vec::new());
+        for _ in 0..SW_ATTEMPTS {
+            // Presence on the space lock itself first. Blocking here is
+            // safe — this thread holds no other presences or locks yet.
+            loop {
+                while self.lock.is_held() {
+                    std::hint::spin_loop();
+                }
+                if let Some(p) = self.lock.try_software_presence() {
+                    presences.borrow_mut().push(p);
+                    break;
+                }
+            }
+            let outcome = sw_attempt(tm_ref, &desc, |tmctx| {
+                inner.borrow_mut().reset();
+                let tx = Tx::new(
+                    self,
+                    Mode::Sw {
+                        acc: tmctx,
+                        tm: &tm,
+                        presences: &presences,
+                    },
+                    inner,
+                );
+                let r = f(&tx);
+                if r.is_ok() {
+                    flush_via(&inner.borrow(), tmctx);
+                }
+                r
+            });
+            // The attempt (and, on success, its backend commit) is over:
+            // release all presences before deciding what to do next.
+            presences.borrow_mut().clear();
+            match outcome {
+                Some(done) => return Some(done),
+                None => self.merge_known(known, inner),
+            }
+        }
+        None
+    }
+
+    /// The pessimistic rung: acquire the known plan in ascending lock
+    /// address order, growing it via restarts until the closure runs to
+    /// completion. Always commits (or retries) eventually — the plan is
+    /// bounded by the locks the closure can touch.
+    fn locked_rung<'env, R>(
+        &'env self,
+        f: &impl Fn(&Tx<'env, '_>) -> TxResult<R>,
+        inner: &RefCell<TxInner<'env>>,
+        known: &mut Vec<&'env Lock>,
+    ) -> TxResult<R> {
+        let mut plan: Vec<&'env Lock> = Vec::with_capacity(known.len() + 1);
+        plan.push(&self.lock);
+        plan.extend(known.iter().copied());
+        sort_plan(&mut plan);
+        loop {
+            let sections: Vec<LockedSection<'env, SwHtmBackend>> =
+                plan.iter().map(|l| l.lock_section()).collect();
+            let locked = LockedPlan {
+                entries: plan
+                    .iter()
+                    .zip(&sections)
+                    .map(|(l, s)| {
+                        (
+                            *l as *const Lock as usize,
+                            s.ctx() as &dyn DynAccess,
+                        )
+                    })
+                    .collect(),
+            };
+            let attempt = catch_restart(|| {
+                inner.borrow_mut().reset();
+                let tx = Tx::new(self, Mode::Locked(&locked), inner);
+                f(&tx)
+            });
+            match attempt {
+                Some(done) => {
+                    if done.is_ok() {
+                        flush_locked(&inner.borrow(), &locked);
+                    }
+                    drop(locked);
+                    drop(sections); // releases the locks (writes visible)
+                    return done;
+                }
+                None => {
+                    StmStats::bump(&self.stats.plan_restarts);
+                    let missing = inner
+                        .borrow_mut()
+                        .missing
+                        .take()
+                        .expect("restart without a missing lock");
+                    drop(locked);
+                    drop(sections);
+                    plan.push(missing);
+                    sort_plan(&mut plan);
+                    if !known.iter().any(|k| std::ptr::eq(*k, missing)) {
+                        known.push(missing);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Post-commit bookkeeping: count the commit and wake the waiter list
+    /// of every [`crate::TxVar`] the transaction wrote. Runs strictly
+    /// after the writes are visible (post HTM commit / backend commit /
+    /// lock release).
+    fn finish(&self, rung: Rung, inner: &RefCell<TxInner<'_>>) {
+        StmStats::bump(match rung {
+            Rung::Spec => &self.stats.commits_spec,
+            Rung::Sw => &self.stats.commits_sw,
+            Rung::Locked => &self.stats.commits_locked,
+        });
+        let logs = inner.borrow();
+        let mut seen: Vec<*const WaitList> = Vec::new();
+        for w in &logs.writes {
+            if let Some(wl) = w.waiters {
+                if !seen.contains(&wl) {
+                    seen.push(wl);
+                }
+            }
+        }
+        for wl in seen {
+            // SAFETY: the list belongs to a `&'env TxVar` that outlives
+            // this `atomically` call (enforced by `Tx::write`'s bound).
+            // lockcheck: waiter lists are mutex-guarded internally; the
+            // committed values this wake publishes went through the
+            // rung's own commit protocol before finish() runs.
+            let woken = unsafe { &*wl }.wake_all();
+            self.stats
+                .wakeups_sent
+                .fetch_add(woken as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Blocks until some read-set var changes: register on every read
+    /// var's waiter list, revalidate the logged reads, park. See `var.rs`
+    /// for why this ordering has no lost wakeups.
+    fn park(&self, inner: &RefCell<TxInner<'_>>) {
+        let logs = inner.borrow();
+        let mut lists: Vec<*const WaitList> = Vec::new();
+        for r in &logs.reads {
+            if let Some(wl) = r.waiters {
+                if !lists.contains(&wl) {
+                    lists.push(wl);
+                }
+            }
+        }
+        assert!(
+            !lists.is_empty(),
+            "retry would block forever: the transaction read no TxVars, so \
+             nothing can wake it (only TxVar reads register wakeups)"
+        );
+        let waiter = Arc::new(Waiter::new());
+        for wl in &lists {
+            // SAFETY: lists belong to `&'env TxVar`s outliving this call.
+            // lockcheck: waiter lists are mutex-guarded internally; the
+            // deref only reconstructs the reference.
+            unsafe { &**wl }.register(&waiter);
+        }
+        // Registered first, *then* validate: a writer committing after
+        // this check must see our registration.
+        let changed = logs
+            .reads
+            .iter()
+            // SAFETY: read-set cells outlive the atomically call.
+            // lockcheck: deliberately racy revalidation read — a stale
+            // value is caught by the rerun's own transactional read, and
+            // TxCell's internal Acquire floor orders the load itself.
+            .any(|r| unsafe { (*r.cell).read_plain() } != r.value);
+        if changed {
+            StmStats::bump(&self.stats.retry_reruns);
+            return;
+        }
+        StmStats::bump(&self.stats.parks);
+        if waiter.park(PARK_TIMEOUT) {
+            StmStats::bump(&self.stats.wakes_notified);
+        } else {
+            StmStats::bump(&self.stats.wakes_timeout);
+        }
+    }
+
+    /// Remembers participant locks enrolled by a failed attempt, seeding
+    /// the pessimistic plan.
+    fn merge_known<'env>(&self, known: &mut Vec<&'env Lock>, inner: &RefCell<TxInner<'env>>) {
+        let logs = inner.borrow();
+        for l in &logs.enrolled {
+            if !known.iter().any(|k| std::ptr::eq(*k, *l)) {
+                known.push(l);
+            }
+        }
+    }
+}
+
+/// Ascending raw-address order — the global acquisition order shared with
+/// `rtle-shard`'s cross-shard transfers (shards sort by index, and shard
+/// locks live in one allocation, so index order *is* address order).
+fn sort_plan(plan: &mut Vec<&Lock>) {
+    plan.sort_by_key(|l| *l as *const Lock as usize);
+    plan.dedup_by(|a, b| std::ptr::eq(*a, *b));
+}
+
+/// The process-wide default space backing the free [`crate::atomically`].
+pub fn global() -> &'static Stm {
+    static GLOBAL: OnceLock<Stm> = OnceLock::new();
+    GLOBAL.get_or_init(Stm::new)
+}

@@ -115,6 +115,21 @@ impl TxHashSet {
         false
     }
 
+    /// Returns an arbitrary present key, transactionally — the classic
+    /// "take any work item" shape for composable consumers: pair with a
+    /// transactional `remove` and a `retry` when `None`, and the consumer
+    /// blocks until a producer commits an insert. O(capacity) scan; size
+    /// the set for the working set, not the key space.
+    pub fn any_key<A: TxAccess + ?Sized>(&self, a: &A) -> Option<u64> {
+        for slot in self.slots.iter() {
+            let w = a.load(&slot.word);
+            if w >= 2 {
+                return Some(w - 2);
+            }
+        }
+        None
+    }
+
     /// Live key count. O(capacity); quiescent use only.
     pub fn len_plain(&self) -> usize {
         let a = PlainAccess;

@@ -1,13 +1,15 @@
-//! The paper's bank-accounts corner case (§6.3): every critical section is
-//! a read-modify-write transfer, so RW-TLE's read-only slow path never
-//! helps and NOrec-style systems serialize writer commits. Checks the
-//! conservation invariant across all methods, including the hybrid TMs.
+//! The paper's bank-accounts corner case (§6.3), rewritten on the
+//! composable-transaction front door: every transfer is one `atomically`
+//! block over [`TxVar`] accounts, and the same closure commits through
+//! hardware speculation, the software TM, or pessimistic locking as the
+//! space's ladder decides. `or_else` expresses the overdraft policy
+//! (transfer the full amount, or fall back to draining what's there)
+//! without any method-specific code.
 //!
 //! ```sh
 //! cargo run --release --example bank_transfer [threads] [transfers]
 //! ```
 
-use std::sync::Arc;
 use std::time::Instant;
 
 use refined_tle::prelude::*;
@@ -22,107 +24,85 @@ fn main() {
     let transfers: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(50_000);
 
     println!("bank: {ACCOUNTS} accounts, {threads} threads x {transfers} transfers\n");
-    println!("{:<18}{:>12}{:>14}", "method", "ops/ms", "total-after");
+    println!(
+        "{:<18}{:>12}{:>8}{:>8}{:>8}{:>14}",
+        "space", "ops/ms", "spec", "sw", "locked", "total-after"
+    );
 
-    // Elision methods.
-    for policy in [
-        ElisionPolicy::LockOnly,
-        ElisionPolicy::Tle,
-        ElisionPolicy::RwTle,
-        ElisionPolicy::FgTle { orecs: 1024 },
+    for (label, space) in [
+        (
+            "LockOnly",
+            Stm::builder()
+                .policy(ElisionPolicy::LockOnly)
+                .software_backends(Vec::new())
+                .build(),
+        ),
+        ("Tle", Stm::builder().policy(ElisionPolicy::Tle).build()),
+        ("RwTle", Stm::builder().policy(ElisionPolicy::RwTle).build()),
+        (
+            "FgTle(1024)+norec",
+            Stm::builder()
+                .policy(ElisionPolicy::FgTle { orecs: 1024 })
+                .build(),
+        ),
     ] {
-        let accounts = make_accounts();
-        let lock = ElidableLock::builder().policy(policy).build();
+        let accounts: Vec<TxVar<u64>> = (0..ACCOUNTS).map(|_| TxVar::new(INITIAL)).collect();
         let t0 = Instant::now();
-        drive(threads, transfers, &accounts, |from, to, amt| {
-            lock.execute(|ctx| transfer(ctx, &accounts, from, to, amt));
-        });
-        report(policy.label(), t0, threads, transfers, &accounts);
-    }
 
-    // Hybrid / software TMs.
-    {
-        let accounts = make_accounts();
-        let tm = Norec::new();
-        let t0 = Instant::now();
-        drive(threads, transfers, &accounts, |from, to, amt| {
-            tm.execute(|ctx| transfer(ctx, &accounts, from, to, amt));
+        std::thread::scope(|scope| {
+            let (space, accounts) = (&space, &accounts);
+            for t in 0..threads {
+                scope.spawn(move || {
+                    let mut rng = 0xaced ^ (t as u64 + 1);
+                    for _ in 0..transfers {
+                        let r = xorshift64(&mut rng);
+                        let from = r % ACCOUNTS;
+                        let mut to = (r >> 24) % ACCOUNTS;
+                        if to == from {
+                            to = (to + 1) % ACCOUNTS;
+                        }
+                        let amt = (r >> 48) % 10;
+                        space.atomically(|tx| {
+                            tx.or_else(
+                                // Preferred: the full transfer, if funded.
+                                |tx| {
+                                    let f = tx.read(&accounts[from as usize]);
+                                    tx.check(f >= amt)?;
+                                    tx.write(&accounts[from as usize], f - amt);
+                                    let t = tx.read(&accounts[to as usize]);
+                                    tx.write(&accounts[to as usize], t + amt);
+                                    Ok(amt)
+                                },
+                                // Fallback: drain whatever is there. The
+                                // abandoned branch's writes rolled back.
+                                |tx| {
+                                    let f = tx.read(&accounts[from as usize]);
+                                    tx.write(&accounts[from as usize], 0);
+                                    let t = tx.read(&accounts[to as usize]);
+                                    tx.write(&accounts[to as usize], t + f);
+                                    Ok(f)
+                                },
+                            )
+                        });
+                    }
+                });
+            }
         });
-        report("NOrec".into(), t0, threads, transfers, &accounts);
-    }
-    {
-        let accounts = make_accounts();
-        let tm = RhNorec::new();
-        let t0 = Instant::now();
-        drive(threads, transfers, &accounts, |from, to, amt| {
-            tm.execute(|ctx| transfer(ctx, &accounts, from, to, amt));
-        });
-        report("RHNOrec".into(), t0, threads, transfers, &accounts);
-        let s = tm.stats().snapshot();
+
+        let elapsed = t0.elapsed();
+        let total: u64 = accounts.iter().map(|a| a.read_plain()).sum();
+        assert_eq!(total, ACCOUNTS * INITIAL, "{label}: money not conserved!");
+        let snap = space.stats().snapshot();
+        let ops = threads as u64 * transfers;
         println!(
-            "  RHNOrec split: HTMFast={} HTMSlow={} STMFast={} STMSlow={} validations/txn={:.1}",
-            s.htm_fast,
-            s.htm_slow,
-            s.stm_fast_commit,
-            s.stm_slow_commit,
-            s.validations_per_stm_txn()
+            "{:<18}{:>12.1}{:>8}{:>8}{:>8}{:>14}",
+            label,
+            ops as f64 / elapsed.as_secs_f64() / 1e3,
+            snap.commits_spec,
+            snap.commits_sw,
+            snap.commits_locked,
+            total
         );
     }
-}
-
-fn make_accounts() -> Arc<Vec<TxCell<u64>>> {
-    Arc::new((0..ACCOUNTS).map(|_| TxCell::new(INITIAL)).collect())
-}
-
-/// One atomic transfer through any barrier implementation.
-fn transfer<A: TxAccess + ?Sized>(a: &A, accounts: &[TxCell<u64>], from: u64, to: u64, amt: u64) {
-    let f = a.load(&accounts[from as usize]);
-    let m = amt.min(f);
-    a.store(&accounts[from as usize], f - m);
-    let t = a.load(&accounts[to as usize]);
-    a.store(&accounts[to as usize], t + m);
-}
-
-fn drive(
-    threads: usize,
-    transfers: u64,
-    _accounts: &Arc<Vec<TxCell<u64>>>,
-    op: impl Fn(u64, u64, u64) + Sync,
-) {
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let op = &op;
-            scope.spawn(move || {
-                let mut rng = 0xaced ^ (t as u64 + 1);
-                for _ in 0..transfers {
-                    let r = xorshift64(&mut rng);
-                    let from = r % ACCOUNTS;
-                    let mut to = (r >> 24) % ACCOUNTS;
-                    if to == from {
-                        to = (to + 1) % ACCOUNTS;
-                    }
-                    op(from, to, (r >> 48) % 10);
-                }
-            });
-        }
-    });
-}
-
-fn report(
-    label: String,
-    t0: Instant,
-    threads: usize,
-    transfers: u64,
-    accounts: &Arc<Vec<TxCell<u64>>>,
-) {
-    let elapsed = t0.elapsed();
-    let total: u64 = accounts.iter().map(|a| a.read_plain()).sum();
-    assert_eq!(total, ACCOUNTS * INITIAL, "{label}: money not conserved!");
-    let ops = threads as u64 * transfers;
-    println!(
-        "{:<18}{:>12.1}{:>14}",
-        label,
-        ops as f64 / elapsed.as_secs_f64() / 1e3,
-        total
-    );
+    println!("\nconservation held on every space (sum == {} for all).", ACCOUNTS * INITIAL);
 }

@@ -182,6 +182,78 @@ rustc --edition 2021 -O --extern rtle_obs="$obs_rlib" \
     -o /tmp/tier1_tm_smoke /tmp/tier1_tm_smoke.rs
 /tmp/tier1_tm_smoke "$tm_json"
 
+echo "== stm_bench smoke (composable transactions + retry/wakeup) =="
+# Quick run of the composed three-structure transaction sweep plus the
+# bounded-buffer handoff. The validator checks the export end-to-end:
+# all four space rows committed, the rung mix accounts for every commit
+# (lock_only must be fully pessimistic), and the handoff actually parked
+# and was woken by notifications — a spinning or lost-wakeup regression
+# shows up as parks=0 or timeout-dominated wakes.
+stm_json="$tmp/stm.json"
+cargo run -p rtle-bench --release --bin stm_bench -- --quick --json "$stm_json" >/dev/null
+cat > /tmp/tier1_stm_smoke.rs <<'RS'
+fn main() {
+    use rtle_obs::Json;
+    let path = std::env::args().nth(1).unwrap();
+    let text = std::fs::read_to_string(&path).expect("read stm json");
+    let j = rtle_obs::parse_json(&text).expect("stm json must parse");
+    assert_eq!(j.get("kind").and_then(Json::as_str), Some("perf-baseline"));
+    assert_eq!(j.get("tool").and_then(Json::as_str), Some("stm_bench"));
+    assert_eq!(
+        j.get("schema_version").and_then(Json::as_u64),
+        Some(rtle_obs::SCHEMA_VERSION),
+        "schema version mismatch"
+    );
+    let benches = j.get("benches").and_then(Json::as_arr).expect("benches");
+    assert_eq!(benches.len(), 4, "four space configurations");
+    let committed = j.get("committed_ops").expect("committed_ops");
+    let expected = j.get("threads").and_then(Json::as_u64).unwrap()
+        * j.get("ops_per_thread").and_then(Json::as_u64).unwrap();
+    let mix = j.get("rung_mix").expect("rung_mix");
+    for b in benches {
+        let name = b.get("name").and_then(Json::as_str).expect("row name");
+        assert!(
+            b.get("ns_per_op").and_then(Json::as_f64).expect("ns_per_op") > 0.0,
+            "{name}: nonpositive latency"
+        );
+        assert_eq!(
+            committed.get(name).and_then(Json::as_u64),
+            Some(expected),
+            "{name}: lost commits"
+        );
+        let space = name.rsplit('/').next().unwrap();
+        let m = mix.get(space).expect("rung mix row");
+        let sum = ["spec", "sw", "locked"]
+            .iter()
+            .map(|k| m.get(k).and_then(Json::as_u64).unwrap())
+            .sum::<u64>();
+        assert_eq!(sum, expected, "{space}: rung mix does not account for all commits");
+        if space == "lock_only" {
+            assert_eq!(
+                m.get("locked").and_then(Json::as_u64),
+                Some(expected),
+                "lock_only space must be fully pessimistic"
+            );
+        }
+    }
+    let h = j.get("handoff").expect("handoff section");
+    let parks = h.get("parks").and_then(Json::as_u64).expect("parks");
+    let notified = h.get("wakes_notified").and_then(Json::as_u64).expect("wakes_notified");
+    let timeouts = h.get("wakes_timeout").and_then(Json::as_u64).expect("wakes_timeout");
+    assert!(parks >= 1, "bounded-buffer handoff never parked");
+    assert!(notified >= 1, "no notified wakeups — consumers relied on timeouts");
+    assert!(
+        notified > timeouts,
+        "wakeups must be mostly notifications ({notified} notified vs {timeouts} timeouts)"
+    );
+    println!("ok: 4 spaces x {expected} commits, handoff parks={parks} notified={notified}");
+}
+RS
+rustc --edition 2021 -O --extern rtle_obs="$obs_rlib" \
+    -L dependency=target/release/deps \
+    -o /tmp/tier1_stm_smoke /tmp/tier1_stm_smoke.rs
+/tmp/tier1_stm_smoke "$stm_json"
+
 echo "== shard_bench smoke (sharded-map scaling + JSON stats) =="
 # Seeded quick run of the sharded-map scaling benchmark; the validator
 # checks the merged per-shard stats document end-to-end with the

@@ -35,9 +35,16 @@ pub use rtle_hytm as hytm;
 pub use rtle_obs as obs;
 pub use rtle_shard as shard;
 pub use rtle_sim as sim;
+pub use rtle_stm as stm;
 pub use rtle_structs as structs;
 
 /// The items most programs need.
+///
+/// The canonical front door for writing transactions is the composable
+/// API: [`atomically`](rtle_stm::atomically) over [`TxVar`](rtle_stm::TxVar)s
+/// and transactional structures, with [`Tx::retry`](rtle_stm::Tx::retry)
+/// and [`or_else`](rtle_stm::or_else) for blocking and choice. Direct
+/// `ElidableLock::execute` remains the low-level single-lock interface.
 pub mod prelude {
     pub use rtle_avltree::AvlSet;
     pub use rtle_core::{
@@ -48,6 +55,7 @@ pub mod prelude {
     pub use rtle_hytm::{Norec, RhNorec, TmCtx};
     pub use rtle_obs::{AdaptAction, AdaptDecision, ObsConfig, Recorder};
     pub use rtle_shard::{MapOp, OpResult, ShardedTxMap, TransferError};
+    pub use rtle_stm::{atomically, or_else, Stm, StmBuilder, Tx, TxError, TxResult, TxVar};
     pub use rtle_structs::{TxHashSet, TxListSet};
 }
 
